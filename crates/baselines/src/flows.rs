@@ -1,0 +1,167 @@
+//! Complete baseline synthesis flows, matching the comparison set of
+//! Table II: the ABC-like AIG flow and the Design-Compiler-like
+//! multi-strategy flow (a simulation of a commercial best-of-breed
+//! optimizer — DC itself is proprietary; see DESIGN.md §3).
+
+use crate::balance::abc_flow;
+use bdsmaj::{bds_maj, bds_pga, BdsMajOptions};
+use decomp::EngineOptions;
+use logic::{GateKind, Network, SignalId};
+use std::collections::HashMap;
+use techmap::{map_network, report, Library, MappedNetwork};
+
+/// Re-expresses every MAJ-3 gate as `ab + c·(a⊕b)` — the best a flow can
+/// do when it understands XOR but does not infer majority cells, which is
+/// the behaviour commercial tools showed in the paper's experiments.
+pub fn expand_maj(net: &Network) -> Network {
+    let mut out = Network::new(net.name().to_string());
+    let mut map: HashMap<SignalId, SignalId> = HashMap::new();
+    for &pi in net.inputs() {
+        let s = out.add_input(net.signal_name(pi));
+        map.insert(pi, s);
+    }
+    for id in net.signals() {
+        if map.contains_key(&id) {
+            continue;
+        }
+        let node = net.node(id);
+        let fanins: Vec<SignalId> = node.fanins.iter().map(|f| map[f]).collect();
+        let s = match node.kind {
+            GateKind::Input => unreachable!(),
+            GateKind::Maj => {
+                let (a, b, c) = (fanins[0], fanins[1], fanins[2]);
+                let ab = out.add_gate_simplified(GateKind::And, vec![a, b]);
+                let x = out.add_gate_simplified(GateKind::Xor, vec![a, b]);
+                let cx = out.add_gate_simplified(GateKind::And, vec![c, x]);
+                out.add_gate_simplified(GateKind::Or, vec![ab, cx])
+            }
+            ref kind => out.add_gate_simplified(kind.clone(), fanins),
+        };
+        map.insert(id, s);
+    }
+    for (name, s) in net.outputs() {
+        out.set_output(name.clone(), map[s]);
+    }
+    out.cleaned()
+}
+
+/// Which strategy won inside the DC-like flow (reported for analysis).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum DcStrategy {
+    /// The AIG flow's result was the smallest.
+    AigBased,
+    /// The BDS-PGA decomposition won.
+    BddBased,
+    /// The MAJ-free re-expression of the BDD-with-majority result won.
+    BddMajFree,
+}
+
+/// Result of the DC-like flow.
+#[derive(Clone, Debug)]
+pub struct DcResult {
+    /// The chosen optimized network (before mapping).
+    pub network: Network,
+    /// Which internal strategy produced it.
+    pub strategy: DcStrategy,
+}
+
+/// The Design-Compiler-like flow (`compile -area -effort high` stand-in):
+/// runs several optimization strategies — AIG restructuring, BDD
+/// decomposition, and an XOR-preserving (but majority-blind) variant of
+/// the strongest decomposition — maps each, and keeps the smallest-area
+/// result.
+pub fn dc_flow(net: &Network, lib: &Library) -> DcResult {
+    let candidates = [
+        (DcStrategy::AigBased, abc_flow(net)),
+        (
+            DcStrategy::BddBased,
+            bds_pga(net, &EngineOptions::default()).network,
+        ),
+        (
+            DcStrategy::BddMajFree,
+            expand_maj(bds_maj(net, &BdsMajOptions::default()).network()),
+        ),
+    ];
+    let mut best: Option<(f64, DcStrategy, Network)> = None;
+    for (strategy, candidate) in candidates {
+        let mapped = map_network(&candidate);
+        let area = report(&mapped, lib).area;
+        if best.as_ref().is_none_or(|(a, _, _)| area < *a) {
+            best = Some((area, strategy, candidate));
+        }
+    }
+    let (_, strategy, network) = best.expect("three candidates");
+    DcResult { network, strategy }
+}
+
+/// Convenience: run the ABC-like flow and map it.
+pub fn abc_mapped(net: &Network) -> MappedNetwork {
+    map_network(&abc_flow(net))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use logic::equiv_sim;
+
+    fn carry_network() -> Network {
+        // 3-bit carry chain: majority-rich.
+        let mut net = Network::new("carry");
+        let mut carry: Option<SignalId> = None;
+        let mut inputs = Vec::new();
+        for i in 0..3 {
+            let a = net.add_input(format!("a{i}"));
+            let b = net.add_input(format!("b{i}"));
+            inputs.push((a, b));
+        }
+        for &(a, b) in &inputs {
+            carry = Some(match carry {
+                None => net.add_gate(GateKind::And, vec![a, b]),
+                Some(c) => net.add_gate(GateKind::Maj, vec![a, b, c]),
+            });
+        }
+        net.set_output("cout", carry.unwrap());
+        net
+    }
+
+    #[test]
+    fn expand_maj_is_equivalent_and_maj_free() {
+        let net = carry_network();
+        let expanded = expand_maj(&net);
+        assert_eq!(equiv_sim(&net, &expanded, 16, 3), Ok(()));
+        assert_eq!(expanded.gate_counts().maj, 0);
+        assert!(expanded.gate_counts().xor >= 1, "XOR form used");
+    }
+
+    #[test]
+    fn dc_flow_preserves_function() {
+        let net = carry_network();
+        let result = dc_flow(&net, &Library::cmos22());
+        assert_eq!(equiv_sim(&net, &result.network, 16, 5), Ok(()));
+        assert_eq!(
+            result.network.gate_counts().maj,
+            0,
+            "the DC stand-in never infers MAJ cells"
+        );
+    }
+
+    #[test]
+    fn dc_flow_is_at_least_as_good_as_abc() {
+        let net = carry_network();
+        let lib = Library::cmos22();
+        let dc = dc_flow(&net, &lib);
+        let dc_area = report(&map_network(&dc.network), &lib).area;
+        let abc_area = report(&abc_mapped(&net), &lib).area;
+        assert!(
+            dc_area <= abc_area + 1e-9,
+            "best-of flow cannot lose to one of its candidates"
+        );
+    }
+
+    #[test]
+    fn abc_mapped_uses_library_cells() {
+        let net = carry_network();
+        let mapped = abc_mapped(&net);
+        assert!(mapped.gate_count() > 0);
+    }
+}

@@ -1,0 +1,310 @@
+//! Structural and semantic analysis: evaluation, size, support,
+//! satisfying-set counting, and the per-node connectivity statistics used by
+//! dominator-driven decomposition.
+
+use crate::hasher::BuildFxHasher;
+use crate::manager::Manager;
+use crate::reference::{NodeId, Ref, Var};
+use std::collections::{HashMap, HashSet};
+
+/// Incoming-edge statistics of one node inside the DAG of a function, as
+/// needed by the m-dominator search of BDS-MAJ (§III-B condition (ii)).
+#[derive(Clone, Copy, Default, PartialEq, Eq, Debug)]
+pub struct InDegree {
+    /// Incoming 0-edges without the complement attribute.
+    pub zero_regular: usize,
+    /// Incoming 0-edges carrying the complement attribute.
+    pub zero_complemented: usize,
+    /// Incoming 1-edges (always regular in this package).
+    pub one: usize,
+}
+
+impl InDegree {
+    /// Total number of incoming edges.
+    pub fn total(&self) -> usize {
+        self.zero_regular + self.zero_complemented + self.one
+    }
+}
+
+/// Connectivity statistics for every internal node reachable from a root.
+#[derive(Clone, Debug, Default)]
+pub struct NodeStats {
+    degrees: HashMap<NodeId, InDegree, BuildFxHasher>,
+    order: Vec<NodeId>,
+}
+
+impl NodeStats {
+    /// In-degree record of `id` (zeroed if the node is unknown).
+    pub fn in_degree(&self, id: NodeId) -> InDegree {
+        self.degrees.get(&id).copied().unwrap_or_default()
+    }
+
+    /// The internal nodes reachable from the root, in DFS discovery order
+    /// (root first).
+    pub fn nodes(&self) -> &[NodeId] {
+        &self.order
+    }
+
+    /// Number of internal nodes.
+    pub fn len(&self) -> usize {
+        self.order.len()
+    }
+
+    /// Whether the function had no internal nodes (i.e., was constant).
+    pub fn is_empty(&self) -> bool {
+        self.order.is_empty()
+    }
+}
+
+impl Manager {
+    /// Evaluates `f` under a total assignment (`assignment[i]` is the value
+    /// of variable `i`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the assignment is shorter than a variable index reached
+    /// during the walk.
+    pub fn eval(&self, f: Ref, assignment: &[bool]) -> bool {
+        let mut cur = f;
+        loop {
+            if cur.is_const() {
+                return cur.is_one();
+            }
+            let n = self.nodes[cur.node().index()];
+            let c = cur.is_complemented();
+            let branch = if assignment[n.var.index()] {
+                n.high
+            } else {
+                n.low
+            };
+            cur = branch.xor_complement(c);
+        }
+    }
+
+    /// Number of distinct internal nodes in the DAG rooted at `f`
+    /// (the `|F|` size metric used throughout the BDS-MAJ paper;
+    /// constants have size 0, a single variable has size 1).
+    pub fn size(&self, f: Ref) -> usize {
+        let mut seen: HashSet<NodeId, BuildFxHasher> = HashSet::default();
+        let mut stack = vec![f.node()];
+        while let Some(id) = stack.pop() {
+            if id.is_terminal() || !seen.insert(id) {
+                continue;
+            }
+            let n = self.nodes[id.index()];
+            stack.push(n.low.node());
+            stack.push(n.high.node());
+        }
+        seen.len()
+    }
+
+    /// Combined size of several functions counting shared nodes once.
+    pub fn shared_size(&self, fs: &[Ref]) -> usize {
+        let mut seen: HashSet<NodeId, BuildFxHasher> = HashSet::default();
+        let mut stack: Vec<NodeId> = fs.iter().map(|f| f.node()).collect();
+        while let Some(id) = stack.pop() {
+            if id.is_terminal() || !seen.insert(id) {
+                continue;
+            }
+            let n = self.nodes[id.index()];
+            stack.push(n.low.node());
+            stack.push(n.high.node());
+        }
+        seen.len()
+    }
+
+    /// The set of variables `f` structurally depends on, in increasing
+    /// index order.
+    pub fn support(&self, f: Ref) -> Vec<Var> {
+        let mut vars: HashSet<u32, BuildFxHasher> = HashSet::default();
+        let mut seen: HashSet<NodeId, BuildFxHasher> = HashSet::default();
+        let mut stack = vec![f.node()];
+        while let Some(id) = stack.pop() {
+            if id.is_terminal() || !seen.insert(id) {
+                continue;
+            }
+            let n = self.nodes[id.index()];
+            vars.insert(n.var.0);
+            stack.push(n.low.node());
+            stack.push(n.high.node());
+        }
+        let mut out: Vec<Var> = vars.into_iter().map(Var).collect();
+        out.sort();
+        out
+    }
+
+    /// Fraction of the `2^num_vars` input assignments satisfying `f`,
+    /// computed exactly by one DAG traversal.
+    pub fn density(&self, f: Ref) -> f64 {
+        fn prob(
+            m: &Manager,
+            r: Ref,
+            memo: &mut HashMap<NodeId, f64, BuildFxHasher>,
+        ) -> f64 {
+            let p = if r.regular().is_one() {
+                1.0
+            } else if let Some(&p) = memo.get(&r.node()) {
+                p
+            } else {
+                let n = m.nodes[r.node().index()];
+                let p = 0.5 * prob(m, n.low, memo) + 0.5 * prob(m, n.high, memo);
+                memo.insert(r.node(), p);
+                p
+            };
+            if r.is_complemented() {
+                1.0 - p
+            } else {
+                p
+            }
+        }
+        let mut memo = HashMap::default();
+        prob(self, f, &mut memo)
+    }
+
+    /// Number of satisfying assignments over `num_vars` variables
+    /// (as `f64`, exact while below 2^53).
+    pub fn sat_count(&self, f: Ref, num_vars: u32) -> f64 {
+        self.density(f) * (num_vars as f64).exp2()
+    }
+
+    /// Collects the internal nodes of the DAG rooted at `f`, together with
+    /// incoming-edge statistics for each. The root reference itself is
+    /// counted as one incoming edge (a 0-edge, complemented if the root
+    /// reference is).
+    pub fn node_stats(&self, f: Ref) -> NodeStats {
+        let mut stats = NodeStats::default();
+        if f.is_const() {
+            return stats;
+        }
+        let mut seen: HashSet<NodeId, BuildFxHasher> = HashSet::default();
+        let mut stack = vec![f.node()];
+        stats.record_zero(f.node(), f.is_complemented());
+        while let Some(id) = stack.pop() {
+            if !seen.insert(id) {
+                continue;
+            }
+            stats.order.push(id);
+            let n = self.nodes[id.index()];
+            if !n.low.node().is_terminal() {
+                stats.record_zero(n.low.node(), n.low.is_complemented());
+                stack.push(n.low.node());
+            }
+            if !n.high.node().is_terminal() {
+                stats.record_one(n.high.node());
+                stack.push(n.high.node());
+            }
+        }
+        stats
+    }
+
+    /// The function rooted at internal node `id`, as a regular reference.
+    pub fn function_of(&self, id: NodeId) -> Ref {
+        Ref::new(id, false)
+    }
+}
+
+impl NodeStats {
+    fn record_zero(&mut self, id: NodeId, complemented: bool) {
+        let e = self.degrees.entry(id).or_default();
+        if complemented {
+            e.zero_complemented += 1;
+        } else {
+            e.zero_regular += 1;
+        }
+    }
+
+    fn record_one(&mut self, id: NodeId) {
+        self.degrees.entry(id).or_default().one += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn eval_on_simple_functions() {
+        let mut m = Manager::new();
+        let a = m.var(0);
+        let b = m.var(1);
+        let f = m.and(a, !b);
+        assert!(m.eval(f, &[true, false]));
+        assert!(!m.eval(f, &[true, true]));
+        assert!(!m.eval(f, &[false, false]));
+        assert!(m.eval(Ref::ONE, &[]));
+        assert!(!m.eval(Ref::ZERO, &[]));
+    }
+
+    #[test]
+    fn size_of_constants_and_vars() {
+        let mut m = Manager::new();
+        assert_eq!(m.size(Ref::ONE), 0);
+        assert_eq!(m.size(Ref::ZERO), 0);
+        let a = m.var(0);
+        assert_eq!(m.size(a), 1);
+        assert_eq!(m.size(!a), 1);
+    }
+
+    #[test]
+    fn shared_size_counts_shared_nodes_once() {
+        let mut m = Manager::new();
+        let a = m.var(0);
+        let b = m.var(1);
+        let f = m.and(a, b);
+        let g = m.or(a, b);
+        let both = m.shared_size(&[f, g]);
+        assert!(both <= m.size(f) + m.size(g));
+        assert_eq!(m.shared_size(&[f, f]), m.size(f));
+    }
+
+    #[test]
+    fn support_is_structural_dependence() {
+        let mut m = Manager::new();
+        let a = m.var(0);
+        let c = m.var(2);
+        let f = m.xor(a, c);
+        assert_eq!(m.support(f), vec![Var(0), Var(2)]);
+        assert_eq!(m.support(Ref::ONE), vec![]);
+    }
+
+    #[test]
+    fn density_and_sat_count() {
+        let mut m = Manager::new();
+        let a = m.var(0);
+        let b = m.var(1);
+        let f = m.and(a, b);
+        assert!((m.density(f) - 0.25).abs() < 1e-12);
+        assert!((m.sat_count(f, 2) - 1.0).abs() < 1e-9);
+        let g = m.xor(a, b);
+        assert!((m.sat_count(g, 2) - 2.0).abs() < 1e-9);
+        assert!((m.density(Ref::ONE) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn node_stats_on_majority() {
+        // Maj(a,b,c) with order a<b<c has the classic 4-node diamond; the
+        // "b or c"/"b and c" pair both feed the shared c node.
+        let mut m = Manager::new();
+        let (a, b, c) = (m.var(0), m.var(1), m.var(2));
+        let f = m.maj(a, b, c);
+        let stats = m.node_stats(f);
+        assert_eq!(stats.len(), 4);
+        assert_eq!(m.size(f), 4);
+        // The node for variable c is reached from both b-nodes.
+        let c_node = stats
+            .nodes()
+            .iter()
+            .copied()
+            .find(|&id| m.node(id).var == Var(2))
+            .expect("c node present");
+        assert!(stats.in_degree(c_node).total() >= 2);
+    }
+
+    #[test]
+    fn node_stats_of_constant_is_empty() {
+        let m = Manager::new();
+        let stats = m.node_stats(Ref::ONE);
+        assert!(stats.is_empty());
+        assert_eq!(stats.len(), 0);
+    }
+}

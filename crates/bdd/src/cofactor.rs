@@ -1,0 +1,339 @@
+//! Cofactoring, quantification, composition, the Coudert–Madre generalized
+//! cofactors, and node-to-constant substitution.
+//!
+//! `restrict` and `constrain` are the two generalized-cofactor operators the
+//! BDS-MAJ paper cites ([17], [18]) for seeding the majority decomposition:
+//! both return a function that agrees with `f` wherever the care set `c`
+//! holds, while being (heuristically) smaller outside it.
+
+use crate::hasher::BuildFxHasher;
+use crate::manager::Manager;
+use crate::reference::{NodeId, Ref, Var};
+use std::collections::HashMap;
+
+impl Manager {
+    /// The cofactor `f|v=value`, for a variable anywhere in the order.
+    pub fn cofactor(&mut self, f: Ref, v: Var, value: bool) -> Ref {
+        let mut memo: HashMap<u32, Ref, BuildFxHasher> = HashMap::default();
+        self.cofactor_rec(f, v, value, &mut memo)
+    }
+
+    fn cofactor_rec(
+        &mut self,
+        f: Ref,
+        v: Var,
+        value: bool,
+        memo: &mut HashMap<u32, Ref, BuildFxHasher>,
+    ) -> Ref {
+        if f.is_const() || self.level(f) > v.0 {
+            return f;
+        }
+        if let Some(&r) = memo.get(&f.raw()) {
+            return r;
+        }
+        let top = Var(self.level(f));
+        let (f0, f1) = self.shallow_cofactors(f, top);
+        let r = if top == v {
+            if value {
+                f1
+            } else {
+                f0
+            }
+        } else {
+            let r0 = self.cofactor_rec(f0, v, value, memo);
+            let r1 = self.cofactor_rec(f1, v, value, memo);
+            self.mk(top, r0, r1)
+        };
+        memo.insert(f.raw(), r);
+        r
+    }
+
+    /// Existential quantification `∃v. f = f|v=0 + f|v=1`.
+    pub fn exists(&mut self, f: Ref, v: Var) -> Ref {
+        let f0 = self.cofactor(f, v, false);
+        let f1 = self.cofactor(f, v, true);
+        self.or(f0, f1)
+    }
+
+    /// Universal quantification `∀v. f = f|v=0 · f|v=1`.
+    pub fn forall(&mut self, f: Ref, v: Var) -> Ref {
+        let f0 = self.cofactor(f, v, false);
+        let f1 = self.cofactor(f, v, true);
+        self.and(f0, f1)
+    }
+
+    /// Functional composition `f[v := g]`.
+    pub fn compose(&mut self, f: Ref, v: Var, g: Ref) -> Ref {
+        let f0 = self.cofactor(f, v, false);
+        let f1 = self.cofactor(f, v, true);
+        self.ite(g, f1, f0)
+    }
+
+    /// The Coudert–Madre *restrict* generalized cofactor `f ⇓ c`.
+    ///
+    /// Guarantees `(f ⇓ c) · c = f · c`; outside the care set `c` the result
+    /// is chosen to shrink the BDD (variables foreign to `f` are quantified
+    /// out of `c` on the way down, which is what distinguishes `restrict`
+    /// from [`Manager::constrain`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `c` is the constant zero (the care set must be satisfiable).
+    pub fn restrict(&mut self, f: Ref, c: Ref) -> Ref {
+        assert!(!c.is_zero(), "restrict: empty care set");
+        let mut memo: HashMap<(u32, u32), Ref, BuildFxHasher> = HashMap::default();
+        self.restrict_rec(f, c, &mut memo)
+    }
+
+    fn restrict_rec(
+        &mut self,
+        f: Ref,
+        c: Ref,
+        memo: &mut HashMap<(u32, u32), Ref, BuildFxHasher>,
+    ) -> Ref {
+        if c.is_one() || f.is_const() {
+            return f;
+        }
+        let key = (f.raw(), c.raw());
+        if let Some(&r) = memo.get(&key) {
+            return r;
+        }
+        let fv = self.level(f);
+        let cv = self.level(c);
+        let r = if cv < fv {
+            // The care-set top variable does not influence f here: remove it.
+            let c_drop = {
+                let (c0, c1) = self.shallow_cofactors(c, Var(cv));
+                self.or(c0, c1)
+            };
+            self.restrict_rec(f, c_drop, memo)
+        } else {
+            let v = Var(fv);
+            let (f0, f1) = self.shallow_cofactors(f, v);
+            let (c0, c1) = self.shallow_cofactors(c, v);
+            if c0.is_zero() {
+                self.restrict_rec(f1, c1, memo)
+            } else if c1.is_zero() {
+                self.restrict_rec(f0, c0, memo)
+            } else {
+                let r0 = self.restrict_rec(f0, c0, memo);
+                let r1 = self.restrict_rec(f1, c1, memo);
+                self.mk(v, r0, r1)
+            }
+        };
+        memo.insert(key, r);
+        r
+    }
+
+    /// The Coudert–Madre *constrain* (a.k.a. image-restricting) generalized
+    /// cofactor `f ↓ c`.
+    ///
+    /// Guarantees `(f ↓ c) · c = f · c`, and additionally the strong
+    /// property `f ↓ c = f(π_c(x))` for the canonical projection `π_c`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `c` is the constant zero.
+    pub fn constrain(&mut self, f: Ref, c: Ref) -> Ref {
+        assert!(!c.is_zero(), "constrain: empty care set");
+        let mut memo: HashMap<(u32, u32), Ref, BuildFxHasher> = HashMap::default();
+        self.constrain_rec(f, c, &mut memo)
+    }
+
+    fn constrain_rec(
+        &mut self,
+        f: Ref,
+        c: Ref,
+        memo: &mut HashMap<(u32, u32), Ref, BuildFxHasher>,
+    ) -> Ref {
+        if c.is_one() || f.is_const() {
+            return f;
+        }
+        if f == c {
+            return Ref::ONE;
+        }
+        if f == !c {
+            return Ref::ZERO;
+        }
+        let key = (f.raw(), c.raw());
+        if let Some(&r) = memo.get(&key) {
+            return r;
+        }
+        let v = Var(self.level(f).min(self.level(c)));
+        let (f0, f1) = self.shallow_cofactors(f, v);
+        let (c0, c1) = self.shallow_cofactors(c, v);
+        let r = if c0.is_zero() {
+            self.constrain_rec(f1, c1, memo)
+        } else if c1.is_zero() {
+            self.constrain_rec(f0, c0, memo)
+        } else {
+            let r0 = self.constrain_rec(f0, c0, memo);
+            let r1 = self.constrain_rec(f1, c1, memo);
+            self.mk(v, r0, r1)
+        };
+        memo.insert(key, r);
+        r
+    }
+
+    /// Rebuilds the DAG of `f` with the internal node `target` replaced by
+    /// the constant `value`.
+    ///
+    /// Writing `f = F(z)` for the function above `target` (with `z` standing
+    /// for the node's output), this returns `F(value)` — the key primitive
+    /// behind functional dominator checks: a node `d` is, e.g., a
+    /// generalized 1-dominator iff `F(0) = 0`, so that `f = F(1) · f_d`.
+    pub fn replace_node_with_const(&mut self, f: Ref, target: NodeId, value: bool) -> Ref {
+        let rep = self.constant(value);
+        let mut memo: HashMap<NodeId, Ref, BuildFxHasher> = HashMap::default();
+        self.replace_rec(f, target, rep, &mut memo)
+    }
+
+    fn replace_rec(
+        &mut self,
+        f: Ref,
+        target: NodeId,
+        rep: Ref,
+        memo: &mut HashMap<NodeId, Ref, BuildFxHasher>,
+    ) -> Ref {
+        let c = f.is_complemented();
+        let id = f.node();
+        if id == target {
+            return rep.xor_complement(c);
+        }
+        if id.is_terminal() {
+            return f;
+        }
+        if let Some(&r) = memo.get(&id) {
+            return r.xor_complement(c);
+        }
+        let n = self.nodes[id.index()];
+        let low = self.replace_rec(n.low, target, rep, memo);
+        let high = self.replace_rec(n.high, target, rep, memo);
+        let r = self.mk(n.var, low, high);
+        memo.insert(id, r);
+        r.xor_complement(c)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cofactor_matches_semantics() {
+        let mut m = Manager::new();
+        let (a, b, c) = (m.var(0), m.var(1), m.var(2));
+        let f = m.maj(a, b, c);
+        let f_b1 = m.cofactor(f, Var(1), true);
+        let expect = m.or(a, c);
+        assert_eq!(f_b1, expect);
+        let f_b0 = m.cofactor(f, Var(1), false);
+        let expect0 = m.and(a, c);
+        assert_eq!(f_b0, expect0);
+    }
+
+    #[test]
+    fn cofactor_of_foreign_variable_is_identity() {
+        let mut m = Manager::new();
+        let a = m.var(0);
+        let b = m.var(1);
+        let f = m.and(a, b);
+        m.var(5);
+        assert_eq!(m.cofactor(f, Var(5), true), f);
+    }
+
+    #[test]
+    fn quantifiers() {
+        let mut m = Manager::new();
+        let a = m.var(0);
+        let b = m.var(1);
+        let f = m.and(a, b);
+        assert_eq!(m.exists(f, Var(0)), b);
+        assert_eq!(m.forall(f, Var(0)), Ref::ZERO);
+        let g = m.or(a, b);
+        assert_eq!(m.forall(g, Var(0)), b);
+        assert_eq!(m.exists(g, Var(0)), Ref::ONE);
+    }
+
+    #[test]
+    fn compose_substitutes_a_function() {
+        let mut m = Manager::new();
+        let (a, b, c) = (m.var(0), m.var(1), m.var(2));
+        let f = m.xor(a, b);
+        let g = m.and(b, c);
+        let h = m.compose(f, Var(0), g);
+        let expect = m.xor(g, b);
+        assert_eq!(h, expect);
+    }
+
+    #[test]
+    fn restrict_and_constrain_agree_on_care_set() {
+        let mut m = Manager::new();
+        let (a, b, c, d) = (m.var(0), m.var(1), m.var(2), m.var(3));
+        let ab = m.and(a, b);
+        let cd = m.xor(c, d);
+        let f = m.or(ab, cd);
+        let care = m.or(a, c);
+        for gc in [m.restrict(f, care), m.constrain(f, care)] {
+            let lhs = m.and(gc, care);
+            let rhs = m.and(f, care);
+            assert_eq!(lhs, rhs, "generalized cofactor must agree on care set");
+        }
+    }
+
+    #[test]
+    fn restrict_with_full_care_set_is_identity() {
+        let mut m = Manager::new();
+        let a = m.var(0);
+        let b = m.var(1);
+        let f = m.xor(a, b);
+        assert_eq!(m.restrict(f, Ref::ONE), f);
+        assert_eq!(m.constrain(f, Ref::ONE), f);
+    }
+
+    #[test]
+    fn constrain_detects_equal_and_opposite() {
+        let mut m = Manager::new();
+        let a = m.var(0);
+        let b = m.var(1);
+        let f = m.and(a, b);
+        assert_eq!(m.constrain(f, f), Ref::ONE);
+        let nf = !f;
+        assert_eq!(m.constrain(nf, f), Ref::ZERO);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty care set")]
+    fn restrict_rejects_empty_care_set() {
+        let mut m = Manager::new();
+        let a = m.var(0);
+        m.restrict(a, Ref::ZERO);
+    }
+
+    #[test]
+    fn replace_node_with_const_evaluates_above_function() {
+        // f = Maj(a, b, c); replace the node computing "b or c" by constants.
+        let mut m = Manager::new();
+        let (a, b, c) = (m.var(0), m.var(1), m.var(2));
+        let f = m.maj(a, b, c);
+        // The root node branches on a; its high child is or(b, c).
+        let or_bc = m.or(b, c);
+        let f1 = m.replace_node_with_const(f, or_bc.node(), true);
+        let f0 = m.replace_node_with_const(f, or_bc.node(), false);
+        // F(1) = a + bc, F(0) = a'·bc ... check semantically:
+        // f = F(or(b,c)) must hold: f == ite(or_bc, f1, f0).
+        let recomposed = m.ite(or_bc, f1, f0);
+        assert_eq!(recomposed, f);
+        assert_ne!(f1, f0);
+    }
+
+    #[test]
+    fn replace_root_node_gives_constant() {
+        let mut m = Manager::new();
+        let a = m.var(0);
+        let b = m.var(1);
+        let f = m.and(a, b);
+        let r = m.replace_node_with_const(f, f.node(), true);
+        assert_eq!(r, Ref::ONE.xor_complement(f.is_complemented()));
+    }
+}

@@ -1,0 +1,97 @@
+//! Graphviz DOT export, used to reproduce Fig. 1 of the paper.
+
+use crate::manager::Manager;
+use crate::reference::{NodeId, Ref};
+use std::collections::HashSet;
+use std::fmt::Write as _;
+
+impl Manager {
+    /// Renders the DAG rooted at `f` as a Graphviz `digraph`.
+    ///
+    /// Solid arrows are 1-edges, dashed arrows are 0-edges, and dotted
+    /// arrows are complemented 0-edges — matching the legend of Fig. 1 in
+    /// the BDS-MAJ paper. Nodes listed in `highlight` are drawn in red
+    /// (the paper highlights the non-trivial m-dominator this way).
+    pub fn to_dot(&self, f: Ref, highlight: &[NodeId]) -> String {
+        let mut out = String::from("digraph bdd {\n  rankdir=TB;\n");
+        let _ = writeln!(out, "  t1 [label=\"1\", shape=box];");
+        let root_style = if f.is_complemented() { "dotted" } else { "dashed" };
+        let _ = writeln!(out, "  root [shape=none, label=\"F\"];");
+        if f.is_const() {
+            let _ = writeln!(out, "  root -> t1 [style={root_style}];");
+            out.push_str("}\n");
+            return out;
+        }
+        let _ = writeln!(out, "  root -> n{} [style={root_style}];", f.node().0);
+        let mut seen: HashSet<NodeId> = HashSet::new();
+        let mut stack = vec![f.node()];
+        while let Some(id) = stack.pop() {
+            if id.is_terminal() || !seen.insert(id) {
+                continue;
+            }
+            let n = self.node(id);
+            let color = if highlight.contains(&id) {
+                ", color=red, fontcolor=red"
+            } else {
+                ""
+            };
+            let _ = writeln!(
+                out,
+                "  n{} [label=\"{}\"{}];",
+                id.0,
+                self.var_name(n.var.0),
+                color
+            );
+            let low_style = if n.low.is_complemented() {
+                "dotted"
+            } else {
+                "dashed"
+            };
+            let low_target = if n.low.node().is_terminal() {
+                "t1".to_string()
+            } else {
+                format!("n{}", n.low.node().0)
+            };
+            let _ = writeln!(out, "  n{} -> {low_target} [style={low_style}];", id.0);
+            let high_target = if n.high.node().is_terminal() {
+                "t1".to_string()
+            } else {
+                format!("n{}", n.high.node().0)
+            };
+            let _ = writeln!(out, "  n{} -> {high_target} [style=solid];", id.0);
+            stack.push(n.low.node());
+            stack.push(n.high.node());
+        }
+        out.push_str("}\n");
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dot_of_constant() {
+        let m = Manager::new();
+        let dot = m.to_dot(Ref::ONE, &[]);
+        assert!(dot.contains("digraph"));
+        assert!(dot.contains("t1"));
+    }
+
+    #[test]
+    fn dot_of_majority_mentions_all_variables() {
+        let mut m = Manager::new();
+        let (a, b, c) = (m.var(0), m.var(1), m.var(2));
+        m.set_var_name(0, "A");
+        m.set_var_name(1, "B");
+        m.set_var_name(2, "C");
+        let f = m.maj(a, b, c);
+        let dot = m.to_dot(f, &[c.node()]);
+        for name in ["A", "B", "C"] {
+            assert!(dot.contains(name), "missing {name} in DOT output");
+        }
+        assert!(dot.contains("color=red"), "highlighting missing");
+        assert!(dot.contains("style=dashed") && dot.contains("style=solid"));
+    }
+}

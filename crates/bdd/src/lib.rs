@@ -1,0 +1,68 @@
+//! A reduced, ordered binary decision diagram (ROBDD) package with
+//! complemented edges.
+//!
+//! This crate is the BDD substrate of the BDS-MAJ reproduction. It follows
+//! the classical Brace–Rudell–Bryant design:
+//!
+//! * hash-consed nodes in an arena ([`Manager`]), guaranteeing canonicity:
+//!   two [`Ref`]s are functionally equal if and only if they are bit-equal;
+//! * complemented edges restricted to 0-edges (the 1-edge of every stored
+//!   node is regular), so negation is free;
+//! * a memoized if-then-else operator ([`Manager::ite`]) from which all
+//!   two-operand Boolean connectives derive;
+//! * the Coudert–Madre generalized cofactors [`Manager::restrict`] and
+//!   [`Manager::constrain`] used by the majority decomposition of BDS-MAJ;
+//! * structural analysis needed by dominator-driven decomposition:
+//!   node iteration, in-degree statistics and node-to-constant substitution.
+//!
+//! # Example
+//!
+//! ```
+//! use bdd::Manager;
+//!
+//! let mut m = Manager::new();
+//! let (a, b, c) = (m.var(0), m.var(1), m.var(2));
+//! // majority of three variables: ab + bc + ac
+//! let f = m.maj(a, b, c);
+//! let g = {
+//!     let ab = m.and(a, b);
+//!     let bc = m.and(b, c);
+//!     let ac = m.and(a, c);
+//!     let t = m.or(ab, bc);
+//!     m.or(t, ac)
+//! };
+//! assert_eq!(f, g); // canonicity: equal functions are equal references
+//! ```
+
+mod analysis;
+mod cofactor;
+mod dot;
+mod hasher;
+mod manager;
+mod ops;
+mod reference;
+mod reorder;
+mod sat;
+
+pub use analysis::{InDegree, NodeStats};
+pub use manager::{Manager, Node};
+pub use reference::{NodeId, Ref, Var};
+pub use reorder::{window_reorder, Reordered};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn crate_level_doc_example_holds() {
+        let mut m = Manager::new();
+        let (a, b, c) = (m.var(0), m.var(1), m.var(2));
+        let f = m.maj(a, b, c);
+        let ab = m.and(a, b);
+        let bc = m.and(b, c);
+        let ac = m.and(a, c);
+        let t = m.or(ab, bc);
+        let g = m.or(t, ac);
+        assert_eq!(f, g);
+    }
+}

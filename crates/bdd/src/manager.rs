@@ -1,0 +1,270 @@
+//! The node arena and hash-consing core.
+
+use crate::hasher::BuildFxHasher;
+use crate::reference::{NodeId, Ref, Var};
+use std::collections::HashMap;
+
+/// A stored BDD node: the Shannon expansion of a function with respect to
+/// its top variable.
+///
+/// Invariants maintained by the [`Manager`]:
+/// * `high` (the 1-edge) is never complemented;
+/// * `low != high`;
+/// * the top variables of `low` and `high` are strictly below `var`.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct Node {
+    /// Decision variable (also the level; variable 0 is the root level).
+    pub var: Var,
+    /// Negative (0-edge) cofactor; may be complemented.
+    pub low: Ref,
+    /// Positive (1-edge) cofactor; always regular.
+    pub high: Ref,
+}
+
+/// Sentinel variable index used by the terminal node; compares below every
+/// real variable when ordered by *level depth* (larger index = deeper).
+pub(crate) const TERMINAL_VAR: u32 = u32::MAX;
+
+/// A BDD manager: owns the node arena, the unique table guaranteeing
+/// canonicity, and the operation caches.
+///
+/// All functions created by one manager live in the same shared DAG, so
+/// equality of [`Ref`]s is equality of Boolean functions.
+///
+/// # Example
+///
+/// ```
+/// use bdd::Manager;
+///
+/// let mut m = Manager::new();
+/// let a = m.var(0);
+/// let b = m.var(1);
+/// let f = m.xor(a, b);
+/// assert_eq!(m.not(f), m.xnor(a, b));
+/// ```
+#[derive(Debug)]
+pub struct Manager {
+    pub(crate) nodes: Vec<Node>,
+    unique: HashMap<(u32, u32, u32), u32, BuildFxHasher>,
+    pub(crate) ite_cache: HashMap<(u32, u32, u32), Ref, BuildFxHasher>,
+    num_vars: u32,
+    var_names: Vec<Option<String>>,
+}
+
+impl Default for Manager {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Manager {
+    /// Creates an empty manager containing only the terminal node.
+    pub fn new() -> Manager {
+        Manager {
+            nodes: vec![Node {
+                var: Var(TERMINAL_VAR),
+                low: Ref::ONE,
+                high: Ref::ONE,
+            }],
+            unique: HashMap::default(),
+            ite_cache: HashMap::default(),
+            num_vars: 0,
+            var_names: Vec::new(),
+        }
+    }
+
+    /// The constant true function.
+    pub fn one(&self) -> Ref {
+        Ref::ONE
+    }
+
+    /// The constant false function.
+    pub fn zero(&self) -> Ref {
+        Ref::ZERO
+    }
+
+    /// Returns the constant function for `value`.
+    pub fn constant(&self, value: bool) -> Ref {
+        if value {
+            Ref::ONE
+        } else {
+            Ref::ZERO
+        }
+    }
+
+    /// Returns the projection function of variable `index`, growing the
+    /// variable count if needed.
+    pub fn var(&mut self, index: u32) -> Ref {
+        if index >= self.num_vars {
+            self.num_vars = index + 1;
+        }
+        self.mk(Var(index), Ref::ZERO, Ref::ONE)
+    }
+
+    /// Number of variables known to the manager.
+    pub fn num_vars(&self) -> u32 {
+        self.num_vars
+    }
+
+    /// Total number of nodes ever created (including the terminal).
+    pub fn num_nodes(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Read access to a stored node.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is the terminal node or out of bounds.
+    pub fn node(&self, id: NodeId) -> &Node {
+        assert!(!id.is_terminal(), "terminal node has no decision variable");
+        &self.nodes[id.index()]
+    }
+
+    /// The decision variable level of an edge's node; `None` for constants.
+    pub fn top_var(&self, f: Ref) -> Option<Var> {
+        if f.is_const() {
+            None
+        } else {
+            Some(self.nodes[f.node().index()].var)
+        }
+    }
+
+    /// Level (variable index) of an edge, with constants at the deepest
+    /// pseudo-level. Smaller means closer to the root.
+    pub(crate) fn level(&self, f: Ref) -> u32 {
+        self.nodes[f.node().index()].var.0
+    }
+
+    /// Associates a display name with a variable (used by the DOT export).
+    pub fn set_var_name(&mut self, index: u32, name: impl Into<String>) {
+        let idx = index as usize;
+        if self.var_names.len() <= idx {
+            self.var_names.resize(idx + 1, None);
+        }
+        self.var_names[idx] = Some(name.into());
+    }
+
+    /// Display name of a variable, defaulting to `x<i>`.
+    pub fn var_name(&self, index: u32) -> String {
+        self.var_names
+            .get(index as usize)
+            .and_then(|n| n.clone())
+            .unwrap_or_else(|| format!("x{index}"))
+    }
+
+    /// Finds or creates the node `(var, low, high)`, applying the reduction
+    /// rules (equal children; complement pushed off the 1-edge).
+    ///
+    /// # Panics
+    ///
+    /// In debug builds, panics if the children are not strictly below `var`
+    /// in the order (which would break canonicity).
+    pub fn mk(&mut self, var: Var, low: Ref, high: Ref) -> Ref {
+        if low == high {
+            return low;
+        }
+        debug_assert!(
+            var.0 < self.level(low) && var.0 < self.level(high),
+            "mk: ordering violated at {var:?}"
+        );
+        if high.is_complemented() {
+            return !self.mk_regular(var, !low, !high);
+        }
+        self.mk_regular(var, low, high)
+    }
+
+    fn mk_regular(&mut self, var: Var, low: Ref, high: Ref) -> Ref {
+        debug_assert!(!high.is_complemented());
+        let key = (var.0, low.raw(), high.raw());
+        if let Some(&idx) = self.unique.get(&key) {
+            return Ref::new(NodeId(idx), false);
+        }
+        let idx = self.nodes.len() as u32;
+        self.nodes.push(Node { var, low, high });
+        self.unique.insert(key, idx);
+        Ref::new(NodeId(idx), false)
+    }
+
+    /// Cofactors `f` with respect to variable `v` assumed to be at or above
+    /// `f`'s top level: returns `(f|v=0, f|v=1)`.
+    pub(crate) fn shallow_cofactors(&self, f: Ref, v: Var) -> (Ref, Ref) {
+        if f.is_const() || self.level(f) != v.0 {
+            (f, f)
+        } else {
+            let n = self.nodes[f.node().index()];
+            let c = f.is_complemented();
+            (n.low.xor_complement(c), n.high.xor_complement(c))
+        }
+    }
+
+    /// Drops the memoized operation cache. Useful to bound memory on very
+    /// long runs; correctness is unaffected.
+    pub fn clear_caches(&mut self) {
+        self.ite_cache.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn terminal_is_node_zero() {
+        let m = Manager::new();
+        assert_eq!(m.num_nodes(), 1);
+        assert!(Ref::ONE.node().is_terminal());
+        assert_eq!(m.top_var(Ref::ONE), None);
+        assert_eq!(m.top_var(Ref::ZERO), None);
+    }
+
+    #[test]
+    fn var_is_hash_consed() {
+        let mut m = Manager::new();
+        let a1 = m.var(3);
+        let a2 = m.var(3);
+        assert_eq!(a1, a2);
+        assert_eq!(m.num_vars(), 4);
+        assert_eq!(m.num_nodes(), 2);
+    }
+
+    #[test]
+    fn mk_reduces_equal_children() {
+        let mut m = Manager::new();
+        let r = m.mk(Var(0), Ref::ONE, Ref::ONE);
+        assert_eq!(r, Ref::ONE);
+    }
+
+    #[test]
+    fn one_edges_are_regular() {
+        let mut m = Manager::new();
+        let a = m.var(0);
+        let na = !a;
+        // !a = mk(0, ONE, ZERO) must be stored with a regular 1-edge.
+        assert!(na.is_complemented());
+        let n = m.node(na.node());
+        assert!(!n.high.is_complemented());
+        assert_eq!(m.num_nodes(), 2, "a and !a share one node");
+    }
+
+    #[test]
+    fn shallow_cofactors_respect_complement() {
+        let mut m = Manager::new();
+        let a = m.var(0);
+        let (f0, f1) = m.shallow_cofactors(a, Var(0));
+        assert_eq!((f0, f1), (Ref::ZERO, Ref::ONE));
+        let (g0, g1) = m.shallow_cofactors(!a, Var(0));
+        assert_eq!((g0, g1), (Ref::ONE, Ref::ZERO));
+        // A variable below the asked level is untouched.
+        let (h0, h1) = m.shallow_cofactors(a, Var(5));
+        assert_eq!((h0, h1), (a, a));
+    }
+
+    #[test]
+    fn var_names_default_and_custom() {
+        let mut m = Manager::new();
+        assert_eq!(m.var_name(2), "x2");
+        m.set_var_name(2, "carry");
+        assert_eq!(m.var_name(2), "carry");
+    }
+}

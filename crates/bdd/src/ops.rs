@@ -1,0 +1,274 @@
+//! The if-then-else operator and the Boolean connectives derived from it.
+
+use crate::manager::Manager;
+use crate::reference::{Ref, Var};
+
+impl Manager {
+    /// If-then-else: `ite(f, g, h) = f·g + f'·h`.
+    ///
+    /// This is the single recursive kernel of the package; every two-operand
+    /// connective is a special case. Results are memoized in the computed
+    /// table, and the standard-triple normalizations keep the cache hit rate
+    /// high (Brace, Rudell, Bryant, DAC'90).
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use bdd::Manager;
+    /// let mut m = Manager::new();
+    /// let (s, a, b) = (m.var(0), m.var(1), m.var(2));
+    /// let mux = m.ite(s, a, b);
+    /// assert!(m.eval(mux, &[true, true, false]));
+    /// assert!(!m.eval(mux, &[false, true, false]));
+    /// ```
+    pub fn ite(&mut self, f: Ref, g: Ref, h: Ref) -> Ref {
+        // Terminal and absorption cases.
+        if f.is_one() {
+            return g;
+        }
+        if f.is_zero() {
+            return h;
+        }
+        if g == h {
+            return g;
+        }
+        if g.is_one() && h.is_zero() {
+            return f;
+        }
+        if g.is_zero() && h.is_one() {
+            return !f;
+        }
+        let (mut f, mut g, mut h) = (f, g, h);
+        // ite(f, f, h) = ite(f, 1, h); ite(f, !f, h) = ite(f, 0, h);
+        // ite(f, g, f) = ite(f, g, 0); ite(f, g, !f) = ite(f, g, 1).
+        if g == f {
+            g = Ref::ONE;
+        } else if g == !f {
+            g = Ref::ZERO;
+        }
+        if h == f {
+            h = Ref::ZERO;
+        } else if h == !f {
+            h = Ref::ONE;
+        }
+        if g == h {
+            return g;
+        }
+        if g.is_one() && h.is_zero() {
+            return f;
+        }
+        if g.is_zero() && h.is_one() {
+            return !f;
+        }
+        // Commutative normalizations to improve cache sharing:
+        // and/or/xor-like triples can order their operands canonically.
+        if g.is_one() && self.level(h) < self.level(f) {
+            std::mem::swap(&mut f, &mut h); // or(f, h) = or(h, f)
+        } else if h.is_zero() && self.level(g) < self.level(f) {
+            std::mem::swap(&mut f, &mut g); // and(f, g) = and(g, f)
+        } else if g == !h && self.level(g) < self.level(f) {
+            // xnor(f, g) is symmetric: ite(f, g, !g) = ite(g, f, !f).
+            let old_f = f;
+            f = g;
+            g = old_f;
+            h = !old_f;
+        }
+        // Keep the predicate regular: ite(!f, g, h) = ite(f, h, g).
+        if f.is_complemented() {
+            f = !f;
+            std::mem::swap(&mut g, &mut h);
+        }
+        // Keep the then-branch regular so cached entries are canonical:
+        // ite(f, g, h) = !ite(f, !g, !h).
+        let complement_result = g.is_complemented();
+        if complement_result {
+            g = !g;
+            h = !h;
+        }
+
+        let key = (f.raw(), g.raw(), h.raw());
+        if let Some(&r) = self.ite_cache.get(&key) {
+            return r.xor_complement(complement_result);
+        }
+
+        let v = Var(self.level(f).min(self.level(g)).min(self.level(h)));
+        let (f0, f1) = self.shallow_cofactors(f, v);
+        let (g0, g1) = self.shallow_cofactors(g, v);
+        let (h0, h1) = self.shallow_cofactors(h, v);
+        let t = self.ite(f1, g1, h1);
+        let e = self.ite(f0, g0, h0);
+        let r = self.mk(v, e, t);
+        self.ite_cache.insert(key, r);
+        r.xor_complement(complement_result)
+    }
+
+    /// Logical negation (free on complemented-edge BDDs).
+    pub fn not(&self, f: Ref) -> Ref {
+        !f
+    }
+
+    /// Conjunction `f · g`.
+    pub fn and(&mut self, f: Ref, g: Ref) -> Ref {
+        self.ite(f, g, Ref::ZERO)
+    }
+
+    /// Disjunction `f + g`.
+    pub fn or(&mut self, f: Ref, g: Ref) -> Ref {
+        self.ite(f, Ref::ONE, g)
+    }
+
+    /// Negated conjunction.
+    pub fn nand(&mut self, f: Ref, g: Ref) -> Ref {
+        !self.and(f, g)
+    }
+
+    /// Negated disjunction.
+    pub fn nor(&mut self, f: Ref, g: Ref) -> Ref {
+        !self.or(f, g)
+    }
+
+    /// Exclusive or `f ⊕ g`.
+    pub fn xor(&mut self, f: Ref, g: Ref) -> Ref {
+        self.ite(f, !g, g)
+    }
+
+    /// Exclusive nor (equivalence) `f ⊙ g`.
+    pub fn xnor(&mut self, f: Ref, g: Ref) -> Ref {
+        self.ite(f, g, !g)
+    }
+
+    /// Implication `f → g`.
+    pub fn implies(&mut self, f: Ref, g: Ref) -> Ref {
+        self.ite(f, g, Ref::ONE)
+    }
+
+    /// Three-input majority `Maj(a, b, c) = ab + bc + ac`, the radix-3
+    /// primitive at the heart of BDS-MAJ.
+    pub fn maj(&mut self, a: Ref, b: Ref, c: Ref) -> Ref {
+        let bc_or = self.or(b, c);
+        let bc_and = self.and(b, c);
+        self.ite(a, bc_or, bc_and)
+    }
+
+    /// n-ary conjunction over an iterator of functions.
+    pub fn and_all<I: IntoIterator<Item = Ref>>(&mut self, fs: I) -> Ref {
+        fs.into_iter()
+            .fold(Ref::ONE, |acc, f| self.and(acc, f))
+    }
+
+    /// n-ary disjunction over an iterator of functions.
+    pub fn or_all<I: IntoIterator<Item = Ref>>(&mut self, fs: I) -> Ref {
+        fs.into_iter()
+            .fold(Ref::ZERO, |acc, f| self.or(acc, f))
+    }
+
+    /// n-ary exclusive or over an iterator of functions.
+    pub fn xor_all<I: IntoIterator<Item = Ref>>(&mut self, fs: I) -> Ref {
+        fs.into_iter()
+            .fold(Ref::ZERO, |acc, f| self.xor(acc, f))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Manager;
+
+    /// Exhaustively compares a BDD against a reference closure on all
+    /// assignments of `n` variables.
+    fn assert_equiv(m: &Manager, f: Ref, n: u32, reference: impl Fn(&[bool]) -> bool) {
+        for bits in 0u32..(1 << n) {
+            let assignment: Vec<bool> = (0..n).map(|i| bits >> i & 1 == 1).collect();
+            assert_eq!(
+                m.eval(f, &assignment),
+                reference(&assignment),
+                "mismatch at {assignment:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn two_operand_connectives_match_truth_tables() {
+        let mut m = Manager::new();
+        let a = m.var(0);
+        let b = m.var(1);
+        let cases: Vec<(Ref, fn(bool, bool) -> bool)> = vec![
+            (m.and(a, b), |x, y| x && y),
+            (m.or(a, b), |x, y| x || y),
+            (m.nand(a, b), |x, y| !(x && y)),
+            (m.nor(a, b), |x, y| !(x || y)),
+            (m.xor(a, b), |x, y| x ^ y),
+            (m.xnor(a, b), |x, y| !(x ^ y)),
+            (m.implies(a, b), |x, y| !x || y),
+        ];
+        for (f, reference) in cases {
+            assert_equiv(&m, f, 2, |v| reference(v[0], v[1]));
+        }
+    }
+
+    #[test]
+    fn ite_is_shannon_expansion() {
+        let mut m = Manager::new();
+        let (f, g, h) = (m.var(0), m.var(1), m.var(2));
+        let r = m.ite(f, g, h);
+        assert_equiv(&m, r, 3, |v| if v[0] { v[1] } else { v[2] });
+    }
+
+    #[test]
+    fn maj_matches_definition() {
+        let mut m = Manager::new();
+        let (a, b, c) = (m.var(0), m.var(1), m.var(2));
+        let f = m.maj(a, b, c);
+        assert_equiv(&m, f, 3, |v| {
+            (v[0] as u8 + v[1] as u8 + v[2] as u8) >= 2
+        });
+    }
+
+    #[test]
+    fn demorgan_holds_structurally() {
+        let mut m = Manager::new();
+        let a = m.var(0);
+        let b = m.var(1);
+        let lhs = m.nand(a, b);
+        let rhs = m.or(!a, !b);
+        assert_eq!(lhs, rhs);
+    }
+
+    #[test]
+    fn xor_chain_is_parity() {
+        let mut m = Manager::new();
+        let vars: Vec<Ref> = (0..8).map(|i| m.var(i)).collect();
+        let f = m.xor_all(vars);
+        assert_equiv(&m, f, 8, |v| v.iter().filter(|&&b| b).count() % 2 == 1);
+    }
+
+    #[test]
+    fn and_or_all_handle_empty_and_units() {
+        let mut m = Manager::new();
+        assert_eq!(m.and_all([]), Ref::ONE);
+        assert_eq!(m.or_all([]), Ref::ZERO);
+        let a = m.var(0);
+        assert_eq!(m.and_all([a]), a);
+        assert_eq!(m.or_all([a]), a);
+    }
+
+    #[test]
+    fn parity_bdd_is_linear_in_variables() {
+        // The classic ROBDD result: parity has a linear-size BDD.
+        let mut m = Manager::new();
+        let vars: Vec<Ref> = (0..16).map(|i| m.var(i)).collect();
+        let f = m.xor_all(vars);
+        assert_eq!(m.size(f), 16);
+    }
+
+    #[test]
+    fn ite_caching_returns_identical_refs() {
+        let mut m = Manager::new();
+        let (a, b, c) = (m.var(0), m.var(1), m.var(2));
+        let r1 = m.ite(a, b, c);
+        let r2 = m.ite(a, b, c);
+        assert_eq!(r1, r2);
+        let r3 = m.ite(!a, c, b); // normalized form of the same function
+        assert_eq!(r1, r3);
+    }
+}

@@ -1,0 +1,184 @@
+//! Satisfiability utilities: witness extraction, prime-cube enumeration
+//! and small-function truth vectors.
+
+use crate::manager::Manager;
+use crate::reference::{Ref, Var};
+
+impl Manager {
+    /// Finds one satisfying assignment of `f`, as `(variable, value)`
+    /// pairs for the variables along the chosen path (variables absent
+    /// from the path are don't-cares).
+    ///
+    /// Returns `None` when `f` is unsatisfiable.
+    pub fn one_sat(&self, f: Ref) -> Option<Vec<(Var, bool)>> {
+        if f.is_zero() {
+            return None;
+        }
+        let mut path = Vec::new();
+        let mut cur = f;
+        while !cur.is_const() {
+            let node = self.node(cur.node());
+            let c = cur.is_complemented();
+            let hi = node.high.xor_complement(c);
+            let lo = node.low.xor_complement(c);
+            // Prefer the branch that is not constant-false.
+            if !hi.is_zero() {
+                path.push((node.var, true));
+                cur = hi;
+            } else {
+                debug_assert!(!lo.is_zero(), "reduced BDD cannot dead-end");
+                path.push((node.var, false));
+                cur = lo;
+            }
+        }
+        debug_assert!(cur.is_one());
+        Some(path)
+    }
+
+    /// Extends a partial satisfying path to a full assignment over
+    /// `num_vars` variables (don't-cares default to `false`).
+    pub fn one_sat_total(&self, f: Ref, num_vars: u32) -> Option<Vec<bool>> {
+        let path = self.one_sat(f)?;
+        let mut assignment = vec![false; num_vars as usize];
+        for (var, value) in path {
+            assignment[var.index()] = value;
+        }
+        Some(assignment)
+    }
+
+    /// Truth vector of `f` over the first `num_vars ≤ 6` variables: bit
+    /// `i` of the result is `f` on the assignment encoded by `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_vars > 6`.
+    pub fn truth_vector(&self, f: Ref, num_vars: u32) -> u64 {
+        assert!(num_vars <= 6, "truth vectors cover at most 6 variables");
+        let mut out = 0u64;
+        for row in 0..(1u64 << num_vars) {
+            let assignment: Vec<bool> = (0..num_vars).map(|i| row >> i & 1 == 1).collect();
+            if self.eval(f, &assignment) {
+                out |= 1 << row;
+            }
+        }
+        out
+    }
+
+    /// Enumerates the cubes (paths to the 1-terminal) of `f`, up to
+    /// `limit` cubes. Each cube is a list of `(variable, polarity)`
+    /// literals; absent variables are don't-cares.
+    ///
+    /// This is the irredundant path cover BDS uses when printing factored
+    /// forms; it is exponential in the worst case, hence the limit.
+    pub fn cubes(&self, f: Ref, limit: usize) -> Vec<Vec<(Var, bool)>> {
+        let mut out = Vec::new();
+        let mut stack: Vec<(Ref, Vec<(Var, bool)>)> = vec![(f, Vec::new())];
+        while let Some((cur, prefix)) = stack.pop() {
+            if out.len() >= limit {
+                break;
+            }
+            if cur.is_zero() {
+                continue;
+            }
+            if cur.is_one() {
+                out.push(prefix);
+                continue;
+            }
+            let node = self.node(cur.node());
+            let c = cur.is_complemented();
+            let hi = node.high.xor_complement(c);
+            let lo = node.low.xor_complement(c);
+            let mut hi_prefix = prefix.clone();
+            hi_prefix.push((node.var, true));
+            let mut lo_prefix = prefix;
+            lo_prefix.push((node.var, false));
+            stack.push((hi, hi_prefix));
+            stack.push((lo, lo_prefix));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn one_sat_on_constants() {
+        let m = Manager::new();
+        assert_eq!(m.one_sat(Ref::ZERO), None);
+        assert_eq!(m.one_sat(Ref::ONE), Some(vec![]));
+    }
+
+    #[test]
+    fn one_sat_witness_actually_satisfies() {
+        let mut m = Manager::new();
+        let a = m.var(0);
+        let b = m.var(1);
+        let c = m.var(2);
+        let nb = !b;
+        let anb = m.and(a, nb);
+        let f = m.and(anb, c);
+        let assignment = m.one_sat_total(f, 3).expect("satisfiable");
+        assert!(m.eval(f, &assignment), "witness must satisfy f");
+        assert_eq!(assignment, vec![true, false, true]);
+    }
+
+    #[test]
+    fn one_sat_on_complemented_function() {
+        let mut m = Manager::new();
+        let a = m.var(0);
+        let b = m.var(1);
+        let f = m.and(a, b);
+        let nf = !f;
+        let w = m.one_sat_total(nf, 2).expect("satisfiable");
+        assert!(m.eval(nf, &w));
+        assert!(!m.eval(f, &w));
+    }
+
+    #[test]
+    fn truth_vector_matches_eval() {
+        let mut m = Manager::new();
+        let (a, b, c) = (m.var(0), m.var(1), m.var(2));
+        let f = m.maj(a, b, c);
+        // Maj truth vector rows with ≥ 2 ones set: 3,5,6,7.
+        assert_eq!(m.truth_vector(f, 3), 0b11101000);
+        assert_eq!(m.truth_vector(Ref::ONE, 2), 0xF);
+        assert_eq!(m.truth_vector(Ref::ZERO, 2), 0);
+    }
+
+    #[test]
+    fn cubes_cover_the_onset() {
+        let mut m = Manager::new();
+        let a = m.var(0);
+        let b = m.var(1);
+        let c = m.var(2);
+        let ab = m.and(a, b);
+        let f = m.or(ab, c);
+        let cubes = m.cubes(f, 64);
+        assert!(!cubes.is_empty());
+        // Every cube, completed arbitrarily, must satisfy f.
+        for cube in &cubes {
+            let mut assignment = vec![false; 3];
+            for &(v, val) in cube {
+                assignment[v.index()] = val;
+            }
+            assert!(m.eval(f, &assignment), "cube {cube:?} not in on-set");
+        }
+        // Cubes must be exhaustive: their union has the same density.
+        let total: f64 = cubes
+            .iter()
+            .map(|cube| 1.0 / (1u64 << cube.len()) as f64)
+            .sum();
+        assert!((total - m.density(f)).abs() < 1e-12, "disjoint path cover");
+    }
+
+    #[test]
+    fn cube_limit_is_respected() {
+        let mut m = Manager::new();
+        let vars: Vec<Ref> = (0..8).map(|i| m.var(i)).collect();
+        let f = m.xor_all(vars);
+        let cubes = m.cubes(f, 5);
+        assert_eq!(cubes.len(), 5);
+    }
+}

@@ -1,0 +1,219 @@
+//! Property-based tests for the BDD package: every algebraic law is checked
+//! against randomly generated Boolean expressions, with the BDD compared to
+//! a bit-parallel truth-vector oracle.
+
+use bdd::{Manager, Ref};
+use proptest::prelude::*;
+
+/// A random Boolean expression over `NVARS` variables.
+#[derive(Clone, Debug)]
+enum Expr {
+    Var(u32),
+    Not(Box<Expr>),
+    And(Box<Expr>, Box<Expr>),
+    Or(Box<Expr>, Box<Expr>),
+    Xor(Box<Expr>, Box<Expr>),
+    Ite(Box<Expr>, Box<Expr>, Box<Expr>),
+    Maj(Box<Expr>, Box<Expr>, Box<Expr>),
+}
+
+const NVARS: u32 = 6;
+
+fn arb_expr() -> impl Strategy<Value = Expr> {
+    let leaf = (0..NVARS).prop_map(Expr::Var);
+    leaf.prop_recursive(5, 64, 3, |inner| {
+        prop_oneof![
+            inner.clone().prop_map(|e| Expr::Not(Box::new(e))),
+            (inner.clone(), inner.clone())
+                .prop_map(|(a, b)| Expr::And(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone())
+                .prop_map(|(a, b)| Expr::Or(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone())
+                .prop_map(|(a, b)| Expr::Xor(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone(), inner.clone())
+                .prop_map(|(a, b, c)| Expr::Ite(Box::new(a), Box::new(b), Box::new(c))),
+            (inner.clone(), inner.clone(), inner)
+                .prop_map(|(a, b, c)| Expr::Maj(Box::new(a), Box::new(b), Box::new(c))),
+        ]
+    })
+}
+
+impl Expr {
+    fn to_bdd(&self, m: &mut Manager) -> Ref {
+        match self {
+            Expr::Var(i) => m.var(*i),
+            Expr::Not(e) => !e.to_bdd(m),
+            Expr::And(a, b) => {
+                let (x, y) = (a.to_bdd(m), b.to_bdd(m));
+                m.and(x, y)
+            }
+            Expr::Or(a, b) => {
+                let (x, y) = (a.to_bdd(m), b.to_bdd(m));
+                m.or(x, y)
+            }
+            Expr::Xor(a, b) => {
+                let (x, y) = (a.to_bdd(m), b.to_bdd(m));
+                m.xor(x, y)
+            }
+            Expr::Ite(a, b, c) => {
+                let (x, y, z) = (a.to_bdd(m), b.to_bdd(m), c.to_bdd(m));
+                m.ite(x, y, z)
+            }
+            Expr::Maj(a, b, c) => {
+                let (x, y, z) = (a.to_bdd(m), b.to_bdd(m), c.to_bdd(m));
+                m.maj(x, y, z)
+            }
+        }
+    }
+
+    /// Truth vector over all 2^NVARS assignments, one bit per assignment.
+    fn truth(&self) -> u64 {
+        match self {
+            Expr::Var(i) => var_truth(*i),
+            Expr::Not(e) => !e.truth() & mask(),
+            Expr::And(a, b) => a.truth() & b.truth(),
+            Expr::Or(a, b) => a.truth() | b.truth(),
+            Expr::Xor(a, b) => a.truth() ^ b.truth(),
+            Expr::Ite(a, b, c) => {
+                let t = a.truth();
+                (t & b.truth()) | (!t & c.truth() & mask())
+            }
+            Expr::Maj(a, b, c) => {
+                let (x, y, z) = (a.truth(), b.truth(), c.truth());
+                (x & y) | (y & z) | (x & z)
+            }
+        }
+    }
+}
+
+fn mask() -> u64 {
+    u64::MAX >> (64 - (1 << NVARS))
+}
+
+fn var_truth(i: u32) -> u64 {
+    let mut t = 0u64;
+    for row in 0..(1u64 << NVARS) {
+        if row >> i & 1 == 1 {
+            t |= 1 << row;
+        }
+    }
+    t
+}
+
+fn bdd_truth(m: &Manager, f: Ref) -> u64 {
+    let mut t = 0u64;
+    for row in 0..(1u64 << NVARS) {
+        let assignment: Vec<bool> = (0..NVARS).map(|i| row >> i & 1 == 1).collect();
+        if m.eval(f, &assignment) {
+            t |= 1 << row;
+        }
+    }
+    t
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn bdd_matches_truth_vector(e in arb_expr()) {
+        let mut m = Manager::new();
+        for i in 0..NVARS { m.var(i); }
+        let f = e.to_bdd(&mut m);
+        prop_assert_eq!(bdd_truth(&m, f), e.truth());
+    }
+
+    #[test]
+    fn canonicity_equal_truth_implies_equal_ref(a in arb_expr(), b in arb_expr()) {
+        let mut m = Manager::new();
+        for i in 0..NVARS { m.var(i); }
+        let fa = a.to_bdd(&mut m);
+        let fb = b.to_bdd(&mut m);
+        prop_assert_eq!(a.truth() == b.truth(), fa == fb);
+    }
+
+    #[test]
+    fn negation_is_involutive_and_sizes_match(e in arb_expr()) {
+        let mut m = Manager::new();
+        let f = e.to_bdd(&mut m);
+        prop_assert_eq!(!!f, f);
+        prop_assert_eq!(m.size(f), m.size(!f));
+    }
+
+    #[test]
+    fn generalized_cofactors_agree_on_care_set(fe in arb_expr(), ce in arb_expr()) {
+        let mut m = Manager::new();
+        for i in 0..NVARS { m.var(i); }
+        let f = fe.to_bdd(&mut m);
+        let c = ce.to_bdd(&mut m);
+        prop_assume!(!c.is_zero());
+        let fc = m.and(f, c);
+        let r = m.restrict(f, c);
+        let rc = m.and(r, c);
+        prop_assert_eq!(rc, fc, "restrict violates care-set agreement");
+        let k = m.constrain(f, c);
+        let kc = m.and(k, c);
+        prop_assert_eq!(kc, fc, "constrain violates care-set agreement");
+    }
+
+    #[test]
+    fn restrict_never_grows_past_f_times_c(fe in arb_expr(), ce in arb_expr()) {
+        // restrict is a heuristic minimizer: it must stay within the manager
+        // and produce a function over the same support universe.
+        let mut m = Manager::new();
+        for i in 0..NVARS { m.var(i); }
+        let f = fe.to_bdd(&mut m);
+        let c = ce.to_bdd(&mut m);
+        prop_assume!(!c.is_zero());
+        let r = m.restrict(f, c);
+        let sup_f = m.support(f);
+        let sup_r = m.support(r);
+        // restrict never introduces variables outside supp(f) ∪ supp(c).
+        let sup_c = m.support(c);
+        for v in sup_r {
+            prop_assert!(sup_f.contains(&v) || sup_c.contains(&v));
+        }
+    }
+
+    #[test]
+    fn node_replacement_recomposes(e in arb_expr(), pick in 0usize..8) {
+        let mut m = Manager::new();
+        for i in 0..NVARS { m.var(i); }
+        let f = e.to_bdd(&mut m);
+        let stats = m.node_stats(f);
+        prop_assume!(!stats.is_empty());
+        let d = stats.nodes()[pick % stats.len()];
+        let fd = m.function_of(d);
+        let f1 = m.replace_node_with_const(f, d, true);
+        let f0 = m.replace_node_with_const(f, d, false);
+        let recomposed = m.ite(fd, f1, f0);
+        prop_assert_eq!(recomposed, f, "f must equal F(f_d)");
+    }
+
+    #[test]
+    fn density_matches_popcount(e in arb_expr()) {
+        let mut m = Manager::new();
+        for i in 0..NVARS { m.var(i); }
+        let f = e.to_bdd(&mut m);
+        let expected = e.truth().count_ones() as f64 / (1u64 << NVARS) as f64;
+        prop_assert!((m.density(f) - expected).abs() < 1e-9);
+    }
+
+    #[test]
+    fn compose_matches_substitution(fe in arb_expr(), ge in arb_expr(), v in 0..NVARS) {
+        let mut m = Manager::new();
+        for i in 0..NVARS { m.var(i); }
+        let f = fe.to_bdd(&mut m);
+        let g = ge.to_bdd(&mut m);
+        let composed = m.compose(f, bdd::Var(v), g);
+        // Oracle: evaluate f with variable v replaced by g's value.
+        for row in 0..(1u64 << NVARS) {
+            let mut assignment: Vec<bool> = (0..NVARS).map(|i| row >> i & 1 == 1).collect();
+            let gv = m.eval(g, &assignment);
+            assignment[v as usize] = gv;
+            let want = m.eval(f, &assignment);
+            let mut orig: Vec<bool> = (0..NVARS).map(|i| row >> i & 1 == 1).collect();
+            orig[v as usize] = row >> v & 1 == 1;
+            prop_assert_eq!(m.eval(composed, &orig), want);
+        }
+    }
+}

@@ -1,0 +1,40 @@
+//! End-to-end flow benchmarks on paper benchmarks: full BDS-MAJ / BDS-PGA
+//! / ABC-like optimization runtime (the "Seconds" columns of Table I and
+//! the §V-B.3 runtime claim).
+
+use baselines::abc_flow;
+use bdsmaj::{bds_maj, bds_pga, BdsMajOptions};
+use criterion::{criterion_group, criterion_main, Criterion};
+use decomp::EngineOptions;
+
+fn bench_flows(c: &mut Criterion) {
+    // Small/medium benchmarks so each sample stays in the millisecond
+    // range; the table binaries cover the full suite.
+    for name in ["alu2", "f51m", "CLA 64 bit", "Wallace 16 bit"] {
+        let net = circuits::suite::benchmark(name).expect("known benchmark");
+        let tag = name.replace(' ', "_");
+        let mut group = c.benchmark_group(format!("flow/{tag}"));
+        group.sample_size(10);
+        group.bench_function("bds_maj", |b| {
+            b.iter(|| std::hint::black_box(bds_maj(&net, &BdsMajOptions::default())));
+        });
+        group.bench_function("bds_pga", |b| {
+            b.iter(|| std::hint::black_box(bds_pga(&net, &EngineOptions::default())));
+        });
+        group.bench_function("abc", |b| {
+            b.iter(|| std::hint::black_box(abc_flow(&net)));
+        });
+        group.finish();
+    }
+}
+
+fn bench_mapping(c: &mut Criterion) {
+    let net = circuits::suite::benchmark("Wallace 16 bit").unwrap();
+    let optimized = bds_maj(&net, &BdsMajOptions::default());
+    c.bench_function("map/wallace16_bdsmaj", |b| {
+        b.iter(|| std::hint::black_box(techmap::map_network(optimized.network())));
+    });
+}
+
+criterion_group!(flows, bench_flows, bench_mapping);
+criterion_main!(flows);

@@ -1,0 +1,129 @@
+//! Microbenchmarks of the BDD and decomposition kernels: the ITE operator,
+//! the generalized cofactors, the dominator scan and Algorithm 1 itself.
+
+use bdd::Manager;
+use bdsmaj::{maj_decompose, MajConfig};
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use decomp::{find_decomposition, SearchOptions};
+
+/// Builds the carry-out of an n-bit adder: a majority-heavy function with
+/// a linear BDD.
+fn carry_function(m: &mut Manager, bits: u32) -> bdd::Ref {
+    let mut carry = m.zero();
+    for i in 0..bits {
+        let a = m.var(2 * i);
+        let b = m.var(2 * i + 1);
+        carry = m.maj(a, b, carry);
+    }
+    carry
+}
+
+/// Builds a mid column sum bit of a small multiplier: a dense function
+/// exercising ITE hard.
+fn multiplier_bit(m: &mut Manager, bits: u32) -> bdd::Ref {
+    let a: Vec<bdd::Ref> = (0..bits).map(|i| m.var(i)).collect();
+    let b: Vec<bdd::Ref> = (0..bits).map(|i| m.var(bits + i)).collect();
+    let width = 2 * bits as usize;
+    let mut columns: Vec<Vec<bdd::Ref>> = vec![Vec::new(); width];
+    for (i, &ai) in a.iter().enumerate() {
+        for (j, &bj) in b.iter().enumerate() {
+            let pp = m.and(ai, bj);
+            columns[i + j].push(pp);
+        }
+    }
+    let mut result = m.zero();
+    for col in 0..width.min(bits as usize) {
+        let mut bits_in_col = std::mem::take(&mut columns[col]);
+        while bits_in_col.len() >= 2 {
+            if bits_in_col.len() >= 3 {
+                let (x, y, z) = (bits_in_col[0], bits_in_col[1], bits_in_col[2]);
+                let xy = m.xor(x, y);
+                let s = m.xor(xy, z);
+                let c = m.maj(x, y, z);
+                bits_in_col.drain(..3);
+                bits_in_col.push(s);
+                if col + 1 < width {
+                    columns[col + 1].push(c);
+                }
+            } else {
+                let (x, y) = (bits_in_col[0], bits_in_col[1]);
+                let s = m.xor(x, y);
+                let c = m.and(x, y);
+                bits_in_col.drain(..2);
+                bits_in_col.push(s);
+                if col + 1 < width {
+                    columns[col + 1].push(c);
+                }
+            }
+        }
+        result = bits_in_col.first().copied().unwrap_or_else(|| m.zero());
+    }
+    result
+}
+
+fn bench_ite(c: &mut Criterion) {
+    c.bench_function("ite/adder_carry_16", |bench| {
+        bench.iter_batched(
+            Manager::new,
+            |mut m| carry_function(&mut m, 16),
+            BatchSize::SmallInput,
+        );
+    });
+    c.bench_function("ite/multiplier_bit_6", |bench| {
+        bench.iter_batched(
+            Manager::new,
+            |mut m| multiplier_bit(&mut m, 6),
+            BatchSize::SmallInput,
+        );
+    });
+}
+
+fn bench_generalized_cofactors(c: &mut Criterion) {
+    c.bench_function("restrict/carry_care_set", |bench| {
+        let mut m = Manager::new();
+        let f = carry_function(&mut m, 16);
+        let care = {
+            let x = m.var(0);
+            let y = m.var(7);
+            m.or(x, y)
+        };
+        bench.iter(|| std::hint::black_box(m.restrict(f, care)));
+    });
+    c.bench_function("constrain/carry_care_set", |bench| {
+        let mut m = Manager::new();
+        let f = carry_function(&mut m, 16);
+        let care = {
+            let x = m.var(0);
+            let y = m.var(7);
+            m.or(x, y)
+        };
+        bench.iter(|| std::hint::black_box(m.constrain(f, care)));
+    });
+}
+
+fn bench_dominator_scan(c: &mut Criterion) {
+    c.bench_function("dominators/find_decomposition_carry12", |bench| {
+        let mut m = Manager::new();
+        let f = carry_function(&mut m, 12);
+        let opts = SearchOptions::default();
+        bench.iter(|| std::hint::black_box(find_decomposition(&mut m, f, &opts)));
+    });
+}
+
+fn bench_maj_decompose(c: &mut Criterion) {
+    c.bench_function("maj_decompose/carry8", |bench| {
+        let mut m = Manager::new();
+        let f = carry_function(&mut m, 8);
+        let config = MajConfig::default();
+        bench.iter(|| std::hint::black_box(maj_decompose(&mut m, f, &config)));
+    });
+}
+
+criterion_group!(
+    kernels,
+    bench_ite,
+    bench_generalized_cofactors,
+    bench_dominator_scan,
+    bench_maj_decompose
+);
+criterion_main!(kernels);

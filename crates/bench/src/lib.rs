@@ -1,0 +1,155 @@
+//! Shared harness code for the table-reproducing binaries and the
+//! Criterion benches: runs every flow of the paper on the 17-benchmark
+//! suite and aggregates the Table I / Table II rows.
+
+use baselines::{abc_flow, dc_flow};
+use bdsmaj::{bds_maj, bds_pga, BdsMajOptions};
+use circuits::suite::{paper_suite, Benchmark, Group};
+use decomp::EngineOptions;
+use logic::{equiv_sim, GateCounts, Network};
+use std::time::{Duration, Instant};
+use techmap::{map_network, report, Library, MappedReport};
+
+/// One row of Table I: decomposition node counts for both engines.
+#[derive(Clone, Debug)]
+pub struct Table1Row {
+    /// Benchmark name (paper spelling).
+    pub name: &'static str,
+    /// MCNC or HDL section.
+    pub group: Group,
+    /// BDS-MAJ node counts.
+    pub maj: GateCounts,
+    /// BDS-MAJ decomposition runtime.
+    pub maj_runtime: Duration,
+    /// BDS-PGA node counts.
+    pub pga: GateCounts,
+    /// BDS-PGA decomposition runtime.
+    pub pga_runtime: Duration,
+    /// Whether both decomposed networks passed equivalence checking.
+    pub verified: bool,
+}
+
+/// Runs the Table I experiment (BDS-MAJ vs BDS-PGA decomposition) on the
+/// full suite.
+pub fn run_table1() -> Vec<Table1Row> {
+    paper_suite().iter().map(table1_row).collect()
+}
+
+/// Runs one benchmark of Table I.
+pub fn table1_row(bench: &Benchmark) -> Table1Row {
+    let net = &bench.network;
+    let with = bds_maj(net, &BdsMajOptions::default());
+    let without = bds_pga(net, &EngineOptions::default());
+    let verified = equiv_sim(net, with.network(), 4, 0xBD5).is_ok()
+        && equiv_sim(net, &without.network, 4, 0xBD5).is_ok();
+    Table1Row {
+        name: bench.name,
+        group: bench.group,
+        maj: with.network().gate_counts(),
+        maj_runtime: with.result.runtime,
+        pga: without.network.gate_counts(),
+        pga_runtime: without.runtime,
+        verified,
+    }
+}
+
+/// One row of Table II: mapped area/gates/delay for the four flows.
+#[derive(Clone, Debug)]
+pub struct Table2Row {
+    /// Benchmark name (paper spelling).
+    pub name: &'static str,
+    /// MCNC or HDL section.
+    pub group: Group,
+    /// BDS-MAJ synthesis result.
+    pub bds_maj: MappedReport,
+    /// BDS-PGA synthesis result.
+    pub bds_pga: MappedReport,
+    /// ABC-like synthesis result.
+    pub abc: MappedReport,
+    /// DC-like synthesis result.
+    pub dc: MappedReport,
+    /// Whether all four mapped netlists passed equivalence checking.
+    pub verified: bool,
+}
+
+/// Runs the Table II experiment (full synthesis with mapping) on the suite.
+pub fn run_table2(lib: &Library) -> Vec<Table2Row> {
+    paper_suite().iter().map(|b| table2_row(b, lib)).collect()
+}
+
+/// Runs one benchmark of Table II.
+pub fn table2_row(bench: &Benchmark, lib: &Library) -> Table2Row {
+    let net = &bench.network;
+    let synth = |optimized: &Network| {
+        let mapped = map_network(optimized);
+        let ok = equiv_sim(net, &mapped.network, 4, 0xDA13).is_ok();
+        (report(&mapped, lib), ok)
+    };
+    let (r_maj, ok1) = synth(bds_maj(net, &BdsMajOptions::default()).network());
+    let (r_pga, ok2) = synth(&bds_pga(net, &EngineOptions::default()).network);
+    let (r_abc, ok3) = synth(&abc_flow(net));
+    let (r_dc, ok4) = synth(&dc_flow(net, lib).network);
+    Table2Row {
+        name: bench.name,
+        group: bench.group,
+        bds_maj: r_maj,
+        bds_pga: r_pga,
+        abc: r_abc,
+        dc: r_dc,
+        verified: ok1 && ok2 && ok3 && ok4,
+    }
+}
+
+/// Average relative saving of `ours` versus `theirs` over paired samples
+/// (the paper's "X % less area" style of aggregate): mean of
+/// `1 - ours/theirs`, in percent.
+pub fn average_saving(pairs: &[(f64, f64)]) -> f64 {
+    if pairs.is_empty() {
+        return 0.0;
+    }
+    let sum: f64 = pairs
+        .iter()
+        .filter(|(_, theirs)| *theirs > 0.0)
+        .map(|(ours, theirs)| 1.0 - ours / theirs)
+        .sum();
+    100.0 * sum / pairs.len() as f64
+}
+
+/// Wall-clock of a closure, returning the result and elapsed time.
+pub fn timed<T>(f: impl FnOnce() -> T) -> (T, Duration) {
+    let start = Instant::now();
+    let r = f();
+    (r, start.elapsed())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn average_saving_basics() {
+        assert_eq!(average_saving(&[]), 0.0);
+        let s = average_saving(&[(50.0, 100.0), (75.0, 100.0)]);
+        assert!((s - 37.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn table1_row_on_small_benchmark() {
+        let suite = paper_suite();
+        let alu2 = suite.iter().find(|b| b.name == "alu2").unwrap();
+        let row = table1_row(alu2);
+        assert!(row.verified, "decompositions must be equivalent");
+        assert!(row.maj.decomposition_total() > 0);
+        assert!(row.pga.maj == 0, "BDS-PGA produces no MAJ nodes");
+    }
+
+    #[test]
+    fn table2_row_on_small_benchmark() {
+        let suite = paper_suite();
+        let f51m = suite.iter().find(|b| b.name == "f51m").unwrap();
+        let row = table2_row(f51m, &Library::cmos22());
+        assert!(row.verified, "all four flows must be equivalent");
+        assert!(row.bds_maj.area > 0.0);
+        assert!(row.abc.gate_count > 0);
+    }
+}

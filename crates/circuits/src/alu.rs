@@ -1,0 +1,172 @@
+//! ALU generators: stand-ins for the MCNC `alu2` and `dalu` benchmarks —
+//! mixed control/datapath circuits with operand buses and an opcode.
+
+use crate::bus::{input_bus, mux_bus, output_bus, ripple_add, ripple_sub, zip_gate, Bus};
+use logic::{GateKind, Network};
+
+/// A compact ALU in the spirit of `alu2` (10 inputs): two 4-bit operands
+/// and a 2-bit opcode selecting ADD / AND / OR / XOR; outputs the 4-bit
+/// result plus carry and zero flags.
+pub fn alu2_like() -> Network {
+    let mut net = Network::new("alu2_like");
+    let a = input_bus(&mut net, "a", 4);
+    let b = input_bus(&mut net, "b", 4);
+    let op0 = net.add_input("op0");
+    let op1 = net.add_input("op1");
+
+    let sum = ripple_add(&mut net, &a, &b, None);
+    let and = zip_gate(&mut net, GateKind::And, &a, &b);
+    let or = zip_gate(&mut net, GateKind::Or, &a, &b);
+    let xor = zip_gate(&mut net, GateKind::Xor, &a, &b);
+
+    // op1 op0: 00 add, 01 and, 10 or, 11 xor.
+    let low = mux_bus(&mut net, op0, &and, &sum[..4].to_vec());
+    let high = mux_bus(&mut net, op0, &xor, &or);
+    let result = mux_bus(&mut net, op1, &high, &low);
+    output_bus(&mut net, "r", &result);
+
+    // Carry only meaningful for ADD; gate it with the opcode.
+    let nop0 = net.add_gate(GateKind::Inv, vec![op0]);
+    let nop1 = net.add_gate(GateKind::Inv, vec![op1]);
+    let is_add = net.add_gate(GateKind::And, vec![nop0, nop1]);
+    let carry = net.add_gate(GateKind::And, vec![is_add, sum[4]]);
+    net.set_output("carry", carry);
+
+    let any = net.add_gate(GateKind::Or, result.clone());
+    let zero = net.add_gate(GateKind::Inv, vec![any]);
+    net.set_output("zero", zero);
+    net
+}
+
+/// A dedicated ALU in the spirit of `dalu`: 8-bit datapath, 3-bit opcode
+/// (8 operations: add, sub, and, or, xor, nor, pass-a, shifted-b) plus
+/// condition inputs, with result and flag outputs.
+pub fn dalu_like() -> Network {
+    let mut net = Network::new("dalu_like");
+    let width = 8u32;
+    let a = input_bus(&mut net, "a", width);
+    let b = input_bus(&mut net, "b", width);
+    let op: Bus = (0..3).map(|i| net.add_input(format!("op{i}"))).collect();
+    let cond = net.add_input("cond");
+
+    let sum = ripple_add(&mut net, &a, &b, None);
+    let (diff, ge) = ripple_sub(&mut net, &a, &b);
+    let and = zip_gate(&mut net, GateKind::And, &a, &b);
+    let or = zip_gate(&mut net, GateKind::Or, &a, &b);
+    let xor = zip_gate(&mut net, GateKind::Xor, &a, &b);
+    let nor: Bus = or
+        .iter()
+        .map(|&s| net.add_gate(GateKind::Inv, vec![s]))
+        .collect();
+    // shifted-b: b << 1, conditionally filled with `cond`.
+    let mut shifted: Bus = vec![cond];
+    shifted.extend_from_slice(&b[..width as usize - 1]);
+
+    let sum_lo: Bus = sum[..width as usize].to_vec();
+    let choices: [&Bus; 8] = [&sum_lo, &diff, &and, &or, &xor, &nor, &a, &shifted];
+    // 8:1 mux tree over the opcode.
+    let mut layer: Vec<Bus> = choices.iter().map(|b| (*b).clone()).collect();
+    for bit in 0..3 {
+        let mut next: Vec<Bus> = Vec::new();
+        for pair in layer.chunks(2) {
+            next.push(mux_bus(&mut net, op[bit], &pair[1], &pair[0]));
+        }
+        layer = next;
+    }
+    let result = layer.pop().expect("mux tree reduces to one bus");
+    output_bus(&mut net, "r", &result);
+
+    net.set_output("carry", sum[width as usize]);
+    net.set_output("ge", ge);
+    let any = net.add_gate(GateKind::Or, result.clone());
+    let zero = net.add_gate(GateKind::Inv, vec![any]);
+    net.set_output("zero", zero);
+    let parity = net.add_gate(GateKind::Xor, result);
+    net.set_output("parity", parity);
+    net
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bus::{lanes_from_values, values_from_lanes};
+    use logic::XorShift64;
+
+    #[test]
+    fn alu2_ops_match_reference() {
+        let net = alu2_like();
+        assert_eq!(net.inputs().len(), 10);
+        let mut rng = XorShift64::new(1);
+        for op in 0..4u64 {
+            let va: Vec<u64> = (0..64).map(|_| rng.next_u64() & 0xF).collect();
+            let vb: Vec<u64> = (0..64).map(|_| rng.next_u64() & 0xF).collect();
+            let mut patterns = lanes_from_values(&va, 4);
+            patterns.extend(lanes_from_values(&vb, 4));
+            patterns.push(if op & 1 == 1 { u64::MAX } else { 0 });
+            patterns.push(if op & 2 == 2 { u64::MAX } else { 0 });
+            let out = net.simulate(&patterns);
+            let r = values_from_lanes(&out[..4], 64);
+            for i in 0..64 {
+                let want = match op {
+                    0 => (va[i] + vb[i]) & 0xF,
+                    1 => va[i] & vb[i],
+                    2 => va[i] | vb[i],
+                    _ => va[i] ^ vb[i],
+                };
+                assert_eq!(r[i], want, "op {op} lane {i}");
+                let zero = out[5] >> i & 1 == 1;
+                assert_eq!(zero, want == 0, "zero flag op {op} lane {i}");
+                if op == 0 {
+                    let carry = out[4] >> i & 1 == 1;
+                    assert_eq!(carry, va[i] + vb[i] > 0xF, "carry lane {i}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn dalu_ops_match_reference() {
+        let net = dalu_like();
+        let mut rng = XorShift64::new(2);
+        for op in 0..8u64 {
+            let va: Vec<u64> = (0..64).map(|_| rng.next_u64() & 0xFF).collect();
+            let vb: Vec<u64> = (0..64).map(|_| rng.next_u64() & 0xFF).collect();
+            let mut patterns = lanes_from_values(&va, 8);
+            patterns.extend(lanes_from_values(&vb, 8));
+            for bit in 0..3 {
+                patterns.push(if op >> bit & 1 == 1 { u64::MAX } else { 0 });
+            }
+            patterns.push(0); // cond = 0
+            let out = net.simulate(&patterns);
+            let r = values_from_lanes(&out[..8], 64);
+            for i in 0..64 {
+                let want = match op {
+                    0 => (va[i] + vb[i]) & 0xFF,
+                    1 => va[i].wrapping_sub(vb[i]) & 0xFF,
+                    2 => va[i] & vb[i],
+                    3 => va[i] | vb[i],
+                    4 => va[i] ^ vb[i],
+                    5 => !(va[i] | vb[i]) & 0xFF,
+                    6 => va[i],
+                    _ => (vb[i] << 1) & 0xFF,
+                };
+                assert_eq!(r[i], want, "op {op} lane {i}");
+            }
+        }
+    }
+
+    #[test]
+    fn dalu_flags() {
+        let net = dalu_like();
+        // a = 5, b = 5, op = sub: result 0, zero flag set, ge set.
+        let mut patterns = lanes_from_values(&[5], 8);
+        patterns.extend(lanes_from_values(&[5], 8));
+        patterns.extend([u64::MAX & 1, 0, 0]); // op = 1 (sub) in lane 0
+        patterns.push(0);
+        let out = net.simulate(&patterns);
+        // Outputs: r0..r7, carry, ge, zero, parity.
+        assert_eq!(out[9] & 1, 1, "ge");
+        assert_eq!(out[10] & 1, 1, "zero");
+        assert_eq!(out[11] & 1, 0, "parity of zero result");
+    }
+}

@@ -1,0 +1,492 @@
+//! Structural generators for the arithmetic (HDL) benchmarks of the paper:
+//! adders, multipliers, divider, reciprocal, square root and MAC.
+//!
+//! Every generator returns a plain [`Network`]; tests validate each one by
+//! bit-parallel simulation against `u128` reference arithmetic.
+
+use crate::bus::{
+    const_bus, full_adder, half_adder, input_bus, mux_bus, output_bus, ripple_add, ripple_sub,
+    Bus,
+};
+use logic::{GateKind, Network, SignalId};
+
+/// Plain ripple-carry adder: `s = a + b`, `width + 1` output bits.
+pub fn ripple_adder(width: u32) -> Network {
+    let mut net = Network::new(format!("ripple_add_{width}"));
+    let a = input_bus(&mut net, "a", width);
+    let b = input_bus(&mut net, "b", width);
+    let s = ripple_add(&mut net, &a, &b, None);
+    output_bus(&mut net, "s", &s);
+    net
+}
+
+/// Carry-lookahead adder with 4-bit groups and a recursive group tree
+/// (the CLA-64 benchmark of the paper).
+pub fn cla_adder(width: u32) -> Network {
+    let mut net = Network::new(format!("cla_{width}"));
+    let a = input_bus(&mut net, "a", width);
+    let b = input_bus(&mut net, "b", width);
+    let zero = net.add_const(false);
+
+    // Bit-level propagate/generate.
+    let p: Bus = a
+        .iter()
+        .zip(&b)
+        .map(|(&x, &y)| net.add_gate(GateKind::Xor, vec![x, y]))
+        .collect();
+    let g: Bus = a
+        .iter()
+        .zip(&b)
+        .map(|(&x, &y)| net.add_gate(GateKind::And, vec![x, y]))
+        .collect();
+
+    // Recursive lookahead: returns (group_p, group_g, carries into each bit).
+    fn lookahead(
+        net: &mut Network,
+        p: &[SignalId],
+        g: &[SignalId],
+        cin: SignalId,
+    ) -> (SignalId, SignalId, Bus) {
+        let n = p.len();
+        if n == 1 {
+            return (p[0], g[0], vec![cin]);
+        }
+        let half = n.div_ceil(2);
+        let (pl, gl, cl) = lookahead(net, &p[..half], &g[..half], cin);
+        // carry into the upper half: g_l + p_l·cin
+        let t = net.add_gate(GateKind::And, vec![pl, cin]);
+        let c_mid = net.add_gate(GateKind::Or, vec![gl, t]);
+        let (ph, gh, ch) = lookahead(net, &p[half..], &g[half..], c_mid);
+        let gp = net.add_gate(GateKind::And, vec![pl, ph]);
+        let t2 = net.add_gate(GateKind::And, vec![ph, gl]);
+        let gg = net.add_gate(GateKind::Or, vec![gh, t2]);
+        let mut carries = cl;
+        carries.extend(ch);
+        (gp, gg, carries)
+    }
+
+    let (gp, gg, carries) = lookahead(&mut net, &p, &g, zero);
+    let _ = gp;
+    for i in 0..width as usize {
+        let s = net.add_gate(GateKind::Xor, vec![p[i], carries[i]]);
+        net.set_output(format!("s{i}"), s);
+    }
+    net.set_output("cout", gg);
+    net
+}
+
+/// Sums the partial-product columns with full/half adders until each
+/// column holds at most two bits, then finishes with a ripple adder.
+///
+/// Shared by the multiplier/MAC generators and the Booth multiplier in
+/// [`crate::extra`].
+pub fn reduce_columns(net: &mut Network, mut columns: Vec<Vec<SignalId>>) -> Bus {
+    loop {
+        if columns.iter().all(|c| c.len() <= 2) {
+            break;
+        }
+        let mut next: Vec<Vec<SignalId>> = vec![Vec::new(); columns.len() + 1];
+        for (i, col) in columns.iter().enumerate() {
+            let mut chunk = col.as_slice();
+            while chunk.len() >= 3 {
+                let (s, c) = full_adder(net, chunk[0], chunk[1], chunk[2]);
+                next[i].push(s);
+                next[i + 1].push(c);
+                chunk = &chunk[3..];
+            }
+            if chunk.len() == 2 {
+                let (s, c) = half_adder(net, chunk[0], chunk[1]);
+                next[i].push(s);
+                next[i + 1].push(c);
+            } else if chunk.len() == 1 {
+                next[i].push(chunk[0]);
+            }
+        }
+        while next.last().is_some_and(|c| c.is_empty()) {
+            next.pop();
+        }
+        columns = next;
+    }
+    // Final carry-propagate addition over the two remaining rows.
+    let width = columns.len();
+    let zero = net.add_const(false);
+    let row0: Bus = columns
+        .iter()
+        .map(|c| c.first().copied().unwrap_or(zero))
+        .collect();
+    let row1: Bus = columns
+        .iter()
+        .map(|c| c.get(1).copied().unwrap_or(zero))
+        .collect();
+    let mut sum = ripple_add(net, &row0, &row1, None);
+    sum.truncate(width + 1);
+    sum
+}
+
+/// Array multiplier (row-by-row carry-save, the structure of C6288).
+pub fn array_multiplier(n: u32, m: u32) -> Network {
+    let mut net = Network::new(format!("mult_array_{n}x{m}"));
+    let a = input_bus(&mut net, "a", n);
+    let b = input_bus(&mut net, "b", m);
+    // Row i: partial product a·b_i aligned at bit i, accumulated by ripple
+    // rows of full adders (the structure of C6288).
+    let row0: Bus = a
+        .iter()
+        .map(|&x| net.add_gate(GateKind::And, vec![x, b[0]]))
+        .collect();
+    let mut out: Bus = vec![row0[0]];
+    let zero = net.add_const(false);
+    // Pending value aligned one bit above the last emitted product bit.
+    let mut pending: Bus = row0[1..].to_vec();
+    pending.push(zero);
+    for i in 1..m as usize {
+        let pp: Bus = a
+            .iter()
+            .map(|&x| net.add_gate(GateKind::And, vec![x, b[i]]))
+            .collect();
+        let sum = ripple_add(&mut net, &pending, &pp, None);
+        out.push(sum[0]);
+        pending = sum[1..].to_vec();
+    }
+    out.extend(pending);
+    output_bus(&mut net, "p", &out[..(n + m) as usize]);
+    net
+}
+
+/// Wallace-tree multiplier: column-wise 3:2 reduction of all partial
+/// products, then a final fast adder.
+pub fn wallace_multiplier(width: u32) -> Network {
+    let mut net = Network::new(format!("wallace_{width}"));
+    let a = input_bus(&mut net, "a", width);
+    let b = input_bus(&mut net, "b", width);
+    let mut columns: Vec<Vec<SignalId>> = vec![Vec::new(); (2 * width) as usize];
+    for (i, &ai) in a.iter().enumerate() {
+        for (j, &bj) in b.iter().enumerate() {
+            let pp = net.add_gate(GateKind::And, vec![ai, bj]);
+            columns[i + j].push(pp);
+        }
+    }
+    let product = reduce_columns(&mut net, columns);
+    output_bus(&mut net, "p", &product[..(2 * width) as usize]);
+    net
+}
+
+/// Multiply-accumulate: `acc_out = a · b + c` with `c` of width `2·width`
+/// (the MAC-16 benchmark).
+pub fn mac(width: u32) -> Network {
+    let mut net = Network::new(format!("mac_{width}"));
+    let a = input_bus(&mut net, "a", width);
+    let b = input_bus(&mut net, "b", width);
+    let c = input_bus(&mut net, "c", 2 * width);
+    let mut columns: Vec<Vec<SignalId>> = vec![Vec::new(); (2 * width) as usize];
+    for (i, &ai) in a.iter().enumerate() {
+        for (j, &bj) in b.iter().enumerate() {
+            let pp = net.add_gate(GateKind::And, vec![ai, bj]);
+            columns[i + j].push(pp);
+        }
+    }
+    for (i, &ci) in c.iter().enumerate() {
+        columns[i].push(ci);
+    }
+    let sum = reduce_columns(&mut net, columns);
+    output_bus(&mut net, "s", &sum[..(2 * width + 1) as usize]);
+    net
+}
+
+/// Multi-operand adder: sums `operands` buses of `width` bits with a
+/// carry-save tree (the 4-Op ADD benchmark).
+pub fn multi_operand_adder(operands: u32, width: u32) -> Network {
+    let mut net = Network::new(format!("add{operands}op_{width}"));
+    let extra = 32 - (operands - 1).leading_zeros();
+    let out_width = (width + extra) as usize;
+    let mut columns: Vec<Vec<SignalId>> = vec![Vec::new(); out_width];
+    for k in 0..operands {
+        let op = input_bus(&mut net, &format!("op{k}_"), width);
+        for (i, &s) in op.iter().enumerate() {
+            columns[i].push(s);
+        }
+    }
+    let sum = reduce_columns(&mut net, columns);
+    output_bus(&mut net, "s", &sum[..out_width]);
+    net
+}
+
+/// Restoring array divider: `q = n / d`, `r = n % d`, both `width` bits
+/// (the Div-18 benchmark). Division by zero yields all-ones quotient.
+pub fn divider(width: u32) -> Network {
+    let mut net = Network::new(format!("div_{width}"));
+    let n = input_bus(&mut net, "n", width);
+    let d = input_bus(&mut net, "d", width);
+    let zero = net.add_const(false);
+    // Remainder register, one bit wider than the divisor.
+    let mut r: Bus = vec![zero; width as usize + 1];
+    let mut q: Vec<SignalId> = Vec::new();
+    let mut d_ext = d.clone();
+    d_ext.push(zero);
+    for i in (0..width as usize).rev() {
+        // r = (r << 1) | n_i
+        let mut shifted = vec![n[i]];
+        shifted.extend_from_slice(&r[..width as usize]);
+        // trial subtract: t = shifted - d
+        let (t, no_borrow) = ripple_sub(&mut net, &shifted, &d_ext);
+        q.push(no_borrow);
+        r = mux_bus(&mut net, no_borrow, &t, &shifted);
+    }
+    q.reverse();
+    output_bus(&mut net, "q", &q);
+    output_bus(&mut net, "r", &r[..width as usize]);
+    net
+}
+
+/// Fixed-point reciprocal `1/X`: computes `floor(2^(2·width-2) / X)`
+/// truncated to `2·width - 1` quotient bits via a restoring divider with a
+/// constant dividend (the Rev (1/X) benchmark).
+pub fn reciprocal(width: u32) -> Network {
+    let mut net = Network::new(format!("reciprocal_{width}"));
+    let x = input_bus(&mut net, "x", width);
+    let dividend_width = 2 * width - 1;
+    let dividend = const_bus(&mut net, 1u64 << (2 * width - 2), dividend_width);
+    let zero = net.add_const(false);
+    let mut x_ext = x.clone();
+    x_ext.resize(width as usize + 1, zero);
+    let mut r: Bus = vec![zero; width as usize + 1];
+    let mut q: Vec<SignalId> = Vec::new();
+    for i in (0..dividend_width as usize).rev() {
+        let mut shifted = vec![dividend[i]];
+        shifted.extend_from_slice(&r[..width as usize]);
+        let (t, no_borrow) = ripple_sub(&mut net, &shifted, &x_ext);
+        q.push(no_borrow);
+        r = mux_bus(&mut net, no_borrow, &t, &shifted);
+    }
+    q.reverse();
+    output_bus(&mut net, "q", &q);
+    // Constant folding keeps the early all-zero stages cheap, exactly like
+    // a hand-written HDL reciprocal with a constant numerator.
+    net.cleaned()
+}
+
+/// Digit-recurrence (restoring) integer square root: `s = floor(sqrt(x))`
+/// over `width` input bits (the SQRT-32 benchmark).
+///
+/// # Panics
+///
+/// Panics if `width` is odd.
+pub fn sqrt(width: u32) -> Network {
+    assert!(width % 2 == 0, "sqrt generator expects an even width");
+    let mut net = Network::new(format!("sqrt_{width}"));
+    let x = input_bus(&mut net, "x", width);
+    let zero = net.add_const(false);
+    let one = net.add_const(true);
+    let stages = width / 2;
+    // Remainder can grow to stage count + 2 bits.
+    let rw = (stages + 2) as usize;
+    let mut r: Bus = vec![zero; rw];
+    let mut s: Vec<SignalId> = Vec::new(); // computed MSB-first
+    for k in (0..stages).rev() {
+        // r' = (r << 2) | x[2k+1..2k]
+        let mut shifted = vec![x[(2 * k) as usize], x[(2 * k + 1) as usize]];
+        shifted.extend_from_slice(&r[..rw - 2]);
+        // trial = (s << 2) | 01  (s has `stages - 1 - k` known MSBs so far)
+        let mut trial: Bus = vec![one, zero];
+        trial.extend(s.iter().rev().copied());
+        trial.resize(rw, zero);
+        let (t, no_borrow) = ripple_sub(&mut net, &shifted, &trial);
+        r = mux_bus(&mut net, no_borrow, &t, &shifted);
+        s.push(no_borrow);
+    }
+    s.reverse(); // now little-endian
+    output_bus(&mut net, "s", &s);
+    output_bus(&mut net, "r", &r[..(stages + 1) as usize]);
+    net.cleaned()
+}
+
+/// A small 8-input / 8-output arithmetic block in the spirit of `f51m`
+/// (the MCNC 8-bit arithmetic benchmark): a 4×4 multiply fused with an
+/// add/xor mix of the operands.
+pub fn f51m_like() -> Network {
+    let mut net = Network::new("f51m_like");
+    let a = input_bus(&mut net, "a", 4);
+    let b = input_bus(&mut net, "b", 4);
+    let mut columns: Vec<Vec<SignalId>> = vec![Vec::new(); 8];
+    for (i, &ai) in a.iter().enumerate() {
+        for (j, &bj) in b.iter().enumerate() {
+            let pp = net.add_gate(GateKind::And, vec![ai, bj]);
+            columns[i + j].push(pp);
+        }
+    }
+    // Fuse the operand sum into the low columns, f51m-style.
+    let s = ripple_add(&mut net, &a, &b, None);
+    for (i, &si) in s.iter().take(4).enumerate() {
+        columns[i].push(si);
+    }
+    let out = reduce_columns(&mut net, columns);
+    output_bus(&mut net, "y", &out[..8]);
+    net
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bus::{lanes_from_values, values_from_lanes};
+    use logic::XorShift64;
+
+    /// Drives `net` with 64 random operand pairs and returns per-lane
+    /// output values.
+    fn run2(net: &Network, wa: u32, wb: u32, seed: u64) -> (Vec<u64>, Vec<u64>, Vec<u64>) {
+        let mut rng = XorShift64::new(seed);
+        let va: Vec<u64> = (0..64).map(|_| rng.next_u64() & ((1u64 << wa) - 1)).collect();
+        let vb: Vec<u64> = (0..64).map(|_| rng.next_u64() & ((1u64 << wb) - 1)).collect();
+        let mut patterns = lanes_from_values(&va, wa);
+        patterns.extend(lanes_from_values(&vb, wb));
+        let out = net.simulate(&patterns);
+        let vo = values_from_lanes(&out, 64);
+        (va, vb, vo)
+    }
+
+    #[test]
+    fn cla_matches_addition() {
+        for width in [4u32, 8, 13, 64] {
+            let net = cla_adder(width);
+            let mut rng = XorShift64::new(width as u64);
+            let mask = if width == 64 { u64::MAX } else { (1u64 << width) - 1 };
+            let va: Vec<u64> = (0..64).map(|_| rng.next_u64() & mask).collect();
+            let vb: Vec<u64> = (0..64).map(|_| rng.next_u64() & mask).collect();
+            let mut patterns = lanes_from_values(&va, width);
+            patterns.extend(lanes_from_values(&vb, width));
+            let out = net.simulate(&patterns);
+            for lane in 0..64usize {
+                let got = out
+                    .iter()
+                    .enumerate()
+                    .fold(0u128, |acc, (bit, w)| acc | ((w >> lane & 1) as u128) << bit);
+                let want = va[lane] as u128 + vb[lane] as u128;
+                assert_eq!(got, want, "width {width} lane {lane}");
+            }
+        }
+    }
+
+    #[test]
+    fn array_multiplier_matches() {
+        let net = array_multiplier(8, 8);
+        let (va, vb, vo) = run2(&net, 8, 8, 99);
+        for i in 0..64 {
+            assert_eq!(vo[i], va[i] * vb[i], "lane {i}");
+        }
+    }
+
+    #[test]
+    fn array_multiplier_rectangular() {
+        let net = array_multiplier(6, 3);
+        let (va, vb, vo) = run2(&net, 6, 3, 7);
+        for i in 0..64 {
+            assert_eq!(vo[i], va[i] * vb[i], "lane {i}");
+        }
+    }
+
+    #[test]
+    fn wallace_matches_array() {
+        let net = wallace_multiplier(8);
+        let (va, vb, vo) = run2(&net, 8, 8, 5);
+        for i in 0..64 {
+            assert_eq!(vo[i], va[i] * vb[i], "lane {i}");
+        }
+    }
+
+    #[test]
+    fn mac_matches() {
+        let net = mac(6);
+        let mut rng = XorShift64::new(3);
+        let va: Vec<u64> = (0..64).map(|_| rng.next_u64() & 0x3F).collect();
+        let vb: Vec<u64> = (0..64).map(|_| rng.next_u64() & 0x3F).collect();
+        let vc: Vec<u64> = (0..64).map(|_| rng.next_u64() & 0xFFF).collect();
+        let mut patterns = lanes_from_values(&va, 6);
+        patterns.extend(lanes_from_values(&vb, 6));
+        patterns.extend(lanes_from_values(&vc, 12));
+        let out = net.simulate(&patterns);
+        let vo = values_from_lanes(&out, 64);
+        for i in 0..64 {
+            assert_eq!(vo[i], va[i] * vb[i] + vc[i], "lane {i}");
+        }
+    }
+
+    #[test]
+    fn four_operand_adder_matches() {
+        let net = multi_operand_adder(4, 8);
+        let mut rng = XorShift64::new(11);
+        let ops: Vec<Vec<u64>> = (0..4)
+            .map(|_| (0..64).map(|_| rng.next_u64() & 0xFF).collect())
+            .collect();
+        let mut patterns = Vec::new();
+        for op in &ops {
+            patterns.extend(lanes_from_values(op, 8));
+        }
+        let out = net.simulate(&patterns);
+        let vo = values_from_lanes(&out, 64);
+        for i in 0..64 {
+            let want: u64 = ops.iter().map(|o| o[i]).sum();
+            assert_eq!(vo[i], want, "lane {i}");
+        }
+    }
+
+    #[test]
+    fn divider_matches() {
+        let net = divider(8);
+        let (vn, vd, vo) = run2(&net, 8, 8, 21);
+        for i in 0..64 {
+            if vd[i] == 0 {
+                continue;
+            }
+            let q = vo[i] & 0xFF;
+            let r = vo[i] >> 8 & 0xFF;
+            assert_eq!(q, vn[i] / vd[i], "quotient lane {i}");
+            assert_eq!(r, vn[i] % vd[i], "remainder lane {i}");
+        }
+    }
+
+    #[test]
+    fn reciprocal_matches() {
+        let net = reciprocal(8);
+        let mut rng = XorShift64::new(17);
+        let vx: Vec<u64> = (0..64).map(|_| rng.next_u64() & 0xFF).collect();
+        let patterns = lanes_from_values(&vx, 8);
+        let out = net.simulate(&patterns);
+        let vo = values_from_lanes(&out, 64);
+        for i in 0..64 {
+            if vx[i] == 0 {
+                continue;
+            }
+            let want = (1u64 << 14) / vx[i] & ((1u64 << 15) - 1);
+            assert_eq!(vo[i] & ((1 << 15) - 1), want, "lane {i} x={}", vx[i]);
+        }
+    }
+
+    #[test]
+    fn sqrt_matches() {
+        let net = sqrt(16);
+        let mut rng = XorShift64::new(31);
+        let vx: Vec<u64> = (0..64).map(|_| rng.next_u64() & 0xFFFF).collect();
+        let patterns = lanes_from_values(&vx, 16);
+        let out = net.simulate(&patterns);
+        // Outputs: s (8 bits) then r (9 bits).
+        for lane in 0..64usize {
+            let s = (0..8).fold(0u64, |acc, b| acc | (out[b] >> lane & 1) << b);
+            let want = (vx[lane] as f64).sqrt().floor() as u64;
+            assert_eq!(s, want, "lane {lane} x={}", vx[lane]);
+            let r = (0..9).fold(0u64, |acc, b| acc | (out[8 + b] >> lane & 1) << b);
+            assert_eq!(r, vx[lane] - want * want, "remainder lane {lane}");
+        }
+    }
+
+    #[test]
+    fn f51m_is_nontrivial_and_stable() {
+        let net = f51m_like();
+        assert_eq!(net.inputs().len(), 8);
+        assert_eq!(net.outputs().len(), 8);
+        // Reference model: (a*b + (a+b) mod 16) low 8 bits.
+        let (va, vb, vo) = run2(&net, 4, 4, 13);
+        for i in 0..64 {
+            let want = (va[i] * vb[i] + ((va[i] + vb[i]) & 0xF)) & 0xFF;
+            assert_eq!(vo[i], want, "lane {i}");
+        }
+    }
+}

@@ -1,0 +1,202 @@
+//! Bit-vector ("bus") helpers shared by all structural generators.
+
+use logic::{GateKind, Network, SignalId};
+
+/// A little-endian bit vector of signals (index 0 is the LSB).
+pub type Bus = Vec<SignalId>;
+
+/// Adds `width` named inputs `prefix0..prefixN` and returns them as a bus.
+pub fn input_bus(net: &mut Network, prefix: &str, width: u32) -> Bus {
+    (0..width)
+        .map(|i| net.add_input(format!("{prefix}{i}")))
+        .collect()
+}
+
+/// Declares every bit of `bus` as an output `prefix0..prefixN`.
+pub fn output_bus(net: &mut Network, prefix: &str, bus: &[SignalId]) {
+    for (i, &s) in bus.iter().enumerate() {
+        net.set_output(format!("{prefix}{i}"), s);
+    }
+}
+
+/// A constant bus holding `value` in `width` bits.
+pub fn const_bus(net: &mut Network, value: u64, width: u32) -> Bus {
+    (0..width)
+        .map(|i| net.add_const(value >> i & 1 == 1))
+        .collect()
+}
+
+/// One half adder; returns `(sum, carry)`.
+pub fn half_adder(net: &mut Network, a: SignalId, b: SignalId) -> (SignalId, SignalId) {
+    let s = net.add_gate(GateKind::Xor, vec![a, b]);
+    let c = net.add_gate(GateKind::And, vec![a, b]);
+    (s, c)
+}
+
+/// One full adder built from XOR and MAJ (the natural datapath idiom the
+/// paper targets); returns `(sum, carry)`.
+pub fn full_adder(
+    net: &mut Network,
+    a: SignalId,
+    b: SignalId,
+    cin: SignalId,
+) -> (SignalId, SignalId) {
+    let s = net.add_gate(GateKind::Xor, vec![a, b, cin]);
+    let c = net.add_gate(GateKind::Maj, vec![a, b, cin]);
+    (s, c)
+}
+
+/// Ripple-carry addition of two equal-width buses with optional carry-in;
+/// returns `width + 1` bits (the MSB is the carry out).
+pub fn ripple_add(net: &mut Network, a: &[SignalId], b: &[SignalId], cin: Option<SignalId>) -> Bus {
+    assert_eq!(a.len(), b.len(), "bus width mismatch");
+    let mut out = Vec::with_capacity(a.len() + 1);
+    let mut carry = cin;
+    for i in 0..a.len() {
+        let (s, c) = match carry {
+            None => half_adder(net, a[i], b[i]),
+            Some(cin) => full_adder(net, a[i], b[i], cin),
+        };
+        out.push(s);
+        carry = Some(c);
+    }
+    out.push(carry.expect("non-empty bus"));
+    out
+}
+
+/// Two's-complement subtraction `a - b`; returns `width` difference bits
+/// plus a final `borrow-free` flag (1 when `a >= b`).
+pub fn ripple_sub(net: &mut Network, a: &[SignalId], b: &[SignalId]) -> (Bus, SignalId) {
+    assert_eq!(a.len(), b.len(), "bus width mismatch");
+    let nb: Bus = b
+        .iter()
+        .map(|&x| net.add_gate(GateKind::Inv, vec![x]))
+        .collect();
+    let one = net.add_const(true);
+    let mut sum = Vec::with_capacity(a.len());
+    let mut carry = one;
+    for i in 0..a.len() {
+        let (s, c) = full_adder(net, a[i], nb[i], carry);
+        sum.push(s);
+        carry = c;
+    }
+    (sum, carry)
+}
+
+/// Bitwise MUX between two buses: `sel ? then_bus : else_bus`.
+pub fn mux_bus(net: &mut Network, sel: SignalId, then_bus: &[SignalId], else_bus: &[SignalId]) -> Bus {
+    assert_eq!(then_bus.len(), else_bus.len(), "bus width mismatch");
+    then_bus
+        .iter()
+        .zip(else_bus)
+        .map(|(&t, &e)| net.add_gate(GateKind::Mux, vec![sel, t, e]))
+        .collect()
+}
+
+/// Bitwise map of a 2-input gate across two buses.
+pub fn zip_gate(net: &mut Network, kind: GateKind, a: &[SignalId], b: &[SignalId]) -> Bus {
+    assert_eq!(a.len(), b.len(), "bus width mismatch");
+    a.iter()
+        .zip(b)
+        .map(|(&x, &y)| net.add_gate(kind.clone(), vec![x, y]))
+        .collect()
+}
+
+/// Packs a `u64` value into simulation patterns: bit `i` of the bus gets a
+/// word whose every lane equals bit `i` of `value`. With
+/// [`lanes_from_values`] this lets tests drive 64 different stimuli at once.
+pub fn lanes_from_values(values: &[u64], width: u32) -> Vec<u64> {
+    assert!(values.len() <= 64, "at most 64 lanes");
+    (0..width)
+        .map(|bit| {
+            let mut word = 0u64;
+            for (lane, &v) in values.iter().enumerate() {
+                if v >> bit & 1 == 1 {
+                    word |= 1 << lane;
+                }
+            }
+            word
+        })
+        .collect()
+}
+
+/// Inverse of [`lanes_from_values`]: extracts per-lane numeric values from
+/// the simulation words of an output bus.
+pub fn values_from_lanes(words: &[u64], lanes: usize) -> Vec<u64> {
+    (0..lanes)
+        .map(|lane| {
+            words
+                .iter()
+                .enumerate()
+                .fold(0u64, |acc, (bit, w)| acc | (w >> lane & 1) << bit)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ripple_add_matches_u64() {
+        let mut net = Network::new("add8");
+        let a = input_bus(&mut net, "a", 8);
+        let b = input_bus(&mut net, "b", 8);
+        let s = ripple_add(&mut net, &a, &b, None);
+        output_bus(&mut net, "s", &s);
+        let values_a: Vec<u64> = (0..64).map(|i| i * 37 % 256).collect();
+        let values_b: Vec<u64> = (0..64).map(|i| i * 101 % 256).collect();
+        let mut patterns = lanes_from_values(&values_a, 8);
+        patterns.extend(lanes_from_values(&values_b, 8));
+        let out = net.simulate(&patterns);
+        let sums = values_from_lanes(&out, 64);
+        for i in 0..64 {
+            assert_eq!(sums[i], (values_a[i] + values_b[i]) & 0x1FF, "lane {i}");
+        }
+    }
+
+    #[test]
+    fn ripple_sub_matches_wrapping_sub() {
+        let mut net = Network::new("sub8");
+        let a = input_bus(&mut net, "a", 8);
+        let b = input_bus(&mut net, "b", 8);
+        let (d, no_borrow) = ripple_sub(&mut net, &a, &b);
+        output_bus(&mut net, "d", &d);
+        net.set_output("ge", no_borrow);
+        let va: Vec<u64> = (0..64).map(|i| i * 31 % 256).collect();
+        let vb: Vec<u64> = (0..64).map(|i| i * 7 % 256).collect();
+        let mut patterns = lanes_from_values(&va, 8);
+        patterns.extend(lanes_from_values(&vb, 8));
+        let out = net.simulate(&patterns);
+        let diffs = values_from_lanes(&out[..8], 64);
+        let ge = out[8];
+        for i in 0..64 {
+            assert_eq!(diffs[i], va[i].wrapping_sub(vb[i]) & 0xFF, "lane {i}");
+            assert_eq!(ge >> i & 1 == 1, va[i] >= vb[i], "ge lane {i}");
+        }
+    }
+
+    #[test]
+    fn mux_bus_selects() {
+        let mut net = Network::new("mux");
+        let s = net.add_input("s");
+        let a = input_bus(&mut net, "a", 4);
+        let b = input_bus(&mut net, "b", 4);
+        let y = mux_bus(&mut net, s, &a, &b);
+        output_bus(&mut net, "y", &y);
+        let mut patterns = vec![0b10u64];
+        patterns.extend(lanes_from_values(&[0x5, 0x5], 4));
+        patterns.extend(lanes_from_values(&[0xA, 0xA], 4));
+        let out = net.simulate(&patterns);
+        let v = values_from_lanes(&out, 2);
+        assert_eq!(v[0], 0xA, "sel=0 picks else");
+        assert_eq!(v[1], 0x5, "sel=1 picks then");
+    }
+
+    #[test]
+    fn lane_packing_roundtrips() {
+        let values: Vec<u64> = (0..64).map(|i| i * 0x123 & 0xFFFF).collect();
+        let lanes = lanes_from_values(&values, 16);
+        assert_eq!(values_from_lanes(&lanes, 64), values);
+    }
+}

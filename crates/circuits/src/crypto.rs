@@ -1,0 +1,90 @@
+//! Key-mixing circuit: stand-in for the MCNC `bigkey` benchmark (a key
+//! encryption circuit) — XOR/MUX-rich wide control logic.
+
+use crate::bus::{input_bus, output_bus};
+use logic::{GateKind, Network, SignalId, TruthTable, XorShift64};
+
+/// Builds a `bigkey`-style mixing network: a 64-bit data block and a
+/// 64-bit key go through `rounds` of key XOR, fixed random 4→4 S-boxes,
+/// and a bit permutation. Fully combinational and deterministic.
+pub fn bigkey_like(rounds: u32, seed: u64) -> Network {
+    let mut net = Network::new("bigkey_like");
+    let mut rng = XorShift64::new(seed);
+    let data = input_bus(&mut net, "d", 64);
+    let key = input_bus(&mut net, "k", 64);
+
+    // Fixed S-boxes: 16 random invertible-ish 4-input/4-output tables.
+    let sboxes: Vec<[TruthTable; 4]> = (0..16)
+        .map(|_| {
+            let spec: Vec<u64> = (0..16).map(|_| rng.next_u64()).collect();
+            std::array::from_fn(|bit| {
+                TruthTable::from_fn(4, |row| spec[row] >> bit & 1 == 1)
+            })
+        })
+        .collect();
+
+    let mut state: Vec<SignalId> = data;
+    for round in 0..rounds {
+        // Key mix: rotate the key schedule per round.
+        let mixed: Vec<SignalId> = state
+            .iter()
+            .enumerate()
+            .map(|(i, &s)| {
+                let kbit = key[(i + 11 * round as usize) % 64];
+                net.add_gate(GateKind::Xor, vec![s, kbit])
+            })
+            .collect();
+        // S-box layer on nibbles.
+        let mut substituted: Vec<SignalId> = Vec::with_capacity(64);
+        for (nibble, chunk) in mixed.chunks(4).enumerate() {
+            let box_tables = &sboxes[nibble % sboxes.len()];
+            for table in box_tables.iter() {
+                substituted.push(net.add_gate(GateKind::Lut(table.clone()), chunk.to_vec()));
+            }
+        }
+        // Bit permutation: multiply index by 13 mod 64 (a unit, so a perm).
+        let mut permuted = vec![substituted[0]; 64];
+        for (i, &s) in substituted.iter().enumerate() {
+            permuted[i * 13 % 64] = s;
+        }
+        state = permuted;
+    }
+    output_bus(&mut net, "y", &state);
+    net
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_and_shaped() {
+        let a = bigkey_like(3, 42);
+        let b = bigkey_like(3, 42);
+        assert_eq!(a.len(), b.len());
+        assert_eq!(a.inputs().len(), 128);
+        assert_eq!(a.outputs().len(), 64);
+        let patterns: Vec<u64> = (0..128).map(|i| (i as u64).wrapping_mul(0xdeadbeef137)).collect();
+        assert_eq!(a.simulate(&patterns), b.simulate(&patterns));
+    }
+
+    #[test]
+    fn key_affects_every_round_output() {
+        let net = bigkey_like(3, 42);
+        let zero_key: Vec<u64> = vec![0; 128];
+        let mut one_key = zero_key.clone();
+        one_key[64] = u64::MAX; // flip key bit 0 in every lane
+        let out0 = net.simulate(&zero_key);
+        let out1 = net.simulate(&one_key);
+        let differing = out0.iter().zip(&out1).filter(|(a, b)| a != b).count();
+        assert!(differing > 4, "key bit must diffuse, changed {differing} outputs");
+    }
+
+    #[test]
+    fn xor_rich_structure() {
+        let net = bigkey_like(3, 42);
+        let c = net.gate_counts();
+        assert!(c.xor >= 64 * 3, "one key XOR per bit per round");
+        assert!(c.lut >= 16 * 4, "S-box layer present");
+    }
+}

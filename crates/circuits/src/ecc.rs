@@ -1,0 +1,158 @@
+//! Error-correcting-code circuit: stand-in for the MCNC `C1355` benchmark
+//! (the ISCAS'85 32-channel single-error-correcting circuit), an
+//! XOR-dominated datapath with a decoder core.
+
+use crate::bus::input_bus;
+use logic::{GateKind, Network, SignalId};
+
+/// Builds a 32-bit single-error-correcting network: 32 data inputs and 8
+/// received check bits; recomputes the Hamming-style syndrome, decodes the
+/// failing position, and outputs the 32 corrected data bits.
+pub fn c1355_like() -> Network {
+    let mut net = Network::new("c1355_like");
+    let data = input_bus(&mut net, "d", 32);
+    let check = input_bus(&mut net, "c", 8);
+
+    // Parity groups: bit j of the syndrome covers data positions whose
+    // (position + 1) has bit j set — a (63,57)-style Hamming pattern
+    // truncated to 32 data bits, plus an overall parity bit.
+    let mut syndrome: Vec<SignalId> = Vec::new();
+    for j in 0..6 {
+        let members: Vec<SignalId> = data
+            .iter()
+            .enumerate()
+            .filter(|(pos, _)| (pos + 1) >> j & 1 == 1)
+            .map(|(_, &s)| s)
+            .collect();
+        let parity = net.add_gate(GateKind::Xor, members);
+        let s = net.add_gate(GateKind::Xor, vec![parity, check[j]]);
+        syndrome.push(s);
+    }
+    // Two extra mixing syndromes keep all 8 check inputs live.
+    let all_parity = net.add_gate(GateKind::Xor, data.clone());
+    let s6 = net.add_gate(GateKind::Xor, vec![all_parity, check[6]]);
+    syndrome.push(s6);
+    let half_parity = net.add_gate(GateKind::Xor, data[..16].to_vec());
+    let s7 = net.add_gate(GateKind::Xor, vec![half_parity, check[7]]);
+    syndrome.push(s7);
+
+    // Decoder: position p is in error when the 6-bit syndrome equals p+1
+    // and the overall parity syndrome confirms a single error.
+    let syn_lits: Vec<(SignalId, SignalId)> = syndrome[..6]
+        .iter()
+        .map(|&s| {
+            let inv = net.add_gate(GateKind::Inv, vec![s]);
+            (s, inv)
+        })
+        .collect();
+    for (pos, &d) in data.iter().enumerate() {
+        let code = pos + 1;
+        let mut terms: Vec<SignalId> = Vec::new();
+        for (j, &(pos_lit, neg_lit)) in syn_lits.iter().enumerate() {
+            terms.push(if code >> j & 1 == 1 { pos_lit } else { neg_lit });
+        }
+        terms.push(s6); // single-error confirmation
+        let hit = net.add_gate(GateKind::And, terms);
+        let corrected = net.add_gate(GateKind::Xor, vec![d, hit]);
+        net.set_output(format!("y{pos}"), corrected);
+    }
+    // The last syndrome bit is also reported (error-detected flag).
+    net.set_output("err", s7);
+    net
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bus::{lanes_from_values, values_from_lanes};
+    use logic::XorShift64;
+
+    /// Software model of the generator's code: returns the corrected word.
+    fn reference(data: u32, check: u8) -> (u32, bool) {
+        let mut syndrome = 0u32;
+        for j in 0..6 {
+            let mut p = false;
+            for pos in 0..32 {
+                if (pos + 1) >> j & 1 == 1 && data >> pos & 1 == 1 {
+                    p = !p;
+                }
+            }
+            if check >> j & 1 == 1 {
+                p = !p;
+            }
+            if p {
+                syndrome |= 1 << j;
+            }
+        }
+        let all_parity = (data.count_ones() as u8 + (check >> 6 & 1)) % 2 == 1;
+        let half_parity =
+            ((data & 0xFFFF).count_ones() as u8 + (check >> 7 & 1)) % 2 == 1;
+        let mut corrected = data;
+        if all_parity {
+            for pos in 0..32u32 {
+                if syndrome == pos + 1 {
+                    corrected ^= 1 << pos;
+                }
+            }
+        }
+        (corrected, half_parity)
+    }
+
+    #[test]
+    fn interface_shape() {
+        let net = c1355_like();
+        assert_eq!(net.inputs().len(), 40);
+        assert_eq!(net.outputs().len(), 33);
+        let c = net.gate_counts();
+        assert!(c.xor > 30, "ECC must be XOR-rich, got {}", c.xor);
+    }
+
+    #[test]
+    fn corrects_single_bit_errors() {
+        let net = c1355_like();
+        let mut rng = XorShift64::new(77);
+        // Build 64 random (data, check) lanes where check is the correct
+        // code except one flipped data bit per lane.
+        let mut datas = Vec::new();
+        let mut checks = Vec::new();
+        let mut originals = Vec::new();
+        for lane in 0..64u32 {
+            let original = rng.next_u64() as u32;
+            // Correct check bits: those making every syndrome zero.
+            let mut check = 0u8;
+            for j in 0..6 {
+                let mut p = false;
+                for pos in 0..32 {
+                    if (pos + 1) >> j & 1 == 1 && original >> pos & 1 == 1 {
+                        p = !p;
+                    }
+                }
+                if p {
+                    check |= 1 << j;
+                }
+            }
+            if original.count_ones() % 2 == 1 {
+                check |= 1 << 6;
+            }
+            if (original & 0xFFFF).count_ones() % 2 == 1 {
+                check |= 1 << 7;
+            }
+            let flipped = original ^ (1 << (lane % 32));
+            datas.push(flipped as u64);
+            checks.push(check as u64);
+            originals.push(original);
+        }
+        let mut patterns = lanes_from_values(&datas, 32);
+        patterns.extend(lanes_from_values(&checks, 8));
+        let out = net.simulate(&patterns);
+        let corrected = values_from_lanes(&out[..32], 64);
+        for lane in 0..64usize {
+            let (want, _) = reference(datas[lane] as u32, checks[lane] as u8);
+            assert_eq!(corrected[lane] as u32, want, "lane {lane}");
+            assert_eq!(
+                want, originals[lane],
+                "single-bit error must be corrected in lane {lane}"
+            );
+        }
+    }
+}

@@ -1,0 +1,155 @@
+//! The 17-benchmark evaluation suite of the BDS-MAJ paper: 10 MCNC
+//! stand-ins and 7 structural HDL datapaths (Tables I and II).
+
+use crate::{alu, arith, control, crypto, ecc};
+use logic::Network;
+
+/// Benchmark family, mirroring the two sections of the paper's tables.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Group {
+    /// MCNC suite stand-ins.
+    Mcnc,
+    /// Custom arithmetic HDL benchmarks.
+    Hdl,
+}
+
+/// A named benchmark circuit.
+#[derive(Clone, Debug)]
+pub struct Benchmark {
+    /// Name as printed in the paper's tables.
+    pub name: &'static str,
+    /// Which table section the benchmark belongs to.
+    pub group: Group,
+    /// The circuit itself.
+    pub network: Network,
+}
+
+/// All benchmark names, in the row order of Tables I and II.
+pub const PAPER_BENCHMARKS: [&str; 17] = [
+    "alu2",
+    "C6288",
+    "C1355",
+    "dalu",
+    "apex6",
+    "vda",
+    "f51m",
+    "misex3",
+    "seq",
+    "bigkey",
+    "SQRT 32 bit",
+    "Wallace 16 bit",
+    "CLA 64 bit",
+    "Rev (1/X) 19 bit",
+    "Div 18 bit",
+    "MAC 16 bit",
+    "4-Op ADD 16 bit",
+];
+
+/// Builds one benchmark by paper name; `None` for unknown names.
+pub fn benchmark(name: &str) -> Option<Network> {
+    let net = match name {
+        "alu2" => alu::alu2_like(),
+        "C6288" => arith::array_multiplier(16, 16),
+        "C1355" => ecc::c1355_like(),
+        "dalu" => alu::dalu_like(),
+        "apex6" => control::random_control(control::ControlConfig {
+            inputs: 135,
+            outputs: 99,
+            gates: 700,
+            seed: 0xA9E6,
+        }),
+        "vda" => control::random_sop(control::SopConfig {
+            inputs: 17,
+            outputs: 39,
+            cubes_per_output: 10,
+            literals_per_cube: 5,
+            seed: 0x7DA,
+        }),
+        "f51m" => arith::f51m_like(),
+        "misex3" => control::random_sop(control::SopConfig {
+            inputs: 14,
+            outputs: 14,
+            cubes_per_output: 24,
+            literals_per_cube: 7,
+            seed: 0x313,
+        }),
+        "seq" => control::random_sop(control::SopConfig {
+            inputs: 41,
+            outputs: 35,
+            cubes_per_output: 22,
+            literals_per_cube: 9,
+            seed: 0x5E9,
+        }),
+        "bigkey" => crypto::bigkey_like(3, 0xB16CE4),
+        "SQRT 32 bit" => arith::sqrt(32),
+        "Wallace 16 bit" => arith::wallace_multiplier(16),
+        "CLA 64 bit" => arith::cla_adder(64),
+        "Rev (1/X) 19 bit" => arith::reciprocal(19),
+        "Div 18 bit" => arith::divider(18),
+        "MAC 16 bit" => arith::mac(16),
+        "4-Op ADD 16 bit" => arith::multi_operand_adder(4, 16),
+        _ => return None,
+    };
+    Some(net)
+}
+
+/// Group of a paper benchmark (MCNC rows come first in the tables).
+pub fn group_of(name: &str) -> Group {
+    match name {
+        "alu2" | "C6288" | "C1355" | "dalu" | "apex6" | "vda" | "f51m" | "misex3" | "seq"
+        | "bigkey" => Group::Mcnc,
+        _ => Group::Hdl,
+    }
+}
+
+/// Builds the full 17-benchmark suite in table order.
+pub fn paper_suite() -> Vec<Benchmark> {
+    PAPER_BENCHMARKS
+        .iter()
+        .map(|&name| Benchmark {
+            name,
+            group: group_of(name),
+            network: benchmark(name).expect("known benchmark"),
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_benchmarks_build() {
+        let suite = paper_suite();
+        assert_eq!(suite.len(), 17);
+        for b in &suite {
+            assert!(!b.network.is_empty(), "{} is empty", b.name);
+            assert!(!b.network.outputs().is_empty(), "{} has no outputs", b.name);
+        }
+    }
+
+    #[test]
+    fn groups_split_ten_seven() {
+        let suite = paper_suite();
+        let mcnc = suite.iter().filter(|b| b.group == Group::Mcnc).count();
+        assert_eq!(mcnc, 10);
+        assert_eq!(suite.len() - mcnc, 7);
+    }
+
+    #[test]
+    fn unknown_benchmark_is_none() {
+        assert!(benchmark("nonexistent").is_none());
+    }
+
+    #[test]
+    fn datapath_benchmarks_are_sizable() {
+        for name in ["C6288", "Rev (1/X) 19 bit", "Div 18 bit", "Wallace 16 bit"] {
+            let net = benchmark(name).unwrap();
+            assert!(
+                net.gate_counts().logic_total() > 500,
+                "{name} should be a large datapath, got {}",
+                net.gate_counts().logic_total()
+            );
+        }
+    }
+}

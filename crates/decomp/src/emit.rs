@@ -1,0 +1,326 @@
+//! Factoring-tree emission: turns decomposition results into [`Network`]
+//! gates with *online logic sharing*.
+//!
+//! BDS stores decomposition results in factoring trees and detects sharing
+//! during construction; BDD canonicity makes the detection a table lookup.
+//! Here the same effect is obtained with two layers of memoization: a
+//! per-supernode map from BDD [`Ref`]s to emitted signals, and a global
+//! structural-hash table so identical gates are reused across factoring
+//! trees.
+
+use bdd::{Manager, Ref};
+use logic::{GateKind, Network, SignalId};
+use std::collections::HashMap;
+
+/// Emits gates into a [`Network`] with structural hashing.
+#[derive(Debug, Default)]
+pub struct Emitter {
+    strash: HashMap<(u8, Vec<SignalId>), SignalId>,
+    consts: HashMap<bool, SignalId>,
+}
+
+fn kind_code(kind: &GateKind) -> u8 {
+    match kind {
+        GateKind::Inv => 1,
+        GateKind::And => 2,
+        GateKind::Or => 3,
+        GateKind::Xor => 4,
+        GateKind::Xnor => 5,
+        GateKind::Maj => 6,
+        GateKind::Mux => 7,
+        _ => 0,
+    }
+}
+
+impl Emitter {
+    /// Creates an emitter with empty hash tables.
+    pub fn new() -> Emitter {
+        Emitter::default()
+    }
+
+    /// Adds (or reuses) a gate. Commutative gates normalize their fanin
+    /// order so equal functions hash equally.
+    pub fn gate(&mut self, net: &mut Network, kind: GateKind, mut fanins: Vec<SignalId>) -> SignalId {
+        match kind {
+            GateKind::And | GateKind::Or | GateKind::Xor | GateKind::Xnor | GateKind::Maj => {
+                fanins.sort();
+            }
+            _ => {}
+        }
+        // Local constant/identity simplifications.
+        if let Some(s) = self.simplify(net, &kind, &fanins) {
+            return s;
+        }
+        let key = (kind_code(&kind), fanins.clone());
+        if key.0 != 0 {
+            if let Some(&s) = self.strash.get(&key) {
+                return s;
+            }
+        }
+        let s = net.add_gate(kind, fanins);
+        if key.0 != 0 {
+            self.strash.insert(key, s);
+        }
+        s
+    }
+
+    /// Returns (or creates) the constant driver for `value`.
+    pub fn constant(&mut self, net: &mut Network, value: bool) -> SignalId {
+        if let Some(&s) = self.consts.get(&value) {
+            return s;
+        }
+        let s = net.add_const(value);
+        self.consts.insert(value, s);
+        s
+    }
+
+    /// Inverter with double-negation elimination.
+    pub fn invert(&mut self, net: &mut Network, s: SignalId) -> SignalId {
+        if let GateKind::Inv = net.node(s).kind {
+            return net.node(s).fanins[0];
+        }
+        if let GateKind::Const(b) = net.node(s).kind {
+            let v = !b;
+            return self.constant(net, v);
+        }
+        self.gate(net, GateKind::Inv, vec![s])
+    }
+
+    fn simplify(&mut self, net: &mut Network, kind: &GateKind, fanins: &[SignalId]) -> Option<SignalId> {
+        let value_of = |net: &Network, s: SignalId| match net.node(s).kind {
+            GateKind::Const(b) => Some(b),
+            _ => None,
+        };
+        match kind {
+            GateKind::And | GateKind::Or => {
+                let identity = matches!(kind, GateKind::And);
+                if fanins.iter().any(|&f| value_of(net, f) == Some(!identity)) {
+                    return Some(self.constant(net, !identity));
+                }
+                let live: Vec<SignalId> = fanins
+                    .iter()
+                    .copied()
+                    .filter(|&f| value_of(net, f).is_none())
+                    .collect();
+                match live.len() {
+                    0 => Some(self.constant(net, identity)),
+                    1 => Some(live[0]),
+                    2 if live[0] == live[1] => Some(live[0]),
+                    _ if live.len() < fanins.len() => {
+                        Some(self.gate(net, kind.clone(), live))
+                    }
+                    _ => None,
+                }
+            }
+            GateKind::Xor | GateKind::Xnor => {
+                if fanins.len() == 2 && fanins[0] == fanins[1] {
+                    return Some(self.constant(net, matches!(kind, GateKind::Xnor)));
+                }
+                // Absorb input inverters into the gate polarity:
+                // xnor(!a, b) = xor(a, b), xor(!a, b) = xnor(a, b).
+                let mut odd = matches!(kind, GateKind::Xnor);
+                let mut stripped: Vec<SignalId> = Vec::with_capacity(fanins.len());
+                let mut changed = false;
+                for &f in fanins {
+                    if let GateKind::Inv = net.node(f).kind {
+                        stripped.push(net.node(f).fanins[0]);
+                        odd = !odd;
+                        changed = true;
+                    } else {
+                        stripped.push(f);
+                    }
+                }
+                if changed {
+                    let new_kind = if odd { GateKind::Xnor } else { GateKind::Xor };
+                    return Some(self.gate(net, new_kind, stripped));
+                }
+                None
+            }
+            GateKind::Mux => {
+                let (s, t, e) = (fanins[0], fanins[1], fanins[2]);
+                match value_of(net, s) {
+                    Some(true) => Some(t),
+                    Some(false) => Some(e),
+                    None if t == e => Some(t),
+                    None => None,
+                }
+            }
+            GateKind::Maj => {
+                let (a, b, c) = (fanins[0], fanins[1], fanins[2]);
+                if a == b {
+                    return Some(a);
+                }
+                if b == c {
+                    return Some(b);
+                }
+                if a == c {
+                    return Some(a);
+                }
+                None
+            }
+            _ => None,
+        }
+    }
+}
+
+/// Builds network signals for BDD functions of one supernode.
+///
+/// `var_signals[i]` is the network signal of BDD variable `i`. A map from
+/// (possibly complemented) references to signals provides the
+/// canonicity-based sharing inside the factoring tree.
+#[derive(Debug)]
+pub struct FunctionEmitter {
+    var_signals: Vec<SignalId>,
+    memo: HashMap<Ref, SignalId>,
+}
+
+impl FunctionEmitter {
+    /// Creates an emitter for a supernode whose BDD variable `i` is driven
+    /// by `var_signals[i]`.
+    pub fn new(var_signals: Vec<SignalId>) -> FunctionEmitter {
+        FunctionEmitter {
+            var_signals,
+            memo: HashMap::new(),
+        }
+    }
+
+    /// Signal driving BDD variable `index`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the variable is not mapped.
+    pub fn var_signal(&self, index: u32) -> SignalId {
+        self.var_signals[index as usize]
+    }
+
+    /// Looks up a memoized emission.
+    pub fn get(&self, f: Ref) -> Option<SignalId> {
+        self.memo.get(&f).copied()
+    }
+
+    /// Records the signal implementing `f` (and its complement's inverter
+    /// when already present).
+    pub fn insert(&mut self, f: Ref, s: SignalId) {
+        self.memo.insert(f, s);
+    }
+
+    /// Emits (or reuses) the literal / constant base cases; returns `None`
+    /// for functions that need real decomposition.
+    pub fn emit_base(
+        &mut self,
+        m: &Manager,
+        emitter: &mut Emitter,
+        net: &mut Network,
+        f: Ref,
+    ) -> Option<SignalId> {
+        if let Some(s) = self.get(f) {
+            return Some(s);
+        }
+        if f.is_const() {
+            let s = emitter.constant(net, f.is_one());
+            self.insert(f, s);
+            return Some(s);
+        }
+        let node = m.node(f.node());
+        if node.low.is_const() && node.high.is_const() {
+            // A single node over one variable: the literal v or !v.
+            let var = m.top_var(f).expect("non-constant");
+            let base = self.var_signal(var.0);
+            let positive = m.eval_literal(f);
+            let s = if positive {
+                base
+            } else {
+                emitter.invert(net, base)
+            };
+            self.insert(f, s);
+            return Some(s);
+        }
+        None
+    }
+}
+
+/// Manager extension used by the emitter for single-node functions.
+trait LiteralPolarity {
+    /// For a single-node function, whether it is the positive literal.
+    fn eval_literal(&self, f: Ref) -> bool;
+}
+
+impl LiteralPolarity for Manager {
+    fn eval_literal(&self, f: Ref) -> bool {
+        // A size-1 BDD is var (low=0, high=1) possibly complemented.
+        let node = self.node(f.node());
+        let positive_stored = node.low.is_zero() && node.high.is_one();
+        debug_assert!(
+            positive_stored,
+            "canonical single-variable node must be the positive literal"
+        );
+        !f.is_complemented()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn strash_reuses_equal_gates() {
+        let mut net = Network::new("t");
+        let a = net.add_input("a");
+        let b = net.add_input("b");
+        let mut e = Emitter::new();
+        let g1 = e.gate(&mut net, GateKind::And, vec![a, b]);
+        let g2 = e.gate(&mut net, GateKind::And, vec![b, a]);
+        assert_eq!(g1, g2, "commutative gates must hash equally");
+        let g3 = e.gate(&mut net, GateKind::Or, vec![a, b]);
+        assert_ne!(g1, g3);
+    }
+
+    #[test]
+    fn constants_are_shared_and_folded() {
+        let mut net = Network::new("t");
+        let a = net.add_input("a");
+        let mut e = Emitter::new();
+        let one = e.constant(&mut net, true);
+        let and = e.gate(&mut net, GateKind::And, vec![a, one]);
+        assert_eq!(and, a, "and with true folds away");
+        let or = e.gate(&mut net, GateKind::Or, vec![a, one]);
+        assert_eq!(or, one, "or with true is true");
+        assert_eq!(e.constant(&mut net, true), one);
+    }
+
+    #[test]
+    fn invert_cancels() {
+        let mut net = Network::new("t");
+        let a = net.add_input("a");
+        let mut e = Emitter::new();
+        let na = e.invert(&mut net, a);
+        let nna = e.invert(&mut net, na);
+        assert_eq!(nna, a);
+    }
+
+    #[test]
+    fn function_emitter_handles_literals() {
+        let mut m = Manager::new();
+        let f = m.var(0);
+        let mut net = Network::new("t");
+        let a = net.add_input("a");
+        let mut e = Emitter::new();
+        let mut fe = FunctionEmitter::new(vec![a]);
+        let s = fe.emit_base(&m, &mut e, &mut net, f).expect("literal");
+        assert_eq!(s, a);
+        let ns = fe.emit_base(&m, &mut e, &mut net, !f).expect("neg literal");
+        assert!(matches!(net.node(ns).kind, GateKind::Inv));
+        // Memoized on second ask.
+        assert_eq!(fe.emit_base(&m, &mut e, &mut net, !f), Some(ns));
+    }
+
+    #[test]
+    fn maj_duplicate_inputs_simplify() {
+        let mut net = Network::new("t");
+        let a = net.add_input("a");
+        let b = net.add_input("b");
+        let mut e = Emitter::new();
+        let g = e.gate(&mut net, GateKind::Maj, vec![a, a, b]);
+        assert_eq!(g, a, "Maj(a,a,b) = a");
+    }
+}

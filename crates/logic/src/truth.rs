@@ -1,0 +1,158 @@
+//! Small truth tables: the node-function representation used by BLIF LUTs
+//! and by exhaustive equivalence checks.
+
+use std::fmt;
+
+/// A truth table over up to 16 inputs, stored as packed 64-bit words.
+///
+/// Bit `i` of the table is the function value on the assignment whose bits
+/// are the binary digits of `i` (input 0 is the least significant digit).
+///
+/// # Example
+///
+/// ```
+/// use logic::TruthTable;
+/// let and2 = TruthTable::from_fn(2, |bits| bits == 0b11);
+/// assert!(and2.value(0b11));
+/// assert!(!and2.value(0b01));
+/// ```
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub struct TruthTable {
+    num_inputs: u32,
+    words: Vec<u64>,
+}
+
+const MAX_INPUTS: u32 = 16;
+
+impl TruthTable {
+    /// Builds a table by evaluating `f` on every assignment (encoded as the
+    /// bits of the row index).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_inputs > 16`.
+    pub fn from_fn(num_inputs: u32, f: impl Fn(usize) -> bool) -> TruthTable {
+        assert!(num_inputs <= MAX_INPUTS, "truth table too wide");
+        let rows = 1usize << num_inputs;
+        let mut words = vec![0u64; rows.div_ceil(64)];
+        for (row, word) in words.iter_mut().enumerate() {
+            for bit in 0..64 {
+                let idx = row * 64 + bit;
+                if idx < rows && f(idx) {
+                    *word |= 1 << bit;
+                }
+            }
+        }
+        TruthTable { num_inputs, words }
+    }
+
+    /// The constant table (true or false) over `num_inputs` inputs.
+    pub fn constant(num_inputs: u32, value: bool) -> TruthTable {
+        TruthTable::from_fn(num_inputs, |_| value)
+    }
+
+    /// Number of inputs.
+    pub fn num_inputs(&self) -> u32 {
+        self.num_inputs
+    }
+
+    /// Number of rows (`2^num_inputs`).
+    pub fn num_rows(&self) -> usize {
+        1 << self.num_inputs
+    }
+
+    /// Function value on the assignment encoded by `row`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `row` is out of range.
+    pub fn value(&self, row: usize) -> bool {
+        assert!(row < self.num_rows(), "row out of range");
+        self.words[row / 64] >> (row % 64) & 1 == 1
+    }
+
+    /// Whether the table is constant, and which constant.
+    pub fn as_constant(&self) -> Option<bool> {
+        let first = self.value(0);
+        if (0..self.num_rows()).all(|r| self.value(r) == first) {
+            Some(first)
+        } else {
+            None
+        }
+    }
+
+    /// Number of true rows.
+    pub fn count_ones(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// Complemented table.
+    pub fn complement(&self) -> TruthTable {
+        TruthTable::from_fn(self.num_inputs, |r| !self.value(r))
+    }
+}
+
+impl fmt::Debug for TruthTable {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "TruthTable({} in: ", self.num_inputs)?;
+        let rows = self.num_rows().min(32);
+        for r in (0..rows).rev() {
+            write!(f, "{}", self.value(r) as u8)?;
+        }
+        if self.num_rows() > 32 {
+            write!(f, "…")?;
+        }
+        write!(f, ")")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn and_table() {
+        let t = TruthTable::from_fn(2, |b| b == 3);
+        assert_eq!(t.count_ones(), 1);
+        assert!(t.value(3));
+        assert!(!t.value(0));
+        assert_eq!(t.as_constant(), None);
+    }
+
+    #[test]
+    fn constants() {
+        let t = TruthTable::constant(3, true);
+        assert_eq!(t.as_constant(), Some(true));
+        assert_eq!(t.count_ones(), 8);
+        let f = TruthTable::constant(0, false);
+        assert_eq!(f.as_constant(), Some(false));
+        assert_eq!(f.num_rows(), 1);
+    }
+
+    #[test]
+    fn complement_roundtrip() {
+        let t = TruthTable::from_fn(3, |b| b % 3 == 0);
+        assert_eq!(t.complement().complement(), t);
+        assert_eq!(t.count_ones() + t.complement().count_ones(), 8);
+    }
+
+    #[test]
+    fn wide_table_crosses_word_boundary() {
+        let t = TruthTable::from_fn(8, |b| b & 1 == 1);
+        assert_eq!(t.count_ones(), 128);
+        assert!(t.value(255));
+        assert!(!t.value(254));
+    }
+
+    #[test]
+    #[should_panic(expected = "too wide")]
+    fn rejects_oversized_tables() {
+        TruthTable::from_fn(17, |_| false);
+    }
+
+    #[test]
+    fn debug_is_nonempty() {
+        let t = TruthTable::from_fn(1, |b| b == 1);
+        assert!(!format!("{t:?}").is_empty());
+    }
+}

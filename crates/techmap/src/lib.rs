@@ -1,0 +1,31 @@
+//! Technology mapping substrate: the paper's six-cell CMOS 22 nm library,
+//! a direct-assignment mapper that preserves MAJ/XOR/XNOR cells, and
+//! static timing/area reporting (the metrics of Table II).
+//!
+//! # Example
+//!
+//! ```
+//! use logic::{Network, GateKind};
+//! use techmap::{map_network, report, Library};
+//!
+//! let mut net = Network::new("fa");
+//! let a = net.add_input("a");
+//! let b = net.add_input("b");
+//! let c = net.add_input("cin");
+//! let s = net.add_gate(GateKind::Xor, vec![a, b, c]);
+//! let co = net.add_gate(GateKind::Maj, vec![a, b, c]);
+//! net.set_output("s", s);
+//! net.set_output("co", co);
+//!
+//! let mapped = map_network(&net);
+//! let r = report(&mapped, &Library::cmos22());
+//! assert_eq!(r.gate_count, 3); // XOR2 + XOR2 + MAJ3
+//! ```
+
+mod library;
+mod mapper;
+mod timing;
+
+pub use library::{Cell, CellKind, Library};
+pub use mapper::{map_network, MappedNetwork};
+pub use timing::{report, MappedReport};

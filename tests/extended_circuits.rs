@@ -1,0 +1,71 @@
+//! Integration tests for the extended datapath generators: the flows must
+//! handle parallel-prefix and Booth-recoded structures as well as the
+//! paper suite, and majority extraction should find carry logic in all of
+//! them.
+
+use bds_maj::circuits::extra::{booth_multiplier, comparator, kogge_stone_adder};
+use bds_maj::prelude::*;
+
+#[test]
+fn kogge_stone_flows_are_equivalent() {
+    let net = kogge_stone_adder(16);
+    let with = bds_maj(&net, &BdsMajOptions::default());
+    equiv_sim(&net, with.network(), 6, 0xE1).expect("bds-maj equivalent");
+    let without = bds_pga(&net, &EngineOptions::default());
+    equiv_sim(&net, &without.network, 6, 0xE1).expect("bds-pga equivalent");
+    let abc = abc_flow(&net);
+    equiv_sim(&net, &abc, 6, 0xE1).expect("abc equivalent");
+}
+
+#[test]
+fn booth_flows_are_equivalent() {
+    let net = booth_multiplier(8);
+    let with = bds_maj(&net, &BdsMajOptions::default());
+    equiv_sim(&net, with.network(), 6, 0xE2).expect("bds-maj equivalent");
+    let mapped = map_network(with.network());
+    equiv_sim(&net, &mapped.network, 6, 0xE2).expect("mapped equivalent");
+}
+
+#[test]
+fn booth_surfaces_majority_gates() {
+    // The carry-save reduction inside the Booth multiplier is full-adder
+    // logic; decomposition must rediscover MAJ gates from it.
+    let net = booth_multiplier(8);
+    let out = bds_maj(&net, &BdsMajOptions::default());
+    assert!(
+        out.network().gate_counts().maj > 0,
+        "Booth reduction tree should yield MAJ gates"
+    );
+}
+
+#[test]
+fn comparator_flows_are_equivalent() {
+    let net = comparator(12);
+    for (name, optimized) in [
+        (
+            "bds-maj",
+            bds_maj(&net, &BdsMajOptions::default()).network().clone(),
+        ),
+        ("abc", abc_flow(&net)),
+    ] {
+        equiv_sim(&net, &optimized, 8, 0xE3)
+            .unwrap_or_else(|e| panic!("{name} broke the comparator: {e}"));
+    }
+}
+
+#[test]
+fn prefix_adder_stays_shallow_after_synthesis() {
+    // Sanity on delay shape: synthesizing a log-depth adder must not
+    // produce something as deep as the ripple version.
+    let ks = kogge_stone_adder(32);
+    let ripple = bds_maj::circuits::arith::ripple_adder(32);
+    let lib = Library::cmos22();
+    let ks_mapped = report(&map_network(&abc_flow(&ks)), &lib);
+    let ripple_mapped = report(&map_network(&abc_flow(&ripple)), &lib);
+    assert!(
+        ks_mapped.delay < ripple_mapped.delay,
+        "prefix adder must stay faster: {} vs {}",
+        ks_mapped.delay,
+        ripple_mapped.delay
+    );
+}

@@ -1,0 +1,105 @@
+//! Cross-crate integration tests: every synthesis flow in the workspace
+//! must preserve the function of every benchmark family, end to end
+//! (generator → optimization → mapping → equivalence check).
+
+use bds_maj::prelude::*;
+
+/// The flows under test, as (name, closure) pairs.
+fn optimize_all(net: &Network) -> Vec<(&'static str, Network)> {
+    let lib = Library::cmos22();
+    vec![
+        (
+            "bds-maj",
+            bds_maj(net, &BdsMajOptions::default()).network().clone(),
+        ),
+        ("bds-pga", bds_pga(net, &EngineOptions::default()).network),
+        ("abc", abc_flow(net)),
+        ("dc", dc_flow(net, &lib).network),
+    ]
+}
+
+fn check_benchmark(name: &str) {
+    let net = bds_maj::circuits::suite::benchmark(name)
+        .unwrap_or_else(|| panic!("unknown benchmark {name}"));
+    for (flow, optimized) in optimize_all(&net) {
+        equiv_sim(&net, &optimized, 6, 0xC0FFEE)
+            .unwrap_or_else(|e| panic!("{flow} broke {name}: {e}"));
+        // Mapping must also preserve the function.
+        let mapped = map_network(&optimized);
+        equiv_sim(&net, &mapped.network, 6, 0xC0FFEE)
+            .unwrap_or_else(|e| panic!("{flow}+map broke {name}: {e}"));
+    }
+}
+
+#[test]
+fn alu_benchmark_flows() {
+    check_benchmark("alu2");
+}
+
+#[test]
+fn arithmetic_benchmark_flows() {
+    check_benchmark("f51m");
+}
+
+#[test]
+fn ecc_benchmark_flows() {
+    check_benchmark("C1355");
+}
+
+#[test]
+fn control_benchmark_flows() {
+    check_benchmark("vda");
+}
+
+#[test]
+fn adder_benchmark_flows() {
+    check_benchmark("4-Op ADD 16 bit");
+}
+
+#[test]
+fn cla_benchmark_flows() {
+    check_benchmark("CLA 64 bit");
+}
+
+#[test]
+fn bds_maj_is_never_worse_than_bds_pga_on_suite_sample() {
+    // Table I shape on a sample of the suite: node counts of BDS-MAJ stay
+    // at or below BDS-PGA (the engines are identical except for the hook).
+    for name in ["alu2", "f51m", "Wallace 16 bit", "4-Op ADD 16 bit"] {
+        let net = bds_maj::circuits::suite::benchmark(name).unwrap();
+        let with = bds_maj(&net, &BdsMajOptions::default());
+        let without = bds_pga(&net, &EngineOptions::default());
+        let n_with = with.network().gate_counts().decomposition_total();
+        let n_without = without.network.gate_counts().decomposition_total();
+        assert!(
+            n_with <= n_without,
+            "{name}: BDS-MAJ {n_with} > BDS-PGA {n_without}"
+        );
+    }
+}
+
+#[test]
+fn datapath_benchmarks_surface_majority_gates() {
+    for name in ["Wallace 16 bit", "Div 18 bit", "MAC 16 bit"] {
+        let net = bds_maj::circuits::suite::benchmark(name).unwrap();
+        let out = bds_maj(&net, &BdsMajOptions::default());
+        assert!(
+            out.network().gate_counts().maj > 0,
+            "{name}: no MAJ gates extracted"
+        );
+    }
+}
+
+#[test]
+fn exact_equivalence_on_small_benchmarks() {
+    // For circuits with few inputs the checks are proofs, not sampling.
+    for name in ["alu2", "f51m"] {
+        let net = bds_maj::circuits::suite::benchmark(name).unwrap();
+        let out = bds_maj(&net, &BdsMajOptions::default());
+        assert_eq!(
+            equiv_exact(&net, out.network(), 1 << 22),
+            Some(true),
+            "{name}: exact equivalence failed"
+        );
+    }
+}
