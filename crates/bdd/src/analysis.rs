@@ -84,43 +84,40 @@ impl Manager {
     /// Number of distinct internal nodes in the DAG rooted at `f`
     /// (the `|F|` size metric used throughout the BDS-MAJ paper;
     /// constants have size 0, a single variable has size 1).
+    ///
+    /// Uses the manager's visited-stamp scratch instead of a per-call hash
+    /// set: reordering calls this in a tight loop.
     pub fn size(&self, f: Ref) -> usize {
-        let mut seen: HashSet<NodeId, BuildFxHasher> = HashSet::default();
-        let mut stack = vec![f.node()];
-        while let Some(id) = stack.pop() {
-            if id.is_terminal() || !seen.insert(id) {
-                continue;
-            }
-            let n = self.nodes[id.index()];
-            stack.push(n.low.node());
-            stack.push(n.high.node());
-        }
-        seen.len()
+        self.shared_size(std::slice::from_ref(&f))
     }
 
     /// Combined size of several functions counting shared nodes once.
     pub fn shared_size(&self, fs: &[Ref]) -> usize {
-        let mut seen: HashSet<NodeId, BuildFxHasher> = HashSet::default();
+        let mut seen = self.visited.borrow_mut();
+        seen.begin(self.nodes.len());
+        let mut count = 0usize;
         let mut stack: Vec<NodeId> = fs.iter().map(|f| f.node()).collect();
         while let Some(id) = stack.pop() {
-            if id.is_terminal() || !seen.insert(id) {
+            if id.is_terminal() || !seen.mark(id.index()) {
                 continue;
             }
+            count += 1;
             let n = self.nodes[id.index()];
             stack.push(n.low.node());
             stack.push(n.high.node());
         }
-        seen.len()
+        count
     }
 
     /// The set of variables `f` structurally depends on, in increasing
     /// index order.
     pub fn support(&self, f: Ref) -> Vec<Var> {
         let mut vars: HashSet<u32, BuildFxHasher> = HashSet::default();
-        let mut seen: HashSet<NodeId, BuildFxHasher> = HashSet::default();
+        let mut seen = self.visited.borrow_mut();
+        seen.begin(self.nodes.len());
         let mut stack = vec![f.node()];
         while let Some(id) = stack.pop() {
-            if id.is_terminal() || !seen.insert(id) {
+            if id.is_terminal() || !seen.mark(id.index()) {
                 continue;
             }
             let n = self.nodes[id.index()];
@@ -176,11 +173,12 @@ impl Manager {
         if f.is_const() {
             return stats;
         }
-        let mut seen: HashSet<NodeId, BuildFxHasher> = HashSet::default();
+        let mut seen = self.visited.borrow_mut();
+        seen.begin(self.nodes.len());
         let mut stack = vec![f.node()];
         stats.record_zero(f.node(), f.is_complemented());
         while let Some(id) = stack.pop() {
-            if !seen.insert(id) {
+            if !seen.mark(id.index()) {
                 continue;
             }
             stats.order.push(id);

@@ -5,30 +5,33 @@
 //! BDS-MAJ paper cites ([17], [18]) for seeding the majority decomposition:
 //! both return a function that agrees with `f` wherever the care set `c`
 //! holds, while being (heuristically) smaller outside it.
+//!
+//! All recursions here memoize through the manager's shared computed cache
+//! (tags `op::COFACTOR`, `op::RESTRICT`, `op::CONSTRAIN`, `op::SCOPED`)
+//! instead of allocating a fresh `HashMap` per call: results persist across
+//! calls, repeated cofactors of the same function hit immediately, and a
+//! lossy collision merely costs a re-computation.
 
-use crate::hasher::BuildFxHasher;
-use crate::manager::Manager;
+use crate::manager::{op, Manager};
 use crate::reference::{NodeId, Ref, Var};
-use std::collections::HashMap;
 
 impl Manager {
     /// The cofactor `f|v=value`, for a variable anywhere in the order.
     pub fn cofactor(&mut self, f: Ref, v: Var, value: bool) -> Ref {
-        let mut memo: HashMap<u32, Ref, BuildFxHasher> = HashMap::default();
-        self.cofactor_rec(f, v, value, &mut memo)
+        self.cofactor_rec(f, v, value)
     }
 
-    fn cofactor_rec(
-        &mut self,
-        f: Ref,
-        v: Var,
-        value: bool,
-        memo: &mut HashMap<u32, Ref, BuildFxHasher>,
-    ) -> Ref {
+    fn cofactor_rec(&mut self, f: Ref, v: Var, value: bool) -> Ref {
         if f.is_const() || self.level(f) > v.0 {
             return f;
         }
-        if let Some(&r) = memo.get(&f.raw()) {
+        // Complements commute with cofactoring; recurse on the regular
+        // reference so both polarities share one cache entry.
+        if f.is_complemented() {
+            return !self.cofactor_rec(!f, v, value);
+        }
+        let key_b = v.0 << 1 | value as u32;
+        if let Some(r) = self.cache.lookup(op::COFACTOR, f.raw(), key_b, 0) {
             return r;
         }
         let top = Var(self.level(f));
@@ -40,11 +43,11 @@ impl Manager {
                 f0
             }
         } else {
-            let r0 = self.cofactor_rec(f0, v, value, memo);
-            let r1 = self.cofactor_rec(f1, v, value, memo);
+            let r0 = self.cofactor_rec(f0, v, value);
+            let r1 = self.cofactor_rec(f1, v, value);
             self.mk(top, r0, r1)
         };
-        memo.insert(f.raw(), r);
+        self.cache.insert(op::COFACTOR, f.raw(), key_b, 0, r);
         r
     }
 
@@ -81,21 +84,14 @@ impl Manager {
     /// Panics if `c` is the constant zero (the care set must be satisfiable).
     pub fn restrict(&mut self, f: Ref, c: Ref) -> Ref {
         assert!(!c.is_zero(), "restrict: empty care set");
-        let mut memo: HashMap<(u32, u32), Ref, BuildFxHasher> = HashMap::default();
-        self.restrict_rec(f, c, &mut memo)
+        self.restrict_rec(f, c)
     }
 
-    fn restrict_rec(
-        &mut self,
-        f: Ref,
-        c: Ref,
-        memo: &mut HashMap<(u32, u32), Ref, BuildFxHasher>,
-    ) -> Ref {
+    fn restrict_rec(&mut self, f: Ref, c: Ref) -> Ref {
         if c.is_one() || f.is_const() {
             return f;
         }
-        let key = (f.raw(), c.raw());
-        if let Some(&r) = memo.get(&key) {
+        if let Some(r) = self.cache.lookup(op::RESTRICT, f.raw(), c.raw(), 0) {
             return r;
         }
         let fv = self.level(f);
@@ -106,22 +102,22 @@ impl Manager {
                 let (c0, c1) = self.shallow_cofactors(c, Var(cv));
                 self.or(c0, c1)
             };
-            self.restrict_rec(f, c_drop, memo)
+            self.restrict_rec(f, c_drop)
         } else {
             let v = Var(fv);
             let (f0, f1) = self.shallow_cofactors(f, v);
             let (c0, c1) = self.shallow_cofactors(c, v);
             if c0.is_zero() {
-                self.restrict_rec(f1, c1, memo)
+                self.restrict_rec(f1, c1)
             } else if c1.is_zero() {
-                self.restrict_rec(f0, c0, memo)
+                self.restrict_rec(f0, c0)
             } else {
-                let r0 = self.restrict_rec(f0, c0, memo);
-                let r1 = self.restrict_rec(f1, c1, memo);
+                let r0 = self.restrict_rec(f0, c0);
+                let r1 = self.restrict_rec(f1, c1);
                 self.mk(v, r0, r1)
             }
         };
-        memo.insert(key, r);
+        self.cache.insert(op::RESTRICT, f.raw(), c.raw(), 0, r);
         r
     }
 
@@ -136,16 +132,10 @@ impl Manager {
     /// Panics if `c` is the constant zero.
     pub fn constrain(&mut self, f: Ref, c: Ref) -> Ref {
         assert!(!c.is_zero(), "constrain: empty care set");
-        let mut memo: HashMap<(u32, u32), Ref, BuildFxHasher> = HashMap::default();
-        self.constrain_rec(f, c, &mut memo)
+        self.constrain_rec(f, c)
     }
 
-    fn constrain_rec(
-        &mut self,
-        f: Ref,
-        c: Ref,
-        memo: &mut HashMap<(u32, u32), Ref, BuildFxHasher>,
-    ) -> Ref {
+    fn constrain_rec(&mut self, f: Ref, c: Ref) -> Ref {
         if c.is_one() || f.is_const() {
             return f;
         }
@@ -155,23 +145,22 @@ impl Manager {
         if f == !c {
             return Ref::ZERO;
         }
-        let key = (f.raw(), c.raw());
-        if let Some(&r) = memo.get(&key) {
+        if let Some(r) = self.cache.lookup(op::CONSTRAIN, f.raw(), c.raw(), 0) {
             return r;
         }
         let v = Var(self.level(f).min(self.level(c)));
         let (f0, f1) = self.shallow_cofactors(f, v);
         let (c0, c1) = self.shallow_cofactors(c, v);
         let r = if c0.is_zero() {
-            self.constrain_rec(f1, c1, memo)
+            self.constrain_rec(f1, c1)
         } else if c1.is_zero() {
-            self.constrain_rec(f0, c0, memo)
+            self.constrain_rec(f0, c0)
         } else {
-            let r0 = self.constrain_rec(f0, c0, memo);
-            let r1 = self.constrain_rec(f1, c1, memo);
+            let r0 = self.constrain_rec(f0, c0);
+            let r1 = self.constrain_rec(f1, c1);
             self.mk(v, r0, r1)
         };
-        memo.insert(key, r);
+        self.cache.insert(op::CONSTRAIN, f.raw(), c.raw(), 0, r);
         r
     }
 
@@ -184,17 +173,11 @@ impl Manager {
     /// generalized 1-dominator iff `F(0) = 0`, so that `f = F(1) · f_d`.
     pub fn replace_node_with_const(&mut self, f: Ref, target: NodeId, value: bool) -> Ref {
         let rep = self.constant(value);
-        let mut memo: HashMap<NodeId, Ref, BuildFxHasher> = HashMap::default();
-        self.replace_rec(f, target, rep, &mut memo)
+        let scope = self.new_scope();
+        self.replace_rec(f, target, rep, scope)
     }
 
-    fn replace_rec(
-        &mut self,
-        f: Ref,
-        target: NodeId,
-        rep: Ref,
-        memo: &mut HashMap<NodeId, Ref, BuildFxHasher>,
-    ) -> Ref {
+    fn replace_rec(&mut self, f: Ref, target: NodeId, rep: Ref, scope: u32) -> Ref {
         let c = f.is_complemented();
         let id = f.node();
         if id == target {
@@ -203,14 +186,14 @@ impl Manager {
         if id.is_terminal() {
             return f;
         }
-        if let Some(&r) = memo.get(&id) {
+        if let Some(r) = self.cache.lookup(op::SCOPED, f.regular().raw(), scope, 0) {
             return r.xor_complement(c);
         }
         let n = self.nodes[id.index()];
-        let low = self.replace_rec(n.low, target, rep, memo);
-        let high = self.replace_rec(n.high, target, rep, memo);
+        let low = self.replace_rec(n.low, target, rep, scope);
+        let high = self.replace_rec(n.high, target, rep, scope);
         let r = self.mk(n.var, low, high);
-        memo.insert(id, r);
+        self.cache.insert(op::SCOPED, f.regular().raw(), scope, 0, r);
         r.xor_complement(c)
     }
 }
@@ -240,6 +223,16 @@ mod tests {
         let f = m.and(a, b);
         m.var(5);
         assert_eq!(m.cofactor(f, Var(5), true), f);
+    }
+
+    #[test]
+    fn cofactor_of_complemented_edge_shares_cache() {
+        let mut m = Manager::new();
+        let (a, b, c) = (m.var(0), m.var(1), m.var(2));
+        let f = m.maj(a, b, c);
+        let pos = m.cofactor(f, Var(1), true);
+        let neg = m.cofactor(!f, Var(1), true);
+        assert_eq!(neg, !pos);
     }
 
     #[test]
@@ -335,5 +328,21 @@ mod tests {
         let f = m.and(a, b);
         let r = m.replace_node_with_const(f, f.node(), true);
         assert_eq!(r, Ref::ONE.xor_complement(f.is_complemented()));
+    }
+
+    #[test]
+    fn repeated_replacements_stay_canonical_across_scopes() {
+        // Each replace call opens a fresh scope; results must not leak
+        // between different targets or values.
+        let mut m = Manager::new();
+        let (a, b, c) = (m.var(0), m.var(1), m.var(2));
+        let f = m.maj(a, b, c);
+        let or_bc = m.or(b, c);
+        let and_bc = m.and(b, c);
+        let r1 = m.replace_node_with_const(f, or_bc.node(), true);
+        let r2 = m.replace_node_with_const(f, and_bc.node(), true);
+        let r1_again = m.replace_node_with_const(f, or_bc.node(), true);
+        assert_eq!(r1, r1_again);
+        assert_ne!(r1, r2, "different targets give different functions");
     }
 }

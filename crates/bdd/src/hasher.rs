@@ -34,9 +34,30 @@ impl Hasher for FxHasher {
 
     #[inline]
     fn write(&mut self, bytes: &[u8]) {
-        for &b in bytes {
-            self.mix(b as u64);
+        // Mix whole 64-bit words, not bytes: composite keys (tuples,
+        // arrays, strings) hash in len/8 multiplies instead of len.
+        let mut chunks = bytes.chunks_exact(8);
+        for chunk in &mut chunks {
+            self.mix(u64::from_le_bytes(chunk.try_into().unwrap()));
         }
+        let rem = chunks.remainder();
+        if !rem.is_empty() {
+            let mut word = [0u8; 8];
+            word[..rem.len()].copy_from_slice(rem);
+            // Fold the length in so "ab" and "ab\0" differ.
+            let len_mix = (rem.len() as u64).wrapping_mul(0xFF51_AFD7_ED55_8CCD);
+            self.mix(u64::from_le_bytes(word) ^ len_mix);
+        }
+    }
+
+    #[inline]
+    fn write_u8(&mut self, n: u8) {
+        self.mix(n as u64);
+    }
+
+    #[inline]
+    fn write_u16(&mut self, n: u16) {
+        self.mix(n as u64);
     }
 
     #[inline]
@@ -77,5 +98,30 @@ mod tests {
         let mut map: HashMap<(u32, u32), u32, BuildFxHasher> = HashMap::default();
         map.insert((1, 2), 3);
         assert_eq!(map.get(&(1, 2)), Some(&3));
+    }
+
+    #[test]
+    fn byte_slices_hash_by_word_without_prefix_collisions() {
+        let hash_of = |bytes: &[u8]| {
+            let mut h = FxHasher::default();
+            h.write(bytes);
+            h.finish()
+        };
+        // Word-aligned and ragged lengths all produce distinct states.
+        let mut seen = std::collections::HashSet::new();
+        for len in 0..=24usize {
+            let data: Vec<u8> = (0..len as u8).collect();
+            seen.insert(hash_of(&data));
+        }
+        assert_eq!(seen.len(), 25, "length must perturb the hash");
+        assert_ne!(hash_of(b"ab"), hash_of(b"ab\0"));
+    }
+
+    #[test]
+    fn array_keys_hash_usably() {
+        let mut map: HashMap<(u8, [u32; 3]), u32, BuildFxHasher> = HashMap::default();
+        map.insert((2, [1, 2, u32::MAX]), 9);
+        assert_eq!(map.get(&(2, [1, 2, u32::MAX])), Some(&9));
+        assert_eq!(map.get(&(2, [2, 1, u32::MAX])), None);
     }
 }

@@ -2,18 +2,47 @@
 //! complemented edges.
 //!
 //! This crate is the BDD substrate of the BDS-MAJ reproduction. It follows
-//! the classical Brace–Rudell–Bryant design:
+//! the classical Brace–Rudell–Bryant design, with a CUDD-style purpose-built
+//! memory system:
 //!
 //! * hash-consed nodes in an arena ([`Manager`]), guaranteeing canonicity:
 //!   two [`Ref`]s are functionally equal if and only if they are bit-equal;
 //! * complemented edges restricted to 0-edges (the 1-edge of every stored
 //!   node is regular), so negation is free;
-//! * a memoized if-then-else operator ([`Manager::ite`]) from which all
-//!   two-operand Boolean connectives derive;
+//! * a memoized if-then-else operator ([`Manager::ite`]) plus specialized
+//!   AND/XOR kernels for the two dominant connectives;
 //! * the Coudert–Madre generalized cofactors [`Manager::restrict`] and
 //!   [`Manager::constrain`] used by the majority decomposition of BDS-MAJ;
 //! * structural analysis needed by dominator-driven decomposition:
 //!   node iteration, in-degree statistics and node-to-constant substitution.
+//!
+//! # Storage architecture
+//!
+//! The kernel's hot state is three flat arrays — no per-operation
+//! allocation, no std `HashMap` on any hot path:
+//!
+//! * **Node arena** — `Vec<Node>`; a node is its index, index 0 is the
+//!   terminal. Nodes are immortal (no GC yet; see ROADMAP "Open items").
+//! * **Unique table** — an open-addressed, power-of-two `Vec<u32>` bucket
+//!   array over the arena, probed linearly from an inlined multiply-mix
+//!   hash of `(var, low, high)`. Bucket value 0 doubles as the
+//!   empty-slot sentinel (the terminal is never consed), so a probe reads
+//!   one `u32` per step. The table doubles at 75% load; deletions don't
+//!   exist, so rehashing is a straight re-insert of the arena.
+//! * **Computed cache** — a fixed-size, direct-mapped, *lossy* table
+//!   ([`Manager::with_capacity`] sets its size; default
+//!   `2^DEFAULT_CACHE_BITS` = `2^14` entries).
+//!   Each slot stores the full operation key `(op, a, b, c)`, the result,
+//!   and a generation tag; colliding inserts overwrite. All recursive
+//!   kernels share this one cache via op tag codes: `ITE`, `AND`, `XOR`,
+//!   `COFACTOR`, `RESTRICT`, `CONSTRAIN`, and `SCOPED` (per-call epochs
+//!   used by `permute` / `replace_node_with_const` rebuilds).
+//!   [`Manager::clear_caches`] bumps the generation: O(1), capacity kept.
+//!
+//! Because the cache is bounded, memory no longer grows with *operation*
+//! count — only with distinct *nodes*. [`Manager::cache_stats`] exposes
+//! lookup/hit/insert counters, table sizes and peak node counts
+//! ([`CacheStats`]), which the bench binaries report.
 //!
 //! # Example
 //!
@@ -45,7 +74,8 @@ mod reorder;
 mod sat;
 
 pub use analysis::{InDegree, NodeStats};
-pub use manager::{Manager, Node};
+pub use hasher::{BuildFxHasher, FxHasher};
+pub use manager::{CacheStats, Manager, Node, DEFAULT_CACHE_BITS};
 pub use reference::{NodeId, Ref, Var};
 pub use reorder::{window_reorder, Reordered};
 

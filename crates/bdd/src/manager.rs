@@ -1,8 +1,25 @@
-//! The node arena and hash-consing core.
+//! The node arena, the open-addressed unique table and the direct-mapped
+//! computed cache — the memory system of the BDD kernel.
+//!
+//! Layout (CUDD-style):
+//!
+//! * **Nodes** live in a flat arena (`Vec<Node>`); a node is identified by
+//!   its index and never moves or dies (no GC yet — see ROADMAP).
+//! * The **unique table** is a power-of-two `Vec<u32>` bucket array mapping
+//!   a multiply-mixed hash of `(var, low, high)` to a node index by linear
+//!   probing. Index `0` (the terminal, which is never hash-consed) doubles
+//!   as the empty-bucket sentinel, so a probe touches exactly one `u32` per
+//!   step. The table doubles when 3/4 full; since nodes are never deleted
+//!   there are no tombstones and rehashing is a straight re-insert.
+//! * The **computed cache** ([`ComputedCache`]) memoizes operation results
+//!   in a fixed-size, direct-mapped, lossy table: a colliding insert simply
+//!   overwrites. Entries are generation-tagged, so [`Manager::clear_caches`]
+//!   is O(1) (it bumps the generation). Every recursive kernel (ITE, AND,
+//!   XOR, cofactor, restrict, constrain, scoped rebuilds) shares this cache
+//!   through per-operation tag codes.
 
-use crate::hasher::BuildFxHasher;
 use crate::reference::{NodeId, Ref, Var};
-use std::collections::HashMap;
+use std::cell::RefCell;
 
 /// A stored BDD node: the Shannon expansion of a function with respect to
 /// its top variable.
@@ -25,8 +42,198 @@ pub struct Node {
 /// real variable when ordered by *level depth* (larger index = deeper).
 pub(crate) const TERMINAL_VAR: u32 = u32::MAX;
 
+/// Operation tags for the shared computed cache. Tag 0 is reserved so a
+/// zero-initialized entry can never match a real key.
+pub(crate) mod op {
+    /// Three-operand if-then-else.
+    pub const ITE: u32 = 1;
+    /// Two-operand conjunction (specialized kernel).
+    pub const AND: u32 = 2;
+    /// Two-operand exclusive-or (specialized kernel).
+    pub const XOR: u32 = 3;
+    /// Single-variable cofactor `f|v=b`.
+    pub const COFACTOR: u32 = 4;
+    /// Coudert–Madre restrict.
+    pub const RESTRICT: u32 = 5;
+    /// Coudert–Madre constrain.
+    pub const CONSTRAIN: u32 = 6;
+    /// Call-scoped rebuilds (permute, node replacement): the second key
+    /// word is a per-call epoch, so stale entries can never be observed.
+    pub const SCOPED: u32 = 7;
+}
+
+/// Multiply-mix of a `(var, low, high)` triple — the unique-table hash.
+#[inline(always)]
+fn triple_hash(a: u32, b: u32, c: u32) -> u64 {
+    let x = ((a as u64) << 32 | b as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    let y = (c as u64 ^ 0xD1B5_4A32_D192_ED03).wrapping_mul(0xA24B_AED4_963E_E407);
+    let mut h = x ^ y;
+    h ^= h >> 29;
+    h = h.wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    h ^ (h >> 32)
+}
+
+/// Running statistics of the kernel's memory system.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct CacheStats {
+    /// Computed-cache probes.
+    pub lookups: u64,
+    /// Computed-cache probes that returned a memoized result.
+    pub hits: u64,
+    /// Computed-cache insertions (including overwrites of colliding slots).
+    pub insertions: u64,
+    /// Largest node-arena size observed (equals the current size until a
+    /// garbage collector lands).
+    pub peak_nodes: usize,
+    /// Computed-cache capacity in entries (fixed after construction).
+    pub cache_entries: usize,
+    /// Unique-table bucket count.
+    pub unique_buckets: usize,
+    /// Estimated GC-able nodes (arena nodes unreachable from the roots the
+    /// caller supplied; 0 unless computed via
+    /// [`Manager::cache_stats_with_roots`]).
+    pub garbage_estimate: usize,
+}
+
+impl CacheStats {
+    /// Fraction of computed-cache lookups that hit, in `[0, 1]`.
+    pub fn hit_rate(&self) -> f64 {
+        if self.lookups == 0 {
+            0.0
+        } else {
+            self.hits as f64 / self.lookups as f64
+        }
+    }
+}
+
+/// One direct-mapped computed-cache slot: the full operation key, the
+/// result, and the generation that wrote it.
+#[derive(Clone, Copy, Default)]
+struct CacheEntry {
+    a: u32,
+    b: u32,
+    c: u32,
+    /// `generation << 3 | op` — op tags fit in 3 bits, and generation 0 is
+    /// never current, so zero-initialized slots never match.
+    tag: u32,
+    result: u32,
+}
+
+/// The fixed-size, direct-mapped, lossy operation cache.
+pub(crate) struct ComputedCache {
+    entries: Vec<CacheEntry>,
+    mask: usize,
+    generation: u32,
+    lookups: u64,
+    hits: u64,
+    insertions: u64,
+}
+
+/// Generations live in the upper bits of the entry tag; op tags occupy the
+/// low `GEN_SHIFT` bits.
+const GEN_SHIFT: u32 = 3;
+
+impl ComputedCache {
+    fn with_bits(bits: u32) -> ComputedCache {
+        let n = 1usize << bits.clamp(8, 28);
+        ComputedCache {
+            entries: vec![CacheEntry::default(); n],
+            mask: n - 1,
+            generation: 1,
+            lookups: 0,
+            hits: 0,
+            insertions: 0,
+        }
+    }
+
+    #[inline(always)]
+    fn slot(&self, op: u32, a: u32, b: u32, c: u32) -> usize {
+        (triple_hash(a, b ^ op.rotate_left(27), c) as usize) & self.mask
+    }
+
+    #[inline(always)]
+    pub(crate) fn lookup(&mut self, op: u32, a: u32, b: u32, c: u32) -> Option<Ref> {
+        self.lookups += 1;
+        let e = &self.entries[self.slot(op, a, b, c)];
+        if e.tag == (self.generation << GEN_SHIFT | op) && e.a == a && e.b == b && e.c == c {
+            self.hits += 1;
+            Some(Ref::from_raw(e.result))
+        } else {
+            None
+        }
+    }
+
+    #[inline(always)]
+    pub(crate) fn insert(&mut self, op: u32, a: u32, b: u32, c: u32, result: Ref) {
+        self.insertions += 1;
+        let slot = self.slot(op, a, b, c);
+        self.entries[slot] = CacheEntry {
+            a,
+            b,
+            c,
+            tag: self.generation << GEN_SHIFT | op,
+            result: result.raw(),
+        };
+    }
+
+    /// O(1) clear: bump the generation so every slot is stale. On the
+    /// (practically unreachable) generation wrap, pay one real wipe.
+    fn clear(&mut self) {
+        self.generation += 1;
+        if self.generation >= u32::MAX >> GEN_SHIFT {
+            self.entries.fill(CacheEntry::default());
+            self.generation = 1;
+        }
+    }
+}
+
+impl std::fmt::Debug for ComputedCache {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ComputedCache")
+            .field("entries", &self.entries.len())
+            .field("generation", &self.generation)
+            .field("lookups", &self.lookups)
+            .field("hits", &self.hits)
+            .finish()
+    }
+}
+
+/// Reusable visited-stamp scratch for `&self` DAG traversals: `stamp[i] ==
+/// gen` means node `i` was seen in the current traversal. Replaces a fresh
+/// `HashSet` per call with two loads and a compare per visit.
+#[derive(Debug, Default)]
+pub(crate) struct VisitScratch {
+    stamp: Vec<u32>,
+    gen: u32,
+}
+
+impl VisitScratch {
+    /// Starts a traversal over `n` nodes; returns the scratch ready to mark.
+    pub(crate) fn begin(&mut self, n: usize) {
+        if self.stamp.len() < n {
+            self.stamp.resize(n, 0);
+        }
+        self.gen = self.gen.wrapping_add(1);
+        if self.gen == 0 {
+            self.stamp.fill(0);
+            self.gen = 1;
+        }
+    }
+
+    /// Marks a node; returns `true` the first time it is seen.
+    #[inline(always)]
+    pub(crate) fn mark(&mut self, i: usize) -> bool {
+        if self.stamp[i] == self.gen {
+            false
+        } else {
+            self.stamp[i] = self.gen;
+            true
+        }
+    }
+}
+
 /// A BDD manager: owns the node arena, the unique table guaranteeing
-/// canonicity, and the operation caches.
+/// canonicity, and the shared computed cache.
 ///
 /// All functions created by one manager live in the same shared DAG, so
 /// equality of [`Ref`]s is equality of Boolean functions.
@@ -45,11 +252,24 @@ pub(crate) const TERMINAL_VAR: u32 = u32::MAX;
 #[derive(Debug)]
 pub struct Manager {
     pub(crate) nodes: Vec<Node>,
-    unique: HashMap<(u32, u32, u32), u32, BuildFxHasher>,
-    pub(crate) ite_cache: HashMap<(u32, u32, u32), Ref, BuildFxHasher>,
+    /// Open-addressed unique table (bucket => node index, 0 = empty).
+    buckets: Vec<u32>,
+    bucket_mask: usize,
+    occupied: usize,
+    pub(crate) cache: ComputedCache,
+    /// Per-call epoch for [`op::SCOPED`] cache entries.
+    pub(crate) scope_epoch: u32,
+    pub(crate) visited: RefCell<VisitScratch>,
     num_vars: u32,
     var_names: Vec<Option<String>>,
 }
+
+/// Default unique-table bucket count (grows on demand).
+const DEFAULT_BUCKETS: usize = 1 << 12;
+/// Smallest bucket array [`Manager::with_capacity`] will allocate.
+const MIN_BUCKETS: usize = 1 << 8;
+/// Default computed-cache size in bits (entries = `1 << bits`).
+pub const DEFAULT_CACHE_BITS: u32 = 14;
 
 impl Default for Manager {
     fn default() -> Self {
@@ -60,16 +280,44 @@ impl Default for Manager {
 impl Manager {
     /// Creates an empty manager containing only the terminal node.
     pub fn new() -> Manager {
+        Manager::with_capacity(DEFAULT_BUCKETS / 2, DEFAULT_CACHE_BITS)
+    }
+
+    /// Creates a manager pre-sized for `nodes` arena nodes and a computed
+    /// cache of `1 << cache_bits` entries (clamped to `[8, 28]` bits).
+    ///
+    /// Sizing the tables up front avoids rehash churn while building large
+    /// functions; the unique table still doubles on demand past `nodes`.
+    pub fn with_capacity(nodes: usize, cache_bits: u32) -> Manager {
+        let buckets = (nodes.max(8) * 4 / 3 + 1)
+            .next_power_of_two()
+            .max(MIN_BUCKETS);
+        let mut arena = Vec::with_capacity(nodes.max(16));
+        arena.push(Node {
+            var: Var(TERMINAL_VAR),
+            low: Ref::ONE,
+            high: Ref::ONE,
+        });
         Manager {
-            nodes: vec![Node {
-                var: Var(TERMINAL_VAR),
-                low: Ref::ONE,
-                high: Ref::ONE,
-            }],
-            unique: HashMap::default(),
-            ite_cache: HashMap::default(),
+            nodes: arena,
+            buckets: vec![0u32; buckets],
+            bucket_mask: buckets - 1,
+            occupied: 0,
+            cache: ComputedCache::with_bits(cache_bits),
+            scope_epoch: 0,
+            visited: RefCell::new(VisitScratch::default()),
             num_vars: 0,
             var_names: Vec::new(),
+        }
+    }
+
+    /// Grows the unique table so at least `nodes` arena nodes fit without a
+    /// rehash. No-op when already large enough.
+    pub fn reserve_nodes(&mut self, nodes: usize) {
+        let wanted = (nodes.max(8) * 4 / 3 + 1).next_power_of_two();
+        if wanted > self.buckets.len() {
+            self.nodes.reserve(nodes.saturating_sub(self.nodes.len()));
+            self.grow_to(wanted);
         }
     }
 
@@ -132,6 +380,7 @@ impl Manager {
 
     /// Level (variable index) of an edge, with constants at the deepest
     /// pseudo-level. Smaller means closer to the root.
+    #[inline(always)]
     pub(crate) fn level(&self, f: Ref) -> u32 {
         self.nodes[f.node().index()].var.0
     }
@@ -160,6 +409,7 @@ impl Manager {
     ///
     /// In debug builds, panics if the children are not strictly below `var`
     /// in the order (which would break canonicity).
+    #[inline]
     pub fn mk(&mut self, var: Var, low: Ref, high: Ref) -> Ref {
         if low == high {
             return low;
@@ -174,20 +424,55 @@ impl Manager {
         self.mk_regular(var, low, high)
     }
 
+    /// The unique-table probe/insert: finds the canonical node for a
+    /// regular-`high` triple or appends a fresh arena node.
+    #[inline]
     fn mk_regular(&mut self, var: Var, low: Ref, high: Ref) -> Ref {
         debug_assert!(!high.is_complemented());
-        let key = (var.0, low.raw(), high.raw());
-        if let Some(&idx) = self.unique.get(&key) {
-            return Ref::new(NodeId(idx), false);
+        let h = triple_hash(var.0, low.raw(), high.raw());
+        let mut i = (h as usize) & self.bucket_mask;
+        loop {
+            let b = self.buckets[i];
+            if b == 0 {
+                break;
+            }
+            let n = &self.nodes[b as usize];
+            if n.var == var && n.low == low && n.high == high {
+                return Ref::new(NodeId(b), false);
+            }
+            i = (i + 1) & self.bucket_mask;
         }
         let idx = self.nodes.len() as u32;
+        debug_assert!(idx < u32::MAX >> 1, "node arena exceeds Ref address space");
         self.nodes.push(Node { var, low, high });
-        self.unique.insert(key, idx);
+        self.buckets[i] = idx;
+        self.occupied += 1;
+        if self.occupied * 4 >= self.buckets.len() * 3 {
+            self.grow_to(self.buckets.len() * 2);
+        }
         Ref::new(NodeId(idx), false)
+    }
+
+    /// Rebuilds the bucket array at `new_len` (a power of two). Nodes never
+    /// die, so this is a straight re-insert of every arena node.
+    fn grow_to(&mut self, new_len: usize) {
+        debug_assert!(new_len.is_power_of_two());
+        let mask = new_len - 1;
+        let mut buckets = vec![0u32; new_len];
+        for (idx, n) in self.nodes.iter().enumerate().skip(1) {
+            let mut i = (triple_hash(n.var.0, n.low.raw(), n.high.raw()) as usize) & mask;
+            while buckets[i] != 0 {
+                i = (i + 1) & mask;
+            }
+            buckets[i] = idx as u32;
+        }
+        self.buckets = buckets;
+        self.bucket_mask = mask;
     }
 
     /// Cofactors `f` with respect to variable `v` assumed to be at or above
     /// `f`'s top level: returns `(f|v=0, f|v=1)`.
+    #[inline(always)]
     pub(crate) fn shallow_cofactors(&self, f: Ref, v: Var) -> (Ref, Ref) {
         if f.is_const() || self.level(f) != v.0 {
             (f, f)
@@ -198,10 +483,48 @@ impl Manager {
         }
     }
 
-    /// Drops the memoized operation cache. Useful to bound memory on very
-    /// long runs; correctness is unaffected.
+    /// Drops every memoized operation result in O(1) (generation bump).
+    /// The table keeps its allocation, so long-running flows can clear
+    /// between phases without paying a re-allocation or a re-grow.
+    /// Correctness is unaffected.
     pub fn clear_caches(&mut self) {
-        self.ite_cache.clear();
+        self.cache.clear();
+    }
+
+    /// Opens a fresh scope for [`op::SCOPED`] cache entries (per-call
+    /// memoization of permute / node-replacement rebuilds).
+    #[inline]
+    pub(crate) fn new_scope(&mut self) -> u32 {
+        self.scope_epoch = self.scope_epoch.wrapping_add(1);
+        if self.scope_epoch == 0 {
+            // An epoch reuse after wrap could alias old entries: flush.
+            self.cache.clear();
+            self.scope_epoch = 1;
+        }
+        self.scope_epoch
+    }
+
+    /// Snapshot of the kernel's memory-system counters.
+    pub fn cache_stats(&self) -> CacheStats {
+        CacheStats {
+            lookups: self.cache.lookups,
+            hits: self.cache.hits,
+            insertions: self.cache.insertions,
+            peak_nodes: self.nodes.len(),
+            cache_entries: self.cache.entries.len(),
+            unique_buckets: self.buckets.len(),
+            garbage_estimate: 0,
+        }
+    }
+
+    /// [`Manager::cache_stats`] plus an estimate of GC-able garbage: arena
+    /// nodes not reachable from `roots`. (There is no collector yet — the
+    /// estimate sizes the win one would bring; see ROADMAP.)
+    pub fn cache_stats_with_roots(&self, roots: &[Ref]) -> CacheStats {
+        let mut stats = self.cache_stats();
+        let live = self.shared_size(roots);
+        stats.garbage_estimate = (self.nodes.len() - 1).saturating_sub(live);
+        stats
     }
 }
 
@@ -266,5 +589,98 @@ mod tests {
         assert_eq!(m.var_name(2), "x2");
         m.set_var_name(2, "carry");
         assert_eq!(m.var_name(2), "carry");
+    }
+
+    #[test]
+    fn unique_table_survives_growth() {
+        // Force several doublings and re-check canonicity afterwards. The
+        // chain is built deepest-variable-first so every `mk` respects the
+        // ordering invariant (children strictly below the new node).
+        let mut m = Manager::with_capacity(16, 8);
+        let before = m.cache_stats().unique_buckets;
+        let mut chain: Vec<(u32, Ref, Ref)> = Vec::new();
+        let mut prev = Ref::ONE;
+        for v in (0..300u32).rev() {
+            let node = m.mk(Var(v), !prev, prev);
+            chain.push((v, prev, node));
+            prev = node;
+        }
+        assert!(
+            m.cache_stats().unique_buckets > before,
+            "300 nodes must outgrow the smallest table"
+        );
+        // Re-making the same triples must return the identical refs.
+        for &(v, child, r) in &chain {
+            assert_eq!(m.mk(Var(v), !child, child), r);
+        }
+        assert_eq!(m.num_nodes(), 301, "re-makes created nothing");
+    }
+
+    #[test]
+    fn clear_caches_is_generation_bump() {
+        let mut m = Manager::new();
+        let a = m.var(0);
+        let b = m.var(1);
+        let f1 = m.and(a, b);
+        let entries_before = m.cache_stats().cache_entries;
+        m.clear_caches();
+        assert_eq!(
+            m.cache_stats().cache_entries,
+            entries_before,
+            "clear keeps capacity"
+        );
+        // Results stay canonical after the cache is dropped.
+        assert_eq!(m.and(a, b), f1);
+    }
+
+    #[test]
+    fn with_capacity_pre_sizes_tables() {
+        let m = Manager::with_capacity(100_000, 18);
+        let stats = m.cache_stats();
+        assert!(stats.unique_buckets >= 100_000 * 4 / 3);
+        assert_eq!(stats.cache_entries, 1 << 18);
+    }
+
+    #[test]
+    fn reserve_nodes_grows_unique_table() {
+        let mut m = Manager::new();
+        let before = m.cache_stats().unique_buckets;
+        m.reserve_nodes(1 << 16);
+        assert!(m.cache_stats().unique_buckets > before);
+        let a = m.var(0);
+        let b = m.var(1);
+        let f = m.and(a, b);
+        assert_eq!(m.and(a, b), f);
+    }
+
+    #[test]
+    fn stats_track_cache_traffic() {
+        let mut m = Manager::new();
+        let a = m.var(0);
+        let b = m.var(1);
+        let c = m.var(2);
+        let r1 = m.ite(a, b, c);
+        let before = m.cache_stats();
+        let r2 = m.ite(a, b, c);
+        let after = m.cache_stats();
+        assert_eq!(r1, r2);
+        assert!(after.lookups > before.lookups);
+        assert!(after.hits > before.hits, "repeat ITE must hit the cache");
+        assert_eq!(after.peak_nodes, m.num_nodes());
+    }
+
+    #[test]
+    fn garbage_estimate_counts_unreachable_nodes() {
+        let mut m = Manager::new();
+        let a = m.var(0);
+        let b = m.var(1);
+        let c = m.var(2);
+        let keep = m.and(a, b);
+        let _dead = m.ite(c, keep, b);
+        let stats = m.cache_stats_with_roots(&[keep]);
+        assert!(stats.garbage_estimate > 0, "the ite chain is unreachable");
+        // With every created function as a root, nothing is garbage.
+        let all = m.cache_stats_with_roots(&[keep, _dead, a, b, c]);
+        assert_eq!(all.garbage_estimate, 0);
     }
 }

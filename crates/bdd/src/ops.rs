@@ -1,15 +1,26 @@
-//! The if-then-else operator and the Boolean connectives derived from it.
+//! The if-then-else operator, the specialized AND/XOR kernels, and the
+//! Boolean connectives derived from them.
+//!
+//! The classical package funnels every connective through a single
+//! memoized ITE (Brace, Rudell, Bryant, DAC'90). Here the two dominant
+//! connectives get their own recursive kernels — [`Manager::and`] and
+//! [`Manager::xor`] — which skip the full standard-triple normalization,
+//! carry tighter terminal tests, and share the direct-mapped computed
+//! cache with ITE through per-operation tag codes (`op::AND`, `op::XOR`,
+//! `op::ITE`). ITE itself detects the two-operand shapes up front and
+//! forwards to the specialized kernels, so the cache is never split
+//! between equivalent formulations of one operation.
 
-use crate::manager::Manager;
+use crate::manager::{op, Manager};
 use crate::reference::{Ref, Var};
 
 impl Manager {
     /// If-then-else: `ite(f, g, h) = f·g + f'·h`.
     ///
-    /// This is the single recursive kernel of the package; every two-operand
-    /// connective is a special case. Results are memoized in the computed
-    /// table, and the standard-triple normalizations keep the cache hit rate
-    /// high (Brace, Rudell, Bryant, DAC'90).
+    /// Two-operand shapes (`and`/`or`/`xor`/... patterns) are forwarded to
+    /// the specialized kernels; the remaining true three-operand triples
+    /// are normalized (regular, canonical predicate) and memoized under
+    /// the `op::ITE` tag.
     ///
     /// # Example
     ///
@@ -32,13 +43,7 @@ impl Manager {
         if g == h {
             return g;
         }
-        if g.is_one() && h.is_zero() {
-            return f;
-        }
-        if g.is_zero() && h.is_one() {
-            return !f;
-        }
-        let (mut f, mut g, mut h) = (f, g, h);
+        let (mut g, mut h) = (g, h);
         // ite(f, f, h) = ite(f, 1, h); ite(f, !f, h) = ite(f, 0, h);
         // ite(f, g, f) = ite(f, g, 0); ite(f, g, !f) = ite(f, g, 1).
         if g == f {
@@ -51,28 +56,38 @@ impl Manager {
         } else if h == !f {
             h = Ref::ONE;
         }
-        if g == h {
-            return g;
+        // Two-operand shapes route to the specialized kernels (which own
+        // their terminal cases and cache tags).
+        if g.is_one() {
+            if h.is_zero() {
+                return f;
+            }
+            return self.or(f, h); // ite(f, 1, h) = f + h
         }
-        if g.is_one() && h.is_zero() {
-            return f;
+        if g.is_zero() {
+            if h.is_one() {
+                return !f;
+            }
+            let nf = !f;
+            return self.and(nf, h); // ite(f, 0, h) = f'·h
         }
-        if g.is_zero() && h.is_one() {
-            return !f;
+        if h.is_zero() {
+            return self.and(f, g); // ite(f, g, 0) = f·g
         }
-        // Commutative normalizations to improve cache sharing:
-        // and/or/xor-like triples can order their operands canonically.
-        if g.is_one() && self.level(h) < self.level(f) {
-            std::mem::swap(&mut f, &mut h); // or(f, h) = or(h, f)
-        } else if h.is_zero() && self.level(g) < self.level(f) {
-            std::mem::swap(&mut f, &mut g); // and(f, g) = and(g, f)
-        } else if g == !h && self.level(g) < self.level(f) {
-            // xnor(f, g) is symmetric: ite(f, g, !g) = ite(g, f, !f).
-            let old_f = f;
-            f = g;
-            g = old_f;
-            h = !old_f;
+        if h.is_one() {
+            let ng = !g;
+            return !self.and(f, ng); // ite(f, g, 1) = f' + g
         }
+        if g == !h {
+            return !self.xor(f, g); // ite(f, g, g') = f ⊙ g
+        }
+        self.ite_rec(f, g, h)
+    }
+
+    /// The memoized three-operand ITE recursion (all two-operand shapes
+    /// already filtered out by [`Manager::ite`]).
+    fn ite_rec(&mut self, f: Ref, g: Ref, h: Ref) -> Ref {
+        let (mut f, mut g, mut h) = (f, g, h);
         // Keep the predicate regular: ite(!f, g, h) = ite(f, h, g).
         if f.is_complemented() {
             f = !f;
@@ -86,8 +101,7 @@ impl Manager {
             h = !h;
         }
 
-        let key = (f.raw(), g.raw(), h.raw());
-        if let Some(&r) = self.ite_cache.get(&key) {
+        if let Some(r) = self.cache.lookup(op::ITE, f.raw(), g.raw(), h.raw()) {
             return r.xor_complement(complement_result);
         }
 
@@ -98,7 +112,7 @@ impl Manager {
         let t = self.ite(f1, g1, h1);
         let e = self.ite(f0, g0, h0);
         let r = self.mk(v, e, t);
-        self.ite_cache.insert(key, r);
+        self.cache.insert(op::ITE, f.raw(), g.raw(), h.raw(), r);
         r.xor_complement(complement_result)
     }
 
@@ -107,14 +121,41 @@ impl Manager {
         !f
     }
 
-    /// Conjunction `f · g`.
+    /// Conjunction `f · g` — the specialized AND kernel.
     pub fn and(&mut self, f: Ref, g: Ref) -> Ref {
-        self.ite(f, g, Ref::ZERO)
+        // Terminal cases.
+        if f == g {
+            return f;
+        }
+        if f == !g || f.is_zero() || g.is_zero() {
+            return Ref::ZERO;
+        }
+        if f.is_one() {
+            return g;
+        }
+        if g.is_one() {
+            return f;
+        }
+        // Commutative: order operands so (f, g) and (g, f) share a slot.
+        let (f, g) = if f.raw() <= g.raw() { (f, g) } else { (g, f) };
+        if let Some(r) = self.cache.lookup(op::AND, f.raw(), g.raw(), 0) {
+            return r;
+        }
+        let v = Var(self.level(f).min(self.level(g)));
+        let (f0, f1) = self.shallow_cofactors(f, v);
+        let (g0, g1) = self.shallow_cofactors(g, v);
+        let t = self.and(f1, g1);
+        let e = self.and(f0, g0);
+        let r = self.mk(v, e, t);
+        self.cache.insert(op::AND, f.raw(), g.raw(), 0, r);
+        r
     }
 
-    /// Disjunction `f + g`.
+    /// Disjunction `f + g` (De Morgan over the AND kernel; negation is
+    /// free, so this shares the `op::AND` cache).
     pub fn or(&mut self, f: Ref, g: Ref) -> Ref {
-        self.ite(f, Ref::ONE, g)
+        let (nf, ng) = (!f, !g);
+        !self.and(nf, ng)
     }
 
     /// Negated conjunction.
@@ -127,19 +168,61 @@ impl Manager {
         !self.or(f, g)
     }
 
-    /// Exclusive or `f ⊕ g`.
+    /// Exclusive or `f ⊕ g` — the specialized XOR kernel.
+    ///
+    /// Complements factor out of XOR entirely (`!f ⊕ g = !(f ⊕ g)`), so the
+    /// recursion runs on regular, operand-ordered references and one cache
+    /// entry covers all four polarity combinations.
     pub fn xor(&mut self, f: Ref, g: Ref) -> Ref {
-        self.ite(f, !g, g)
+        if f == g {
+            return Ref::ZERO;
+        }
+        if f == !g {
+            return Ref::ONE;
+        }
+        // Factor the complements out and order the operands. (Equal
+        // regular parts are impossible here: that is exactly the f == g /
+        // f == !g pair already handled above.)
+        let complement_result = f.is_complemented() ^ g.is_complemented();
+        let (mut f, mut g) = (f.regular(), g.regular());
+        debug_assert_ne!(f, g);
+        if f.raw() > g.raw() {
+            std::mem::swap(&mut f, &mut g);
+        }
+        // After ordering, a constant operand can only be f (= ONE regular).
+        if f.is_one() {
+            return (!g).xor_complement(complement_result);
+        }
+        let r = self.xor_rec(f, g);
+        r.xor_complement(complement_result)
+    }
+
+    /// XOR recursion on regular, ordered, non-constant operands.
+    fn xor_rec(&mut self, f: Ref, g: Ref) -> Ref {
+        debug_assert!(!f.is_complemented() && !g.is_complemented());
+        debug_assert!(f.raw() < g.raw() && !f.is_const());
+        if let Some(r) = self.cache.lookup(op::XOR, f.raw(), g.raw(), 0) {
+            return r;
+        }
+        let v = Var(self.level(f).min(self.level(g)));
+        let (f0, f1) = self.shallow_cofactors(f, v);
+        let (g0, g1) = self.shallow_cofactors(g, v);
+        let t = self.xor(f1, g1);
+        let e = self.xor(f0, g0);
+        let r = self.mk(v, e, t);
+        self.cache.insert(op::XOR, f.raw(), g.raw(), 0, r);
+        r
     }
 
     /// Exclusive nor (equivalence) `f ⊙ g`.
     pub fn xnor(&mut self, f: Ref, g: Ref) -> Ref {
-        self.ite(f, g, !g)
+        !self.xor(f, g)
     }
 
     /// Implication `f → g`.
     pub fn implies(&mut self, f: Ref, g: Ref) -> Ref {
-        self.ite(f, g, Ref::ONE)
+        let ng = !g;
+        !self.and(f, ng)
     }
 
     /// Three-input majority `Maj(a, b, c) = ab + bc + ac`, the radix-3
@@ -270,5 +353,50 @@ mod tests {
         assert_eq!(r1, r2);
         let r3 = m.ite(!a, c, b); // normalized form of the same function
         assert_eq!(r1, r3);
+    }
+
+    #[test]
+    fn specialized_kernels_agree_with_raw_ite_recursion() {
+        // Every two-operand shape of ITE must give the same Ref as the
+        // specialized kernel (canonicity makes this a pointer compare).
+        let mut m = Manager::new();
+        let vars: Vec<Ref> = (0..6).map(|i| m.var(i)).collect();
+        let mut funcs = vars.clone();
+        for w in vars.windows(2) {
+            funcs.push(m.and(w[0], w[1]));
+            funcs.push(m.xor(w[0], w[1]));
+        }
+        let snapshot = funcs.clone();
+        for &f in &snapshot {
+            for &g in &snapshot {
+                let and1 = m.and(f, g);
+                let and2 = m.ite(f, g, Ref::ZERO);
+                assert_eq!(and1, and2, "and vs ite(f,g,0)");
+                let or1 = m.or(f, g);
+                let or2 = m.ite(f, Ref::ONE, g);
+                assert_eq!(or1, or2, "or vs ite(f,1,g)");
+                let xor1 = m.xor(f, g);
+                let xor2 = m.ite(f, !g, g);
+                assert_eq!(xor1, xor2, "xor vs ite(f,!g,g)");
+            }
+        }
+    }
+
+    #[test]
+    fn xor_polarity_combinations_share_results() {
+        let mut m = Manager::new();
+        let a = m.var(0);
+        let b = m.var(1);
+        let c = m.var(2);
+        let f = m.and(a, b);
+        let g = m.or(b, c);
+        let base = m.xor(f, g);
+        let nn = m.xor(!f, !g);
+        assert_eq!(base, nn, "double complement cancels");
+        let fg = m.xor(!f, g);
+        let gf = m.xor(f, !g);
+        assert_eq!(fg, !base);
+        assert_eq!(gf, !base);
+        assert_eq!(m.xor(g, f), base, "commutativity");
     }
 }

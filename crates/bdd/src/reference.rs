@@ -104,6 +104,11 @@ impl Ref {
     pub fn raw(self) -> u32 {
         self.0
     }
+
+    /// Rebuilds a reference from [`Ref::raw`] (computed-cache decoding).
+    pub(crate) fn from_raw(raw: u32) -> Ref {
+        Ref(raw)
+    }
 }
 
 impl std::ops::Not for Ref {

@@ -10,10 +10,8 @@
 //! allocation-friendly, and exactly as effective for the supernode-sized
 //! BDDs the engine works on.
 
-use crate::hasher::BuildFxHasher;
-use crate::manager::Manager;
+use crate::manager::{op, Manager};
 use crate::reference::Ref;
-use std::collections::HashMap;
 
 impl Manager {
     /// Rebuilds `f` with every variable `v` replaced by `perm[v]`.
@@ -22,36 +20,34 @@ impl Manager {
     /// support of `f`. The result is the same function *up to variable
     /// renaming*; its size may differ, which is the point of reordering.
     ///
+    /// The per-call memo lives in the shared computed cache under a fresh
+    /// `op::SCOPED` epoch, so no allocation happens per call.
+    ///
     /// # Panics
     ///
     /// Panics if a support variable of `f` is outside `perm`.
     pub fn permute(&mut self, f: Ref, perm: &[u32]) -> Ref {
-        let mut memo: HashMap<u32, Ref, BuildFxHasher> = HashMap::default();
-        self.permute_rec(f, perm, &mut memo)
+        let scope = self.new_scope();
+        self.permute_rec(f, perm, scope)
     }
 
-    fn permute_rec(
-        &mut self,
-        f: Ref,
-        perm: &[u32],
-        memo: &mut HashMap<u32, Ref, BuildFxHasher>,
-    ) -> Ref {
+    fn permute_rec(&mut self, f: Ref, perm: &[u32], scope: u32) -> Ref {
         if f.is_const() {
             return f;
         }
-        if let Some(&r) = memo.get(&f.raw()) {
+        if let Some(r) = self.cache.lookup(op::SCOPED, f.raw(), scope, 1) {
             return r;
         }
         let v = self.top_var(f).expect("non-constant");
         let new_var = perm[v.index()];
         let (f0, f1) = self.shallow_cofactors(f, v);
-        let lo = self.permute_rec(f0, perm, memo);
-        let hi = self.permute_rec(f1, perm, memo);
+        let lo = self.permute_rec(f0, perm, scope);
+        let hi = self.permute_rec(f1, perm, scope);
         // The permuted variable may land *below* the children's new
         // positions, so rebuild with ITE (handles arbitrary targets).
         let vref = self.var(new_var);
         let r = self.ite(vref, hi, lo);
-        memo.insert(f.raw(), r);
+        self.cache.insert(op::SCOPED, f.raw(), scope, 1, r);
         r
     }
 

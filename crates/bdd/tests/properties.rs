@@ -217,3 +217,115 @@ proptest! {
         }
     }
 }
+
+/// Deterministic xorshift64* for the storm test below (independent of the
+/// proptest harness so the op sequence is stable across runs).
+struct Storm(u64);
+
+impl Storm {
+    fn next(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.0 = x;
+        x.wrapping_mul(0x2545F4914F6CDD1D)
+    }
+
+    fn below(&mut self, n: usize) -> usize {
+        (self.next() % n as u64) as usize
+    }
+}
+
+/// The memory-system stress test: ~10k random ite/and/xor/or/maj/not ops
+/// through a deliberately tiny manager, so the direct-mapped computed cache
+/// evicts constantly and the open-addressed unique table resizes several
+/// times. Checks, for every op:
+///
+/// (a) the result's truth vector matches a bit-parallel oracle, and
+/// (b) hash-consing canonicity: whenever two op sequences produce the same
+///     function, they produce the *identical* `Ref` — even across cache
+///     evictions and unique-table growth.
+///
+/// Also asserts the computed cache stayed at its construction-time
+/// capacity while observing far more insertions than slots (i.e. the cache
+/// is bounded and lossy, not growing with operation count).
+#[test]
+fn storm_of_ops_stays_canonical_and_bounded() {
+    const OPS: usize = 10_000;
+    // 16-node arena hint → unique table starts at its floor; 8 cache bits
+    // → 256 computed-cache entries, thousands of evictions over the storm.
+    let mut m = Manager::with_capacity(16, 8);
+    let mut rng = Storm(0xB0D5_DAC1_3BDD_5EED);
+    let mut pool: Vec<(Ref, u64)> = Vec::new();
+    for i in 0..NVARS {
+        let v = m.var(i);
+        pool.push((v, var_truth(i)));
+    }
+    let mut canon: std::collections::HashMap<u64, Ref> = std::collections::HashMap::new();
+    let initial_buckets = m.cache_stats().unique_buckets;
+    let cache_entries = m.cache_stats().cache_entries;
+    assert_eq!(cache_entries, 1 << 8);
+
+    for step in 0..OPS {
+        let a = pool[rng.below(pool.len())];
+        let b = pool[rng.below(pool.len())];
+        let c = pool[rng.below(pool.len())];
+        let (r, truth) = match rng.below(6) {
+            0 => (m.and(a.0, b.0), a.1 & b.1),
+            1 => (m.or(a.0, b.0), a.1 | b.1),
+            2 => (m.xor(a.0, b.0), a.1 ^ b.1),
+            3 => (m.ite(a.0, b.0, c.0), (a.1 & b.1) | (!a.1 & c.1 & mask())),
+            4 => (m.maj(a.0, b.0, c.0), (a.1 & b.1) | (b.1 & c.1) | (a.1 & c.1)),
+            _ => (!a.0, !a.1 & mask()),
+        };
+        let truth = truth & mask();
+        // (a) semantic correctness against the truth-table oracle.
+        assert_eq!(
+            bdd_truth(&m, r),
+            truth,
+            "storm step {step}: BDD disagrees with oracle"
+        );
+        // (b) canonicity across evictions/resizes.
+        match canon.entry(truth) {
+            std::collections::hash_map::Entry::Occupied(e) => {
+                assert_eq!(
+                    *e.get(),
+                    r,
+                    "storm step {step}: equal truth vectors, different refs"
+                );
+            }
+            std::collections::hash_map::Entry::Vacant(e) => {
+                e.insert(r);
+            }
+        }
+        // Occasionally clear the cache mid-storm: canonicity must survive.
+        if step % 2_500 == 2_499 {
+            m.clear_caches();
+        }
+        // Keep the pool from growing without bound.
+        if pool.len() < 400 {
+            pool.push((r, truth));
+        } else {
+            pool[rng.below(400)] = (r, truth);
+        }
+    }
+
+    let stats = m.cache_stats();
+    assert_eq!(
+        stats.cache_entries, cache_entries,
+        "computed cache must not grow with operation count"
+    );
+    assert!(
+        stats.insertions > 4 * cache_entries as u64,
+        "storm must exercise evictions (insertions {} vs {} slots)",
+        stats.insertions,
+        cache_entries
+    );
+    assert!(
+        stats.unique_buckets > initial_buckets,
+        "storm must force unique-table growth"
+    );
+    assert!(stats.hits > 0, "storm must reuse memoized results");
+    assert_eq!(stats.peak_nodes, m.num_nodes());
+}

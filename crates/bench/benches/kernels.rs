@@ -78,6 +78,63 @@ fn bench_ite(c: &mut Criterion) {
     });
 }
 
+/// Op storms: dense streams of one connective, sized so the computed cache
+/// sees heavy traffic (the memory-system hot path, isolated from the
+/// decomposition logic above it).
+fn bench_storms(c: &mut Criterion) {
+    c.bench_function("storm/ite", |bench| {
+        bench.iter_batched(
+            Manager::new,
+            |mut m| {
+                let vars: Vec<bdd::Ref> = (0..12).map(|i| m.var(i)).collect();
+                let mut acc = m.one();
+                for _ in 0..40 {
+                    for w in vars.windows(3) {
+                        let t = m.ite(w[0], w[1], w[2]);
+                        acc = m.ite(t, acc, w[1]);
+                    }
+                }
+                acc
+            },
+            BatchSize::SmallInput,
+        );
+    });
+    c.bench_function("storm/and", |bench| {
+        bench.iter_batched(
+            Manager::new,
+            |mut m| {
+                let vars: Vec<bdd::Ref> = (0..12).map(|i| m.var(i)).collect();
+                let mut acc = m.zero();
+                for r in 0..40 {
+                    let mut conj = m.one();
+                    for (i, &v) in vars.iter().enumerate() {
+                        conj = m.and(conj, if (i + r) % 2 == 0 { v } else { !v });
+                    }
+                    acc = m.or(acc, conj);
+                }
+                acc
+            },
+            BatchSize::SmallInput,
+        );
+    });
+    c.bench_function("storm/xor", |bench| {
+        bench.iter_batched(
+            Manager::new,
+            |mut m| {
+                let vars: Vec<bdd::Ref> = (0..12).map(|i| m.var(i)).collect();
+                let mut acc = m.zero();
+                for r in 0..40 {
+                    for (i, &v) in vars.iter().enumerate() {
+                        acc = m.xor(acc, if (i ^ r) & 1 == 0 { v } else { !v });
+                    }
+                }
+                acc
+            },
+            BatchSize::SmallInput,
+        );
+    });
+}
+
 fn bench_generalized_cofactors(c: &mut Criterion) {
     c.bench_function("restrict/carry_care_set", |bench| {
         let mut m = Manager::new();
@@ -122,6 +179,7 @@ fn bench_maj_decompose(c: &mut Criterion) {
 criterion_group!(
     kernels,
     bench_ite,
+    bench_storms,
     bench_generalized_cofactors,
     bench_dominator_scan,
     bench_maj_decompose

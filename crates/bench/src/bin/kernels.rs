@@ -1,0 +1,198 @@
+//! Perf-baseline emitter: runs BDD-kernel op storms and the Table I suite,
+//! then writes `BENCH_kernels.json` so the kernel's performance trajectory
+//! is tracked from PR to PR.
+//!
+//! Usage: `cargo run --release -p bench --bin kernels [-- --subset N] [--out PATH]`
+//! `--subset N` restricts the suite portion to the first N benchmarks (CI
+//! smoke runs use `--subset 3`).
+
+use bdd::Manager;
+use bench::timed;
+use circuits::suite::paper_suite;
+use std::fmt::Write as _;
+
+/// An op storm: builds a dense function family, returning total operations.
+fn ite_storm(m: &mut Manager, rounds: u32) -> u64 {
+    let vars: Vec<bdd::Ref> = (0..14).map(|i| m.var(i)).collect();
+    let mut ops = 0u64;
+    let mut acc = m.one();
+    for r in 0..rounds {
+        for w in vars.windows(3) {
+            let t = m.ite(w[0], w[1], w[2]);
+            acc = m.ite(t, acc, w[(r as usize) % 3]);
+            ops += 2;
+        }
+    }
+    ops
+}
+
+fn and_storm(m: &mut Manager, rounds: u32) -> u64 {
+    let vars: Vec<bdd::Ref> = (0..14).map(|i| m.var(i)).collect();
+    let mut ops = 0u64;
+    for r in 0..rounds {
+        let mut acc = m.one();
+        for (i, &v) in vars.iter().enumerate() {
+            let operand = if (i + r as usize) % 2 == 0 { v } else { !v };
+            acc = m.and(acc, operand);
+            let alt = m.or(acc, v);
+            acc = m.and(acc, alt);
+            ops += 3;
+        }
+    }
+    ops
+}
+
+fn xor_storm(m: &mut Manager, rounds: u32) -> u64 {
+    let vars: Vec<bdd::Ref> = (0..14).map(|i| m.var(i)).collect();
+    let mut ops = 0u64;
+    let mut acc = m.zero();
+    for r in 0..rounds {
+        for (i, &v) in vars.iter().enumerate() {
+            acc = m.xor(acc, if (i ^ r as usize) & 1 == 0 { v } else { !v });
+            ops += 1;
+        }
+        let parity = m.xor_all(vars.iter().copied());
+        acc = m.xor(acc, parity);
+        ops += vars.len() as u64;
+    }
+    ops
+}
+
+struct StormResult {
+    name: &'static str,
+    ops: u64,
+    micros: u128,
+    hit_rate: f64,
+    nodes: usize,
+}
+
+fn run_storm(name: &'static str, f: fn(&mut Manager, u32) -> u64, rounds: u32) -> StormResult {
+    let mut m = Manager::new();
+    let (ops, elapsed) = timed(|| f(&mut m, rounds));
+    let stats = m.cache_stats();
+    StormResult {
+        name,
+        ops,
+        micros: elapsed.as_micros(),
+        hit_rate: stats.hit_rate(),
+        nodes: m.num_nodes(),
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let mut subset: Option<usize> = None;
+    let mut out_path = String::from("BENCH_kernels.json");
+    let mut i = 1;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--subset" => {
+                match args.get(i + 1).map(|v| v.parse::<usize>()) {
+                    Some(Ok(n)) => subset = Some(n),
+                    _ => {
+                        eprintln!("--subset requires a number of benchmarks");
+                        std::process::exit(2);
+                    }
+                }
+                i += 2;
+            }
+            "--out" => {
+                match args.get(i + 1) {
+                    Some(path) => out_path = path.clone(),
+                    None => {
+                        eprintln!("--out requires a file path");
+                        std::process::exit(2);
+                    }
+                }
+                i += 2;
+            }
+            other => {
+                eprintln!("unknown argument: {other}");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    let storms = [
+        run_storm("ite_storm", ite_storm, 600),
+        run_storm("and_storm", and_storm, 600),
+        run_storm("xor_storm", xor_storm, 600),
+    ];
+    for s in &storms {
+        println!(
+            "{:<10} {:>8} ops in {:>8} µs  ({:.1} Mops/s, cache hit {:.1}%, {} nodes)",
+            s.name,
+            s.ops,
+            s.micros,
+            s.ops as f64 / s.micros.max(1) as f64,
+            100.0 * s.hit_rate,
+            s.nodes
+        );
+    }
+
+    // Suite portion: per-benchmark decomposition wall clock (Table I flows).
+    let suite = paper_suite();
+    let take = subset.unwrap_or(suite.len()).min(suite.len());
+    let mut rows = Vec::new();
+    let (_, suite_elapsed) = timed(|| {
+        for b in suite.iter().take(take) {
+            let (row, t) = timed(|| bench::table1_row(b));
+            println!(
+                "suite: {:<18} {:>9.3} s  maj_total={} pga_total={} verified={}",
+                b.name,
+                t.as_secs_f64(),
+                row.maj.decomposition_total(),
+                row.pga.decomposition_total(),
+                row.verified
+            );
+            rows.push((b.name, t.as_secs_f64(), row));
+        }
+    });
+    println!(
+        "suite wall-clock ({} of {} benchmarks): {:.3} s",
+        take,
+        suite.len(),
+        suite_elapsed.as_secs_f64()
+    );
+
+    // Hand-rolled JSON writer (the workspace is dependency-free offline).
+    let mut json = String::new();
+    json.push_str("{\n  \"storms\": [\n");
+    for (i, s) in storms.iter().enumerate() {
+        let _ = write!(
+            json,
+            "    {{\"name\": \"{}\", \"ops\": {}, \"micros\": {}, \"mops_per_sec\": {:.3}, \"cache_hit_rate\": {:.4}, \"nodes\": {}}}{}\n",
+            s.name,
+            s.ops,
+            s.micros,
+            s.ops as f64 / s.micros.max(1) as f64,
+            s.hit_rate,
+            s.nodes,
+            if i + 1 < storms.len() { "," } else { "" }
+        );
+    }
+    json.push_str("  ],\n  \"suite\": {\n");
+    let _ = write!(
+        json,
+        "    \"benchmarks_run\": {},\n    \"benchmarks_total\": {},\n    \"wall_clock_sec\": {:.4},\n",
+        take,
+        suite.len(),
+        suite_elapsed.as_secs_f64()
+    );
+    json.push_str("    \"rows\": [\n");
+    for (i, (name, secs, row)) in rows.iter().enumerate() {
+        let _ = write!(
+            json,
+            "      {{\"name\": \"{}\", \"sec\": {:.4}, \"maj_total\": {}, \"pga_total\": {}, \"verified\": {}}}{}\n",
+            name,
+            secs,
+            row.maj.decomposition_total(),
+            row.pga.decomposition_total(),
+            row.verified,
+            if i + 1 < rows.len() { "," } else { "" }
+        );
+    }
+    json.push_str("    ]\n  }\n}\n");
+    std::fs::write(&out_path, json).expect("write BENCH_kernels.json");
+    println!("wrote {out_path}");
+}

@@ -8,14 +8,15 @@
 //! structural-hash table so identical gates are reused across factoring
 //! trees.
 
-use bdd::{Manager, Ref};
-use logic::{GateKind, Network, SignalId};
+use bdd::{BuildFxHasher, Manager, Ref};
+use logic::{strash_key, GateKind, Network, SignalId};
 use std::collections::HashMap;
 
-/// Emits gates into a [`Network`] with structural hashing.
+/// Emits gates into a [`Network`] with structural hashing (keys are the
+/// allocation-free fixed-arity arrays built by [`logic::strash_key`]).
 #[derive(Debug, Default)]
 pub struct Emitter {
-    strash: HashMap<(u8, Vec<SignalId>), SignalId>,
+    strash: HashMap<(u8, [SignalId; 3]), SignalId, BuildFxHasher>,
     consts: HashMap<bool, SignalId>,
 }
 
@@ -51,14 +52,14 @@ impl Emitter {
         if let Some(s) = self.simplify(net, &kind, &fanins) {
             return s;
         }
-        let key = (kind_code(&kind), fanins.clone());
-        if key.0 != 0 {
+        let key = strash_key(kind_code(&kind), &fanins);
+        if let Some(key) = key {
             if let Some(&s) = self.strash.get(&key) {
                 return s;
             }
         }
         let s = net.add_gate(kind, fanins);
-        if key.0 != 0 {
+        if let Some(key) = key {
             self.strash.insert(key, s);
         }
         s
@@ -171,7 +172,7 @@ impl Emitter {
 #[derive(Debug)]
 pub struct FunctionEmitter {
     var_signals: Vec<SignalId>,
-    memo: HashMap<Ref, SignalId>,
+    memo: HashMap<Ref, SignalId, BuildFxHasher>,
 }
 
 impl FunctionEmitter {
@@ -180,7 +181,7 @@ impl FunctionEmitter {
     pub fn new(var_signals: Vec<SignalId>) -> FunctionEmitter {
         FunctionEmitter {
             var_signals,
-            memo: HashMap::new(),
+            memo: HashMap::default(),
         }
     }
 
@@ -312,6 +313,20 @@ mod tests {
         assert!(matches!(net.node(ns).kind, GateKind::Inv));
         // Memoized on second ask.
         assert_eq!(fe.emit_base(&m, &mut e, &mut net, !f), Some(ns));
+    }
+
+    #[test]
+    fn wide_gates_skip_strash_but_still_emit() {
+        let mut net = Network::new("t");
+        let ins: Vec<SignalId> = (0..5).map(|i| net.add_input(format!("i{i}"))).collect();
+        let mut e = Emitter::new();
+        let g1 = e.gate(&mut net, GateKind::And, ins.clone());
+        let g2 = e.gate(&mut net, GateKind::And, ins.clone());
+        // Wide gates fall outside the fixed-arity strash: emitted twice,
+        // but both are valid AND gates over the same fanins.
+        assert!(matches!(net.node(g1).kind, GateKind::And));
+        assert!(matches!(net.node(g2).kind, GateKind::And));
+        assert_eq!(net.node(g1).fanins.len(), 5);
     }
 
     #[test]

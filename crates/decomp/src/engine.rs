@@ -85,7 +85,13 @@ pub fn decompose_network(
     hook: &mut dyn MajorityHook,
 ) -> DecomposeResult {
     let start = Instant::now();
-    let mut manager = Manager::new();
+    // Pre-size the kernel's tables for the whole run: the partition pass
+    // builds every supernode BDD into this one manager, so starting at the
+    // default table size would pay a cascade of rehash doublings.
+    let mut manager = Manager::with_capacity(
+        (net.len() * 16).clamp(1 << 12, 1 << 20),
+        bdd::DEFAULT_CACHE_BITS,
+    );
     let part = partition(net, &mut manager, options.partition);
 
     let mut out = Network::new(net.name().to_string());

@@ -8,7 +8,7 @@
 //! boundary signals.
 
 use crate::network::{GateKind, Network, SignalId};
-use bdd::{Manager, Ref};
+use bdd::{BuildFxHasher, Manager, Ref};
 use std::collections::HashMap;
 
 /// Tuning knobs for the partial collapse.
@@ -70,6 +70,11 @@ impl Partition {
 /// support would exceed `max_support`. Every boundary signal that is not a
 /// primary input becomes a [`Supernode`].
 pub fn partition(net: &Network, manager: &mut Manager, config: PartitionConfig) -> Partition {
+    // Pre-size the manager's unique table for the whole partition: local
+    // BDDs are built per supernode into one shared manager, and growing
+    // the table once up front beats rehash churn during every cone build.
+    // The estimate is deliberately generous — buckets are 4 bytes each.
+    manager.reserve_nodes((net.len() * 16).clamp(1 << 12, 1 << 20));
     let fanouts = net.fanout_counts();
     let mut is_output = vec![false; net.len()];
     for (_, s) in net.outputs() {
@@ -156,11 +161,11 @@ fn build_local_bdd(
     boundary: &[bool],
 ) -> (Vec<SignalId>, Ref) {
     let mut inputs: Vec<SignalId> = Vec::new();
-    let mut var_of: HashMap<SignalId, u32> = HashMap::new();
+    let mut var_of: HashMap<SignalId, u32, BuildFxHasher> = HashMap::default();
     // Pre-assign variables in DFS discovery order for a topology-aware
     // static ordering (fanins visited left to right).
     let mut stack = vec![(root, false)];
-    let mut visited: HashMap<SignalId, bool> = HashMap::new();
+    let mut visited: HashMap<SignalId, bool, BuildFxHasher> = HashMap::default();
     while let Some((id, is_boundary_ref)) = stack.pop() {
         if is_boundary_ref || boundary[id.index()] && id != root {
             if !var_of.contains_key(&id) {
@@ -183,7 +188,7 @@ fn build_local_bdd(
         }
     }
 
-    let mut memo: HashMap<SignalId, Ref> = HashMap::new();
+    let mut memo: HashMap<SignalId, Ref, BuildFxHasher> = HashMap::default();
     let f = eval_cone(net, manager, root, &var_of, &mut memo, root);
     (inputs, f)
 }
@@ -192,8 +197,8 @@ fn eval_cone(
     net: &Network,
     manager: &mut Manager,
     id: SignalId,
-    var_of: &HashMap<SignalId, u32>,
-    memo: &mut HashMap<SignalId, Ref>,
+    var_of: &HashMap<SignalId, u32, BuildFxHasher>,
+    memo: &mut HashMap<SignalId, Ref, BuildFxHasher>,
     root: SignalId,
 ) -> Ref {
     if id != root {

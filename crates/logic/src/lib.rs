@@ -38,9 +38,12 @@ mod truth;
 mod verify;
 
 pub use balance::balance_network;
+pub use bdd::BuildFxHasher;
 pub use blif::{parse_blif, write_blif, ParseBlifError};
 pub use collapse::{apply_gate, partition, Partition, PartitionConfig, Supernode};
-pub use network::{GateCounts, GateKind, NetNode, Network, SignalId};
+pub use network::{
+    strash_key, GateCounts, GateKind, NetNode, Network, SignalId, STRASH_PAD,
+};
 pub use stats::{read_blif_file, write_blif_file, NetworkStats, ReadBlifError};
 pub use truth::TruthTable;
 pub use verify::{equiv_exact, equiv_sim, output_bdds, Mismatch, XorShift64};

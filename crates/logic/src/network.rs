@@ -17,6 +17,27 @@ impl SignalId {
     }
 }
 
+/// Pad value for unused [`strash_key`] slots; never a real signal index
+/// (signals are dense arena indices far below `u32::MAX`).
+pub const STRASH_PAD: SignalId = SignalId(u32::MAX);
+
+/// Builds the fixed-arity structural-hash key shared by the gate emitters
+/// (`decomp::Emitter`, the techmap covering pass): gates carry at most
+/// three fanins, so keying on `(code, [SignalId; 3])` padded with
+/// [`STRASH_PAD`] avoids allocating a `Vec` per lookup.
+///
+/// Returns `None` for gates outside structural hashing (code 0, or wider
+/// than three fanins). Callers sort commutative fanins *before* calling —
+/// this helper never reorders (MUX-like gates are order-sensitive).
+pub fn strash_key(code: u8, fanins: &[SignalId]) -> Option<(u8, [SignalId; 3])> {
+    if code == 0 || fanins.len() > 3 {
+        return None;
+    }
+    let mut key = [STRASH_PAD; 3];
+    key[..fanins.len()].copy_from_slice(fanins);
+    Some((code, key))
+}
+
 /// The function computed by a node from its fanins.
 #[derive(Clone, PartialEq, Eq, Debug)]
 pub enum GateKind {

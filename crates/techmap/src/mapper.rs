@@ -5,8 +5,12 @@
 //! NAND/NOR/INV structures with inverter minimization.
 
 use crate::library::CellKind;
-use logic::{GateKind, Network, SignalId, TruthTable};
+use logic::{strash_key, BuildFxHasher, GateKind, Network, SignalId, TruthTable};
 use std::collections::HashMap;
+
+/// Structural-hash table over emitted cells, keyed by the allocation-free
+/// fixed-arity arrays built by [`logic::strash_key`].
+type Strash = HashMap<(u8, [SignalId; 3]), SignalId, BuildFxHasher>;
 
 /// A technology-mapped netlist: a [`Network`] whose logic nodes are
 /// restricted to the six library cells, plus the kind annotation per node.
@@ -60,8 +64,8 @@ pub fn map_network(net: &Network) -> MappedNetwork {
     // covering; do the same before the cell assignment.
     let net = &logic::balance_network(net);
     let mut out = Network::new(format!("{}_mapped", net.name()));
-    let mut map: HashMap<SignalId, SignalId> = HashMap::new();
-    let mut strash: HashMap<(u8, Vec<SignalId>), SignalId> = HashMap::new();
+    let mut map: HashMap<SignalId, SignalId, BuildFxHasher> = HashMap::default();
+    let mut strash = Strash::default();
 
     for &pi in net.inputs() {
         let new = out.add_input(net.signal_name(pi));
@@ -84,68 +88,51 @@ pub fn map_network(net: &Network) -> MappedNetwork {
     }
 }
 
+/// Structural-hashing emit: all library cells are commutative, so fanins
+/// are sorted into the key; a hit allocates nothing.
 fn hashed(
     net: &mut Network,
-    strash: &mut HashMap<(u8, Vec<SignalId>), SignalId>,
+    strash: &mut Strash,
     code: u8,
     kind: GateKind,
-    mut fanins: Vec<SignalId>,
+    fanins: &[SignalId],
 ) -> SignalId {
-    if !matches!(kind, GateKind::Maj) || code != 6 {
-        // All library cells except MUX-like orderings are commutative.
-    }
-    fanins.sort();
-    let key = (code, fanins.clone());
+    let mut sorted = [logic::STRASH_PAD; 3];
+    sorted[..fanins.len()].copy_from_slice(fanins);
+    sorted[..fanins.len()].sort_unstable();
+    let key = strash_key(code, &sorted[..fanins.len()])
+        .expect("library cells have at most 3 fanins and a nonzero code");
     if let Some(&s) = strash.get(&key) {
         return s;
     }
-    let s = net.add_gate(kind, fanins);
+    let s = net.add_gate(kind, sorted[..fanins.len()].to_vec());
     strash.insert(key, s);
     s
 }
 
-fn inv(
-    net: &mut Network,
-    strash: &mut HashMap<(u8, Vec<SignalId>), SignalId>,
-    x: SignalId,
-) -> SignalId {
+fn inv(net: &mut Network, strash: &mut Strash, x: SignalId) -> SignalId {
     if let GateKind::Inv = net.node(x).kind {
         return net.node(x).fanins[0];
     }
-    hashed(net, strash, 1, GateKind::Inv, vec![x])
+    hashed(net, strash, 1, GateKind::Inv, &[x])
 }
 
-fn and2(
-    net: &mut Network,
-    strash: &mut HashMap<(u8, Vec<SignalId>), SignalId>,
-    a: SignalId,
-    b: SignalId,
-) -> SignalId {
-    let n = hashed(net, strash, 2, GateKind::Nand, vec![a, b]);
+fn and2(net: &mut Network, strash: &mut Strash, a: SignalId, b: SignalId) -> SignalId {
+    let n = hashed(net, strash, 2, GateKind::Nand, &[a, b]);
     inv(net, strash, n)
 }
 
-fn or2(
-    net: &mut Network,
-    strash: &mut HashMap<(u8, Vec<SignalId>), SignalId>,
-    a: SignalId,
-    b: SignalId,
-) -> SignalId {
-    let n = hashed(net, strash, 3, GateKind::Nor, vec![a, b]);
+fn or2(net: &mut Network, strash: &mut Strash, a: SignalId, b: SignalId) -> SignalId {
+    let n = hashed(net, strash, 3, GateKind::Nor, &[a, b]);
     inv(net, strash, n)
 }
 
 /// Reduces an n-ary associative operation with a balanced tree.
 fn tree(
     net: &mut Network,
-    strash: &mut HashMap<(u8, Vec<SignalId>), SignalId>,
+    strash: &mut Strash,
     mut args: Vec<SignalId>,
-    op: &dyn Fn(
-        &mut Network,
-        &mut HashMap<(u8, Vec<SignalId>), SignalId>,
-        SignalId,
-        SignalId,
-    ) -> SignalId,
+    op: &dyn Fn(&mut Network, &mut Strash, SignalId, SignalId) -> SignalId,
 ) -> SignalId {
     assert!(!args.is_empty());
     while args.len() > 1 {
@@ -166,7 +153,7 @@ fn emit_kind(
     net: &mut Network,
     kind: &GateKind,
     fanins: &[SignalId],
-    strash: &mut HashMap<(u8, Vec<SignalId>), SignalId>,
+    strash: &mut Strash,
 ) -> SignalId {
     match kind {
         GateKind::Input => unreachable!("inputs pre-mapped"),
@@ -176,7 +163,7 @@ fn emit_kind(
         GateKind::And => tree(net, strash, fanins.to_vec(), &and2),
         GateKind::Nand => {
             if fanins.len() == 2 {
-                hashed(net, strash, 2, GateKind::Nand, fanins.to_vec())
+                hashed(net, strash, 2, GateKind::Nand, fanins)
             } else {
                 let a = tree(net, strash, fanins.to_vec(), &and2);
                 inv(net, strash, a)
@@ -185,14 +172,14 @@ fn emit_kind(
         GateKind::Or => tree(net, strash, fanins.to_vec(), &or2),
         GateKind::Nor => {
             if fanins.len() == 2 {
-                hashed(net, strash, 3, GateKind::Nor, fanins.to_vec())
+                hashed(net, strash, 3, GateKind::Nor, fanins)
             } else {
                 let o = tree(net, strash, fanins.to_vec(), &or2);
                 inv(net, strash, o)
             }
         }
         GateKind::Xor => tree(net, strash, fanins.to_vec(), &|net, st, a, b| {
-            hashed(net, st, 4, GateKind::Xor, vec![a, b])
+            hashed(net, st, 4, GateKind::Xor, &[a, b])
         }),
         GateKind::Xnor => {
             // Parity complement: XOR-tree with one XNOR at the root.
@@ -201,18 +188,18 @@ fn emit_kind(
             }
             let head = fanins[..fanins.len() - 1].to_vec();
             let left = tree(net, strash, head, &|net, st, a, b| {
-                hashed(net, st, 4, GateKind::Xor, vec![a, b])
+                hashed(net, st, 4, GateKind::Xor, &[a, b])
             });
-            hashed(net, strash, 5, GateKind::Xnor, vec![left, fanins[fanins.len() - 1]])
+            hashed(net, strash, 5, GateKind::Xnor, &[left, fanins[fanins.len() - 1]])
         }
-        GateKind::Maj => hashed(net, strash, 6, GateKind::Maj, fanins.to_vec()),
+        GateKind::Maj => hashed(net, strash, 6, GateKind::Maj, fanins),
         GateKind::Mux => {
             // sel·t + sel'·e as NAND-NAND: NAND(NAND(s,t), NAND(s',e)).
             let (s, t, e) = (fanins[0], fanins[1], fanins[2]);
             let ns = inv(net, strash, s);
-            let n1 = hashed(net, strash, 2, GateKind::Nand, vec![s, t]);
-            let n2 = hashed(net, strash, 2, GateKind::Nand, vec![ns, e]);
-            hashed(net, strash, 2, GateKind::Nand, vec![n1, n2])
+            let n1 = hashed(net, strash, 2, GateKind::Nand, &[s, t]);
+            let n2 = hashed(net, strash, 2, GateKind::Nand, &[ns, e]);
+            hashed(net, strash, 2, GateKind::Nand, &[n1, n2])
         }
         GateKind::Lut(table) => emit_lut(net, table, fanins, strash),
     }
@@ -223,13 +210,13 @@ fn emit_lut(
     net: &mut Network,
     table: &TruthTable,
     fanins: &[SignalId],
-    strash: &mut HashMap<(u8, Vec<SignalId>), SignalId>,
+    strash: &mut Strash,
 ) -> SignalId {
     fn expand(
         net: &mut Network,
         table: &TruthTable,
         fanins: &[SignalId],
-        strash: &mut HashMap<(u8, Vec<SignalId>), SignalId>,
+        strash: &mut Strash,
         fixed: usize,
         row: usize,
         consts: &mut HashMap<bool, SignalId>,
@@ -275,9 +262,9 @@ fn emit_lut(
                     (None, Some(false)) => and2(net, strash, sel, hi),
                     _ => {
                         let ns = inv(net, strash, sel);
-                        let n1 = hashed(net, strash, 2, GateKind::Nand, vec![sel, hi]);
-                        let n2 = hashed(net, strash, 2, GateKind::Nand, vec![ns, lo]);
-                        hashed(net, strash, 2, GateKind::Nand, vec![n1, n2])
+                        let n1 = hashed(net, strash, 2, GateKind::Nand, &[sel, hi]);
+                        let n2 = hashed(net, strash, 2, GateKind::Nand, &[ns, lo]);
+                        hashed(net, strash, 2, GateKind::Nand, &[n1, n2])
                     }
                 };
                 (None, Some(s))

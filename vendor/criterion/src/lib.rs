@@ -1,0 +1,218 @@
+//! A minimal, dependency-free stand-in for the `criterion` benchmark crate.
+//!
+//! The workspace builds offline, so the real `criterion` cannot be fetched.
+//! This shim covers the subset the repository's benches use: `Criterion`,
+//! `bench_function`, `benchmark_group` (+ `sample_size` / `finish`),
+//! `Bencher::iter` / `iter_batched`, `BatchSize`, and the
+//! `criterion_group!` / `criterion_main!` macros.
+//!
+//! Measurement model: each benchmark is warmed up once, then timed over
+//! `samples` batches; the median per-iteration time is printed as
+//! `bench: <name> ... <time>`. Pass `--quick` (or run under `cargo test`)
+//! for a single-iteration smoke run.
+
+use std::time::{Duration, Instant};
+
+/// How batched inputs are grouped (accepted for API compatibility; the shim
+/// always re-runs the setup closure per iteration).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small per-iteration inputs.
+    SmallInput,
+    /// Large per-iteration inputs.
+    LargeInput,
+    /// One batch per allocation.
+    PerIteration,
+}
+
+/// Timing collector handed to benchmark closures.
+#[derive(Debug, Default)]
+pub struct Bencher {
+    samples: Vec<Duration>,
+    target_samples: usize,
+}
+
+impl Bencher {
+    fn new(target_samples: usize) -> Bencher {
+        Bencher {
+            samples: Vec::new(),
+            target_samples,
+        }
+    }
+
+    /// Times `routine`, once per sample.
+    pub fn iter<T>(&mut self, mut routine: impl FnMut() -> T) {
+        // Warm-up (untimed).
+        std::hint::black_box(routine());
+        for _ in 0..self.target_samples {
+            let start = Instant::now();
+            std::hint::black_box(routine());
+            self.samples.push(start.elapsed());
+        }
+    }
+
+    /// Times `routine` on fresh inputs from `setup` (setup is untimed).
+    pub fn iter_batched<S, T>(
+        &mut self,
+        mut setup: impl FnMut() -> S,
+        mut routine: impl FnMut(S) -> T,
+        _size: BatchSize,
+    ) {
+        std::hint::black_box(routine(setup()));
+        for _ in 0..self.target_samples {
+            let input = setup();
+            let start = Instant::now();
+            std::hint::black_box(routine(input));
+            self.samples.push(start.elapsed());
+        }
+    }
+
+    fn median(&self) -> Duration {
+        if self.samples.is_empty() {
+            return Duration::ZERO;
+        }
+        let mut sorted = self.samples.clone();
+        sorted.sort();
+        sorted[sorted.len() / 2]
+    }
+}
+
+fn fmt_duration(d: Duration) -> String {
+    let ns = d.as_nanos();
+    if ns < 1_000 {
+        format!("{ns} ns")
+    } else if ns < 1_000_000 {
+        format!("{:.2} µs", ns as f64 / 1e3)
+    } else if ns < 1_000_000_000 {
+        format!("{:.2} ms", ns as f64 / 1e6)
+    } else {
+        format!("{:.3} s", ns as f64 / 1e9)
+    }
+}
+
+/// Top-level benchmark driver.
+#[derive(Debug)]
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        // `--quick` (and the bare `--test` cargo passes when a bench target
+        // is run under `cargo test`) degrade to a single sample.
+        let quick = std::env::args().any(|a| a == "--quick" || a == "--test");
+        Criterion {
+            sample_size: if quick { 1 } else { 10 },
+        }
+    }
+}
+
+impl Criterion {
+    /// Runs and reports one benchmark.
+    pub fn bench_function(
+        &mut self,
+        name: impl Into<String>,
+        mut f: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        let name = name.into();
+        let mut b = Bencher::new(self.sample_size);
+        f(&mut b);
+        println!("bench: {name:<48} {:>12}/iter", fmt_duration(b.median()));
+        self
+    }
+
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            prefix: name.into(),
+            sample_size: None,
+        }
+    }
+}
+
+/// A group of related benchmarks sharing a name prefix.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    prefix: String,
+    sample_size: Option<usize>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Overrides the number of samples for this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = Some(n.max(1));
+        self
+    }
+
+    /// Runs and reports one benchmark within the group.
+    pub fn bench_function(
+        &mut self,
+        name: impl Into<String>,
+        mut f: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        let samples = self
+            .sample_size
+            .unwrap_or(self.criterion.sample_size)
+            .min(self.criterion.sample_size);
+        let mut b = Bencher::new(samples);
+        f(&mut b);
+        println!(
+            "bench: {:<48} {:>12}/iter",
+            format!("{}/{}", self.prefix, name.into()),
+            fmt_duration(b.median())
+        );
+        self
+    }
+
+    /// Ends the group (no-op; provided for API compatibility).
+    pub fn finish(self) {}
+}
+
+/// Declares a group-runner function calling each target with one `Criterion`.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares `main` running each `criterion_group!`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_closure() {
+        let mut c = Criterion { sample_size: 2 };
+        let mut runs = 0;
+        c.bench_function("shim/self_test", |b| {
+            b.iter(|| runs += 1);
+        });
+        assert!(runs >= 2, "warm-up plus samples must run");
+    }
+
+    #[test]
+    fn groups_respect_sample_size() {
+        let mut c = Criterion { sample_size: 5 };
+        let mut group = c.benchmark_group("g");
+        group.sample_size(1);
+        let mut runs = 0;
+        group.bench_function("one", |b| b.iter_batched(|| (), |()| runs += 1, BatchSize::SmallInput));
+        group.finish();
+        assert_eq!(runs, 2, "one warm-up + one sample");
+    }
+}
