@@ -1,6 +1,12 @@
 //! Structural and semantic analysis: evaluation, size, support,
 //! satisfying-set counting, and the per-node connectivity statistics used by
 //! dominator-driven decomposition.
+//!
+//! All traversals here start from caller-supplied roots and never touch
+//! reclaimed arena slots; a [`NodeStats`] snapshot, like any other
+//! `Ref`/`NodeId` collection, is invalidated by a garbage collection
+//! (compare [`Manager::gc_epoch`] when holding one across collection
+//! points).
 
 use crate::hasher::BuildFxHasher;
 use crate::manager::Manager;

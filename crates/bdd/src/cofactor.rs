@@ -10,7 +10,11 @@
 //! (tags `op::COFACTOR`, `op::RESTRICT`, `op::CONSTRAIN`, `op::SCOPED`)
 //! instead of allocating a fresh `HashMap` per call: results persist across
 //! calls, repeated cofactors of the same function hit immediately, and a
-//! lossy collision merely costs a re-computation.
+//! lossy collision merely costs a re-computation. Garbage collection never
+//! runs inside these recursions (it would sweep the unprotected
+//! intermediates); when the manager does collect, it scrubs every cache
+//! entry naming a reclaimed slot, so no entry here can outlive the nodes
+//! it names.
 
 use crate::manager::{op, Manager};
 use crate::reference::{NodeId, Ref, Var};

@@ -22,13 +22,17 @@
 //! allocation, no std `HashMap` on any hot path:
 //!
 //! * **Node arena** — `Vec<Node>`; a node is its index, index 0 is the
-//!   terminal. Nodes are immortal (no GC yet; see ROADMAP "Open items").
+//!   terminal. Dead nodes are reclaimed by the collector (below); their
+//!   slots are poisoned, linked into a free list, and reused by `mk`
+//!   before the arena grows (reclaim-before-grow).
 //! * **Unique table** — an open-addressed, power-of-two `Vec<u32>` bucket
 //!   array over the arena, probed linearly from an inlined multiply-mix
 //!   hash of `(var, low, high)`. Bucket value 0 doubles as the
 //!   empty-slot sentinel (the terminal is never consed), so a probe reads
-//!   one `u32` per step. The table doubles at 75% load; deletions don't
-//!   exist, so rehashing is a straight re-insert of the arena.
+//!   one `u32` per step. The table doubles at 75% load. There are no
+//!   tombstones: deletions happen only in bulk during a collection, which
+//!   rebuilds the buckets from the survivors and shrinks the array when
+//!   they would fit a quarter of it.
 //! * **Computed cache** — a fixed-size, direct-mapped, *lossy* table
 //!   ([`Manager::with_capacity`] sets its size; default
 //!   `2^DEFAULT_CACHE_BITS` = `2^14` entries).
@@ -39,10 +43,32 @@
 //!   used by `permute` / `replace_node_with_const` rebuilds).
 //!   [`Manager::clear_caches`] bumps the generation: O(1), capacity kept.
 //!
-//! Because the cache is bounded, memory no longer grows with *operation*
-//! count — only with distinct *nodes*. [`Manager::cache_stats`] exposes
-//! lookup/hit/insert counters, table sizes and peak node counts
-//! ([`CacheStats`]), which the bench binaries report.
+//! # Garbage collection
+//!
+//! The collector is the classical external-refcount + mark-and-sweep
+//! design (what CUDD calls `Cudd_Ref`/`Cudd_RecursiveDeref` plus
+//! `cuddGarbageCollect`):
+//!
+//! * Callers declare long-lived functions with [`Manager::protect`] and
+//!   drop the claim with [`Manager::release`]; refcounts are *external
+//!   only* — interior reachability is resolved by the mark phase, so the
+//!   hot `mk` path carries zero refcount traffic.
+//! * [`Manager::collect`] (unconditional) and [`Manager::maybe_collect`]
+//!   (threshold-gated, see [`GcConfig`]) mark from the protected roots
+//!   and sweep the rest: dead slots go to the free list, the unique table
+//!   is rebuilt (shrink-on-sparse), and the computed cache is scrubbed of
+//!   exactly the entries naming a reclaimed slot — the memo stays warm
+//!   across collections.
+//! * Collection never runs implicitly inside an operation, so recursion
+//!   intermediates need no protection; flows call `maybe_collect` at
+//!   quiescent points (between supernodes, between reorder trials).
+//!
+//! Because the cache is bounded and dead nodes are recycled, memory
+//! tracks the *live working set* — not operation count, not total nodes
+//! ever created. [`Manager::cache_stats`] exposes lookup/hit/insert
+//! counters, table sizes, and the reclaim counters
+//! (`reclaimed_total`/`collections`/`free_nodes`/`live_nodes` in
+//! [`CacheStats`]), which the bench binaries report.
 //!
 //! # Example
 //!
@@ -75,7 +101,7 @@ mod sat;
 
 pub use analysis::{InDegree, NodeStats};
 pub use hasher::{BuildFxHasher, FxHasher};
-pub use manager::{CacheStats, Manager, Node, DEFAULT_CACHE_BITS};
+pub use manager::{CacheStats, GcConfig, Manager, Node, DEFAULT_CACHE_BITS};
 pub use reference::{NodeId, Ref, Var};
 pub use reorder::{window_reorder, Reordered};
 

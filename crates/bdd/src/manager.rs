@@ -1,22 +1,54 @@
-//! The node arena, the open-addressed unique table and the direct-mapped
-//! computed cache — the memory system of the BDD kernel.
+//! The node arena, the open-addressed unique table, the direct-mapped
+//! computed cache and the dead-node collector — the memory system of the
+//! BDD kernel.
 //!
 //! Layout (CUDD-style):
 //!
 //! * **Nodes** live in a flat arena (`Vec<Node>`); a node is identified by
-//!   its index and never moves or dies (no GC yet — see ROADMAP).
+//!   its index and never moves. Reclaimed slots are poisoned, linked into a
+//!   free list, and reused by [`Manager::mk`] before the arena grows.
 //! * The **unique table** is a power-of-two `Vec<u32>` bucket array mapping
 //!   a multiply-mixed hash of `(var, low, high)` to a node index by linear
 //!   probing. Index `0` (the terminal, which is never hash-consed) doubles
 //!   as the empty-bucket sentinel, so a probe touches exactly one `u32` per
-//!   step. The table doubles when 3/4 full; since nodes are never deleted
-//!   there are no tombstones and rehashing is a straight re-insert.
+//!   step. The table doubles when 3/4 full. There are no tombstones:
+//!   deletions happen only in bulk during a collection, which rebuilds the
+//!   bucket array from the surviving nodes (and shrinks it when they would
+//!   fit a table a quarter of the size).
 //! * The **computed cache** ([`ComputedCache`]) memoizes operation results
 //!   in a fixed-size, direct-mapped, lossy table: a colliding insert simply
 //!   overwrites. Entries are generation-tagged, so [`Manager::clear_caches`]
 //!   is O(1) (it bumps the generation). Every recursive kernel (ITE, AND,
 //!   XOR, cofactor, restrict, constrain, scoped rebuilds) shares this cache
 //!   through per-operation tag codes.
+//!
+//! # Garbage collection
+//!
+//! Long decomposition flows create orders of magnitude more intermediate
+//! functions than they keep. The collector is the classical external
+//! reference-count + mark-and-sweep design:
+//!
+//! * Callers declare the functions they hold across collection points with
+//!   [`Manager::protect`] and drop the claim with [`Manager::release`] —
+//!   the explicit `ref`/`deref` pair of every production BDD package.
+//! * [`Manager::collect`] marks everything reachable from a protected node
+//!   and sweeps the rest: swept slots are poisoned and pushed on the free
+//!   list, the unique table is rebuilt without them (shrinking when
+//!   sparse), and the computed cache is *scrubbed* — exactly the entries
+//!   naming a reclaimed slot are dropped — so no dangling [`Ref`] survives
+//!   anywhere in the kernel while the memo stays warm across collections.
+//! * [`Manager::maybe_collect`] is the cheap flow-level hook: it runs a
+//!   collection only once enough allocation has happened since the last
+//!   one *and* a mark pass confirms the dead fraction exceeds the
+//!   configured threshold ([`GcConfig::dead_fraction`]).
+//!
+//! Collection never runs implicitly inside an operation: the recursive
+//! kernels (`ite`, `and`, `xor`, the cofactor family, scoped rebuilds)
+//! create unprotected intermediates freely, and callers invoke
+//! `collect`/`maybe_collect` only at quiescent points where every live
+//! function is protected. This keeps the hot `mk` path free of refcount
+//! traffic while still bounding arena growth to a constant factor of the
+//! live size.
 
 use crate::reference::{NodeId, Ref, Var};
 use std::cell::RefCell;
@@ -41,6 +73,11 @@ pub struct Node {
 /// Sentinel variable index used by the terminal node; compares below every
 /// real variable when ordered by *level depth* (larger index = deeper).
 pub(crate) const TERMINAL_VAR: u32 = u32::MAX;
+
+/// Sentinel variable index poisoning a reclaimed arena slot. A slot with
+/// this variable is on the free list: it is never reachable from a live
+/// [`Ref`], never listed in the unique table, and is overwritten on reuse.
+pub(crate) const FREE_VAR: u32 = u32::MAX - 1;
 
 /// Operation tags for the shared computed cache. Tag 0 is reserved so a
 /// zero-initialized entry can never match a real key.
@@ -82,17 +119,30 @@ pub struct CacheStats {
     pub hits: u64,
     /// Computed-cache insertions (including overwrites of colliding slots).
     pub insertions: u64,
-    /// Largest node-arena size observed (equals the current size until a
-    /// garbage collector lands).
+    /// Largest node-arena size (slot count, including reclaimed slots)
+    /// observed over the manager's lifetime.
     pub peak_nodes: usize,
     /// Computed-cache capacity in entries (fixed after construction).
     pub cache_entries: usize,
-    /// Unique-table bucket count.
+    /// Unique-table bucket count (shrinks when a collection leaves the
+    /// table sparse).
     pub unique_buckets: usize,
-    /// Estimated GC-able nodes (arena nodes unreachable from the roots the
-    /// caller supplied; 0 unless computed via
-    /// [`Manager::cache_stats_with_roots`]).
+    /// Arena slots known to be reclaimable or already reclaimed: the
+    /// current free list, plus — when computed via
+    /// [`Manager::cache_stats_with_roots`] — the in-use nodes unreachable
+    /// from the supplied roots (what the next sweep from those roots would
+    /// add to the free list).
     pub garbage_estimate: usize,
+    /// Arena slots currently holding a live (not reclaimed) node,
+    /// including the terminal.
+    pub live_nodes: usize,
+    /// Reclaimed arena slots currently awaiting reuse on the free list.
+    pub free_nodes: usize,
+    /// Total nodes reclaimed by the collector over the manager's lifetime.
+    pub reclaimed_total: u64,
+    /// Number of collections that actually swept (mark passes that found
+    /// nothing to reclaim are not counted).
+    pub collections: u64,
 }
 
 impl CacheStats {
@@ -102,6 +152,29 @@ impl CacheStats {
             0.0
         } else {
             self.hits as f64 / self.lookups as f64
+        }
+    }
+}
+
+/// Tuning knobs of the dead-node collector (see [`Manager::maybe_collect`]).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct GcConfig {
+    /// A [`Manager::maybe_collect`] call sweeps only when at least this
+    /// fraction of the in-use nodes is dead (unreachable from any
+    /// protected node). Also gates how much allocation must happen between
+    /// collection attempts, so repeated `maybe_collect` calls on a quiet
+    /// manager cost O(1).
+    pub dead_fraction: f64,
+    /// Collections are skipped entirely while fewer than this many nodes
+    /// are in use — tiny managers are cheaper to let grow.
+    pub min_nodes: usize,
+}
+
+impl Default for GcConfig {
+    fn default() -> Self {
+        GcConfig {
+            dead_fraction: 0.25,
+            min_nodes: 4096,
         }
     }
 }
@@ -230,6 +303,14 @@ impl VisitScratch {
             true
         }
     }
+
+    /// Whether node `i` was marked in the traversal opened by the most
+    /// recent [`VisitScratch::begin`] (used by the sweep phase to read the
+    /// mark phase's result).
+    #[inline(always)]
+    pub(crate) fn is_marked(&self, i: usize) -> bool {
+        self.stamp.get(i) == Some(&self.gen)
+    }
 }
 
 /// A BDD manager: owns the node arena, the unique table guaranteeing
@@ -252,6 +333,12 @@ impl VisitScratch {
 #[derive(Debug)]
 pub struct Manager {
     pub(crate) nodes: Vec<Node>,
+    /// External reference count per arena slot (collection roots). Only
+    /// [`Manager::protect`]/[`Manager::release`] touch these — internal
+    /// edges are accounted by the mark phase, not by refcounts.
+    refs: Vec<u32>,
+    /// Reclaimed arena slots awaiting reuse (LIFO).
+    free: Vec<u32>,
     /// Open-addressed unique table (bucket => node index, 0 = empty).
     buckets: Vec<u32>,
     bucket_mask: usize,
@@ -262,6 +349,16 @@ pub struct Manager {
     pub(crate) visited: RefCell<VisitScratch>,
     num_vars: u32,
     var_names: Vec<Option<String>>,
+    gc: GcConfig,
+    /// Number of collections that reclaimed at least one node. Holders of
+    /// `Ref`-keyed side tables (e.g. the majority hook's memo) compare
+    /// this against a saved value to know when their keys may dangle.
+    gc_epoch: u64,
+    reclaimed_total: u64,
+    /// Nodes created since the last collection attempt (gates
+    /// [`Manager::maybe_collect`]).
+    allocs_since_gc: usize,
+    peak_nodes: usize,
 }
 
 /// Default unique-table bucket count (grows on demand).
@@ -300,6 +397,8 @@ impl Manager {
         });
         Manager {
             nodes: arena,
+            refs: vec![0u32; 1],
+            free: Vec::new(),
             buckets: vec![0u32; buckets],
             bucket_mask: buckets - 1,
             occupied: 0,
@@ -308,6 +407,11 @@ impl Manager {
             visited: RefCell::new(VisitScratch::default()),
             num_vars: 0,
             var_names: Vec::new(),
+            gc: GcConfig::default(),
+            gc_epoch: 0,
+            reclaimed_total: 0,
+            allocs_since_gc: 0,
+            peak_nodes: 1,
         }
     }
 
@@ -354,19 +458,32 @@ impl Manager {
         self.num_vars
     }
 
-    /// Total number of nodes ever created (including the terminal).
+    /// Current arena size in slots, including the terminal and reclaimed
+    /// slots awaiting reuse — the kernel's memory footprint. With periodic
+    /// collection this stays within a constant factor of
+    /// [`Manager::live_nodes`] instead of growing monotonically.
     pub fn num_nodes(&self) -> usize {
         self.nodes.len()
+    }
+
+    /// Number of live nodes (arena slots currently holding a node,
+    /// including the terminal; excludes the free list).
+    pub fn live_nodes(&self) -> usize {
+        self.nodes.len() - self.free.len()
     }
 
     /// Read access to a stored node.
     ///
     /// # Panics
     ///
-    /// Panics if `id` is the terminal node or out of bounds.
+    /// Panics if `id` is the terminal node or out of bounds; in debug
+    /// builds, also if `id` was reclaimed by a collection (a dangling
+    /// reference the caller failed to protect).
     pub fn node(&self, id: NodeId) -> &Node {
         assert!(!id.is_terminal(), "terminal node has no decision variable");
-        &self.nodes[id.index()]
+        let n = &self.nodes[id.index()];
+        debug_assert!(n.var.0 != FREE_VAR, "dangling reference to reclaimed node {id:?}");
+        n
     }
 
     /// The decision variable level of an edge's node; `None` for constants.
@@ -442,9 +559,25 @@ impl Manager {
             }
             i = (i + 1) & self.bucket_mask;
         }
-        let idx = self.nodes.len() as u32;
-        debug_assert!(idx < u32::MAX >> 1, "node arena exceeds Ref address space");
-        self.nodes.push(Node { var, low, high });
+        // Reclaim-before-grow: reuse a swept slot when one is available,
+        // so the arena only grows once the free list is exhausted.
+        let idx = match self.free.pop() {
+            Some(slot) => {
+                debug_assert!(self.nodes[slot as usize].var.0 == FREE_VAR);
+                debug_assert!(self.refs[slot as usize] == 0);
+                self.nodes[slot as usize] = Node { var, low, high };
+                slot
+            }
+            None => {
+                let idx = self.nodes.len() as u32;
+                debug_assert!(idx < u32::MAX >> 1, "node arena exceeds Ref address space");
+                self.nodes.push(Node { var, low, high });
+                self.refs.push(0);
+                self.peak_nodes = self.peak_nodes.max(self.nodes.len());
+                idx
+            }
+        };
+        self.allocs_since_gc += 1;
         self.buckets[i] = idx;
         self.occupied += 1;
         if self.occupied * 4 >= self.buckets.len() * 3 {
@@ -453,13 +586,16 @@ impl Manager {
         Ref::new(NodeId(idx), false)
     }
 
-    /// Rebuilds the bucket array at `new_len` (a power of two). Nodes never
-    /// die, so this is a straight re-insert of every arena node.
+    /// Rebuilds the bucket array at `new_len` (a power of two) by
+    /// re-inserting every live arena node; reclaimed slots are skipped.
     fn grow_to(&mut self, new_len: usize) {
         debug_assert!(new_len.is_power_of_two());
         let mask = new_len - 1;
         let mut buckets = vec![0u32; new_len];
         for (idx, n) in self.nodes.iter().enumerate().skip(1) {
+            if n.var.0 == FREE_VAR {
+                continue;
+            }
             let mut i = (triple_hash(n.var.0, n.low.raw(), n.high.raw()) as usize) & mask;
             while buckets[i] != 0 {
                 i = (i + 1) & mask;
@@ -504,27 +640,218 @@ impl Manager {
         self.scope_epoch
     }
 
-    /// Snapshot of the kernel's memory-system counters.
+    /// Snapshot of the kernel's memory-system counters. The
+    /// `garbage_estimate` field reports the current free list (slots
+    /// already reclaimed and awaiting reuse); use
+    /// [`Manager::cache_stats_with_roots`] to also count not-yet-swept
+    /// dead nodes.
     pub fn cache_stats(&self) -> CacheStats {
         CacheStats {
             lookups: self.cache.lookups,
             hits: self.cache.hits,
             insertions: self.cache.insertions,
-            peak_nodes: self.nodes.len(),
+            peak_nodes: self.peak_nodes,
             cache_entries: self.cache.entries.len(),
             unique_buckets: self.buckets.len(),
-            garbage_estimate: 0,
+            garbage_estimate: self.free.len(),
+            live_nodes: self.live_nodes(),
+            free_nodes: self.free.len(),
+            reclaimed_total: self.reclaimed_total,
+            collections: self.gc_epoch,
         }
     }
 
-    /// [`Manager::cache_stats`] plus an estimate of GC-able garbage: arena
-    /// nodes not reachable from `roots`. (There is no collector yet — the
-    /// estimate sizes the win one would bring; see ROADMAP.)
+    /// [`Manager::cache_stats`] with `garbage_estimate` extended by the
+    /// in-use nodes unreachable from `roots` — what a sweep from exactly
+    /// those roots would reclaim, on top of the existing free list.
     pub fn cache_stats_with_roots(&self, roots: &[Ref]) -> CacheStats {
         let mut stats = self.cache_stats();
         let live = self.shared_size(roots);
-        stats.garbage_estimate = (self.nodes.len() - 1).saturating_sub(live);
+        let in_use = self.live_nodes() - 1; // internal nodes currently held
+        stats.garbage_estimate = self.free.len() + in_use.saturating_sub(live);
         stats
+    }
+
+    // ------------------------------------------------------------------
+    // Dead-node reclamation (external refcounts + mark-and-sweep).
+    // ------------------------------------------------------------------
+
+    /// Declares `f` a collection root: the node it references (and
+    /// everything reachable from it) survives [`Manager::collect`] until a
+    /// matching [`Manager::release`]. Calls nest — `protect` twice,
+    /// `release` twice. Constants are always live; protecting them is a
+    /// no-op. Returns `f` for call-site convenience.
+    pub fn protect(&mut self, f: Ref) -> Ref {
+        if !f.is_const() {
+            let slot = f.node().index();
+            debug_assert!(self.nodes[slot].var.0 != FREE_VAR, "protect of reclaimed node");
+            self.refs[slot] = self.refs[slot].saturating_add(1);
+        }
+        f
+    }
+
+    /// Drops one [`Manager::protect`] claim on `f`. The node becomes
+    /// eligible for collection once its external count reaches zero and no
+    /// other protected function reaches it.
+    pub fn release(&mut self, f: Ref) {
+        if !f.is_const() {
+            let slot = f.node().index();
+            debug_assert!(self.refs[slot] > 0, "release without matching protect");
+            self.refs[slot] = self.refs[slot].saturating_sub(1);
+        }
+    }
+
+    /// External reference count of `f`'s node (test/diagnostic hook).
+    pub fn protect_count(&self, f: Ref) -> u32 {
+        if f.is_const() {
+            u32::MAX
+        } else {
+            self.refs[f.node().index()]
+        }
+    }
+
+    /// Replaces the collector configuration (see [`GcConfig`]).
+    pub fn set_gc_config(&mut self, config: GcConfig) {
+        self.gc = config;
+    }
+
+    /// The active collector configuration.
+    pub fn gc_config(&self) -> GcConfig {
+        self.gc
+    }
+
+    /// Number of collections that reclaimed at least one node. Any
+    /// `Ref`-keyed side table outside the manager is invalid once this
+    /// changes: swept slots are reused, so a stale key may alias a
+    /// *different* function.
+    pub fn gc_epoch(&self) -> u64 {
+        self.gc_epoch
+    }
+
+    /// Collects dead nodes now: marks everything reachable from the
+    /// protected roots, sweeps the rest onto the free list, rebuilds the
+    /// unique table without the dead entries (shrinking it when the
+    /// survivors would fit a table a quarter of the current size), and
+    /// scrubs the computed-cache entries that name a reclaimed slot.
+    /// Returns the number of reclaimed nodes.
+    ///
+    /// Every `Ref` the caller intends to keep using must be protected (or
+    /// reachable from a protected one) — anything else dangles afterwards.
+    pub fn collect(&mut self) -> usize {
+        self.mark_and_sweep(true)
+    }
+
+    /// Collects only when worthwhile: a no-op until the allocations since
+    /// the last attempt reach [`GcConfig::dead_fraction`] of the in-use
+    /// nodes (so calling this in a tight flow loop is cheap), then a mark
+    /// pass measures the true dead fraction and sweeps only when it
+    /// exceeds the threshold. Returns the number of reclaimed nodes.
+    pub fn maybe_collect(&mut self) -> usize {
+        let in_use = self.live_nodes() - 1;
+        if in_use < self.gc.min_nodes {
+            return 0;
+        }
+        // Gate on allocations relative to the arena *capacity*, not the
+        // in-use count: a collection costs O(arena), so requiring a
+        // proportional amount of fresh allocation first keeps the
+        // amortized overhead per created node constant even under extreme
+        // churn.
+        if (self.allocs_since_gc as f64) < self.gc.dead_fraction * self.nodes.len() as f64 {
+            return 0;
+        }
+        self.mark_and_sweep(false)
+    }
+
+    /// The collector core: mark from protected roots, then (when `force`
+    /// or the dead fraction clears the threshold) sweep, rebuild the
+    /// unique table and invalidate the computed cache.
+    fn mark_and_sweep(&mut self, force: bool) -> usize {
+        self.allocs_since_gc = 0;
+        let n = self.nodes.len();
+        let in_use = self.live_nodes() - 1;
+        // Mark phase: flood from every externally referenced node. The
+        // visited scratch doubles as the mark bitmap; nothing else may
+        // traverse between mark and sweep.
+        let mut live = 0usize;
+        {
+            let mut seen = self.visited.borrow_mut();
+            seen.begin(n);
+            let mut stack: Vec<u32> = Vec::new();
+            for (i, &rc) in self.refs.iter().enumerate().skip(1) {
+                if rc > 0 {
+                    stack.push(i as u32);
+                }
+            }
+            while let Some(i) = stack.pop() {
+                if !seen.mark(i as usize) {
+                    continue;
+                }
+                live += 1;
+                let node = self.nodes[i as usize];
+                debug_assert!(node.var.0 != FREE_VAR, "marked a reclaimed slot");
+                if !node.low.node().is_terminal() {
+                    stack.push(node.low.node().0);
+                }
+                if !node.high.node().is_terminal() {
+                    stack.push(node.high.node().0);
+                }
+            }
+        }
+        let dead = in_use - live;
+        if dead == 0 || (!force && (dead as f64) < self.gc.dead_fraction * in_use as f64) {
+            return 0;
+        }
+        // Sweep phase: poison dead slots and push them on the free list.
+        {
+            let seen = self.visited.borrow();
+            for i in 1..n {
+                if self.nodes[i].var.0 == FREE_VAR || seen.is_marked(i) {
+                    continue;
+                }
+                self.nodes[i] = Node {
+                    var: Var(FREE_VAR),
+                    low: Ref::ONE,
+                    high: Ref::ONE,
+                };
+                self.refs[i] = 0;
+                self.free.push(i as u32);
+            }
+        }
+        // The unique table still lists the dead nodes: rebuild it from the
+        // survivors, shrinking when they'd fit a quarter-size table.
+        self.occupied = live;
+        let wanted = (live.max(8) * 4 / 3 + 1)
+            .next_power_of_two()
+            .max(MIN_BUCKETS);
+        let new_len = if wanted * 4 <= self.buckets.len() {
+            wanted
+        } else {
+            self.buckets.len()
+        };
+        self.grow_to(new_len);
+        // Cached results naming a dead node must not survive — but wiping
+        // the whole cache (a generation bump) makes every collection cost
+        // a full memo rebuild, which dominates high-churn flows. Instead,
+        // scrub: drop exactly the entries with a reclaimed slot behind any
+        // word. Key words that are not `Ref`s (cofactor variable codes,
+        // scope epochs) are treated as if they were — a false hit there
+        // only costs a spurious miss, while every word that *is* a `Ref`
+        // gets checked, so no dangling reference survives in the cache.
+        let nodes = &self.nodes;
+        let live_word = |w: u32| {
+            let idx = (w >> 1) as usize;
+            idx >= nodes.len() || nodes[idx].var.0 != FREE_VAR
+        };
+        for e in self.cache.entries.iter_mut() {
+            if e.tag != 0
+                && !(live_word(e.a) && live_word(e.b) && live_word(e.c) && live_word(e.result))
+            {
+                *e = CacheEntry::default();
+            }
+        }
+        self.gc_epoch += 1;
+        self.reclaimed_total += dead as u64;
+        dead
     }
 }
 
@@ -667,6 +994,186 @@ mod tests {
         assert!(after.lookups > before.lookups);
         assert!(after.hits > before.hits, "repeat ITE must hit the cache");
         assert_eq!(after.peak_nodes, m.num_nodes());
+    }
+
+    #[test]
+    fn protect_release_roundtrip() {
+        let mut m = Manager::new();
+        let a = m.var(0);
+        assert_eq!(m.protect_count(a), 0);
+        m.protect(a);
+        m.protect(a);
+        assert_eq!(m.protect_count(a), 2);
+        m.release(a);
+        assert_eq!(m.protect_count(a), 1);
+        m.release(a);
+        assert_eq!(m.protect_count(a), 0);
+        // Constants are always live; protect/release are no-ops.
+        m.protect(Ref::ONE);
+        m.release(Ref::ZERO);
+        assert_eq!(m.protect_count(Ref::ONE), u32::MAX);
+    }
+
+    #[test]
+    fn collect_reclaims_dead_nodes_and_reuses_slots() {
+        let mut m = Manager::new();
+        let a = m.var(0);
+        let b = m.var(1);
+        let c = m.var(2);
+        let keep = m.and(a, b);
+        let dead = m.ite(c, keep, b);
+        let _more_dead = m.xor(dead, a);
+        m.protect(keep);
+        let before = m.num_nodes();
+        let reclaimed = m.collect();
+        assert!(reclaimed > 0, "the ite/xor chain is unreachable");
+        assert_eq!(m.num_nodes(), before, "arena keeps its slots");
+        assert_eq!(m.live_nodes(), before - reclaimed);
+        let stats = m.cache_stats();
+        assert_eq!(stats.free_nodes, reclaimed);
+        assert_eq!(stats.garbage_estimate, reclaimed);
+        assert_eq!(stats.reclaimed_total, reclaimed as u64);
+        assert_eq!(stats.collections, 1);
+        // The kept function still evaluates correctly...
+        assert!(m.eval(keep, &[true, true, false]));
+        assert!(!m.eval(keep, &[true, false, false]));
+        // ...and new nodes reuse reclaimed slots before the arena grows.
+        let a2 = m.var(0);
+        let b2 = m.var(1);
+        let rebuilt = m.and(a2, b2);
+        assert_eq!(rebuilt, keep, "canonicity survives reclaim-and-reuse");
+        let c2 = m.var(2);
+        let _redo = m.ite(c2, keep, b2);
+        assert_eq!(m.num_nodes(), before, "free slots absorbed the rebuild");
+    }
+
+    #[test]
+    fn collect_with_no_garbage_reclaims_nothing() {
+        let mut m = Manager::new();
+        let a = m.var(0);
+        let b = m.var(1);
+        let f = m.and(a, b);
+        m.protect(f);
+        m.protect(a); // the projection of var 0 is not part of f's DAG
+        assert_eq!(m.collect(), 0);
+        assert_eq!(m.cache_stats().collections, 0, "empty sweeps are not counted");
+        assert_eq!(m.gc_epoch(), 0);
+    }
+
+    #[test]
+    fn unique_table_shrinks_when_sparse_after_collect() {
+        // Build a 5000-node chain, drop every root, collect: the survivors
+        // (none) fit the floor-size table, so the bucket array shrinks.
+        let mut m = Manager::with_capacity(16, 8);
+        let mut prev = Ref::ONE;
+        for v in (0..5000u32).rev() {
+            prev = m.mk(Var(v), !prev, prev);
+        }
+        let grown = m.cache_stats().unique_buckets;
+        assert!(grown >= 8192, "5000 nodes must outgrow the floor table");
+        let reclaimed = m.collect();
+        assert_eq!(reclaimed, 5000);
+        assert_eq!(m.cache_stats().unique_buckets, MIN_BUCKETS);
+        assert_eq!(m.live_nodes(), 1, "only the terminal survives");
+        // Rebuilding the same chain reuses the freed slots: the arena must
+        // not grow past its previous footprint.
+        let before = m.num_nodes();
+        let mut prev = Ref::ONE;
+        for v in (0..5000u32).rev() {
+            prev = m.mk(Var(v), !prev, prev);
+        }
+        assert_eq!(m.num_nodes(), before, "reclaim-before-grow");
+        assert_eq!(m.size(prev), 5000);
+    }
+
+    #[test]
+    fn maybe_collect_gates_on_config() {
+        let mut m = Manager::new();
+        let a = m.var(0);
+        let b = m.var(1);
+        let _dead = m.and(a, b);
+        // Below min_nodes: never collects, however much is dead.
+        assert_eq!(m.maybe_collect(), 0);
+        // With the floor removed and everything dead, it sweeps.
+        m.set_gc_config(GcConfig {
+            dead_fraction: 0.25,
+            min_nodes: 0,
+        });
+        let reclaimed = m.maybe_collect();
+        assert!(reclaimed > 0);
+        // Immediately afterwards nothing has been allocated: cheap no-op.
+        assert_eq!(m.maybe_collect(), 0);
+        assert_eq!(m.gc_config().min_nodes, 0);
+    }
+
+    #[test]
+    fn computed_cache_clear_survives_generation_wrap() {
+        let mut m = Manager::new();
+        let a = m.var(0);
+        let b = m.var(1);
+        let f = m.and(a, b);
+        // Force the generation to the wrap boundary with a live entry in
+        // the table, then clear: the wrap branch must wipe the entries and
+        // restart at generation 1 without resurrecting stale results.
+        m.cache.generation = (u32::MAX >> GEN_SHIFT) - 1;
+        m.cache.insert(op::AND, a.raw(), b.raw(), 0, Ref::ZERO);
+        m.cache.clear();
+        assert_eq!(m.cache.generation, 1, "wrap resets to generation 1");
+        assert!(
+            m.cache.entries.iter().all(|e| e.tag == 0),
+            "wrap must wipe every slot"
+        );
+        assert_eq!(
+            m.cache.lookup(op::AND, a.raw(), b.raw(), 0),
+            None,
+            "the poisoned pre-wrap entry must not be observable"
+        );
+        assert_eq!(m.and(a, b), f, "results stay canonical after the wrap");
+    }
+
+    #[test]
+    fn visit_scratch_survives_stamp_wrap() {
+        let mut s = VisitScratch::default();
+        s.begin(4);
+        assert!(s.mark(2), "fresh scratch: first visit");
+        // Force the wrap: the next begin() lands on generation 0, which
+        // must wipe the stamps (any stale stamp would equal the new
+        // generation and read as already-visited).
+        s.gen = u32::MAX;
+        s.stamp.fill(u32::MAX); // worst case: every stamp aliases pre-wrap gen
+        s.begin(4);
+        assert_eq!(s.gen, 1, "wrap resets to generation 1");
+        for i in 0..4 {
+            assert!(s.mark(i), "node {i} must read unvisited after the wrap");
+            assert!(!s.mark(i), "second visit is still detected");
+            assert!(s.is_marked(i));
+        }
+    }
+
+    #[test]
+    fn new_scope_epoch_wrap_flushes_cache() {
+        let mut m = Manager::new();
+        let a = m.var(0);
+        let b = m.var(1);
+        let f = m.ite(a, b, Ref::ZERO);
+        // Put the epoch at the wrap boundary and plant a poisoned SCOPED
+        // entry under the epoch that will be handed out after the wrap
+        // (epoch 1). If new_scope failed to flush, the next scoped rebuild
+        // would observe it and return garbage.
+        m.scope_epoch = u32::MAX;
+        m.cache.insert(op::SCOPED, f.raw(), 1, 1, Ref::ZERO);
+        let scope = m.new_scope();
+        assert_eq!(scope, 1, "epoch wraps to 1");
+        assert_eq!(
+            m.cache.lookup(op::SCOPED, f.raw(), 1, 1),
+            None,
+            "the stale entry for the reused epoch must be unobservable"
+        );
+        // End-to-end: a permute (which consumes a fresh scope) right after
+        // an epoch wrap still returns the correct function.
+        m.scope_epoch = u32::MAX;
+        let g = m.permute(f, &[0, 1]);
+        assert_eq!(g, f, "identity permutation after epoch wrap");
     }
 
     #[test]

@@ -10,6 +10,11 @@
 //! `op::ITE`). ITE itself detects the two-operand shapes up front and
 //! forwards to the specialized kernels, so the cache is never split
 //! between equivalent formulations of one operation.
+//!
+//! None of the kernels here triggers garbage collection: recursive
+//! intermediates need no protection, and results only need
+//! [`Manager::protect`] when the caller holds them across an explicit
+//! `collect`/`maybe_collect` point.
 
 use crate::manager::{op, Manager};
 use crate::reference::{Ref, Var};

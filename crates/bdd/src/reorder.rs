@@ -78,6 +78,15 @@ pub struct Reordered {
 ///
 /// Returns the best permutation found. The input function is not modified
 /// (BDDs are immutable); callers use [`Reordered::function`].
+///
+/// Every rejected trial permutation is garbage the moment it is measured,
+/// which makes this the most allocation-heavy loop in the engine: the
+/// search protects `f` and the incumbent best rebuild as collection roots
+/// and offers the manager a [`Manager::maybe_collect`] after each window
+/// position, so long reordering passes recycle their trials instead of
+/// growing the arena. Functions the *caller* holds across this call must
+/// be protected by the caller; the returned function is handed back
+/// unprotected (protect it before the next collection point).
 pub fn window_reorder(
     m: &mut Manager,
     f: Ref,
@@ -96,6 +105,8 @@ pub fn window_reorder(
             size: best_size,
         };
     }
+    m.protect(f);
+    m.protect(best_f);
     let window = window.min(n);
     for _ in 0..max_sweeps {
         let mut improved = false;
@@ -114,15 +125,20 @@ pub fn window_reorder(
                 if gs < best_size {
                     best_size = gs;
                     best_perm = trial;
-                    best_f = g;
+                    m.release(best_f);
+                    best_f = m.protect(g);
                     improved = true;
                 }
             }
+            // Rejected trials are dead; let the manager recycle them.
+            m.maybe_collect();
         }
         if !improved {
             break;
         }
     }
+    m.release(f);
+    m.release(best_f);
     Reordered {
         perm: invert(&best_perm),
         function: best_f,

@@ -1,5 +1,7 @@
 //! Satisfiability utilities: witness extraction, prime-cube enumeration
-//! and small-function truth vectors.
+//! and small-function truth vectors. All walks are read-only over live
+//! nodes; they allocate nothing in the manager and cannot trigger a
+//! collection.
 
 use crate::manager::Manager;
 use crate::reference::{Ref, Var};

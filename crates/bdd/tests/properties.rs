@@ -2,7 +2,7 @@
 //! against randomly generated Boolean expressions, with the BDD compared to
 //! a bit-parallel truth-vector oracle.
 
-use bdd::{Manager, Ref};
+use bdd::{GcConfig, Manager, Ref};
 use proptest::prelude::*;
 
 /// A random Boolean expression over `NVARS` variables.
@@ -328,4 +328,194 @@ fn storm_of_ops_stays_canonical_and_bounded() {
     );
     assert!(stats.hits > 0, "storm must reuse memoized results");
     assert_eq!(stats.peak_nodes, m.num_nodes());
+}
+
+/// The collector stress test: a 100k-op random storm over a protected
+/// working set, with a forced collection every few thousand ops. Between
+/// collections this is the same canonicity + truth-table-oracle discipline
+/// as [`storm_of_ops_stays_canonical_and_bounded`]; at every collection
+/// point it additionally checks that
+///
+/// (a) every protected pool function still matches its truth vector after
+///     the sweep (nothing live was reclaimed, nothing dangles),
+/// (b) hash-consing stays canonical across reclaim-and-reuse: rebuilding a
+///     pool function from scratch returns the *identical* `Ref`, and
+/// (c) the collector actually reclaims: over the storm, far more nodes are
+///     reclaimed than the arena ever holds.
+#[test]
+fn gc_storm_stays_canonical_across_collections() {
+    const OPS: usize = 100_000;
+    const POOL: usize = 200;
+    const COLLECT_EVERY: usize = 5_000;
+    let mut m = Manager::with_capacity(16, 8);
+    let mut rng = Storm(0x6C_C0_11_EC_70_12_57_AB);
+    let mut pool: Vec<(Ref, u64)> = Vec::new();
+    for i in 0..NVARS {
+        let v = m.var(i);
+        m.protect(v);
+        pool.push((v, var_truth(i)));
+    }
+    // Canonicity witness map; only valid between collections (a sweep may
+    // recycle the slot behind an unprotected ref), so it is rebuilt from
+    // the protected pool after every collect.
+    let mut canon: std::collections::HashMap<u64, Ref> = std::collections::HashMap::new();
+    let mut collections = 0u64;
+
+    for step in 0..OPS {
+        let a = pool[rng.below(pool.len())];
+        let b = pool[rng.below(pool.len())];
+        let c = pool[rng.below(pool.len())];
+        let (r, truth) = match rng.below(6) {
+            0 => (m.and(a.0, b.0), a.1 & b.1),
+            1 => (m.or(a.0, b.0), a.1 | b.1),
+            2 => (m.xor(a.0, b.0), a.1 ^ b.1),
+            3 => (m.ite(a.0, b.0, c.0), (a.1 & b.1) | (!a.1 & c.1 & mask())),
+            4 => (m.maj(a.0, b.0, c.0), (a.1 & b.1) | (b.1 & c.1) | (a.1 & c.1)),
+            _ => (!a.0, !a.1 & mask()),
+        };
+        let truth = truth & mask();
+        assert_eq!(
+            bdd_truth(&m, r),
+            truth,
+            "gc storm step {step}: BDD disagrees with oracle"
+        );
+        match canon.entry(truth) {
+            std::collections::hash_map::Entry::Occupied(e) => {
+                assert_eq!(*e.get(), r, "gc storm step {step}: canonicity broken");
+            }
+            std::collections::hash_map::Entry::Vacant(e) => {
+                e.insert(r);
+            }
+        }
+        // Rotate the protected working set: release the evicted root.
+        if pool.len() < POOL {
+            m.protect(r);
+            pool.push((r, truth));
+        } else {
+            let k = rng.below(POOL);
+            m.release(pool[k].0);
+            m.protect(r);
+            pool[k] = (r, truth);
+        }
+
+        if step % COLLECT_EVERY == COLLECT_EVERY - 1 {
+            m.collect();
+            collections += 1;
+            // (a) the protected pool survived intact.
+            for &(f, t) in &pool {
+                assert_eq!(bdd_truth(&m, f), t, "protected function corrupted by sweep");
+            }
+            // (b) reclaim-and-reuse keeps the unique table canonical: any
+            // op over surviving pool entries lands on its canonical node.
+            let x = pool[rng.below(pool.len())];
+            let y = pool[rng.below(pool.len())];
+            let redo1 = m.and(x.0, y.0);
+            let redo2 = m.and(x.0, y.0);
+            assert_eq!(redo1, redo2);
+            assert_eq!(bdd_truth(&m, redo1), x.1 & y.1 & mask());
+            // Unprotected refs (canon values, the redo above) may dangle
+            // after the *next* collect: drop them and re-seed from the
+            // protected pool.
+            canon.clear();
+            for &(f, t) in &pool {
+                canon.insert(t, f);
+            }
+        }
+    }
+
+    let stats = m.cache_stats();
+    assert!(collections >= 19);
+    assert!(
+        stats.reclaimed_total > stats.peak_nodes as u64,
+        "storm must recycle more nodes than the arena ever held \
+         (reclaimed {}, peak {})",
+        stats.reclaimed_total,
+        stats.peak_nodes
+    );
+    assert_eq!(stats.live_nodes + stats.free_nodes, m.num_nodes());
+}
+
+/// The bounded-memory proof for long flows: a storm over enough variables
+/// that, without reclamation, the arena would grow monotonically with
+/// operation count (the PR-1 leak-by-design). With periodic
+/// [`Manager::maybe_collect`] the arena footprint must instead stay within
+/// a small constant factor of the live working set.
+#[test]
+fn gc_keeps_arena_within_constant_factor_of_live_size() {
+    const OPS: usize = 100_000;
+    const ACCS: usize = 8;
+    let mut m = Manager::new();
+    m.set_gc_config(GcConfig {
+        dead_fraction: 0.25,
+        min_nodes: 1 << 12,
+    });
+    let mut rng = Storm(0xBDD_6C_BDD_6C);
+    // The projection variables are used as operands across collection
+    // points, so they are roots too.
+    let vars: Vec<Ref> = (0..24)
+        .map(|i| {
+            let v = m.var(i);
+            m.protect(v)
+        })
+        .collect();
+    // A rotating set of protected accumulators keeps a live working set
+    // while every overwritten value becomes garbage.
+    let mut accs: Vec<Ref> = vars.iter().take(ACCS).map(|&v| m.protect(v)).collect();
+    let mut arena_after_collect = Vec::new();
+    for step in 0..OPS {
+        let i = rng.below(ACCS);
+        let a = accs[i];
+        let b = accs[rng.below(ACCS)];
+        let v = vars[rng.below(vars.len())];
+        let r = match rng.below(5) {
+            0 => m.and(a, v),
+            1 => m.or(a, v),
+            2 => m.xor(a, v),
+            3 => m.ite(v, a, b),
+            _ => m.ite(a, v, b),
+        };
+        // Random 24-variable combinations grow without bound; reset an
+        // accumulator that outgrows the working-set budget (the discarded
+        // function is exactly the kind of garbage the collector exists
+        // for).
+        let r = if m.size(r) > 500 { v } else { r };
+        m.release(accs[i]);
+        accs[i] = m.protect(r);
+        // The flow-level discipline: offer a collection at every quiescent
+        // point; the threshold gate keeps almost all of these free.
+        m.maybe_collect();
+        if step % 1_000 == 999 {
+            arena_after_collect.push((m.num_nodes(), m.live_nodes()));
+        }
+    }
+    m.collect();
+    let stats = m.cache_stats();
+    let live = m.live_nodes();
+    // Far more nodes were created than the arena ever held: reclamation,
+    // not growth, absorbed the storm.
+    assert!(
+        stats.reclaimed_total > 4 * stats.peak_nodes as u64,
+        "expected heavy recycling (reclaimed {}, peak arena {})",
+        stats.reclaimed_total,
+        stats.peak_nodes
+    );
+    assert!(stats.collections >= 5, "threshold collections must trigger");
+    // The arena footprint is a constant factor of the live size, not of
+    // the operation count: between-collection growth is bounded by the
+    // churn of one threshold window, far below the 100k-op total.
+    let max_arena = arena_after_collect.iter().map(|&(a, _)| a).max().unwrap_or(0);
+    let max_live = arena_after_collect.iter().map(|&(_, l)| l).max().unwrap_or(1);
+    assert!(
+        max_arena < 16 * max_live,
+        "arena footprint {max_arena} not within constant factor of live {max_live}"
+    );
+    // And the final sweep leaves exactly the protected working set (plus
+    // free slots) in the arena.
+    let mut roots = accs.clone();
+    roots.extend(vars.iter().copied());
+    let reachable = m.shared_size(&roots);
+    assert!(
+        live <= reachable + 1 + vars.len(),
+        "live nodes {live} must be the protected set (reachable {reachable})"
+    );
 }

@@ -6,7 +6,7 @@
 //! `--subset N` restricts the suite portion to the first N benchmarks (CI
 //! smoke runs use `--subset 3`).
 
-use bdd::Manager;
+use bdd::{GcConfig, Manager, Ref};
 use bench::timed;
 use circuits::suite::paper_suite;
 use std::fmt::Write as _;
@@ -64,6 +64,74 @@ struct StormResult {
     micros: u128,
     hit_rate: f64,
     nodes: usize,
+}
+
+struct GcStormResult {
+    ops: u64,
+    micros: u128,
+    reclaimed: u64,
+    collections: u64,
+    peak_nodes: usize,
+    final_nodes: usize,
+    live_nodes: usize,
+    hit_rate: f64,
+}
+
+/// The reclamation storm: a protected 8-accumulator working set over 24
+/// variables with heavy churn and threshold-triggered collections — the
+/// memory pattern of a long decomposition flow. Without the collector the
+/// arena would grow monotonically with `ops`; with it, `final_nodes` and
+/// `peak_nodes` stay within a constant factor of `live_nodes`.
+fn gc_storm(rounds: u32) -> GcStormResult {
+    let mut m = Manager::new();
+    m.set_gc_config(GcConfig {
+        dead_fraction: 0.25,
+        min_nodes: 1 << 12,
+    });
+    let vars: Vec<Ref> = (0..24)
+        .map(|i| {
+            let v = m.var(i);
+            m.protect(v)
+        })
+        .collect();
+    let mut accs: Vec<Ref> = vars.iter().take(8).map(|&v| m.protect(v)).collect();
+    let mut ops = 0u64;
+    let mut x = 0x9E37_79B9_7F4A_7C15u64;
+    let ((), elapsed) = timed(|| {
+        for _ in 0..rounds {
+            for i in 0..accs.len() {
+                x ^= x << 13;
+                x ^= x >> 7;
+                x ^= x << 17;
+                let a = accs[i];
+                let b = accs[(x as usize >> 8) % accs.len()];
+                let v = vars[(x as usize >> 16) % vars.len()];
+                let r = match x % 5 {
+                    0 => m.and(a, v),
+                    1 => m.or(a, v),
+                    2 => m.xor(a, v),
+                    3 => m.ite(v, a, b),
+                    _ => m.ite(a, v, b),
+                };
+                ops += 1;
+                let r = if m.size(r) > 500 { v } else { r };
+                m.release(accs[i]);
+                accs[i] = m.protect(r);
+                m.maybe_collect();
+            }
+        }
+    });
+    let stats = m.cache_stats();
+    GcStormResult {
+        ops,
+        micros: elapsed.as_micros(),
+        reclaimed: stats.reclaimed_total,
+        collections: stats.collections,
+        peak_nodes: stats.peak_nodes,
+        final_nodes: m.num_nodes(),
+        live_nodes: m.live_nodes(),
+        hit_rate: stats.hit_rate(),
+    }
 }
 
 fn run_storm(name: &'static str, f: fn(&mut Manager, u32) -> u64, rounds: u32) -> StormResult {
@@ -130,6 +198,20 @@ fn main() {
         );
     }
 
+    let gc = gc_storm(3_125);
+    println!(
+        "gc_storm   {:>8} ops in {:>8} µs  ({:.1} Mops/s, cache hit {:.1}%, reclaimed {} in {} collections, arena {} peak {} live {})",
+        gc.ops,
+        gc.micros,
+        gc.ops as f64 / gc.micros.max(1) as f64,
+        100.0 * gc.hit_rate,
+        gc.reclaimed,
+        gc.collections,
+        gc.final_nodes,
+        gc.peak_nodes,
+        gc.live_nodes
+    );
+
     // Suite portion: per-benchmark decomposition wall clock (Table I flows).
     let suite = paper_suite();
     let take = subset.unwrap_or(suite.len()).min(suite.len());
@@ -171,7 +253,21 @@ fn main() {
             if i + 1 < storms.len() { "," } else { "" }
         );
     }
-    json.push_str("  ],\n  \"suite\": {\n");
+    json.push_str("  ],\n");
+    let _ = write!(
+        json,
+        "  \"gc_storm\": {{\"ops\": {}, \"micros\": {}, \"mops_per_sec\": {:.3}, \"cache_hit_rate\": {:.4}, \"reclaimed\": {}, \"collections\": {}, \"peak_nodes\": {}, \"final_nodes\": {}, \"live_nodes\": {}}},\n",
+        gc.ops,
+        gc.micros,
+        gc.ops as f64 / gc.micros.max(1) as f64,
+        gc.hit_rate,
+        gc.reclaimed,
+        gc.collections,
+        gc.peak_nodes,
+        gc.final_nodes,
+        gc.live_nodes
+    );
+    json.push_str("  \"suite\": {\n");
     let _ = write!(
         json,
         "    \"benchmarks_run\": {},\n    \"benchmarks_total\": {},\n    \"wall_clock_sec\": {:.4},\n",

@@ -2,6 +2,12 @@
 //! network partitioning → BDD decomposition with the majority hook →
 //! factoring trees with sharing. Also provides the BDS-PGA baseline (the
 //! same engine with the majority hook disabled).
+//!
+//! Both flows run in bounded BDD memory: the engine underneath declares
+//! supernode functions as garbage-collection roots, releases them as
+//! their gates are emitted, and lets the manager reclaim dead
+//! intermediates between supernodes (see `bdd::Manager::collect`), so
+//! long multi-benchmark runs do not accumulate every intermediate node.
 
 use crate::maj::{MajConfig, MajDecomposer};
 use decomp::{decompose_network, DecomposeResult, EngineOptions, NoMajority};

@@ -245,6 +245,11 @@ pub fn maj_decompose(m: &mut Manager, f: Ref, config: &MajConfig) -> Option<MajC
 pub struct MajDecomposer {
     config: MajConfig,
     cache: HashMap<Ref, Option<[Ref; 3]>>,
+    /// Manager GC epoch the memo was built against. The memo is keyed by
+    /// `Ref` and stores unprotected triples, so after any collection that
+    /// reclaimed nodes both keys and values may alias recycled slots — the
+    /// whole memo is dropped when the epoch moves.
+    gc_epoch: u64,
     /// Number of functions successfully decomposed through MAJ.
     pub accepted: usize,
     /// Number of functions where MAJ was evaluated and rejected.
@@ -268,6 +273,10 @@ impl MajDecomposer {
 
 impl MajorityHook for MajDecomposer {
     fn try_majority(&mut self, m: &mut Manager, f: Ref) -> Option<[Ref; 3]> {
+        if m.gc_epoch() != self.gc_epoch {
+            self.cache.clear();
+            self.gc_epoch = m.gc_epoch();
+        }
         if let Some(hit) = self.cache.get(&f) {
             return *hit;
         }

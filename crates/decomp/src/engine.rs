@@ -79,6 +79,12 @@ pub struct DecomposeResult {
 /// The result is a functionally equivalent network over the same primary
 /// inputs/outputs, built from two-input AND/OR/XNOR gates, MAJ-3, MUX and
 /// inverters, with sharing across factoring trees.
+///
+/// Memory-wise the flow is bounded: the partition protects each supernode
+/// function as a collection root, the engine releases it once the
+/// supernode's gates are emitted, and the manager is offered a collection
+/// between supernodes — so the arena tracks the largest live working set
+/// instead of accumulating every intermediate of the whole run.
 pub fn decompose_network(
     net: &Network,
     options: &EngineOptions,
@@ -127,6 +133,11 @@ pub fn decompose_network(
                 function = reordered.function;
             }
         }
+        // The function under decomposition is the iteration's root (it may
+        // be a reordered rebuild rather than the partition-protected
+        // original); everything decompose_function creates below it is
+        // transient and reclaimable once the supernode is emitted.
+        manager.protect(function);
         let mut fe = FunctionEmitter::new(var_signals);
         let sig = decompose_function(
             &mut manager,
@@ -139,6 +150,12 @@ pub fn decompose_network(
             0,
         );
         signal_map.insert(sn.root, sig);
+        manager.release(function);
+        // The partition's claim on this supernode is done too: its gates
+        // are emitted, and later supernodes reference *signals*, not Refs.
+        manager.release(sn.function);
+        drop(fe); // fe's Ref-keyed memo must not outlive a collection
+        manager.maybe_collect();
     }
     for (name, s) in net.outputs() {
         out.set_output(name.clone(), signal_map[s]);

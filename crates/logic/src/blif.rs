@@ -270,17 +270,15 @@ pub fn write_blif(net: &Network) -> String {
             GateKind::Nand => {
                 let _ = writeln!(out, "{header}");
                 for i in 0..n {
-                    let mut row = vec![b'-'; n];
-                    row[i] = b'0';
-                    let _ = writeln!(out, "{} 1", String::from_utf8(row).unwrap());
+                    let row: String = (0..n).map(|j| if j == i { '0' } else { '-' }).collect();
+                    let _ = writeln!(out, "{row} 1");
                 }
             }
             GateKind::Or => {
                 let _ = writeln!(out, "{header}");
                 for i in 0..n {
-                    let mut row = vec![b'-'; n];
-                    row[i] = b'1';
-                    let _ = writeln!(out, "{} 1", String::from_utf8(row).unwrap());
+                    let row: String = (0..n).map(|j| if j == i { '1' } else { '-' }).collect();
+                    let _ = writeln!(out, "{row} 1");
                 }
             }
             GateKind::Nor => {

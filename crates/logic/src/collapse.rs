@@ -41,7 +41,9 @@ pub struct Supernode {
     pub root: SignalId,
     /// Boundary signals feeding the supernode; input `i` is BDD variable `i`.
     pub inputs: Vec<SignalId>,
-    /// Local function over `inputs`, in the shared manager.
+    /// Local function over `inputs`, in the shared manager. [`partition`]
+    /// protects it as a garbage-collection root; whoever finishes with the
+    /// supernode releases it (see [`Partition::release_roots`]).
     pub function: Ref,
 }
 
@@ -60,6 +62,15 @@ impl Partition {
             .map(|s| manager.size(s.function))
             .sum()
     }
+
+    /// Releases every supernode function protected by [`partition`].
+    /// Consumers that release per supernode as they go (the decomposition
+    /// engine does) must not also call this.
+    pub fn release_roots(&self, manager: &mut Manager) {
+        for sn in &self.supernodes {
+            manager.release(sn.function);
+        }
+    }
 }
 
 /// Partially collapses `net` into supernodes and builds one local BDD per
@@ -69,6 +80,13 @@ impl Partition {
 /// fanout exceeds the configured limit, and signals where the merged
 /// support would exceed `max_support`. Every boundary signal that is not a
 /// primary input becomes a [`Supernode`].
+///
+/// Each supernode function is declared a garbage-collection root
+/// ([`Manager::protect`]) the moment it is built, and the manager is
+/// offered a [`Manager::maybe_collect`] between cone builds, so the
+/// intermediates of already-finished cones can be recycled while later
+/// cones are still being collapsed. Callers own the roots: release each
+/// function when done with it (or use [`Partition::release_roots`]).
 pub fn partition(net: &Network, manager: &mut Manager, config: PartitionConfig) -> Partition {
     // Pre-size the manager's unique table for the whole partition: local
     // BDDs are built per supernode into one shared manager, and growing
@@ -143,11 +161,16 @@ pub fn partition(net: &Network, manager: &mut Manager, config: PartitionConfig) 
             continue;
         }
         let (inputs, function) = build_local_bdd(net, manager, id, &boundary);
+        manager.protect(function);
         part.supernodes.push(Supernode {
             root: id,
             inputs,
             function,
         });
+        // A finished cone's intermediates (the per-gate partial products
+        // of eval_cone) are dead now; between builds every live function
+        // is a protected supernode root, so collection is safe.
+        manager.maybe_collect();
     }
     part
 }
