@@ -6,7 +6,10 @@
 //! reclaimed arena slots; a [`NodeStats`] snapshot, like any other
 //! `Ref`/`NodeId` collection, is invalidated by a garbage collection
 //! (compare [`Manager::gc_epoch`] when holding one across collection
-//! points).
+//! points). Everything is order-agnostic: evaluation and support index by
+//! variable *identity*, not by level, so results are unchanged by
+//! reordering (level swaps and sifting preserve each `Ref`'s function,
+//! though `size` may of course change — that is the point of sifting).
 
 use crate::hasher::BuildFxHasher;
 use crate::manager::Manager;
@@ -116,7 +119,8 @@ impl Manager {
     }
 
     /// The set of variables `f` structurally depends on, in increasing
-    /// index order.
+    /// *index* order (independent of where they currently sit in the
+    /// level order).
     pub fn support(&self, f: Ref) -> Vec<Var> {
         let mut vars: HashSet<u32, BuildFxHasher> = HashSet::default();
         let mut seen = self.visited.borrow_mut();

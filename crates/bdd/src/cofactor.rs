@@ -6,6 +6,12 @@
 //! both return a function that agrees with `f` wherever the care set `c`
 //! holds, while being (heuristically) smaller outside it.
 //!
+//! All recursions branch on *levels* (current order positions, via
+//! [`Manager::level`]), never on raw variable indices, so they are
+//! correct under any order installed by the reordering machinery;
+//! constants report the `u32::MAX` pseudo-level, which subsumes the old
+//! per-kernel terminal special cases.
+//!
 //! All recursions here memoize through the manager's shared computed cache
 //! (tags `op::COFACTOR`, `op::RESTRICT`, `op::CONSTRAIN`, `op::SCOPED`)
 //! instead of allocating a fresh `HashMap` per call: results persist across
@@ -26,7 +32,11 @@ impl Manager {
     }
 
     fn cofactor_rec(&mut self, f: Ref, v: Var, value: bool) -> Ref {
-        if f.is_const() || self.level(f) > v.0 {
+        // One level comparison covers every identity case: constants (the
+        // u32::MAX pseudo-level), functions entirely below `v` in the
+        // order, and variables the manager has never seen.
+        let vl = self.var_level(v.0);
+        if vl == u32::MAX || self.level(f) > vl {
             return f;
         }
         // Complements commute with cofactoring; recurse on the regular
@@ -38,7 +48,7 @@ impl Manager {
         if let Some(r) = self.cache.lookup(op::COFACTOR, f.raw(), key_b, 0) {
             return r;
         }
-        let top = Var(self.level(f));
+        let top = self.top_var(f).expect("non-constant here");
         let (f0, f1) = self.shallow_cofactors(f, top);
         let r = if top == v {
             if value {
@@ -103,12 +113,13 @@ impl Manager {
         let r = if cv < fv {
             // The care-set top variable does not influence f here: remove it.
             let c_drop = {
-                let (c0, c1) = self.shallow_cofactors(c, Var(cv));
+                let cvar = self.var_at_level(cv);
+                let (c0, c1) = self.shallow_cofactors(c, cvar);
                 self.or(c0, c1)
             };
             self.restrict_rec(f, c_drop)
         } else {
-            let v = Var(fv);
+            let v = self.var_at_level(fv);
             let (f0, f1) = self.shallow_cofactors(f, v);
             let (c0, c1) = self.shallow_cofactors(c, v);
             if c0.is_zero() {
@@ -152,7 +163,7 @@ impl Manager {
         if let Some(r) = self.cache.lookup(op::CONSTRAIN, f.raw(), c.raw(), 0) {
             return r;
         }
-        let v = Var(self.level(f).min(self.level(c)));
+        let v = self.var_at_level(self.level(f).min(self.level(c)));
         let (f0, f1) = self.shallow_cofactors(f, v);
         let (c0, c1) = self.shallow_cofactors(c, v);
         let r = if c0.is_zero() {

@@ -70,6 +70,34 @@
 //! (`reclaimed_total`/`collections`/`free_nodes`/`live_nodes` in
 //! [`CacheStats`]), which the bench binaries report.
 //!
+//! # Variables vs. levels, and dynamic reordering
+//!
+//! A variable's *index* is its identity — what assignments, gate bindings
+//! and callers name — while its *level* is its current position in the
+//! decision order (0 = root). The manager decouples the two through a
+//! `var2level`/`level2var` permutation pair, and every recursive kernel
+//! branches on levels (via [`Manager::level`], where constants report the
+//! `u32::MAX` pseudo-level), so the order can change *without rebuilding
+//! any function*:
+//!
+//! * [`Manager::swap_levels`] exchanges two adjacent levels in place,
+//!   rewriting only the upper-level nodes that reference the lower level
+//!   and patching their arena slots through the unique table — every
+//!   outstanding [`Ref`] keeps denoting the same function.
+//! * [`Manager::sift`] is Rudell's sifting on top of the swap primitive
+//!   (growth-abort factor + swap budget, [`SiftConfig`]); it minimizes the
+//!   node count of the protected roots. [`window_reorder`] drives the same
+//!   swaps through a sliding window-permutation search, and [`sift_reorder`]
+//!   scopes a sift to one function.
+//! * Sifting runs only at explicit quiescent points, never inside a
+//!   kernel: flows either call the search functions directly (the BDS
+//!   engine reorders each supernode cone before decomposition) or enable
+//!   the threshold-gated [`Manager::maybe_sift`] hook
+//!   ([`AutoSiftConfig`], off by default), which the partition and
+//!   decomposition layers offer at the same points as `maybe_collect`.
+//!   Swaps preserve every `Ref` but displace nodes into garbage, so a
+//!   `maybe_collect` should follow.
+//!
 //! # Example
 //!
 //! ```
@@ -101,9 +129,12 @@ mod sat;
 
 pub use analysis::{InDegree, NodeStats};
 pub use hasher::{BuildFxHasher, FxHasher};
-pub use manager::{CacheStats, GcConfig, Manager, Node, DEFAULT_CACHE_BITS};
+pub use manager::{
+    AutoSiftConfig, CacheStats, GcConfig, Manager, Node, SiftConfig, SiftReport,
+    DEFAULT_CACHE_BITS,
+};
 pub use reference::{NodeId, Ref, Var};
-pub use reorder::{window_reorder, Reordered};
+pub use reorder::{invert, sift_reorder, window_reorder, Reordered};
 
 #[cfg(test)]
 mod tests {

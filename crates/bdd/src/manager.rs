@@ -49,6 +49,32 @@
 //! function is protected. This keeps the hot `mk` path free of refcount
 //! traffic while still bounding arena growth to a constant factor of the
 //! live size.
+//!
+//! # Variable order
+//!
+//! A variable's *index* is its identity (what callers, assignments and
+//! gate bindings name); its *level* is its current position in the
+//! decision order, `0` being the root. The two are decoupled through the
+//! [`Manager`]'s `var2level`/`level2var` permutation maps, and every
+//! recursive kernel branches on levels, so the order can change without
+//! rebuilding a single function:
+//!
+//! * [`Manager::swap_levels`] exchanges two *adjacent* levels in place:
+//!   only the nodes at the upper level that reference the lower one are
+//!   rewritten (their arena slots are patched through the unique table),
+//!   so every outstanding [`Ref`] keeps denoting the same function.
+//! * [`Manager::sift`] is Rudell's sifting on top of the swap: each
+//!   variable (densest level first) is moved through the whole order and
+//!   parked at the position minimizing the protected-root node count,
+//!   with a growth-abort factor and a total swap budget ([`SiftConfig`]).
+//! * [`Manager::maybe_sift`] is the flow-level hook, threshold-gated like
+//!   [`Manager::maybe_collect`] ([`AutoSiftConfig`], disabled by
+//!   default): flows offer it at the same quiescent points as collection.
+//!
+//! Swaps preserve the function behind every existing `Ref` (unlike
+//! collection, which invalidates unprotected ones), but they do create
+//! garbage — the displaced lower-level nodes — so flows pair
+//! `maybe_sift` with a following `maybe_collect`.
 
 use crate::reference::{NodeId, Ref, Var};
 use std::cell::RefCell;
@@ -59,10 +85,13 @@ use std::cell::RefCell;
 /// Invariants maintained by the [`Manager`]:
 /// * `high` (the 1-edge) is never complemented;
 /// * `low != high`;
-/// * the top variables of `low` and `high` are strictly below `var`.
+/// * the top variables of `low` and `high` sit at strictly deeper
+///   *levels* than `var` (in the current `var2level` order).
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
 pub struct Node {
-    /// Decision variable (also the level; variable 0 is the root level).
+    /// Decision variable *index* (its identity). The variable's current
+    /// position in the order is `Manager::var2level`; the two coincide
+    /// only until the first reordering.
     pub var: Var,
     /// Negative (0-edge) cofactor; may be complemented.
     pub low: Ref,
@@ -143,6 +172,12 @@ pub struct CacheStats {
     /// Number of collections that actually swept (mark passes that found
     /// nothing to reclaim are not counted).
     pub collections: u64,
+    /// Adjacent-level swaps performed by sifting over the manager's
+    /// lifetime (restore moves included).
+    pub sift_swaps: u64,
+    /// Number of [`Manager::sift`] passes run (including those triggered
+    /// through [`Manager::maybe_sift`]).
+    pub sifts: u64,
 }
 
 impl CacheStats {
@@ -179,6 +214,70 @@ impl Default for GcConfig {
     }
 }
 
+/// Tuning knobs of one [`Manager::sift`] pass (Rudell's algorithm).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct SiftConfig {
+    /// While moving one variable through the order, abort the current
+    /// direction once the rooted size exceeds this factor of the best
+    /// size seen for that variable (CUDD's `maxGrowth`).
+    pub max_growth: f64,
+    /// Total adjacent-swap budget of the pass. Once exhausted no further
+    /// variable is sifted; the in-flight variable still returns to its
+    /// best position (restore swaps may exceed the budget slightly).
+    pub max_swaps: usize,
+    /// Sift at most this many variables, densest level first.
+    pub max_vars: usize,
+}
+
+impl Default for SiftConfig {
+    fn default() -> Self {
+        SiftConfig {
+            max_growth: 1.2,
+            max_swaps: 4096,
+            max_vars: usize::MAX,
+        }
+    }
+}
+
+/// Outcome of a [`Manager::sift`] pass. Sizes are rooted sizes (nodes
+/// reachable from the protected roots, see [`Manager::rooted_size`]).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct SiftReport {
+    /// Rooted size before the pass.
+    pub initial_size: usize,
+    /// Rooted size after the pass (never larger than `initial_size`).
+    pub final_size: usize,
+    /// Adjacent-level swaps performed, restores included.
+    pub swaps: usize,
+    /// Variables actually moved through the order.
+    pub vars_sifted: usize,
+}
+
+/// Gating of the automatic [`Manager::maybe_sift`] hook. Disabled by
+/// default; flows that want dynamic reordering enable it and then offer
+/// `maybe_sift` at the same quiescent points as `maybe_collect`.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct AutoSiftConfig {
+    /// Master switch; when false, [`Manager::maybe_sift`] is a no-op.
+    pub enabled: bool,
+    /// The first sift triggers once this many nodes are live; after each
+    /// sift the threshold is re-armed at twice the post-sift live size
+    /// (never below this floor).
+    pub min_nodes: usize,
+    /// Per-pass budgets forwarded to [`Manager::sift`].
+    pub sift: SiftConfig,
+}
+
+impl Default for AutoSiftConfig {
+    fn default() -> Self {
+        AutoSiftConfig {
+            enabled: false,
+            min_nodes: 4096,
+            sift: SiftConfig::default(),
+        }
+    }
+}
+
 /// One direct-mapped computed-cache slot: the full operation key, the
 /// result, and the generation that wrote it.
 #[derive(Clone, Copy, Default)]
@@ -193,10 +292,22 @@ struct CacheEntry {
 }
 
 /// The fixed-size, direct-mapped, lossy operation cache.
+///
+/// Entries are tagged by one of *two* generations: most operations are
+/// function-valued (their keys and results are `Ref`s whose functions the
+/// in-place level swap preserves), but the Coudert–Madre generalized
+/// cofactors pick their result *using the variable order*, so their memo
+/// must not survive a reordering. [`ComputedCache::clear_order_sensitive`]
+/// retires only the latter in O(1), keeping the ITE/AND/XOR/cofactor memo
+/// warm across level swaps — the same warm-memo philosophy as the GC's
+/// selective scrub.
 pub(crate) struct ComputedCache {
     entries: Vec<CacheEntry>,
     mask: usize,
     generation: u32,
+    /// Generation of the order-sensitive ops (`RESTRICT`, `CONSTRAIN`);
+    /// bumped by every node-rewriting level swap.
+    order_generation: u32,
     lookups: u64,
     hits: u64,
     insertions: u64,
@@ -206,6 +317,13 @@ pub(crate) struct ComputedCache {
 /// low `GEN_SHIFT` bits.
 const GEN_SHIFT: u32 = 3;
 
+/// Whether a memoized result of `op` depends on the current variable
+/// order (rather than only on the operand functions).
+#[inline(always)]
+fn order_sensitive(op: u32) -> bool {
+    op == op::RESTRICT || op == op::CONSTRAIN
+}
+
 impl ComputedCache {
     fn with_bits(bits: u32) -> ComputedCache {
         let n = 1usize << bits.clamp(8, 28);
@@ -213,6 +331,7 @@ impl ComputedCache {
             entries: vec![CacheEntry::default(); n],
             mask: n - 1,
             generation: 1,
+            order_generation: 1,
             lookups: 0,
             hits: 0,
             insertions: 0,
@@ -225,10 +344,20 @@ impl ComputedCache {
     }
 
     #[inline(always)]
+    fn tag_for(&self, op: u32) -> u32 {
+        let gen = if order_sensitive(op) {
+            self.order_generation
+        } else {
+            self.generation
+        };
+        gen << GEN_SHIFT | op
+    }
+
+    #[inline(always)]
     pub(crate) fn lookup(&mut self, op: u32, a: u32, b: u32, c: u32) -> Option<Ref> {
         self.lookups += 1;
         let e = &self.entries[self.slot(op, a, b, c)];
-        if e.tag == (self.generation << GEN_SHIFT | op) && e.a == a && e.b == b && e.c == c {
+        if e.tag == self.tag_for(op) && e.a == a && e.b == b && e.c == c {
             self.hits += 1;
             Some(Ref::from_raw(e.result))
         } else {
@@ -244,18 +373,34 @@ impl ComputedCache {
             a,
             b,
             c,
-            tag: self.generation << GEN_SHIFT | op,
+            tag: self.tag_for(op),
             result: result.raw(),
         };
     }
 
-    /// O(1) clear: bump the generation so every slot is stale. On the
-    /// (practically unreachable) generation wrap, pay one real wipe.
+    /// O(1) clear of everything: bump both generations so every slot is
+    /// stale. On the (practically unreachable) generation wrap, pay one
+    /// real wipe.
     fn clear(&mut self) {
         self.generation += 1;
-        if self.generation >= u32::MAX >> GEN_SHIFT {
+        self.order_generation += 1;
+        if self.generation >= u32::MAX >> GEN_SHIFT
+            || self.order_generation >= u32::MAX >> GEN_SHIFT
+        {
             self.entries.fill(CacheEntry::default());
             self.generation = 1;
+            self.order_generation = 1;
+        }
+    }
+
+    /// O(1) clear of only the order-sensitive results (the conservative
+    /// post-swap scrub); function-valued memos stay warm.
+    fn clear_order_sensitive(&mut self) {
+        self.order_generation += 1;
+        if self.order_generation >= u32::MAX >> GEN_SHIFT {
+            self.entries.fill(CacheEntry::default());
+            self.generation = 1;
+            self.order_generation = 1;
         }
     }
 }
@@ -348,8 +493,25 @@ pub struct Manager {
     pub(crate) scope_epoch: u32,
     pub(crate) visited: RefCell<VisitScratch>,
     num_vars: u32,
+    /// Position of each variable in the decision order
+    /// (`var2level[var] = level`; always a permutation of `0..num_vars`).
+    var2level: Vec<u32>,
+    /// Inverse of `var2level` (`level2var[level] = var`).
+    level2var: Vec<u32>,
+    /// Exact per-variable slot lists (`var_nodes[var]` holds every arena
+    /// slot currently storing a node of that variable, live or
+    /// dead-but-unswept). Maintained by `mk` on creation, by the level
+    /// swap when nodes change variable, and rebuilt by the sweep — this
+    /// is what makes [`Manager::swap_levels`] O(level population) instead
+    /// of O(arena).
+    var_nodes: Vec<Vec<u32>>,
     var_names: Vec<Option<String>>,
     gc: GcConfig,
+    auto_sift: AutoSiftConfig,
+    /// Live-node threshold re-arming [`Manager::maybe_sift`].
+    next_sift: usize,
+    sift_swaps: u64,
+    sifts: u64,
     /// Number of collections that reclaimed at least one node. Holders of
     /// `Ref`-keyed side tables (e.g. the majority hook's memo) compare
     /// this against a saved value to know when their keys may dangle.
@@ -406,8 +568,15 @@ impl Manager {
             scope_epoch: 0,
             visited: RefCell::new(VisitScratch::default()),
             num_vars: 0,
+            var2level: Vec::new(),
+            level2var: Vec::new(),
+            var_nodes: Vec::new(),
             var_names: Vec::new(),
             gc: GcConfig::default(),
+            auto_sift: AutoSiftConfig::default(),
+            next_sift: AutoSiftConfig::default().min_nodes,
+            sift_swaps: 0,
+            sifts: 0,
             gc_epoch: 0,
             reclaimed_total: 0,
             allocs_since_gc: 0,
@@ -445,12 +614,26 @@ impl Manager {
     }
 
     /// Returns the projection function of variable `index`, growing the
-    /// variable count if needed.
+    /// variable count if needed (new variables enter at the deepest
+    /// levels, leaving the existing order untouched).
     pub fn var(&mut self, index: u32) -> Ref {
-        if index >= self.num_vars {
-            self.num_vars = index + 1;
-        }
+        self.ensure_var(index);
         self.mk(Var(index), Ref::ZERO, Ref::ONE)
+    }
+
+    /// Registers `index` (and any gap below it) in the order maps; new
+    /// variables are appended at the deepest levels in index order.
+    fn ensure_var(&mut self, index: u32) {
+        if index < self.num_vars {
+            return;
+        }
+        self.num_vars = index + 1;
+        while (self.var2level.len() as u32) < self.num_vars {
+            let next = self.var2level.len() as u32;
+            self.var2level.push(next);
+            self.level2var.push(next);
+            self.var_nodes.push(Vec::new());
+        }
     }
 
     /// Number of variables known to the manager.
@@ -486,7 +669,7 @@ impl Manager {
         n
     }
 
-    /// The decision variable level of an edge's node; `None` for constants.
+    /// The decision variable of an edge's top node; `None` for constants.
     pub fn top_var(&self, f: Ref) -> Option<Var> {
         if f.is_const() {
             None
@@ -495,11 +678,51 @@ impl Manager {
         }
     }
 
-    /// Level (variable index) of an edge, with constants at the deepest
-    /// pseudo-level. Smaller means closer to the root.
+    /// Level of an edge's top node in the current variable order, the
+    /// *one shared helper* every kernel branches on: constants (and the
+    /// poisoned/unregistered sentinels) report `u32::MAX`, the pseudo-level
+    /// below every real one. Smaller means closer to the root.
     #[inline(always)]
-    pub(crate) fn level(&self, f: Ref) -> u32 {
-        self.nodes[f.node().index()].var.0
+    pub fn level(&self, f: Ref) -> u32 {
+        self.var_level(self.nodes[f.node().index()].var.0)
+    }
+
+    /// Level of a variable index; `u32::MAX` for the terminal/free
+    /// sentinels and for variables the manager has never seen.
+    #[inline(always)]
+    pub(crate) fn var_level(&self, var: u32) -> u32 {
+        match self.var2level.get(var as usize) {
+            Some(&l) => l,
+            None => u32::MAX,
+        }
+    }
+
+    /// Level of variable `v` in the current order (`u32::MAX` if `v` is
+    /// unknown to the manager).
+    pub fn level_of_var(&self, v: Var) -> u32 {
+        self.var_level(v.0)
+    }
+
+    /// The variable currently sitting at `level`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `level >= num_vars`.
+    #[inline(always)]
+    pub fn var_at_level(&self, level: u32) -> Var {
+        Var(self.level2var[level as usize])
+    }
+
+    /// The current order as `var2level[var] = level` (a permutation of
+    /// `0..num_vars`).
+    pub fn var2level(&self) -> &[u32] {
+        &self.var2level
+    }
+
+    /// The current order as `level2var[level] = var` (the inverse of
+    /// [`Manager::var2level`]).
+    pub fn level2var(&self) -> &[u32] {
+        &self.level2var
     }
 
     /// Associates a display name with a variable (used by the DOT export).
@@ -520,19 +743,21 @@ impl Manager {
     }
 
     /// Finds or creates the node `(var, low, high)`, applying the reduction
-    /// rules (equal children; complement pushed off the 1-edge).
+    /// rules (equal children; complement pushed off the 1-edge). Unknown
+    /// variables are registered at the deepest level first.
     ///
     /// # Panics
     ///
-    /// In debug builds, panics if the children are not strictly below `var`
-    /// in the order (which would break canonicity).
+    /// In debug builds, panics if the children's levels are not strictly
+    /// below `var`'s level (which would break canonicity).
     #[inline]
     pub fn mk(&mut self, var: Var, low: Ref, high: Ref) -> Ref {
+        self.ensure_var(var.0);
         if low == high {
             return low;
         }
         debug_assert!(
-            var.0 < self.level(low) && var.0 < self.level(high),
+            self.var_level(var.0) < self.level(low) && self.var_level(var.0) < self.level(high),
             "mk: ordering violated at {var:?}"
         );
         if high.is_complemented() {
@@ -577,6 +802,7 @@ impl Manager {
                 idx
             }
         };
+        self.var_nodes[var.index()].push(idx);
         self.allocs_since_gc += 1;
         self.buckets[i] = idx;
         self.occupied += 1;
@@ -607,13 +833,15 @@ impl Manager {
     }
 
     /// Cofactors `f` with respect to variable `v` assumed to be at or above
-    /// `f`'s top level: returns `(f|v=0, f|v=1)`.
+    /// `f`'s top level: returns `(f|v=0, f|v=1)`. Comparing the stored top
+    /// variable covers the constant case too (the terminal's sentinel never
+    /// equals a real variable), so there is no separate terminal branch.
     #[inline(always)]
     pub(crate) fn shallow_cofactors(&self, f: Ref, v: Var) -> (Ref, Ref) {
-        if f.is_const() || self.level(f) != v.0 {
+        let n = self.nodes[f.node().index()];
+        if n.var != v {
             (f, f)
         } else {
-            let n = self.nodes[f.node().index()];
             let c = f.is_complemented();
             (n.low.xor_complement(c), n.high.xor_complement(c))
         }
@@ -658,6 +886,8 @@ impl Manager {
             free_nodes: self.free.len(),
             reclaimed_total: self.reclaimed_total,
             collections: self.gc_epoch,
+            sift_swaps: self.sift_swaps,
+            sifts: self.sifts,
         }
     }
 
@@ -817,6 +1047,18 @@ impl Manager {
                 self.free.push(i as u32);
             }
         }
+        // The sweep may have poisoned slots listed anywhere: rebuild the
+        // per-variable slot lists from the survivors (one O(arena) pass,
+        // which the sweep already paid), keeping them exact.
+        for list in &mut self.var_nodes {
+            list.clear();
+        }
+        for i in 1..n {
+            let v = self.nodes[i].var.0 as usize;
+            if let Some(list) = self.var_nodes.get_mut(v) {
+                list.push(i as u32);
+            }
+        }
         // The unique table still lists the dead nodes: rebuild it from the
         // survivors, shrinking when they'd fit a quarter-size table.
         self.occupied = live;
@@ -852,6 +1094,330 @@ impl Manager {
         self.gc_epoch += 1;
         self.reclaimed_total += dead as u64;
         dead
+    }
+
+    // ------------------------------------------------------------------
+    // Dynamic variable ordering (in-place adjacent swap + Rudell sifting).
+    // ------------------------------------------------------------------
+
+    /// Number of internal nodes reachable from the externally protected
+    /// roots — the size metric sifting minimizes. Unprotected garbage
+    /// (dead intermediates awaiting collection) is excluded, so the
+    /// metric is stable under churn.
+    pub fn rooted_size(&self) -> usize {
+        let mut seen = self.visited.borrow_mut();
+        seen.begin(self.nodes.len());
+        let mut stack: Vec<u32> = Vec::new();
+        for (i, &rc) in self.refs.iter().enumerate().skip(1) {
+            if rc > 0 {
+                stack.push(i as u32);
+            }
+        }
+        let mut count = 0usize;
+        while let Some(i) = stack.pop() {
+            if !seen.mark(i as usize) {
+                continue;
+            }
+            count += 1;
+            let n = self.nodes[i as usize];
+            if !n.low.node().is_terminal() {
+                stack.push(n.low.node().0);
+            }
+            if !n.high.node().is_terminal() {
+                stack.push(n.high.node().0);
+            }
+        }
+        count
+    }
+
+    /// Exchanges level `level` with level `level + 1` *in place*.
+    ///
+    /// Only the nodes at the upper level whose children sit at the lower
+    /// level are rewritten; their arena slots are patched (detached from
+    /// the unique table, re-expressed over the swapped order, re-inserted),
+    /// so every outstanding [`Ref`] keeps denoting the same Boolean
+    /// function across the swap — nothing dangles, unprotected or not.
+    /// Displaced lower-level nodes may become garbage for the next
+    /// collection to reclaim. The computed cache is scrubbed conservatively
+    /// (an O(1) generation bump) whenever any node is rewritten.
+    ///
+    /// Cost is proportional to the upper level's population (via the
+    /// per-variable slot lists), not to the arena — sifting calls this in
+    /// a tight loop.
+    ///
+    /// Returns the number of rewritten nodes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `level + 1 >= num_vars`.
+    pub fn swap_levels(&mut self, level: u32) -> usize {
+        let l = level as usize;
+        assert!(
+            l + 1 < self.level2var.len(),
+            "swap_levels: level {level} out of range ({} variables)",
+            self.level2var.len()
+        );
+        let x = self.level2var[l];
+        let y = self.level2var[l + 1];
+        // Only upper-level nodes referencing the lower level change shape;
+        // everything else is order-independent under an adjacent swap.
+        let list = std::mem::take(&mut self.var_nodes[x as usize]);
+        let mut keep: Vec<u32> = Vec::with_capacity(list.len());
+        let mut moved: Vec<(u32, Node)> = Vec::new();
+        for &slot in &list {
+            let n = self.nodes[slot as usize];
+            debug_assert_eq!(n.var.0, x, "per-variable slot list out of sync");
+            let low_y = self.nodes[n.low.node().index()].var.0 == y;
+            let high_y = self.nodes[n.high.node().index()].var.0 == y;
+            if low_y || high_y {
+                moved.push((slot, n));
+            } else {
+                keep.push(slot);
+            }
+        }
+        self.var_nodes[x as usize] = keep;
+        // The order maps swap unconditionally.
+        self.level2var.swap(l, l + 1);
+        self.var2level[x as usize] = (l + 1) as u32;
+        self.var2level[y as usize] = l as u32;
+        if moved.is_empty() {
+            return 0;
+        }
+        // Detach the rewritten slots from the unique table (backward-shift
+        // deletion) and poison them so a mid-rewrite table growth cannot
+        // re-insert a stale triple; refcounts and identities are kept.
+        for &(i, n) in &moved {
+            self.remove_slot(i, &n);
+            self.nodes[i as usize].var = Var(FREE_VAR);
+        }
+        let (xv, yv) = (Var(x), Var(y));
+        for &(i, n) in &moved {
+            // f = x·f1 + x'·f0 = y·(x·f11 + x'·f01) + y'·(x·f10 + x'·f00).
+            let (f00, f01) = self.shallow_cofactors(n.low, yv);
+            let (f10, f11) = self.shallow_cofactors(n.high, yv);
+            let new_low = self.mk(xv, f00, f10);
+            let new_high = self.mk(xv, f01, f11);
+            // `f11` is a cofactor of the regular `n.high`, hence regular,
+            // so the patched 1-edge stays regular; and the children cannot
+            // collapse (that would need `f0 == f1`).
+            debug_assert!(!new_high.is_complemented(), "swap: 1-edge must stay regular");
+            debug_assert_ne!(new_low, new_high, "swap: a rewritten node cannot vanish");
+            self.nodes[i as usize] = Node {
+                var: yv,
+                low: new_low,
+                high: new_high,
+            };
+            self.insert_slot(i);
+            self.var_nodes[y as usize].push(i);
+        }
+        // Conservative cache scrub. Most memoized results survive a swap
+        // unchanged: their keys and results are `Ref`s, the swap preserves
+        // every Ref's function, and ITE/AND/XOR/COFACTOR/SCOPED results
+        // are determined by operand functions alone. The Coudert–Madre
+        // restrict/constrain results additionally depend on the variable
+        // *order*, so exactly that class is retired (O(1) generation
+        // bump) — the rest of the memo stays warm across reordering.
+        self.cache.clear_order_sensitive();
+        moved.len()
+    }
+
+    /// Removes one arena slot from the unique table by backward-shift
+    /// deletion (no tombstones, so later probes stay one-load-per-step).
+    /// `n` is the node content the slot is currently hashed under.
+    fn remove_slot(&mut self, idx: u32, n: &Node) {
+        let mask = self.bucket_mask;
+        let mut i = (triple_hash(n.var.0, n.low.raw(), n.high.raw()) as usize) & mask;
+        while self.buckets[i] != idx {
+            debug_assert!(self.buckets[i] != 0, "remove_slot: slot not in the table");
+            i = (i + 1) & mask;
+        }
+        // Shift the rest of the probe cluster back over the hole so no
+        // entry becomes unreachable from its ideal bucket.
+        let mut hole = i;
+        let mut j = (hole + 1) & mask;
+        loop {
+            let b = self.buckets[j];
+            if b == 0 {
+                break;
+            }
+            let nb = self.nodes[b as usize];
+            let ideal = (triple_hash(nb.var.0, nb.low.raw(), nb.high.raw()) as usize) & mask;
+            // `b` may move into the hole iff its ideal bucket is not in
+            // the (cyclic) open interval (hole, j].
+            if (j.wrapping_sub(ideal) & mask) >= (j.wrapping_sub(hole) & mask) {
+                self.buckets[hole] = b;
+                hole = j;
+            }
+            j = (j + 1) & mask;
+        }
+        self.buckets[hole] = 0;
+        self.occupied -= 1;
+    }
+
+    /// Inserts an existing arena slot into the unique table (the slot's
+    /// triple must not already be present — guaranteed by the level-swap
+    /// rewrite, which never recreates an existing function's node).
+    fn insert_slot(&mut self, idx: u32) {
+        let n = self.nodes[idx as usize];
+        let mut i = (triple_hash(n.var.0, n.low.raw(), n.high.raw()) as usize) & self.bucket_mask;
+        loop {
+            let b = self.buckets[i];
+            if b == 0 {
+                break;
+            }
+            debug_assert!(
+                self.nodes[b as usize] != n,
+                "insert_slot: duplicate triple would break canonicity"
+            );
+            i = (i + 1) & self.bucket_mask;
+        }
+        self.buckets[i] = idx;
+        self.occupied += 1;
+        if self.occupied * 4 >= self.buckets.len() * 3 {
+            self.grow_to(self.buckets.len() * 2);
+        }
+    }
+
+    /// Rudell sifting over the protected roots: each variable (densest
+    /// level first) is moved through the whole order by adjacent swaps and
+    /// parked at the position minimizing [`Manager::rooted_size`], with a
+    /// per-variable growth abort and a total swap budget (see
+    /// [`SiftConfig`]).
+    ///
+    /// Sifting *collects*: dead nodes are reclaimed up front and whenever
+    /// swap garbage piles up between variable moves — otherwise each move
+    /// would drag the previous moves' corpses through the unique table
+    /// and spawn more of them, a cascade that can dwarf the live size.
+    /// Call this only at quiescent points with every live function
+    /// protected, exactly like [`Manager::collect`]; with no protected
+    /// roots the pass is a no-op. (The cheaper [`Manager::swap_levels`]
+    /// primitive never collects and preserves even unprotected refs.)
+    pub fn sift(&mut self, cfg: &SiftConfig) -> SiftReport {
+        self.sift_filtered(cfg, None)
+    }
+
+    /// [`Manager::sift`] restricted to actively moving only `subset`
+    /// variables (others shift as bystanders but are never walked
+    /// themselves). This is how a per-cone sift avoids paying for the
+    /// manager's full variable count: pass the cone's support.
+    pub fn sift_vars(&mut self, cfg: &SiftConfig, subset: &[Var]) -> SiftReport {
+        self.sift_filtered(cfg, Some(subset))
+    }
+
+    fn sift_filtered(&mut self, cfg: &SiftConfig, subset: Option<&[Var]>) -> SiftReport {
+        let n = self.num_vars as usize;
+        self.collect();
+        let initial = self.rooted_size();
+        let mut report = SiftReport {
+            initial_size: initial,
+            final_size: initial,
+            swaps: 0,
+            vars_sifted: 0,
+        };
+        if n < 2 || initial == 0 {
+            return report;
+        }
+        // Rank variables by node population, densest first — they have
+        // the most to gain (Rudell's original ordering).
+        let population: Vec<usize> = self.var_nodes.iter().map(Vec::len).collect();
+        let mut vars: Vec<u32> = match subset {
+            Some(subset) => subset
+                .iter()
+                .map(|v| v.0)
+                .filter(|&v| (v as usize) < n && population[v as usize] > 0)
+                .collect(),
+            None => (0..n as u32).filter(|&v| population[v as usize] > 0).collect(),
+        };
+        vars.sort_by_key(|&v| std::cmp::Reverse(population[v as usize]));
+        vars.truncate(cfg.max_vars);
+        let mut size = initial;
+        for &v in &vars {
+            if report.swaps >= cfg.max_swaps {
+                break;
+            }
+            report.vars_sifted += 1;
+            let mut pos = self.var2level[v as usize] as usize;
+            let mut best_size = size;
+            let mut best_pos = pos;
+            // Walk to the nearer edge first, then sweep to the other.
+            let down_first = n - 1 - pos <= pos;
+            for phase in 0..2 {
+                let downward = if phase == 0 { down_first } else { !down_first };
+                loop {
+                    if report.swaps >= cfg.max_swaps {
+                        break;
+                    }
+                    if downward && pos + 1 >= n || !downward && pos == 0 {
+                        break;
+                    }
+                    let at = if downward { pos } else { pos - 1 };
+                    self.swap_levels(at as u32);
+                    report.swaps += 1;
+                    pos = if downward { pos + 1 } else { pos - 1 };
+                    size = self.rooted_size();
+                    if size < best_size {
+                        best_size = size;
+                        best_pos = pos;
+                    } else if (size as f64) > cfg.max_growth * best_size as f64 {
+                        break;
+                    }
+                }
+            }
+            // Park the variable at the best position seen. Restores are not
+            // budget-gated: the variable must not be stranded mid-order.
+            while pos > best_pos {
+                self.swap_levels((pos - 1) as u32);
+                pos -= 1;
+                report.swaps += 1;
+            }
+            while pos < best_pos {
+                self.swap_levels(pos as u32);
+                pos += 1;
+                report.swaps += 1;
+            }
+            size = best_size;
+            debug_assert_eq!(size, self.rooted_size(), "restore must reach the best order");
+            // One variable's walk creates only linear garbage (displaced
+            // nodes are never re-dragged by the same variable), but the
+            // *next* variable would re-process and amplify it: reclaim
+            // once the dead fraction dominates the rooted size.
+            if self.live_nodes() > 2 * (size + n + 1) {
+                self.collect();
+            }
+        }
+        report.final_size = size;
+        self.sift_swaps += report.swaps as u64;
+        self.sifts += 1;
+        report
+    }
+
+    /// Replaces the automatic-sifting configuration and re-arms the
+    /// trigger threshold (see [`AutoSiftConfig`]).
+    pub fn set_sift_config(&mut self, config: AutoSiftConfig) {
+        self.auto_sift = config;
+        self.next_sift = config.min_nodes;
+    }
+
+    /// The active automatic-sifting configuration.
+    pub fn sift_config(&self) -> AutoSiftConfig {
+        self.auto_sift
+    }
+
+    /// Sifts only when worthwhile: a no-op while automatic sifting is
+    /// disabled or the live node count is below the re-armed threshold;
+    /// otherwise collects (callers invoke this only at quiescent points,
+    /// exactly like [`Manager::maybe_collect`], so every live function is
+    /// protected), runs one [`Manager::sift`] pass over the compacted
+    /// arena, and re-arms the trigger at twice the post-sift live size.
+    /// Returns the report when a pass ran.
+    pub fn maybe_sift(&mut self) -> Option<SiftReport> {
+        if !self.auto_sift.enabled || self.live_nodes() < self.next_sift {
+            return None;
+        }
+        let cfg = self.auto_sift.sift;
+        let report = self.sift(&cfg);
+        self.next_sift = (self.live_nodes() * 2).max(self.auto_sift.min_nodes);
+        Some(report)
     }
 }
 
@@ -1174,6 +1740,137 @@ mod tests {
         m.scope_epoch = u32::MAX;
         let g = m.permute(f, &[0, 1]);
         assert_eq!(g, f, "identity permutation after epoch wrap");
+    }
+
+    #[test]
+    fn level_maps_start_as_identity_and_constants_report_max() {
+        let mut m = Manager::new();
+        m.var(2);
+        assert_eq!(m.var2level(), &[0, 1, 2]);
+        assert_eq!(m.level2var(), &[0, 1, 2]);
+        assert_eq!(m.level(Ref::ONE), u32::MAX);
+        assert_eq!(m.level(Ref::ZERO), u32::MAX);
+        assert_eq!(m.level_of_var(Var(99)), u32::MAX, "unknown vars sit below all");
+        let a = m.var(1);
+        assert_eq!(m.level(a), 1);
+        assert_eq!(m.var_at_level(1), Var(1));
+    }
+
+    #[test]
+    fn swap_levels_preserves_refs_and_functions() {
+        let mut m = Manager::new();
+        let a = m.var(0);
+        let b = m.var(1);
+        let c = m.var(2);
+        let f = m.ite(a, b, c);
+        let g = m.and(a, c);
+        let truth = |m: &Manager, f: Ref| -> u32 {
+            let mut t = 0;
+            for row in 0..8u32 {
+                let assignment: Vec<bool> = (0..3).map(|i| row >> i & 1 == 1).collect();
+                if m.eval(f, &assignment) {
+                    t |= 1 << row;
+                }
+            }
+            t
+        };
+        let (tf, tg) = (truth(&m, f), truth(&m, g));
+        let moved = m.swap_levels(0);
+        assert!(moved > 0, "the root of f branches into level 1");
+        assert_eq!(m.var2level(), &[1, 0, 2]);
+        assert_eq!(m.level2var(), &[1, 0, 2]);
+        // The same Refs still denote the same functions.
+        assert_eq!(truth(&m, f), tf);
+        assert_eq!(truth(&m, g), tg);
+        // Canonicity holds under the new order: recomputing returns the
+        // identical Refs.
+        assert_eq!(m.ite(a, b, c), f);
+        assert_eq!(m.and(a, c), g);
+        // Swapping back restores the identity order and the functions.
+        m.swap_levels(0);
+        assert_eq!(m.var2level(), &[0, 1, 2]);
+        assert_eq!(truth(&m, f), tf);
+        assert_eq!(m.ite(a, b, c), f);
+    }
+
+    #[test]
+    fn swap_levels_without_interaction_moves_no_nodes() {
+        let mut m = Manager::new();
+        let a = m.var(0);
+        m.var(1);
+        let c = m.var(2);
+        let f = m.and(a, c); // nothing at level 0 references level 1
+        assert_eq!(m.swap_levels(0), 0);
+        assert_eq!(m.var2level(), &[1, 0, 2]);
+        assert_eq!(m.and(a, c), f, "untouched nodes stay canonical");
+    }
+
+    #[test]
+    fn sift_shrinks_an_order_hostile_function() {
+        // x0·x3 + x1·x4 + x2·x5: exponential under the interleaved
+        // identity order, linear once the pairs are adjacent.
+        let mut m = Manager::new();
+        let mut f = Ref::ZERO;
+        for i in 0..3 {
+            let a = m.var(i);
+            let b = m.var(i + 3);
+            let ab = m.and(a, b);
+            f = m.or(f, ab);
+        }
+        m.protect(f);
+        let before = m.size(f);
+        let report = m.sift(&SiftConfig::default());
+        let after = m.size(f);
+        assert_eq!(report.initial_size, before);
+        assert_eq!(report.final_size, after);
+        assert!(report.swaps > 0);
+        assert_eq!(after, 6, "sifting must find a pairing order ({before} -> {after})");
+        // The function itself is untouched.
+        for row in 0..64u32 {
+            let assignment: Vec<bool> = (0..6).map(|i| row >> i & 1 == 1).collect();
+            let want = (assignment[0] && assignment[3])
+                || (assignment[1] && assignment[4])
+                || (assignment[2] && assignment[5]);
+            assert_eq!(m.eval(f, &assignment), want, "row {row}");
+        }
+        assert_eq!(m.cache_stats().sifts, 1);
+        assert!(m.cache_stats().sift_swaps >= report.swaps as u64);
+    }
+
+    #[test]
+    fn sift_without_roots_is_a_noop() {
+        let mut m = Manager::new();
+        let a = m.var(0);
+        let b = m.var(3);
+        let _f = m.and(a, b); // never protected
+        let report = m.sift(&SiftConfig::default());
+        assert_eq!(report.swaps, 0);
+        assert_eq!(report.initial_size, 0, "no roots, nothing to minimize");
+    }
+
+    #[test]
+    fn maybe_sift_gates_on_config() {
+        let mut m = Manager::new();
+        let mut f = Ref::ZERO;
+        for i in 0..3 {
+            let a = m.var(i);
+            let b = m.var(i + 3);
+            let ab = m.and(a, b);
+            f = m.or(f, ab);
+        }
+        m.protect(f);
+        // Disabled by default.
+        assert!(m.maybe_sift().is_none());
+        m.set_sift_config(AutoSiftConfig {
+            enabled: true,
+            min_nodes: 4,
+            sift: SiftConfig::default(),
+        });
+        let report = m.maybe_sift().expect("threshold cleared");
+        assert!(report.final_size <= report.initial_size);
+        // Re-armed: immediately afterwards the threshold gates again.
+        assert!(m.maybe_sift().is_none());
+        assert!(m.sift_config().enabled);
     }
 
     #[test]

@@ -11,13 +11,19 @@
 //! forwards to the specialized kernels, so the cache is never split
 //! between equivalent formulations of one operation.
 //!
+//! All recursions branch on *levels* (positions in the current variable
+//! order, via [`Manager::level`]), not raw variable indices, so they stay
+//! correct under any order the sifting machinery installs; constants
+//! report the `u32::MAX` pseudo-level and need no separate terminal
+//! branch when picking the top level.
+//!
 //! None of the kernels here triggers garbage collection: recursive
 //! intermediates need no protection, and results only need
 //! [`Manager::protect`] when the caller holds them across an explicit
 //! `collect`/`maybe_collect` point.
 
 use crate::manager::{op, Manager};
-use crate::reference::{Ref, Var};
+use crate::reference::Ref;
 
 impl Manager {
     /// If-then-else: `ite(f, g, h) = f·g + f'·h`.
@@ -110,7 +116,7 @@ impl Manager {
             return r.xor_complement(complement_result);
         }
 
-        let v = Var(self.level(f).min(self.level(g)).min(self.level(h)));
+        let v = self.var_at_level(self.level(f).min(self.level(g)).min(self.level(h)));
         let (f0, f1) = self.shallow_cofactors(f, v);
         let (g0, g1) = self.shallow_cofactors(g, v);
         let (h0, h1) = self.shallow_cofactors(h, v);
@@ -146,7 +152,7 @@ impl Manager {
         if let Some(r) = self.cache.lookup(op::AND, f.raw(), g.raw(), 0) {
             return r;
         }
-        let v = Var(self.level(f).min(self.level(g)));
+        let v = self.var_at_level(self.level(f).min(self.level(g)));
         let (f0, f1) = self.shallow_cofactors(f, v);
         let (g0, g1) = self.shallow_cofactors(g, v);
         let t = self.and(f1, g1);
@@ -209,7 +215,7 @@ impl Manager {
         if let Some(r) = self.cache.lookup(op::XOR, f.raw(), g.raw(), 0) {
             return r;
         }
-        let v = Var(self.level(f).min(self.level(g)));
+        let v = self.var_at_level(self.level(f).min(self.level(g)));
         let (f0, f1) = self.shallow_cofactors(f, v);
         let (g0, g1) = self.shallow_cofactors(g, v);
         let t = self.xor(f1, g1);

@@ -2,12 +2,15 @@
 
 use std::fmt;
 
-/// A BDD variable, identified by its index in the manager's variable order.
+/// A BDD variable, identified by its *index* — a stable identity that
+/// names the same input regardless of where the variable currently sits
+/// in the decision order.
 ///
-/// In this package the variable index *is* the level: variable 0 is the
-/// topmost level. Orderings other than the identity are obtained by
-/// permuting variables when a BDD is built (see `logic::collapse`), which
-/// keeps the package itself simple and canonical.
+/// The variable's position (its *level*) is a separate notion kept in the
+/// manager's `var2level` map: indices and levels coincide only until the
+/// first reordering (`Manager::swap_levels` / `Manager::sift`). Callers
+/// always bind semantics (assignments, signal maps) to indices; levels
+/// are an internal matter of the order.
 #[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
 pub struct Var(pub u32);
 

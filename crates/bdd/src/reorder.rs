@@ -1,32 +1,46 @@
-//! Variable reordering: permutation rebuilding and a window-permutation
-//! minimization pass.
+//! Variable reordering: the in-place searches driving the manager's
+//! adjacent-level swap primitive, plus the permutation-rebuild fallback.
 //!
 //! The BDS decomposition engine reorders each local BDD before searching
 //! for dominators (§IV-B of the BDS-MAJ paper: "As a first step, it
 //! performs variable reordering to compact the size of the input BDD").
-//! This package keeps variable indices equal to levels, so reordering is
-//! expressed as *rebuilding a function under a permutation of its
-//! variables* rather than mutating the manager in place — simpler,
-//! allocation-friendly, and exactly as effective for the supernode-sized
-//! BDDs the engine works on.
+//! Since variables are decoupled from levels, reordering no longer copies
+//! the function: [`window_reorder`] and [`sift_reorder`] drive
+//! [`Manager::swap_levels`], which patches the affected nodes in place —
+//! every outstanding [`Ref`] (the function under search included) keeps
+//! denoting the same Boolean function, only its node count changes.
+//! Rejected trial orders cost only the displaced nodes, which the manager
+//! recycles at the next collection point.
+//!
+//! [`Manager::permute`] remains as the *renaming* primitive: it builds a
+//! genuinely different function (the composition with a variable
+//! substitution), which is occasionally what a caller wants — but it is no
+//! longer how reordering is implemented.
 
-use crate::manager::{op, Manager};
+use crate::manager::{op, Manager, SiftConfig};
 use crate::reference::Ref;
 
 impl Manager {
-    /// Rebuilds `f` with every variable `v` replaced by `perm[v]`.
+    /// Rebuilds `f` with every variable `v` replaced by `perm[v]` — a
+    /// variable *renaming*, producing a (generally) different function.
     ///
-    /// `perm` must be a permutation of `0..perm.len()` covering the
-    /// support of `f`. The result is the same function *up to variable
-    /// renaming*; its size may differ, which is the point of reordering.
+    /// `perm` maps **variable index → variable index** (`perm[old] = new`)
+    /// and must be a permutation of `0..perm.len()` covering the support
+    /// of `f`.
     ///
     /// The per-call memo lives in the shared computed cache under a fresh
     /// `op::SCOPED` epoch, so no allocation happens per call.
     ///
     /// # Panics
     ///
-    /// Panics if a support variable of `f` is outside `perm`.
+    /// Panics if a support variable of `f` is outside `perm`; in debug
+    /// builds, also if `perm` is not a permutation.
     pub fn permute(&mut self, f: Ref, perm: &[u32]) -> Ref {
+        debug_assert!(
+            is_permutation(perm),
+            "permute: perm must be a permutation of 0..{}",
+            perm.len()
+        );
         let scope = self.new_scope();
         self.permute_rec(f, perm, scope)
     }
@@ -43,7 +57,7 @@ impl Manager {
         let (f0, f1) = self.shallow_cofactors(f, v);
         let lo = self.permute_rec(f0, perm, scope);
         let hi = self.permute_rec(f1, perm, scope);
-        // The permuted variable may land *below* the children's new
+        // The renamed variable may land *below* the children's new
         // positions, so rebuild with ITE (handles arbitrary targets).
         let vref = self.var(new_var);
         let r = self.ite(vref, hi, lo);
@@ -51,98 +65,162 @@ impl Manager {
         r
     }
 
-    /// Size of `f` if its variables were reordered by `perm` (the
-    /// permuted BDD is built and measured; nodes stay in the manager).
+    /// Size of `f` if its variables were renamed by `perm` (the permuted
+    /// BDD is built and measured; nodes stay in the manager).
     pub fn size_under(&mut self, f: Ref, perm: &[u32]) -> usize {
         let g = self.permute(f, perm);
         self.size(g)
     }
 }
 
-/// Result of a reordering search: the minimizing permutation, the
-/// reordered function, and its size.
+/// Result of an in-place reordering search.
 #[derive(Clone, Debug)]
 pub struct Reordered {
-    /// `perm[old_var] = new_var` mapping found by the search.
+    /// The order the search left installed in the manager, as a
+    /// **variable → level** map: `perm[var] = level` (the position of
+    /// `var` in the decision order, 0 = root). This is a snapshot of
+    /// [`Manager::var2level`]; use [`invert`]'s convention to read it the
+    /// other way around. Always a permutation of `0..perm.len()`.
     pub perm: Vec<u32>,
-    /// The function rebuilt under [`Self::perm`].
+    /// The searched function — the *same* `Ref` that was passed in:
+    /// in-place reordering never rebuilds or renames it.
     pub function: Ref,
-    /// Size of the reordered function.
+    /// Size of `function` under the installed order.
     pub size: usize,
 }
 
-/// Sifting-style local search: repeatedly improves the order by trying all
-/// permutations of a sliding window of `window` adjacent variables
-/// (window-3 is the classic CUDD `WINDOW3` heuristic), until a full sweep
-/// yields no improvement or `max_sweeps` is reached.
+/// Whether `perm` is a permutation of `0..perm.len()`.
+fn is_permutation(perm: &[u32]) -> bool {
+    let mut seen = vec![false; perm.len()];
+    perm.iter().all(|&p| {
+        (p as usize) < seen.len() && !std::mem::replace(&mut seen[p as usize], true)
+    })
+}
+
+/// Window-permutation minimization over the manager's live order: for each
+/// sliding window of `window` adjacent *levels* (window-3 is the classic
+/// CUDD `WINDOW3` heuristic), all `window!` orderings are evaluated and
+/// the one minimizing `size(f)` is installed in place through
+/// [`Manager::swap_levels`], until a full sweep yields no improvement or
+/// `max_sweeps` is reached.
 ///
-/// Returns the best permutation found. The input function is not modified
-/// (BDDs are immutable); callers use [`Reordered::function`].
+/// Candidates are *probed* with cheap [`Manager::size_under`] renamings —
+/// O(|f|) each, touching nobody else's nodes — and only a winning
+/// arrangement pays the swap primitive, whose cost scales with the whole
+/// manager's population at the affected levels. On the converged orders
+/// typical of flows decomposing many same-shaped cones, almost every
+/// window is already optimal, so the global cost is paid exactly where
+/// the order actually changes.
 ///
-/// Every rejected trial permutation is garbage the moment it is measured,
-/// which makes this the most allocation-heavy loop in the engine: the
-/// search protects `f` and the incumbent best rebuild as collection roots
-/// and offers the manager a [`Manager::maybe_collect`] after each window
-/// position, so long reordering passes recycle their trials instead of
-/// growing the arena. Functions the *caller* holds across this call must
-/// be protected by the caller; the returned function is handed back
-/// unprotected (protect it before the next collection point).
-pub fn window_reorder(
-    m: &mut Manager,
-    f: Ref,
-    num_vars: u32,
-    window: usize,
-    max_sweeps: usize,
-) -> Reordered {
-    let n = num_vars as usize;
-    let mut best_perm: Vec<u32> = (0..num_vars).collect();
-    let mut best_f = f;
+/// The search runs in place: `f` is returned unchanged (same `Ref`, same
+/// function) with the minimizing order left installed in the manager —
+/// which also re-shapes every other function sharing these variables, as
+/// dynamic reordering always does. Rejected probes are garbage; the
+/// search protects `f` and offers the manager a
+/// [`Manager::maybe_collect`] after each window position, so long passes
+/// recycle their trials instead of growing the arena. Functions the
+/// *caller* holds across this call must be protected by the caller.
+pub fn window_reorder(m: &mut Manager, f: Ref, window: usize, max_sweeps: usize) -> Reordered {
+    let n = m.num_vars() as usize;
     let mut best_size = m.size(f);
-    if n < 2 || window < 2 {
-        return Reordered {
-            perm: best_perm,
-            function: best_f,
-            size: best_size,
-        };
-    }
-    m.protect(f);
-    m.protect(best_f);
-    let window = window.min(n);
-    for _ in 0..max_sweeps {
-        let mut improved = false;
-        for start in 0..=(n - window) {
-            // Try every permutation of the window slice.
-            let slice: Vec<u32> = best_perm[start..start + window].to_vec();
-            let mut candidates = permutations(&slice);
-            candidates.retain(|c| *c != slice);
-            for cand in candidates {
-                let mut trial = best_perm.clone();
-                trial[start..start + window].copy_from_slice(&cand);
-                // `trial` maps position->var; we need var->position.
-                let var_to_pos = invert(&trial);
-                let g = m.permute(f, &var_to_pos);
-                let gs = m.size(g);
-                if gs < best_size {
-                    best_size = gs;
-                    best_perm = trial;
-                    m.release(best_f);
-                    best_f = m.protect(g);
-                    improved = true;
-                }
+    if n >= 2 && window >= 2 {
+        m.protect(f);
+        let window = window.min(n);
+        // size(f) depends only on the *relative* order of f's support
+        // variables, so a window holding fewer than two of them cannot
+        // change it — skip those positions instead of probing shuffles of
+        // foreign levels. (Support is a set of variable identities,
+        // stable across every swap.)
+        let mut in_support = vec![false; n];
+        for v in m.support(f) {
+            if v.index() < n {
+                in_support[v.index()] = true;
             }
-            // Rejected trials are dead; let the manager recycle them.
-            m.maybe_collect();
         }
-        if !improved {
-            break;
+        for _ in 0..max_sweeps {
+            let mut improved = false;
+            for start in 0..=(n - window) {
+                let slice: Vec<u32> = m.level2var()[start..start + window].to_vec();
+                let support_vars = slice.iter().filter(|&&v| in_support[v as usize]).count();
+                if support_vars < 2 {
+                    continue;
+                }
+                // Probe every other arrangement of the window's variables:
+                // renaming cand[i] to behave as slice[i] measures f's size
+                // under the order that seats cand[i] at level start + i.
+                let mut best_slice = slice.clone();
+                for cand in permutations(&slice) {
+                    if cand == slice {
+                        continue;
+                    }
+                    let mut perm: Vec<u32> = (0..n as u32).collect();
+                    for (i, &v) in cand.iter().enumerate() {
+                        perm[v as usize] = slice[i];
+                    }
+                    let s = m.size_under(f, &perm);
+                    if s < best_size {
+                        best_size = s;
+                        best_slice = cand;
+                        improved = true;
+                    }
+                }
+                if best_slice != slice {
+                    // Install the winner for real, by adjacent swaps. The
+                    // probe promised this size; the in-place machinery must
+                    // deliver exactly it (canonicity makes them equal).
+                    restore_window(m, start, &best_slice);
+                    debug_assert_eq!(m.size(f), best_size, "probe and swap must agree");
+                }
+                // Rejected probes are dead; let the manager recycle them.
+                m.maybe_collect();
+            }
+            if !improved {
+                break;
+            }
         }
+        m.release(f);
     }
-    m.release(f);
-    m.release(best_f);
+    let perm = m.var2level().to_vec();
+    debug_assert!(is_permutation(&perm));
     Reordered {
-        perm: invert(&best_perm),
-        function: best_f,
-        size: best_size,
+        perm,
+        function: f,
+        size: m.size(f),
+    }
+}
+
+/// Rudell sifting scoped to a caller's function: protects `f`, runs one
+/// sift pass actively moving only `f`'s support variables (the metric is
+/// still the whole protected-root size, so other protected functions are
+/// never sacrificed), and reports the order it installed. Like
+/// [`window_reorder`] this is in place: the returned `function` is the
+/// `f` that was passed in. The pass collects (see [`Manager::sift`]), so
+/// call it only at quiescent points.
+pub fn sift_reorder(m: &mut Manager, f: Ref, cfg: &SiftConfig) -> Reordered {
+    m.protect(f);
+    let support = m.support(f);
+    m.sift_vars(cfg, &support);
+    m.release(f);
+    let perm = m.var2level().to_vec();
+    debug_assert!(is_permutation(&perm));
+    Reordered {
+        perm,
+        function: f,
+        size: m.size(f),
+    }
+}
+
+/// Bubbles the levels `[start, start + target.len())` into the variable
+/// order given by `target` using adjacent swaps.
+fn restore_window(m: &mut Manager, start: usize, target: &[u32]) {
+    for (i, &want) in target.iter().enumerate() {
+        let mut pos = (start + i..start + target.len())
+            .find(|&p| m.level2var()[p] == want)
+            .expect("window restore target must be a reordering of the window");
+        while pos > start + i {
+            m.swap_levels((pos - 1) as u32);
+            pos -= 1;
+        }
     }
 }
 
@@ -163,11 +241,19 @@ fn permutations(items: &[u32]) -> Vec<Vec<u32>> {
     out
 }
 
-/// Inverts a position→var list into a var→position list.
-fn invert(pos_to_var: &[u32]) -> Vec<u32> {
-    let mut inv = vec![0u32; pos_to_var.len()];
-    for (pos, &var) in pos_to_var.iter().enumerate() {
-        inv[var as usize] = pos as u32;
+/// Inverts a **position → value** list into a **value → position** list
+/// (and vice versa — inversion is an involution): given
+/// `map[pos] = val`, returns `inv` with `inv[val] = pos`. Used to flip a
+/// `level2var` view into a `var2level` view of the same order.
+///
+/// # Panics
+///
+/// In debug builds, panics if `map` is not a permutation.
+pub fn invert(map: &[u32]) -> Vec<u32> {
+    debug_assert!(is_permutation(map), "invert: input must be a permutation");
+    let mut inv = vec![0u32; map.len()];
+    for (pos, &val) in map.iter().enumerate() {
+        inv[val as usize] = pos as u32;
     }
     inv
 }
@@ -224,24 +310,34 @@ mod tests {
     }
 
     #[test]
-    fn window_reorder_recovers_good_order() {
+    fn window_reorder_recovers_good_order_in_place() {
         let mut m = Manager::new();
         for i in 0..6 {
             m.var(i);
         }
         // Interleaved pairing: worst case for the identity order.
         let bad = chain_and_or(&mut m, &[(0, 3), (1, 4), (2, 5)]);
+        m.protect(bad);
         let before = m.size(bad);
-        let result = window_reorder(&mut m, bad, 6, 3, 8);
+        let result = window_reorder(&mut m, bad, 3, 8);
         assert!(
             result.size < before,
             "window reordering must shrink {before} nodes (got {})",
             result.size
         );
         assert_eq!(result.size, 6, "optimal pairing order reachable");
-        // The permutation actually produces the claimed function.
-        let rebuilt = m.permute(bad, &result.perm);
-        assert_eq!(rebuilt, result.function);
+        // In-place: the same Ref, same function, new order installed.
+        assert_eq!(result.function, bad);
+        assert_eq!(m.size(bad), result.size);
+        assert_eq!(result.perm, m.var2level().to_vec());
+        for row in 0..64u32 {
+            let assignment: Vec<bool> = (0..6).map(|i| row >> i & 1 == 1).collect();
+            let want = (assignment[0] && assignment[3])
+                || (assignment[1] && assignment[4])
+                || (assignment[2] && assignment[5]);
+            assert_eq!(m.eval(bad, &assignment), want, "row {row}");
+        }
+        m.release(bad);
     }
 
     #[test]
@@ -251,8 +347,24 @@ mod tests {
         let vars: Vec<Ref> = (0..8).map(|i| m.var(i)).collect();
         let f = m.xor_all(vars);
         let before = m.size(f);
-        let result = window_reorder(&mut m, f, 8, 3, 4);
+        let result = window_reorder(&mut m, f, 3, 4);
         assert_eq!(result.size, before);
+        assert_eq!(result.function, f);
+    }
+
+    #[test]
+    fn sift_reorder_matches_window_quality_on_pairing() {
+        let mut m = Manager::new();
+        for i in 0..6 {
+            m.var(i);
+        }
+        let bad = chain_and_or(&mut m, &[(0, 3), (1, 4), (2, 5)]);
+        let before = m.size(bad);
+        let result = sift_reorder(&mut m, bad, &SiftConfig::default());
+        assert_eq!(result.function, bad, "sift is in place");
+        assert!(result.size < before, "{before} -> {}", result.size);
+        assert_eq!(result.size, 6);
+        assert_eq!(result.perm, m.var2level().to_vec());
     }
 
     #[test]
@@ -266,9 +378,10 @@ mod tests {
     }
 
     #[test]
-    fn invert_roundtrips() {
-        let p = vec![2u32, 0, 3, 1];
-        let inv = invert(&p);
-        assert_eq!(invert(&inv), p);
+    fn invert_roundtrips_and_flips_direction() {
+        let level2var = vec![2u32, 0, 3, 1]; // level -> var
+        let var2level = invert(&level2var); // var -> level
+        assert_eq!(var2level, vec![1, 3, 0, 2]);
+        assert_eq!(invert(&var2level), level2var, "inversion is an involution");
     }
 }

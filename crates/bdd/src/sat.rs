@@ -2,14 +2,20 @@
 //! and small-function truth vectors. All walks are read-only over live
 //! nodes; they allocate nothing in the manager and cannot trigger a
 //! collection.
+//!
+//! Every walk here follows the stored DAG root-to-leaf, so paths visit
+//! variables in *level* order (the current decision order). The literals
+//! reported carry variable *indices*, which after reordering need not be
+//! increasing along a path — callers index assignments by variable, never
+//! by position, so all results are order-independent.
 
 use crate::manager::Manager;
 use crate::reference::{Ref, Var};
 
 impl Manager {
     /// Finds one satisfying assignment of `f`, as `(variable, value)`
-    /// pairs for the variables along the chosen path (variables absent
-    /// from the path are don't-cares).
+    /// pairs for the variables along the chosen path, in level order
+    /// (variables absent from the path are don't-cares).
     ///
     /// Returns `None` when `f` is unsatisfiable.
     pub fn one_sat(&self, f: Ref) -> Option<Vec<(Var, bool)>> {

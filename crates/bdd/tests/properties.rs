@@ -2,7 +2,7 @@
 //! against randomly generated Boolean expressions, with the BDD compared to
 //! a bit-parallel truth-vector oracle.
 
-use bdd::{GcConfig, Manager, Ref};
+use bdd::{GcConfig, Manager, Ref, SiftConfig};
 use proptest::prelude::*;
 
 /// A random Boolean expression over `NVARS` variables.
@@ -196,6 +196,59 @@ proptest! {
         let f = e.to_bdd(&mut m);
         let expected = e.truth().count_ones() as f64 / (1u64 << NVARS) as f64;
         prop_assert!((m.density(f) - expected).abs() < 1e-9);
+    }
+
+    #[test]
+    fn sift_preserves_semantics(e in arb_expr(), g in arb_expr()) {
+        // Rudell sifting moves the whole order in place; every protected
+        // function must keep its exact truth vector, and canonicity must
+        // hold under the new order (recomputing returns identical refs).
+        let mut m = Manager::new();
+        for i in 0..NVARS { m.var(i); }
+        let f = e.to_bdd(&mut m);
+        let h = g.to_bdd(&mut m);
+        let (tf, th) = (e.truth(), g.truth());
+        m.protect(f);
+        m.protect(h);
+        let report = m.sift(&SiftConfig::default());
+        prop_assert!(report.final_size <= report.initial_size);
+        prop_assert_eq!(bdd_truth(&m, f), tf, "sift changed f");
+        prop_assert_eq!(bdd_truth(&m, h), th, "sift changed g");
+        // Canonicity under the installed order.
+        let f2 = e.to_bdd(&mut m);
+        let h2 = g.to_bdd(&mut m);
+        prop_assert_eq!(f2, f);
+        prop_assert_eq!(h2, h);
+        // The order maps stay inverse permutations of each other.
+        let v2l = m.var2level();
+        let l2v = m.level2var();
+        for v in 0..NVARS as usize {
+            prop_assert_eq!(l2v[v2l[v] as usize], v as u32);
+        }
+    }
+
+    #[test]
+    fn swap_levels_is_an_involution(e in arb_expr(), g in arb_expr(), l in 0..NVARS - 1) {
+        // Swapping the same adjacent pair twice restores the order maps
+        // and every function; the refs themselves never change.
+        let mut m = Manager::new();
+        for i in 0..NVARS { m.var(i); }
+        let f = e.to_bdd(&mut m);
+        let h = g.to_bdd(&mut m);
+        let (tf, th) = (e.truth(), g.truth());
+        let order_before = m.var2level().to_vec();
+        let size_before = (m.size(f), m.size(h));
+        m.swap_levels(l);
+        prop_assert_eq!(bdd_truth(&m, f), tf, "single swap changed f");
+        prop_assert_eq!(bdd_truth(&m, h), th, "single swap changed g");
+        m.swap_levels(l);
+        prop_assert_eq!(m.var2level(), &order_before[..], "maps must roundtrip");
+        prop_assert_eq!((m.size(f), m.size(h)), size_before, "sizes must roundtrip");
+        prop_assert_eq!(bdd_truth(&m, f), tf);
+        prop_assert_eq!(bdd_truth(&m, h), th);
+        // Canonicity: rebuilding after the double swap lands on the same refs.
+        prop_assert_eq!(e.to_bdd(&mut m), f);
+        prop_assert_eq!(g.to_bdd(&mut m), h);
     }
 
     #[test]
@@ -433,6 +486,125 @@ fn gc_storm_stays_canonical_across_collections() {
         stats.peak_nodes
     );
     assert_eq!(stats.live_nodes + stats.free_nodes, m.num_nodes());
+}
+
+/// Sifting under a full truth-table oracle at flow-realistic width: the
+/// order-hostile pairing function over 12 variables (`Σ x_i·x_{i+6}`,
+/// exponential interleaved, linear paired) plus a parity sharing the same
+/// manager. After sifting, every one of the 4096 assignments must agree
+/// with the oracle for both functions, the pairing function must reach
+/// its linear-order size, and the installed maps must stay inverse
+/// permutations.
+#[test]
+fn sift_truth_oracle_on_twelve_vars() {
+    const VARS: u32 = 12;
+    let mut m = Manager::new();
+    let mut pairs = Ref::ZERO;
+    for i in 0..VARS / 2 {
+        let a = m.var(i);
+        let b = m.var(i + VARS / 2);
+        let ab = m.and(a, b);
+        pairs = m.or(pairs, ab);
+    }
+    let vars: Vec<Ref> = (0..VARS).map(|i| m.var(i)).collect();
+    let parity = m.xor_all(vars);
+    m.protect(pairs);
+    m.protect(parity);
+    let before = m.size(pairs);
+    let report = m.sift(&SiftConfig::default());
+    let after = m.size(pairs);
+    assert!(report.swaps > 0);
+    assert!(after < before, "sift must shrink the interleaved pairing ({before} -> {after})");
+    assert_eq!(after, VARS as usize, "pairing order is linear");
+    assert_eq!(m.size(parity), VARS as usize, "parity stays linear under any order");
+    for row in 0u32..1 << VARS {
+        let assignment: Vec<bool> = (0..VARS).map(|i| row >> i & 1 == 1).collect();
+        let want_pairs = (0..VARS / 2)
+            .any(|i| assignment[i as usize] && assignment[(i + VARS / 2) as usize]);
+        let want_parity = assignment.iter().filter(|&&b| b).count() % 2 == 1;
+        assert_eq!(m.eval(pairs, &assignment), want_pairs, "pairs row {row}");
+        assert_eq!(m.eval(parity, &assignment), want_parity, "parity row {row}");
+    }
+    let (v2l, l2v) = (m.var2level(), m.level2var());
+    for v in 0..VARS as usize {
+        assert_eq!(l2v[v2l[v] as usize], v as u32, "maps must stay inverse");
+    }
+}
+
+/// The reordering-under-reclamation storm: random ops over a protected
+/// pool with periodic *sifting* interleaved with forced collections. At
+/// every sift point each pool function must keep its truth vector and the
+/// unique table must stay canonical (rebuilding a pool function returns
+/// the identical `Ref`) — across arbitrary interleavings of level swaps,
+/// slot reuse and unique-table rebuilds.
+#[test]
+fn sift_storm_interleaved_with_gc_stays_canonical() {
+    const OPS: usize = 20_000;
+    const POOL: usize = 100;
+    const SIFT_EVERY: usize = 2_500;
+    let mut m = Manager::with_capacity(16, 8);
+    let mut rng = Storm(0x51F7_BDD5_EED0_0D5E);
+    let mut pool: Vec<(Ref, u64)> = Vec::new();
+    for i in 0..NVARS {
+        let v = m.var(i);
+        m.protect(v);
+        pool.push((v, var_truth(i)));
+    }
+    let mut sift_reports = 0usize;
+    for step in 0..OPS {
+        let a = pool[rng.below(pool.len())];
+        let b = pool[rng.below(pool.len())];
+        let c = pool[rng.below(pool.len())];
+        let (r, truth) = match rng.below(6) {
+            0 => (m.and(a.0, b.0), a.1 & b.1),
+            1 => (m.or(a.0, b.0), a.1 | b.1),
+            2 => (m.xor(a.0, b.0), a.1 ^ b.1),
+            3 => (m.ite(a.0, b.0, c.0), (a.1 & b.1) | (!a.1 & c.1 & mask())),
+            4 => (m.maj(a.0, b.0, c.0), (a.1 & b.1) | (b.1 & c.1) | (a.1 & c.1)),
+            _ => (!a.0, !a.1 & mask()),
+        };
+        let truth = truth & mask();
+        assert_eq!(bdd_truth(&m, r), truth, "step {step}: BDD disagrees with oracle");
+        if pool.len() < POOL {
+            m.protect(r);
+            pool.push((r, truth));
+        } else {
+            let k = rng.below(POOL);
+            m.release(pool[k].0);
+            m.protect(r);
+            pool[k] = (r, truth);
+        }
+        if step % SIFT_EVERY == SIFT_EVERY - 1 {
+            // Alternate sift-then-collect and collect-then-sift so both
+            // interleavings are exercised (sift itself also collects).
+            if (step / SIFT_EVERY) % 2 == 0 {
+                m.sift(&SiftConfig::default());
+                m.collect();
+            } else {
+                m.collect();
+                m.sift(&SiftConfig::default());
+            }
+            sift_reports += 1;
+            // (a) every protected function survives reordering + sweeps.
+            for &(f, t) in &pool {
+                assert_eq!(bdd_truth(&m, f), t, "pool function corrupted at step {step}");
+            }
+            // (b) canonicity under the installed order and recycled slots.
+            let x = pool[rng.below(pool.len())];
+            let y = pool[rng.below(pool.len())];
+            let redo1 = m.and(x.0, y.0);
+            let redo2 = m.and(x.0, y.0);
+            assert_eq!(redo1, redo2);
+            assert_eq!(bdd_truth(&m, redo1), x.1 & y.1 & mask());
+            let xor1 = m.xor(x.0, y.0);
+            assert_eq!(bdd_truth(&m, xor1), (x.1 ^ y.1) & mask());
+        }
+    }
+    assert!(sift_reports >= 7, "the storm must actually sift");
+    let stats = m.cache_stats();
+    assert!(stats.sifts >= sift_reports as u64);
+    assert!(stats.sift_swaps > 0, "sifting must perform swaps");
+    assert!(stats.reclaimed_total > 0, "collections must reclaim");
 }
 
 /// The bounded-memory proof for long flows: a storm over enough variables

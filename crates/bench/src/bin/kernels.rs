@@ -6,9 +6,10 @@
 //! `--subset N` restricts the suite portion to the first N benchmarks (CI
 //! smoke runs use `--subset 3`).
 
-use bdd::{GcConfig, Manager, Ref};
-use bench::timed;
+use bdd::{GcConfig, Manager, Ref, SiftConfig};
+use bench::{engine_options_for, timed, ReorderPolicy};
 use circuits::suite::paper_suite;
+use logic::{partition, PartitionConfig};
 use std::fmt::Write as _;
 
 /// An op storm: builds a dense function family, returning total operations.
@@ -134,6 +135,80 @@ fn gc_storm(rounds: u32) -> GcStormResult {
     }
 }
 
+struct SiftStormResult {
+    nodes_before: usize,
+    nodes_after: usize,
+    swaps: usize,
+    micros: u128,
+}
+
+/// The reordering storm: an order-hostile sum of pair-products
+/// (`x0·x8 + x1·x9 + ... + x7·x15`), exponential under the interleaved
+/// identity order and linear once sifting parks each pair adjacently.
+fn sift_storm() -> SiftStormResult {
+    let mut m = Manager::new();
+    let mut f = m.zero();
+    for i in 0..8 {
+        let a = m.var(i);
+        let b = m.var(i + 8);
+        let ab = m.and(a, b);
+        f = m.or(f, ab);
+    }
+    m.protect(f);
+    let nodes_before = m.size(f);
+    let (report, elapsed) = timed(|| m.sift(&SiftConfig::default()));
+    SiftStormResult {
+        nodes_before,
+        nodes_after: m.size(f),
+        swaps: report.swaps,
+        micros: elapsed.as_micros(),
+    }
+}
+
+struct SiftBenchRow {
+    name: &'static str,
+    /// Summed supernode BDD sizes under the partition's static order.
+    static_nodes: usize,
+    /// The same sum after one global sift pass over the protected cones.
+    sifted_nodes: usize,
+    swaps: usize,
+    /// Whether the full Table I flow under `--reorder sift` passed the
+    /// random-simulation oracle for both engines.
+    verified: bool,
+    sec: f64,
+}
+
+/// Per-benchmark static-vs-sift cone sizes plus an oracle-checked Table I
+/// run under the sift policy.
+fn sift_suite(take: usize) -> Vec<SiftBenchRow> {
+    let suite = paper_suite();
+    let engine = engine_options_for(ReorderPolicy::Sift);
+    suite
+        .iter()
+        .take(take)
+        .map(|b| {
+            let mut m = Manager::with_capacity(
+                (b.network.len() * 16).clamp(1 << 12, 1 << 20),
+                bdd::DEFAULT_CACHE_BITS,
+            );
+            let part = partition(&b.network, &mut m, PartitionConfig::default());
+            let static_nodes = part.total_bdd_size(&m);
+            let report = m.sift(&SiftConfig::default());
+            let sifted_nodes = part.total_bdd_size(&m);
+            part.release_roots(&mut m);
+            let (row, t) = timed(|| bench::table1_row_with(b, &engine));
+            SiftBenchRow {
+                name: b.name,
+                static_nodes,
+                sifted_nodes,
+                swaps: report.swaps,
+                verified: row.verified,
+                sec: t.as_secs_f64(),
+            }
+        })
+        .collect()
+}
+
 fn run_storm(name: &'static str, f: fn(&mut Manager, u32) -> u64, rounds: u32) -> StormResult {
     let mut m = Manager::new();
     let (ops, elapsed) = timed(|| f(&mut m, rounds));
@@ -212,6 +287,12 @@ fn main() {
         gc.live_nodes
     );
 
+    let sift = sift_storm();
+    println!(
+        "sift_storm {:>4} -> {:>4} nodes in {:>8} µs  ({} adjacent swaps)",
+        sift.nodes_before, sift.nodes_after, sift.micros, sift.swaps
+    );
+
     // Suite portion: per-benchmark decomposition wall clock (Table I flows).
     let suite = paper_suite();
     let take = subset.unwrap_or(suite.len()).min(suite.len());
@@ -235,6 +316,25 @@ fn main() {
         take,
         suite.len(),
         suite_elapsed.as_secs_f64()
+    );
+
+    // Sift section: per-benchmark cone sizes under the static partition
+    // order vs. after sifting, plus the oracle-checked Table I flow under
+    // `--reorder sift`.
+    let sift_rows = sift_suite(take);
+    let mut reduced = 0usize;
+    for r in &sift_rows {
+        if r.sifted_nodes < r.static_nodes {
+            reduced += 1;
+        }
+        println!(
+            "sift:  {:<18} cones {:>5} -> {:>5} nodes ({} swaps)  flow {:>7.3} s verified={}",
+            r.name, r.static_nodes, r.sifted_nodes, r.swaps, r.sec, r.verified
+        );
+    }
+    println!(
+        "sift reduced cone node counts on {reduced} of {} benchmarks",
+        sift_rows.len()
     );
 
     // Hand-rolled JSON writer (the workspace is dependency-free offline).
@@ -267,6 +367,28 @@ fn main() {
         gc.final_nodes,
         gc.live_nodes
     );
+    let _ = write!(
+        json,
+        "  \"sift_storm\": {{\"nodes_before\": {}, \"nodes_after\": {}, \"swaps\": {}, \"micros\": {}}},\n",
+        sift.nodes_before, sift.nodes_after, sift.swaps, sift.micros
+    );
+    json.push_str("  \"sift_suite\": {\n");
+    let _ = write!(json, "    \"reduced_benchmarks\": {reduced},\n");
+    json.push_str("    \"rows\": [\n");
+    for (i, r) in sift_rows.iter().enumerate() {
+        let _ = write!(
+            json,
+            "      {{\"name\": \"{}\", \"static_nodes\": {}, \"sifted_nodes\": {}, \"swaps\": {}, \"flow_sec\": {:.4}, \"verified\": {}}}{}\n",
+            r.name,
+            r.static_nodes,
+            r.sifted_nodes,
+            r.swaps,
+            r.sec,
+            r.verified,
+            if i + 1 < sift_rows.len() { "," } else { "" }
+        );
+    }
+    json.push_str("    ]\n  },\n");
     json.push_str("  \"suite\": {\n");
     let _ = write!(
         json,

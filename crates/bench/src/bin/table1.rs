@@ -3,18 +3,19 @@
 //! over the 17-benchmark suite, followed by the paper's headline
 //! aggregates (average node reduction, MAJ node share, runtime delta).
 
-use bench::{average_saving, run_table1};
+use bench::{average_saving, engine_options_for, reorder_from_args, run_table1_with};
 use circuits::suite::Group;
 
 fn main() {
-    println!("TABLE I: Decomposition Results: BDS-MAJ vs. BDS-PGA");
+    let reorder = reorder_from_args();
+    println!("TABLE I: Decomposition Results: BDS-MAJ vs. BDS-PGA ({reorder:?} reordering)");
     println!(
         "{:<18} | {:>5} {:>5} {:>5} {:>5} {:>5} {:>6} {:>8} | {:>5} {:>5} {:>5} {:>5} {:>5} {:>6} {:>8} | {}",
         "Benchmark", "AND", "OR", "XOR", "XNOR", "MAJ", "Total", "sec",
         "AND", "OR", "XOR", "XNOR", "MAJ", "Total", "sec", "eq"
     );
     println!("{:-<18}-+-{:-<44}-+-{:-<44}-+---", "", "", "");
-    let rows = run_table1();
+    let rows = run_table1_with(&engine_options_for(reorder));
     let mut printed_hdl_header = false;
     println!("--- MCNC Benchmarks ---");
     let mut node_pairs = Vec::new();

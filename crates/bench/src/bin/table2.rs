@@ -3,13 +3,14 @@
 //! BDS-MAJ, BDS-PGA, ABC-like and DC-like — plus the paper's headline
 //! percentage aggregates.
 
-use bench::{average_saving, run_table2};
+use bench::{average_saving, engine_options_for, reorder_from_args, run_table2_with};
 use circuits::suite::Group;
 use techmap::Library;
 
 fn main() {
+    let reorder = reorder_from_args();
     let lib = Library::cmos22();
-    println!("TABLE II: Logic Synthesis, CMOS 22nm Technology Node");
+    println!("TABLE II: Logic Synthesis, CMOS 22nm Technology Node ({reorder:?} reordering)");
     println!(
         "{:<18} | {:>9} {:>6} {:>7} | {:>9} {:>6} {:>7} | {:>9} {:>6} {:>7} | {:>9} {:>6} {:>7} | {}",
         "Benchmark",
@@ -23,7 +24,7 @@ fn main() {
         "{:<18} | {:^25} | {:^25} | {:^25} | {:^25} |",
         "", "BDS-MAJ", "BDS-PGA", "ABC", "Design Compiler (sim.)"
     );
-    let rows = run_table2(&lib);
+    let rows = run_table2_with(&lib, &engine_options_for(reorder));
     let mut printed_hdl = false;
     println!("--- MCNC Benchmarks ---");
     let mut area_vs = [Vec::new(), Vec::new(), Vec::new()]; // pga, abc, dc

@@ -6,9 +6,47 @@ use baselines::{abc_flow, dc_flow};
 use bdsmaj::{bds_maj, bds_pga, BdsMajOptions};
 use circuits::suite::{paper_suite, Benchmark, Group};
 use decomp::EngineOptions;
+pub use decomp::ReorderPolicy;
 use logic::{equiv_sim, GateCounts, Network};
 use std::time::{Duration, Instant};
 use techmap::{map_network, report, Library, MappedReport};
+
+/// Parses the shared `--reorder {none,window,sift}` flag of the table
+/// binaries into engine options (all other knobs stay at their defaults).
+pub fn engine_options_for(reorder: ReorderPolicy) -> EngineOptions {
+    EngineOptions {
+        reorder,
+        ..EngineOptions::default()
+    }
+}
+
+/// Shared argv parsing for the table binaries: accepts exactly the
+/// `--reorder {none,window,sift}` flag (default: window, the engine's
+/// historical behavior) and exits with a usage message on anything else.
+pub fn reorder_from_args() -> ReorderPolicy {
+    let args: Vec<String> = std::env::args().collect();
+    let mut policy = ReorderPolicy::Window;
+    let mut i = 1;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--reorder" => {
+                policy = args
+                    .get(i + 1)
+                    .and_then(|v| ReorderPolicy::from_flag(v))
+                    .unwrap_or_else(|| {
+                        eprintln!("--reorder requires one of: none, window, sift");
+                        std::process::exit(2);
+                    });
+                i += 2;
+            }
+            other => {
+                eprintln!("unknown argument: {other} (supported: --reorder {{none,window,sift}})");
+                std::process::exit(2);
+            }
+        }
+    }
+    policy
+}
 
 /// One row of Table I: decomposition node counts for both engines.
 #[derive(Clone, Debug)]
@@ -30,16 +68,36 @@ pub struct Table1Row {
 }
 
 /// Runs the Table I experiment (BDS-MAJ vs BDS-PGA decomposition) on the
-/// full suite.
+/// full suite with default engine options.
 pub fn run_table1() -> Vec<Table1Row> {
-    paper_suite().iter().map(table1_row).collect()
+    run_table1_with(&EngineOptions::default())
 }
 
-/// Runs one benchmark of Table I.
+/// [`run_table1`] under explicit engine options (the `--reorder` knob).
+pub fn run_table1_with(engine: &EngineOptions) -> Vec<Table1Row> {
+    paper_suite()
+        .iter()
+        .map(|b| table1_row_with(b, engine))
+        .collect()
+}
+
+/// Runs one benchmark of Table I with default engine options.
 pub fn table1_row(bench: &Benchmark) -> Table1Row {
+    table1_row_with(bench, &EngineOptions::default())
+}
+
+/// Runs one benchmark of Table I under explicit engine options. Both
+/// decomposed networks are oracle-checked against the input by random
+/// simulation (`verified`), so reordering policies cannot silently change
+/// a function.
+pub fn table1_row_with(bench: &Benchmark, engine: &EngineOptions) -> Table1Row {
     let net = &bench.network;
-    let with = bds_maj(net, &BdsMajOptions::default());
-    let without = bds_pga(net, &EngineOptions::default());
+    let maj_options = BdsMajOptions {
+        engine: *engine,
+        ..BdsMajOptions::default()
+    };
+    let with = bds_maj(net, &maj_options);
+    let without = bds_pga(net, engine);
     let verified = equiv_sim(net, with.network(), 4, 0xBD5).is_ok()
         && equiv_sim(net, &without.network, 4, 0xBD5).is_ok();
     Table1Row {
@@ -72,21 +130,39 @@ pub struct Table2Row {
     pub verified: bool,
 }
 
-/// Runs the Table II experiment (full synthesis with mapping) on the suite.
+/// Runs the Table II experiment (full synthesis with mapping) on the
+/// suite with default engine options.
 pub fn run_table2(lib: &Library) -> Vec<Table2Row> {
-    paper_suite().iter().map(|b| table2_row(b, lib)).collect()
+    run_table2_with(lib, &EngineOptions::default())
 }
 
-/// Runs one benchmark of Table II.
+/// [`run_table2`] under explicit engine options (the `--reorder` knob).
+pub fn run_table2_with(lib: &Library, engine: &EngineOptions) -> Vec<Table2Row> {
+    paper_suite()
+        .iter()
+        .map(|b| table2_row_with(b, lib, engine))
+        .collect()
+}
+
+/// Runs one benchmark of Table II with default engine options.
 pub fn table2_row(bench: &Benchmark, lib: &Library) -> Table2Row {
+    table2_row_with(bench, lib, &EngineOptions::default())
+}
+
+/// Runs one benchmark of Table II under explicit engine options.
+pub fn table2_row_with(bench: &Benchmark, lib: &Library, engine: &EngineOptions) -> Table2Row {
     let net = &bench.network;
     let synth = |optimized: &Network| {
         let mapped = map_network(optimized);
         let ok = equiv_sim(net, &mapped.network, 4, 0xDA13).is_ok();
         (report(&mapped, lib), ok)
     };
-    let (r_maj, ok1) = synth(bds_maj(net, &BdsMajOptions::default()).network());
-    let (r_pga, ok2) = synth(&bds_pga(net, &EngineOptions::default()).network);
+    let maj_options = BdsMajOptions {
+        engine: *engine,
+        ..BdsMajOptions::default()
+    };
+    let (r_maj, ok1) = synth(bds_maj(net, &maj_options).network());
+    let (r_pga, ok2) = synth(&bds_pga(net, engine).network);
     let (r_abc, ok3) = synth(&abc_flow(net));
     let (r_dc, ok4) = synth(&dc_flow(net, lib).network);
     Table2Row {

@@ -33,6 +33,34 @@ impl MajorityHook for NoMajority {
     }
 }
 
+/// Which variable-reordering machinery runs on each supernode BDD before
+/// decomposition (§IV-B: "it performs variable reordering to compact the
+/// size of the input BDD"). All policies are *in place* — the supernode's
+/// `Ref` and its variable-to-signal binding survive unchanged; only the
+/// manager's level order moves.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ReorderPolicy {
+    /// Keep the static DFS-discovery order from the partition.
+    None,
+    /// Sliding window-permutation search (`bdd::window_reorder`).
+    Window,
+    /// Rudell sifting (`bdd::sift_reorder` per cone, plus the manager's
+    /// threshold-gated `maybe_sift` at the engine's quiescent points).
+    Sift,
+}
+
+impl ReorderPolicy {
+    /// Parses the `--reorder {none,window,sift}` command-line spelling.
+    pub fn from_flag(s: &str) -> Option<ReorderPolicy> {
+        match s {
+            "none" => Some(ReorderPolicy::None),
+            "window" => Some(ReorderPolicy::Window),
+            "sift" => Some(ReorderPolicy::Sift),
+            _ => None,
+        }
+    }
+}
+
 /// Engine configuration.
 #[derive(Clone, Copy, Debug)]
 pub struct EngineOptions {
@@ -43,13 +71,17 @@ pub struct EngineOptions {
     /// Expand MUX fallbacks into AND/OR/INV gates (the paper's node
     /// accounting has no MUX column; BDS reports muxes as AND/OR logic).
     pub expand_mux: bool,
-    /// Window size for the per-supernode variable reordering performed
-    /// before decomposition (§IV-B: "it performs variable reordering to
-    /// compact the size of the input BDD"). `0` disables reordering.
+    /// Per-supernode reordering policy.
+    pub reorder: ReorderPolicy,
+    /// Window size for [`ReorderPolicy::Window`] (`< 2` disables).
     pub reorder_window: usize,
-    /// Skip reordering for supernode BDDs larger than this (the
-    /// permutation search cost grows with BDD size).
+    /// Skip per-cone reordering for supernode BDDs larger than this (the
+    /// search cost grows with BDD size).
     pub reorder_size_limit: usize,
+    /// Skip per-cone reordering below this size: in-place searches move
+    /// the *shared* level order, so tiny cones pay global swap cost for
+    /// node counts that cannot meaningfully shrink.
+    pub reorder_min_size: usize,
 }
 
 impl Default for EngineOptions {
@@ -58,8 +90,10 @@ impl Default for EngineOptions {
             partition: PartitionConfig::default(),
             search: SearchOptions::default(),
             expand_mux: true,
+            reorder: ReorderPolicy::Window,
             reorder_window: 3,
             reorder_size_limit: 400,
+            reorder_min_size: 0,
         }
     }
 }
@@ -98,6 +132,14 @@ pub fn decompose_network(
         (net.len() * 16).clamp(1 << 12, 1 << 20),
         bdd::DEFAULT_CACHE_BITS,
     );
+    if options.reorder == ReorderPolicy::Sift {
+        // Arm the manager-global hook too: partition and this engine offer
+        // `maybe_sift` at every quiescent point alongside `maybe_collect`.
+        manager.set_sift_config(bdd::AutoSiftConfig {
+            enabled: true,
+            ..Default::default()
+        });
+    }
     let part = partition(net, &mut manager, options.partition);
 
     let mut out = Network::new(net.name().to_string());
@@ -108,35 +150,31 @@ pub fn decompose_network(
         signal_map.insert(pi, new);
     }
     for sn in &part.supernodes {
-        let mut var_signals: Vec<SignalId> = sn.inputs.iter().map(|s| signal_map[s]).collect();
-        let mut function = sn.function;
-        // Per-supernode reordering pass (BDS §IV-B). The permutation
-        // renames BDD variables, so the variable-to-signal map is permuted
-        // with it to keep the function over the original inputs.
-        if options.reorder_window >= 2
-            && var_signals.len() >= 3
-            && manager.size(function) <= options.reorder_size_limit
+        let var_signals: Vec<SignalId> = sn.inputs.iter().map(|s| signal_map[s]).collect();
+        let function = sn.function;
+        // Per-supernode reordering pass (BDS §IV-B). Reordering is in
+        // place on the shared level maps: the cone's `Ref` and its
+        // variable-to-signal binding are untouched, only node counts move.
+        let cone_size = manager.size(function);
+        if var_signals.len() >= 3
+            && cone_size >= options.reorder_min_size
+            && cone_size <= options.reorder_size_limit
         {
-            let reordered = bdd::window_reorder(
-                &mut manager,
-                function,
-                var_signals.len() as u32,
-                options.reorder_window,
-                4,
-            );
-            if reordered.size < manager.size(function) {
-                let mut permuted = var_signals.clone();
-                for (old, &sig) in var_signals.iter().enumerate() {
-                    permuted[reordered.perm[old] as usize] = sig;
+            match options.reorder {
+                ReorderPolicy::None => {}
+                ReorderPolicy::Window => {
+                    if options.reorder_window >= 2 {
+                        bdd::window_reorder(&mut manager, function, options.reorder_window, 4);
+                    }
                 }
-                var_signals = permuted;
-                function = reordered.function;
+                ReorderPolicy::Sift => {
+                    bdd::sift_reorder(&mut manager, function, &bdd::SiftConfig::default());
+                }
             }
         }
-        // The function under decomposition is the iteration's root (it may
-        // be a reordered rebuild rather than the partition-protected
-        // original); everything decompose_function creates below it is
-        // transient and reclaimable once the supernode is emitted.
+        // The function under decomposition is the iteration's root;
+        // everything decompose_function creates below it is transient and
+        // reclaimable once the supernode is emitted.
         manager.protect(function);
         let mut fe = FunctionEmitter::new(var_signals);
         let sig = decompose_function(
@@ -150,11 +188,16 @@ pub fn decompose_network(
             0,
         );
         signal_map.insert(sn.root, sig);
-        manager.release(function);
+        manager.release(function); // the engine's claim from above
         // The partition's claim on this supernode is done too: its gates
         // are emitted, and later supernodes reference *signals*, not Refs.
         manager.release(sn.function);
         drop(fe); // fe's Ref-keyed memo must not outlive a collection
+        // Quiescent point: every live function is a protected root, so
+        // offer dynamic reordering (no-op unless armed) and then let the
+        // collector recycle decomposition garbage plus whatever nodes the
+        // sift displaced.
+        manager.maybe_sift();
         manager.maybe_collect();
     }
     for (name, s) in net.outputs() {

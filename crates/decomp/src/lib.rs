@@ -36,6 +36,6 @@ pub use dominators::{
 pub use emit::{Emitter, FunctionEmitter};
 pub use engine::{
     decompose_function, decompose_network, DecomposeResult, EngineOptions, MajorityHook,
-    NoMajority,
+    NoMajority, ReorderPolicy,
 };
 pub use xordec::xor_decompose_balanced;

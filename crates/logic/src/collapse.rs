@@ -169,7 +169,11 @@ pub fn partition(net: &Network, manager: &mut Manager, config: PartitionConfig) 
         });
         // A finished cone's intermediates (the per-gate partial products
         // of eval_cone) are dead now; between builds every live function
-        // is a protected supernode root, so collection is safe.
+        // is a protected supernode root, so both dynamic reordering (a
+        // no-op unless the caller armed `AutoSiftConfig`) and collection
+        // are safe at this quiescent point. Sift first: the swap garbage
+        // it displaces is exactly what the collector then recycles.
+        manager.maybe_sift();
         manager.maybe_collect();
     }
     part

@@ -5,7 +5,8 @@
 //! plus an area/delay report on the CMOS 22 nm six-cell library.
 //!
 //! ```text
-//! usage: bdsmaj [--flow bds-maj|bds-pga|abc|dc] [--map] [-o OUT.blif] IN.blif
+//! usage: bdsmaj [--flow bds-maj|bds-pga|abc|dc] [--reorder none|window|sift]
+//!               [--map] [-o OUT.blif] IN.blif
 //!        bdsmaj --bench NAME        # run a built-in paper benchmark instead
 //! ```
 
@@ -14,6 +15,7 @@ use std::process::ExitCode;
 
 struct Args {
     flow: String,
+    reorder: ReorderPolicy,
     map: bool,
     output: Option<String>,
     input: Option<String>,
@@ -23,6 +25,7 @@ struct Args {
 fn parse_args() -> Result<Args, String> {
     let mut args = Args {
         flow: "bds-maj".to_string(),
+        reorder: ReorderPolicy::Window,
         map: false,
         output: None,
         input: None,
@@ -32,11 +35,17 @@ fn parse_args() -> Result<Args, String> {
     while let Some(arg) = it.next() {
         match arg.as_str() {
             "--flow" => args.flow = it.next().ok_or("--flow needs a value")?,
+            "--reorder" => {
+                let v = it.next().ok_or("--reorder needs a value")?;
+                args.reorder = ReorderPolicy::from_flag(&v)
+                    .ok_or(format!("--reorder {v}: use none, window or sift"))?;
+            }
             "--map" => args.map = true,
             "-o" | "--output" => args.output = Some(it.next().ok_or("-o needs a value")?),
             "--bench" => args.bench = Some(it.next().ok_or("--bench needs a value")?),
             "-h" | "--help" => {
-                return Err("usage: bdsmaj [--flow bds-maj|bds-pga|abc|dc] [--map] \
+                return Err("usage: bdsmaj [--flow bds-maj|bds-pga|abc|dc] \
+                            [--reorder none|window|sift] [--map] \
                             [-o OUT.blif] (IN.blif | --bench NAME)"
                     .to_string())
             }
@@ -82,9 +91,17 @@ fn main() -> ExitCode {
     eprintln!("input : {}", net.stats());
 
     let lib = Library::cmos22();
+    let engine = EngineOptions {
+        reorder: args.reorder,
+        ..EngineOptions::default()
+    };
+    let maj_options = BdsMajOptions {
+        engine,
+        ..BdsMajOptions::default()
+    };
     let optimized = match args.flow.as_str() {
-        "bds-maj" => bds_maj(&net, &BdsMajOptions::default()).network().clone(),
-        "bds-pga" => bds_pga(&net, &EngineOptions::default()).network,
+        "bds-maj" => bds_maj(&net, &maj_options).network().clone(),
+        "bds-pga" => bds_pga(&net, &engine).network,
         "abc" => abc_flow(&net),
         "dc" => dc_flow(&net, &lib).network,
         other => {
