@@ -98,6 +98,28 @@
 //!   Swaps preserve every `Ref` but displace nodes into garbage, so a
 //!   `maybe_collect` should follow.
 //!
+//! # Threading model
+//!
+//! A [`Manager`] is single-threaded by design: it is `Send` (a worker
+//! thread may own one outright) but deliberately **not `Sync`** — the
+//! `&self` traversal helpers share `RefCell` visited-stamp scratch, and
+//! none of the flat tables are synchronized. Parallel harnesses (the
+//! `bench` crate's work-stealing suite pool) therefore give every worker
+//! its own manager and never share one across threads; the compile-time
+//! assertions below pin both halves of that contract.
+//!
+//! ```
+//! fn sendable<T: Send>() {}
+//! sendable::<bdd::Manager>(); // a worker may own a Manager
+//! ```
+//!
+//! ```compile_fail
+//! // Does not compile: a Manager must never be shared across threads
+//! // (RefCell scratch + unsynchronized tables). One Manager per worker.
+//! fn sharable<T: Sync>() {}
+//! sharable::<bdd::Manager>();
+//! ```
+//!
 //! # Example
 //!
 //! ```

@@ -491,6 +491,11 @@ pub struct Manager {
     pub(crate) cache: ComputedCache,
     /// Per-call epoch for [`op::SCOPED`] cache entries.
     pub(crate) scope_epoch: u32,
+    /// Visited-stamp scratch shared by the `&self` traversals. This
+    /// `RefCell` is what makes `Manager: !Sync` (pinned by a
+    /// `compile_fail` doctest in the crate docs): a manager must be owned
+    /// by one thread at a time — parallel suite harnesses build one
+    /// manager per worker and never share it.
     pub(crate) visited: RefCell<VisitScratch>,
     num_vars: u32,
     /// Position of each variable in the decision order

@@ -2,12 +2,16 @@
 //! then writes `BENCH_kernels.json` so the kernel's performance trajectory
 //! is tracked from PR to PR.
 //!
-//! Usage: `cargo run --release -p bench --bin kernels [-- --subset N] [--out PATH]`
+//! Usage: `cargo run --release -p bench --bin kernels [-- --subset N] [--out PATH] [--jobs N]`
 //! `--subset N` restricts the suite portion to the first N benchmarks (CI
-//! smoke runs use `--subset 3`).
+//! smoke runs use `--subset 3`). `--jobs N` sets the worker count for the
+//! parallel leg of the suite sections (default: `BENCH_JOBS` or all
+//! cores); the suite is always timed sequentially first, so the JSON
+//! carries the sequential-vs-parallel wall-clock pair and the speedup is
+//! tracked like every other perf number.
 
 use bdd::{GcConfig, Manager, Ref, SiftConfig};
-use bench::{engine_options_for, timed, ReorderPolicy};
+use bench::{engine_options_for, parse_jobs, pool, timed, ReorderPolicy};
 use circuits::suite::paper_suite;
 use logic::{partition, PartitionConfig};
 use std::fmt::Write as _;
@@ -179,29 +183,38 @@ struct SiftBenchRow {
 }
 
 /// Per-benchmark static-vs-sift cone sizes plus an oracle-checked Table I
-/// run under the sift policy.
-fn sift_suite(take: usize) -> Vec<SiftBenchRow> {
+/// run under the sift policy. The cone measurements (one `Manager` per
+/// task) fan out over the suite pool; the **timed** oracle flows then run
+/// sequentially in row order, because `flow_sec` is a tracked perf
+/// baseline and wall-clock measured under multi-core contention would
+/// not be comparable across PRs.
+fn sift_suite(take: usize, jobs: usize) -> Vec<SiftBenchRow> {
     let suite = paper_suite();
     let engine = engine_options_for(ReorderPolicy::Sift);
-    suite
-        .iter()
-        .take(take)
-        .map(|b| {
-            let mut m = Manager::with_capacity(
-                (b.network.len() * 16).clamp(1 << 12, 1 << 20),
-                bdd::DEFAULT_CACHE_BITS,
-            );
-            let part = partition(&b.network, &mut m, PartitionConfig::default());
-            let static_nodes = part.total_bdd_size(&m);
-            let report = m.sift(&SiftConfig::default());
-            let sifted_nodes = part.total_bdd_size(&m);
-            part.release_roots(&mut m);
+    let cones = pool::run(jobs, take.min(suite.len()), |i| {
+        let b = &suite[i];
+        let mut m = Manager::with_capacity(
+            (b.network.len() * 16).clamp(1 << 12, 1 << 20),
+            bdd::DEFAULT_CACHE_BITS,
+        );
+        let part = partition(&b.network, &mut m, PartitionConfig::default());
+        let static_nodes = part.total_bdd_size(&m);
+        let report = m.sift(&SiftConfig::default());
+        let sifted_nodes = part.total_bdd_size(&m);
+        part.release_roots(&mut m);
+        (static_nodes, sifted_nodes, report.swaps)
+    });
+    cones
+        .into_iter()
+        .enumerate()
+        .map(|(i, (static_nodes, sifted_nodes, swaps))| {
+            let b = &suite[i];
             let (row, t) = timed(|| bench::table1_row_with(b, &engine));
             SiftBenchRow {
                 name: b.name,
                 static_nodes,
                 sifted_nodes,
-                swaps: report.swaps,
+                swaps,
                 verified: row.verified,
                 sec: t.as_secs_f64(),
             }
@@ -226,6 +239,7 @@ fn main() {
     let args: Vec<String> = std::env::args().collect();
     let mut subset: Option<usize> = None;
     let mut out_path = String::from("BENCH_kernels.json");
+    let mut jobs: Option<usize> = None;
     let mut i = 1;
     while i < args.len() {
         match args[i].as_str() {
@@ -249,12 +263,33 @@ fn main() {
                 }
                 i += 2;
             }
+            "--jobs" => {
+                if jobs.is_some() {
+                    eprintln!("duplicate --jobs flag");
+                    std::process::exit(2);
+                }
+                match args.get(i + 1).map(|v| parse_jobs(v)) {
+                    Some(Ok(n)) => jobs = Some(n),
+                    Some(Err(msg)) => {
+                        eprintln!("{msg}");
+                        std::process::exit(2);
+                    }
+                    None => {
+                        eprintln!("--jobs requires a worker count");
+                        std::process::exit(2);
+                    }
+                }
+                i += 2;
+            }
             other => {
-                eprintln!("unknown argument: {other}");
+                eprintln!(
+                    "unknown argument: {other} (supported: --subset N, --out PATH, --jobs N)"
+                );
                 std::process::exit(2);
             }
         }
     }
+    let jobs = jobs.unwrap_or_else(pool::default_jobs);
 
     let storms = [
         run_storm("ite_storm", ite_storm, 600),
@@ -293,35 +328,61 @@ fn main() {
         sift.nodes_before, sift.nodes_after, sift.micros, sift.swaps
     );
 
-    // Suite portion: per-benchmark decomposition wall clock (Table I flows).
+    // Suite portion: per-benchmark decomposition wall clock (Table I
+    // flows), timed sequentially first (the continuity baseline), then
+    // through the work-stealing pool when more than one worker is asked
+    // for — the sequential/parallel wall-clock pair is the tracked
+    // speedup number.
     let suite = paper_suite();
     let take = subset.unwrap_or(suite.len()).min(suite.len());
-    let mut rows = Vec::new();
-    let (_, suite_elapsed) = timed(|| {
-        for b in suite.iter().take(take) {
-            let (row, t) = timed(|| bench::table1_row(b));
-            println!(
-                "suite: {:<18} {:>9.3} s  maj_total={} pga_total={} verified={}",
-                b.name,
-                t.as_secs_f64(),
-                row.maj.decomposition_total(),
-                row.pga.decomposition_total(),
-                row.verified
-            );
-            rows.push((b.name, t.as_secs_f64(), row));
-        }
-    });
+    let row_of = |i: usize| {
+        let (row, t) = timed(|| bench::table1_row(&suite[i]));
+        (suite[i].name, t.as_secs_f64(), row)
+    };
+    let (rows, suite_seq_elapsed) = timed(|| pool::run(1, take, row_of));
+    let (par_rows, suite_par_elapsed) = if jobs > 1 {
+        let (r, t) = timed(|| pool::run(jobs, take, row_of));
+        (r, t)
+    } else {
+        (Vec::new(), suite_seq_elapsed)
+    };
+    for (p, s) in par_rows.iter().zip(&rows) {
+        assert_eq!(
+            (p.0, p.2.maj, p.2.pga, p.2.verified),
+            (s.0, s.2.maj, s.2.pga, s.2.verified),
+            "parallel suite rows must match the sequential run"
+        );
+    }
+    for (name, secs, row) in &rows {
+        println!(
+            "suite: {:<18} {:>9.3} s  maj_total={} pga_total={} verified={}",
+            name,
+            secs,
+            row.maj.decomposition_total(),
+            row.pga.decomposition_total(),
+            row.verified
+        );
+    }
+    let speedup = suite_seq_elapsed.as_secs_f64() / suite_par_elapsed.as_secs_f64().max(1e-9);
     println!(
-        "suite wall-clock ({} of {} benchmarks): {:.3} s",
+        "suite wall-clock ({} of {} benchmarks): {:.3} s sequential",
         take,
         suite.len(),
-        suite_elapsed.as_secs_f64()
+        suite_seq_elapsed.as_secs_f64()
+    );
+    println!(
+        "suite wall-clock ({} of {} benchmarks): {:.3} s at jobs={} (speedup {:.2}x)",
+        take,
+        suite.len(),
+        suite_par_elapsed.as_secs_f64(),
+        jobs,
+        speedup
     );
 
     // Sift section: per-benchmark cone sizes under the static partition
     // order vs. after sifting, plus the oracle-checked Table I flow under
-    // `--reorder sift`.
-    let sift_rows = sift_suite(take);
+    // `--reorder sift`, fanned out over the pool.
+    let sift_rows = sift_suite(take, jobs);
     let mut reduced = 0usize;
     for r in &sift_rows {
         if r.sifted_nodes < r.static_nodes {
@@ -392,10 +453,13 @@ fn main() {
     json.push_str("  \"suite\": {\n");
     let _ = write!(
         json,
-        "    \"benchmarks_run\": {},\n    \"benchmarks_total\": {},\n    \"wall_clock_sec\": {:.4},\n",
+        "    \"benchmarks_run\": {},\n    \"benchmarks_total\": {},\n    \"wall_clock_sec\": {:.4},\n    \"wall_clock_par_sec\": {:.4},\n    \"jobs\": {},\n    \"speedup\": {:.3},\n",
         take,
         suite.len(),
-        suite_elapsed.as_secs_f64()
+        suite_seq_elapsed.as_secs_f64(),
+        suite_par_elapsed.as_secs_f64(),
+        jobs,
+        speedup
     );
     json.push_str("    \"rows\": [\n");
     for (i, (name, secs, row)) in rows.iter().enumerate() {

@@ -2,12 +2,19 @@
 //! (AND / OR / XOR / XNOR / MAJ / total) and runtime, BDS-MAJ vs BDS-PGA,
 //! over the 17-benchmark suite, followed by the paper's headline
 //! aggregates (average node reduction, MAJ node share, runtime delta).
+//!
+//! `--jobs N` fans the 17 rows out over the work-stealing suite pool.
+//! Row order and content (names, node counts, verified flags) are
+//! identical at every worker count; only the measured-runtime cells
+//! vary, as they do between any two runs.
 
-use bench::{average_saving, engine_options_for, reorder_from_args, run_table1_with};
-use circuits::suite::Group;
+use bench::{
+    average_saving, engine_options_for, print_rows_grouped, run_table1_jobs, suite_args,
+};
 
 fn main() {
-    let reorder = reorder_from_args();
+    let args = suite_args();
+    let reorder = args.reorder;
     println!("TABLE I: Decomposition Results: BDS-MAJ vs. BDS-PGA ({reorder:?} reordering)");
     println!(
         "{:<18} | {:>5} {:>5} {:>5} {:>5} {:>5} {:>6} {:>8} | {:>5} {:>5} {:>5} {:>5} {:>5} {:>6} {:>8} | {}",
@@ -15,19 +22,13 @@ fn main() {
         "AND", "OR", "XOR", "XNOR", "MAJ", "Total", "sec", "eq"
     );
     println!("{:-<18}-+-{:-<44}-+-{:-<44}-+---", "", "", "");
-    let rows = run_table1_with(&engine_options_for(reorder));
-    let mut printed_hdl_header = false;
-    println!("--- MCNC Benchmarks ---");
+    let rows = run_table1_jobs(&engine_options_for(reorder), args.jobs);
     let mut node_pairs = Vec::new();
     let mut runtime_pairs = Vec::new();
     let mut maj_nodes = 0usize;
     let mut total_nodes = 0usize;
     let mut sums = [0usize; 14];
-    for row in &rows {
-        if row.group == Group::Hdl && !printed_hdl_header {
-            println!("--- HDL Benchmarks ---");
-            printed_hdl_header = true;
-        }
+    print_rows_grouped(&rows, |row| row.group, |row| {
         let m = &row.maj;
         let p = &row.pga;
         println!(
@@ -55,7 +56,7 @@ fn main() {
         ]) {
             *acc += v;
         }
-    }
+    });
     let n = rows.len() as f64;
     println!("{:-<18}-+-{:-<44}-+-{:-<44}-+---", "", "", "");
     println!(

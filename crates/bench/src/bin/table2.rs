@@ -2,14 +2,20 @@
 //! and delay (ns) on the CMOS-22 nm six-cell library for the four flows —
 //! BDS-MAJ, BDS-PGA, ABC-like and DC-like — plus the paper's headline
 //! percentage aggregates.
+//!
+//! `--jobs N` fans the 17 rows out over the work-stealing suite pool.
+//! Row order and content (names, mapped area/gates/delay, verified
+//! flags) are identical at every worker count.
 
-use bench::{average_saving, engine_options_for, reorder_from_args, run_table2_with};
-use circuits::suite::Group;
+use bench::{
+    average_saving, engine_options_for, print_rows_grouped, run_table2_jobs, suite_args,
+};
 use techmap::Library;
 
 fn main() {
-    let reorder = reorder_from_args();
+    let args = suite_args();
     let lib = Library::cmos22();
+    let reorder = args.reorder;
     println!("TABLE II: Logic Synthesis, CMOS 22nm Technology Node ({reorder:?} reordering)");
     println!(
         "{:<18} | {:>9} {:>6} {:>7} | {:>9} {:>6} {:>7} | {:>9} {:>6} {:>7} | {:>9} {:>6} {:>7} | {}",
@@ -24,17 +30,11 @@ fn main() {
         "{:<18} | {:^25} | {:^25} | {:^25} | {:^25} |",
         "", "BDS-MAJ", "BDS-PGA", "ABC", "Design Compiler (sim.)"
     );
-    let rows = run_table2_with(&lib, &engine_options_for(reorder));
-    let mut printed_hdl = false;
-    println!("--- MCNC Benchmarks ---");
+    let rows = run_table2_jobs(&lib, &engine_options_for(reorder), args.jobs);
     let mut area_vs = [Vec::new(), Vec::new(), Vec::new()]; // pga, abc, dc
     let mut delay_vs = [Vec::new(), Vec::new(), Vec::new()];
     let mut avgs = [0.0f64; 12];
-    for row in &rows {
-        if row.group == Group::Hdl && !printed_hdl {
-            println!("--- HDL Benchmarks ---");
-            printed_hdl = true;
-        }
+    print_rows_grouped(&rows, |row| row.group, |row| {
         println!(
             "{:<18} | {:>9.2} {:>6} {:>7.3} | {:>9.2} {:>6} {:>7.3} | {:>9.2} {:>6} {:>7.3} | {:>9.2} {:>6} {:>7.3} | {}",
             row.name,
@@ -58,7 +58,7 @@ fn main() {
         ]) {
             *acc += v;
         }
-    }
+    });
     let n = rows.len() as f64;
     println!(
         "{:<18} | {:>9.2} {:>6.0} {:>7.3} | {:>9.2} {:>6.0} {:>7.3} | {:>9.2} {:>6.0} {:>7.3} | {:>9.2} {:>6.0} {:>7.3} |",

@@ -1,6 +1,17 @@
 //! Shared harness code for the table-reproducing binaries and the
 //! Criterion benches: runs every flow of the paper on the 17-benchmark
 //! suite and aggregates the Table I / Table II rows.
+//!
+//! Suite runs fan out over the hand-rolled work-stealing pool in
+//! [`pool`]: each benchmark row is an independent task (every flow run
+//! already builds its own `bdd::Manager`, which is deliberately not
+//! `Sync`), and results land in a pre-sized slot vector, so row order
+//! and content (names, counts, verified flags) are identical to a
+//! sequential run — only measured-runtime cells vary, as they do between
+//! any two runs of the same binary. The worker count comes
+//! from the binaries' shared `--jobs N` flag, the `BENCH_JOBS`
+//! environment variable, or the machine's available parallelism, in that
+//! order; `--jobs 1` is the exact sequential path.
 
 use baselines::{abc_flow, dc_flow};
 use bdsmaj::{bds_maj, bds_pga, BdsMajOptions};
@@ -11,6 +22,8 @@ use logic::{equiv_sim, GateCounts, Network};
 use std::time::{Duration, Instant};
 use techmap::{map_network, report, Library, MappedReport};
 
+pub mod pool;
+
 /// Parses the shared `--reorder {none,window,sift}` flag of the table
 /// binaries into engine options (all other knobs stay at their defaults).
 pub fn engine_options_for(reorder: ReorderPolicy) -> EngineOptions {
@@ -20,32 +33,107 @@ pub fn engine_options_for(reorder: ReorderPolicy) -> EngineOptions {
     }
 }
 
-/// Shared argv parsing for the table binaries: accepts exactly the
-/// `--reorder {none,window,sift}` flag (default: window, the engine's
-/// historical behavior) and exits with a usage message on anything else.
-pub fn reorder_from_args() -> ReorderPolicy {
-    let args: Vec<String> = std::env::args().collect();
-    let mut policy = ReorderPolicy::Window;
-    let mut i = 1;
+/// The table binaries' shared command-line knobs.
+#[derive(Clone, Copy, Debug)]
+pub struct SuiteArgs {
+    /// Per-cone reordering policy (`--reorder`, default: window).
+    pub reorder: ReorderPolicy,
+    /// Worker count for the suite pool (`--jobs`, default:
+    /// [`pool::default_jobs`]).
+    pub jobs: usize,
+}
+
+/// Usage text for the shared suite flags, printed on any parse error.
+pub const SUITE_USAGE: &str = "supported options:
+  --reorder {none,window,sift}  per-cone reordering policy (default: window)
+  --jobs N                      suite worker threads (default: BENCH_JOBS or all cores; 1 = sequential)";
+
+/// Parses a `--jobs` value: a positive worker count.
+pub fn parse_jobs(v: &str) -> Result<usize, String> {
+    match v.trim().parse::<usize>() {
+        Ok(n) if n >= 1 => Ok(n),
+        _ => Err(format!("--jobs {v}: need a positive worker count")),
+    }
+}
+
+/// Parses the table binaries' shared flags (`--reorder`, `--jobs`) from
+/// an argv slice (without the program name). Rejects duplicate flags and
+/// unknown arguments.
+pub fn parse_suite_args(args: &[String]) -> Result<SuiteArgs, String> {
+    let mut reorder: Option<ReorderPolicy> = None;
+    let mut jobs: Option<usize> = None;
+    let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
             "--reorder" => {
-                policy = args
+                if reorder.is_some() {
+                    return Err("duplicate --reorder flag".to_string());
+                }
+                let v = args
                     .get(i + 1)
-                    .and_then(|v| ReorderPolicy::from_flag(v))
-                    .unwrap_or_else(|| {
-                        eprintln!("--reorder requires one of: none, window, sift");
-                        std::process::exit(2);
-                    });
+                    .ok_or("--reorder requires one of: none, window, sift")?;
+                reorder = Some(
+                    ReorderPolicy::from_flag(v)
+                        .ok_or(format!("--reorder {v}: use none, window or sift"))?,
+                );
                 i += 2;
             }
-            other => {
-                eprintln!("unknown argument: {other} (supported: --reorder {{none,window,sift}})");
-                std::process::exit(2);
+            "--jobs" => {
+                if jobs.is_some() {
+                    return Err("duplicate --jobs flag".to_string());
+                }
+                let v = args.get(i + 1).ok_or("--jobs requires a worker count")?;
+                jobs = Some(parse_jobs(v)?);
+                i += 2;
             }
+            other => return Err(format!("unknown argument: {other}")),
         }
     }
-    policy
+    Ok(SuiteArgs {
+        reorder: reorder.unwrap_or(ReorderPolicy::Window),
+        jobs: jobs.unwrap_or_else(pool::default_jobs),
+    })
+}
+
+/// Shared argv parsing for the table binaries: accepts exactly the
+/// `--reorder {none,window,sift}` and `--jobs N` flags and exits with a
+/// usage message on anything else (including a repeated flag).
+pub fn suite_args() -> SuiteArgs {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    parse_suite_args(&args).unwrap_or_else(|msg| {
+        eprintln!("{msg}\n{SUITE_USAGE}");
+        std::process::exit(2);
+    })
+}
+
+/// Section header of a suite group, as printed between table rows.
+pub fn group_header(group: Group) -> &'static str {
+    match group {
+        Group::Mcnc => "--- MCNC Benchmarks ---",
+        Group::Hdl => "--- HDL Benchmarks ---",
+    }
+}
+
+/// The table binaries' shared row-printing loop: prints each row via
+/// `print_row`, inserting a [`group_header`] line whenever `group`
+/// changes between consecutive rows (including before the first row).
+/// Section breaks are derived from the rows themselves, so a reordered or
+/// filtered suite prints correct headers instead of relying on
+/// MCNC-before-HDL row order.
+pub fn print_rows_grouped<R>(
+    rows: &[R],
+    group: impl Fn(&R) -> Group,
+    mut print_row: impl FnMut(&R),
+) {
+    let mut current: Option<Group> = None;
+    for row in rows {
+        let g = group(row);
+        if current != Some(g) {
+            println!("{}", group_header(g));
+            current = Some(g);
+        }
+        print_row(row);
+    }
 }
 
 /// One row of Table I: decomposition node counts for both engines.
@@ -68,17 +156,23 @@ pub struct Table1Row {
 }
 
 /// Runs the Table I experiment (BDS-MAJ vs BDS-PGA decomposition) on the
-/// full suite with default engine options.
+/// full suite with default engine options and the default worker count.
 pub fn run_table1() -> Vec<Table1Row> {
     run_table1_with(&EngineOptions::default())
 }
 
-/// [`run_table1`] under explicit engine options (the `--reorder` knob).
+/// [`run_table1`] under explicit engine options (the `--reorder` knob),
+/// on [`pool::default_jobs`] workers.
 pub fn run_table1_with(engine: &EngineOptions) -> Vec<Table1Row> {
-    paper_suite()
-        .iter()
-        .map(|b| table1_row_with(b, engine))
-        .collect()
+    run_table1_jobs(engine, pool::default_jobs())
+}
+
+/// [`run_table1_with`] on an explicit worker count. Rows come back in
+/// suite order regardless of `jobs`; `jobs == 1` is the exact sequential
+/// path.
+pub fn run_table1_jobs(engine: &EngineOptions, jobs: usize) -> Vec<Table1Row> {
+    let suite = paper_suite();
+    pool::run(jobs, suite.len(), |i| table1_row_with(&suite[i], engine))
 }
 
 /// Runs one benchmark of Table I with default engine options.
@@ -131,17 +225,23 @@ pub struct Table2Row {
 }
 
 /// Runs the Table II experiment (full synthesis with mapping) on the
-/// suite with default engine options.
+/// suite with default engine options and the default worker count.
 pub fn run_table2(lib: &Library) -> Vec<Table2Row> {
     run_table2_with(lib, &EngineOptions::default())
 }
 
-/// [`run_table2`] under explicit engine options (the `--reorder` knob).
+/// [`run_table2`] under explicit engine options (the `--reorder` knob),
+/// on [`pool::default_jobs`] workers.
 pub fn run_table2_with(lib: &Library, engine: &EngineOptions) -> Vec<Table2Row> {
-    paper_suite()
-        .iter()
-        .map(|b| table2_row_with(b, lib, engine))
-        .collect()
+    run_table2_jobs(lib, engine, pool::default_jobs())
+}
+
+/// [`run_table2_with`] on an explicit worker count. Rows come back in
+/// suite order regardless of `jobs`; `jobs == 1` is the exact sequential
+/// path.
+pub fn run_table2_jobs(lib: &Library, engine: &EngineOptions, jobs: usize) -> Vec<Table2Row> {
+    let suite = paper_suite();
+    pool::run(jobs, suite.len(), |i| table2_row_with(&suite[i], lib, engine))
 }
 
 /// Runs one benchmark of Table II with default engine options.
@@ -176,19 +276,45 @@ pub fn table2_row_with(bench: &Benchmark, lib: &Library, engine: &EngineOptions)
     }
 }
 
-/// Average relative saving of `ours` versus `theirs` over paired samples
-/// (the paper's "X % less area" style of aggregate): mean of
-/// `1 - ours/theirs`, in percent.
-pub fn average_saving(pairs: &[(f64, f64)]) -> f64 {
-    if pairs.is_empty() {
-        return 0.0;
+/// Aggregate of [`saving_summary`]: the mean saving over the pairs that
+/// define one, plus how many pairs were skipped.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct SavingSummary {
+    /// Mean of `1 - ours/theirs` over the contributing pairs, in percent
+    /// (`0.0` when no pair contributes).
+    pub percent: f64,
+    /// Pairs with a positive denominator that entered the mean.
+    pub used: usize,
+    /// Pairs excluded for a zero or negative denominator.
+    pub skipped: usize,
+}
+
+/// Relative saving of `ours` versus `theirs` over paired samples (the
+/// paper's "X % less area" style of aggregate). A pair only defines a
+/// relative saving when `theirs > 0`; zero/negative denominators are
+/// excluded from **both** the sum and the divisor. (The seed's version
+/// filtered them from the sum but still divided by the full pair count,
+/// silently biasing every reported aggregate toward zero.)
+pub fn saving_summary(pairs: &[(f64, f64)]) -> SavingSummary {
+    let mut sum = 0.0f64;
+    let mut used = 0usize;
+    for &(ours, theirs) in pairs {
+        if theirs > 0.0 {
+            sum += 1.0 - ours / theirs;
+            used += 1;
+        }
     }
-    let sum: f64 = pairs
-        .iter()
-        .filter(|(_, theirs)| *theirs > 0.0)
-        .map(|(ours, theirs)| 1.0 - ours / theirs)
-        .sum();
-    100.0 * sum / pairs.len() as f64
+    SavingSummary {
+        percent: if used == 0 { 0.0 } else { 100.0 * sum / used as f64 },
+        used,
+        skipped: pairs.len() - used,
+    }
+}
+
+/// Average relative saving of `ours` versus `theirs` over the pairs that
+/// actually contribute (see [`saving_summary`]), in percent.
+pub fn average_saving(pairs: &[(f64, f64)]) -> f64 {
+    saving_summary(pairs).percent
 }
 
 /// Wall-clock of a closure, returning the result and elapsed time.
@@ -209,6 +335,52 @@ mod tests {
         assert!((s - 37.5).abs() < 1e-9);
     }
 
+    /// The regression the seed got wrong: a zero-denominator pair must
+    /// not drag the mean down. The old implementation returned 25 %
+    /// here (sum over 1 contributing pair, divided by 2).
+    #[test]
+    fn average_saving_skips_zero_denominators_from_the_count() {
+        let s = average_saving(&[(50.0, 100.0), (123.0, 0.0)]);
+        assert!((s - 50.0).abs() < 1e-9, "got {s}, want 50");
+    }
+
+    #[test]
+    fn average_saving_skips_negative_denominators_from_the_count() {
+        let s = average_saving(&[(50.0, 100.0), (1.0, -2.0), (25.0, 100.0)]);
+        assert!((s - 62.5).abs() < 1e-9, "got {s}, want 62.5");
+    }
+
+    #[test]
+    fn saving_summary_counts_used_and_skipped() {
+        let s = saving_summary(&[(50.0, 100.0), (1.0, 0.0), (1.0, -3.0)]);
+        assert_eq!((s.used, s.skipped), (1, 2));
+        assert!((s.percent - 50.0).abs() < 1e-9);
+        let empty = saving_summary(&[]);
+        assert_eq!((empty.used, empty.skipped), (0, 0));
+        assert_eq!(empty.percent, 0.0);
+        let all_skipped = saving_summary(&[(1.0, 0.0), (2.0, -1.0)]);
+        assert_eq!((all_skipped.used, all_skipped.skipped), (0, 2));
+        assert_eq!(all_skipped.percent, 0.0);
+    }
+
+    #[test]
+    fn suite_args_parse_and_reject_duplicates() {
+        let args = |v: &[&str]| v.iter().map(|s| s.to_string()).collect::<Vec<_>>();
+        let a = parse_suite_args(&args(&["--reorder", "sift", "--jobs", "3"])).unwrap();
+        assert_eq!(a.reorder, ReorderPolicy::Sift);
+        assert_eq!(a.jobs, 3);
+        let d = parse_suite_args(&args(&["--reorder", "none", "--reorder", "sift"]));
+        assert_eq!(d.unwrap_err(), "duplicate --reorder flag");
+        let j = parse_suite_args(&args(&["--jobs", "2", "--jobs", "4"]));
+        assert_eq!(j.unwrap_err(), "duplicate --jobs flag");
+        assert!(parse_suite_args(&args(&["--jobs", "0"])).is_err());
+        assert!(parse_suite_args(&args(&["--jobs"])).is_err());
+        assert!(parse_suite_args(&args(&["--frobnicate"])).is_err());
+        let defaults = parse_suite_args(&[]).unwrap();
+        assert_eq!(defaults.reorder, ReorderPolicy::Window);
+        assert!(defaults.jobs >= 1);
+    }
+
     #[test]
     fn table1_row_on_small_benchmark() {
         let suite = paper_suite();
@@ -227,5 +399,23 @@ mod tests {
         assert!(row.verified, "all four flows must be equivalent");
         assert!(row.bds_maj.area > 0.0);
         assert!(row.abc.gate_count > 0);
+    }
+
+    /// Determinism across worker counts: the parallel suite run must
+    /// produce exactly the rows of the sequential one — same names,
+    /// groups, gate counts and verified flags, in the same order.
+    #[test]
+    fn table1_rows_identical_at_jobs_1_and_4() {
+        let engine = EngineOptions::default();
+        let seq = run_table1_jobs(&engine, 1);
+        let par = run_table1_jobs(&engine, 4);
+        assert_eq!(seq.len(), par.len());
+        for (a, b) in seq.iter().zip(&par) {
+            assert_eq!(a.name, b.name);
+            assert_eq!(a.group, b.group);
+            assert_eq!(a.maj, b.maj, "{}: BDS-MAJ counts differ", a.name);
+            assert_eq!(a.pga, b.pga, "{}: BDS-PGA counts differ", a.name);
+            assert_eq!(a.verified, b.verified, "{}: verified flag differs", a.name);
+        }
     }
 }

@@ -1,0 +1,206 @@
+//! A scoped, hand-rolled work-stealing thread pool for the embarrassingly
+//! parallel suite runs (Table I/II rows, kernels-bench sections, the
+//! `bdsmaj` CLI's multi-file mode).
+//!
+//! Design:
+//!
+//! * **Per-worker deques.** The task indices `0..n` are dealt round-robin
+//!   across one `VecDeque` per worker. A worker pops from the *front* of
+//!   its own deque and, when that runs dry, steals from the *back* of a
+//!   victim's — the classic Arora/Blumofe/Plumbeck split that keeps owner
+//!   and thief on opposite ends (in the spirit of rayon's scoped join,
+//!   without the dependency: the workspace is offline).
+//! * **Pre-sized slot vector.** Worker `w` finishing task `i` writes into
+//!   slot `i`, so [`run`] returns results in task order no matter which
+//!   thread ran what — callers print rows in the same order and with the
+//!   same content as a sequential run.
+//! * **Panic propagation.** A panicking task poisons nothing: the payload
+//!   is captured, the remaining workers drain early, and the payload is
+//!   re-thrown on the calling thread via `resume_unwind`, exactly like a
+//!   panic in a plain sequential loop.
+//! * **`jobs == 1` degrades to the exact sequential path** — no threads,
+//!   no locks, a plain in-order `map`; parallelism is strictly opt-in.
+//!
+//! # Ownership rule
+//!
+//! Tasks must not share a [`bdd::Manager`]: the manager keeps `RefCell`
+//! traversal scratch and is deliberately **not `Sync`** (there is a
+//! `compile_fail` doctest in the `bdd` crate pinning this). Every flow in
+//! this workspace already builds one manager per benchmark run, so each
+//! worker owns its managers outright and no BDD state ever crosses a
+//! thread boundary.
+
+use std::collections::VecDeque;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Mutex;
+
+/// Worker count used when the caller does not say: the `BENCH_JOBS`
+/// environment variable if it parses as a positive integer, otherwise the
+/// machine's available parallelism.
+pub fn default_jobs() -> usize {
+    if let Ok(v) = std::env::var("BENCH_JOBS") {
+        if let Ok(n) = v.trim().parse::<usize>() {
+            if n >= 1 {
+                return n;
+            }
+        }
+        eprintln!("ignoring BENCH_JOBS={v:?}: need a positive worker count");
+    }
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// Runs `f(0), f(1), ..., f(n - 1)` on up to `jobs` workers and returns
+/// the results in index order.
+///
+/// With `jobs <= 1` (or fewer than two tasks) this is a plain sequential
+/// loop on the calling thread. Otherwise `min(jobs, n)` scoped workers
+/// drain round-robin-seeded deques, stealing from each other when their
+/// own runs dry; results land in a pre-sized slot vector indexed by task,
+/// so the returned order is independent of scheduling.
+///
+/// If any task panics, the first payload is re-thrown on the calling
+/// thread after all workers have stopped.
+pub fn run<T, F>(jobs: usize, n: usize, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    if jobs <= 1 || n <= 1 {
+        return (0..n).map(f).collect();
+    }
+    let workers = jobs.min(n);
+    // Deal task indices round-robin so a skewed prefix (the suite's big
+    // datapaths cluster together) still spreads across workers even
+    // before any stealing happens.
+    let deques: Vec<Mutex<VecDeque<usize>>> = (0..workers)
+        .map(|w| Mutex::new((w..n).step_by(workers).collect()))
+        .collect();
+    let slots: Vec<Mutex<Option<T>>> = (0..n).map(|_| Mutex::new(None)).collect();
+    let panicked = AtomicBool::new(false);
+    let payload: Mutex<Option<Box<dyn std::any::Any + Send>>> = Mutex::new(None);
+
+    std::thread::scope(|scope| {
+        for me in 0..workers {
+            let deques = &deques;
+            let slots = &slots;
+            let panicked = &panicked;
+            let payload = &payload;
+            let f = &f;
+            scope.spawn(move || {
+                while !panicked.load(Ordering::Relaxed) {
+                    let Some(i) = next_task(me, deques) else { break };
+                    match catch_unwind(AssertUnwindSafe(|| f(i))) {
+                        Ok(v) => *slots[i].lock().unwrap() = Some(v),
+                        Err(p) => {
+                            // First panic wins; everyone else drains out.
+                            payload.lock().unwrap().get_or_insert(p);
+                            panicked.store(true, Ordering::Relaxed);
+                            break;
+                        }
+                    }
+                }
+            });
+        }
+    });
+
+    if let Some(p) = payload.lock().unwrap().take() {
+        resume_unwind(p);
+    }
+    slots
+        .into_iter()
+        .map(|s| {
+            s.into_inner()
+                .unwrap()
+                .expect("every task index was drained exactly once")
+        })
+        .collect()
+}
+
+/// Pops the next task for worker `me`: own deque front first, then the
+/// back of each other worker's deque, scanning from the right neighbour.
+fn next_task(me: usize, deques: &[Mutex<VecDeque<usize>>]) -> Option<usize> {
+    if let Some(i) = deques[me].lock().unwrap().pop_front() {
+        return Some(i);
+    }
+    for off in 1..deques.len() {
+        let victim = (me + off) % deques.len();
+        if let Some(i) = deques[victim].lock().unwrap().pop_back() {
+            return Some(i);
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+
+    #[test]
+    fn sequential_and_parallel_agree() {
+        let sq = |i: usize| i * i;
+        let seq: Vec<usize> = (0..100).map(sq).collect();
+        for jobs in [1, 2, 3, 4, 7, 100, 1000] {
+            assert_eq!(run(jobs, 100, sq), seq, "jobs={jobs}");
+        }
+    }
+
+    #[test]
+    fn empty_and_singleton_inputs() {
+        assert_eq!(run(4, 0, |i| i), Vec::<usize>::new());
+        assert_eq!(run(4, 1, |i| i + 41), vec![41]);
+    }
+
+    #[test]
+    fn skewed_workload_runs_every_task_exactly_once() {
+        // One task dominates the runtime; the dealt-then-stolen schedule
+        // must still run each index exactly once and keep result order.
+        const N: usize = 64;
+        let ran: Vec<AtomicUsize> = (0..N).map(|_| AtomicUsize::new(0)).collect();
+        let out = run(4, N, |i| {
+            ran[i].fetch_add(1, Ordering::Relaxed);
+            // Index 0 is ~N times the work of the rest.
+            let rounds = if i == 0 { 4_000_000u64 } else { 50_000 };
+            let mut x = i as u64 + 1;
+            for _ in 0..rounds {
+                x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            }
+            (i, x)
+        });
+        for (i, counter) in ran.iter().enumerate() {
+            assert_eq!(counter.load(Ordering::Relaxed), 1, "task {i} run count");
+        }
+        for (slot, (i, _)) in out.iter().enumerate() {
+            assert_eq!(slot, *i, "result landed in the wrong slot");
+        }
+    }
+
+    #[test]
+    fn worker_panic_propagates_to_caller() {
+        let r = catch_unwind(|| {
+            run(4, 32, |i| {
+                if i == 17 {
+                    panic!("task 17 exploded");
+                }
+                i
+            })
+        });
+        let p = r.expect_err("the task panic must reach the caller");
+        let msg = p.downcast_ref::<&str>().copied().unwrap_or_default();
+        assert_eq!(msg, "task 17 exploded");
+    }
+
+    #[test]
+    fn panic_in_sequential_mode_propagates_too() {
+        let r = catch_unwind(|| run(1, 4, |i| if i == 2 { panic!("seq") } else { i }));
+        assert!(r.is_err());
+    }
+
+    #[test]
+    fn default_jobs_is_positive() {
+        assert!(default_jobs() >= 1);
+    }
+}

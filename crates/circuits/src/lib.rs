@@ -9,6 +9,9 @@
 //!
 //! # Example
 //!
+//! The 17-benchmark suite is built once per process and shared as a
+//! `&'static [Benchmark]` (safe to read from concurrent suite workers):
+//!
 //! ```
 //! use circuits::suite::paper_suite;
 //! let suite = paper_suite();
