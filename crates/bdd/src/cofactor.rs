@@ -20,7 +20,9 @@
 //! runs inside these recursions (it would sweep the unprotected
 //! intermediates); when the manager does collect, it scrubs every cache
 //! entry naming a reclaimed slot, so no entry here can outlive the nodes
-//! it names.
+//! it names. Like every kernel, these recursions create nodes only
+//! through `Manager::mk`, which keeps the interior reference counts
+//! exact as a side effect — no cofactor path does its own refcounting.
 
 use crate::manager::{op, Manager};
 use crate::reference::{NodeId, Ref, Var};

@@ -45,20 +45,23 @@
 //!
 //! # Garbage collection
 //!
-//! The collector is the classical external-refcount + mark-and-sweep
-//! design (what CUDD calls `Cudd_Ref`/`Cudd_RecursiveDeref` plus
-//! `cuddGarbageCollect`):
+//! The collector pairs external refcounts with exact *interior* (arena
+//! edge) refcounts — CUDD's `Cudd_Ref`/`Cudd_RecursiveDeref` discipline,
+//! with the node-to-node half maintained by the kernel itself:
 //!
 //! * Callers declare long-lived functions with [`Manager::protect`] and
-//!   drop the claim with [`Manager::release`]; refcounts are *external
-//!   only* — interior reachability is resolved by the mark phase, so the
-//!   hot `mk` path carries zero refcount traffic.
-//! * [`Manager::collect`] (unconditional) and [`Manager::maybe_collect`]
-//!   (threshold-gated, see [`GcConfig`]) mark from the protected roots
-//!   and sweep the rest: dead slots go to the free list, the unique table
-//!   is rebuilt (shrink-on-sparse), and the computed cache is scrubbed of
-//!   exactly the entries naming a reclaimed slot — the memo stays warm
-//!   across collections.
+//!   drop the claim with [`Manager::release`]. Interior counts are kept
+//!   exact by `mk`, the level swap's slot patching, and the sweep, so a
+//!   node with both counts at zero is dead by definition
+//!   ([`Manager::verify_interior_refs`] audits this in debug builds).
+//! * [`Manager::collect`] (unconditional) reclaims *without a mark
+//!   phase*: zero-count nodes seed a cascade through their children.
+//!   [`Manager::maybe_collect`] (threshold-gated, see [`GcConfig`])
+//!   measures the dead fraction with a mark pass first. Either way, dead
+//!   slots go to the free list, the unique table is rebuilt
+//!   (shrink-on-sparse), and the computed cache is scrubbed of exactly
+//!   the entries naming a reclaimed slot — the memo stays warm across
+//!   collections.
 //! * Collection never runs implicitly inside an operation, so recursion
 //!   intermediates need no protection; flows call `maybe_collect` at
 //!   quiescent points (between supernodes, between reorder trials).
@@ -85,18 +88,26 @@
 //!   and patching their arena slots through the unique table — every
 //!   outstanding [`Ref`] keeps denoting the same function.
 //! * [`Manager::sift`] is Rudell's sifting on top of the swap primitive
-//!   (growth-abort factor + swap budget, [`SiftConfig`]); it minimizes the
-//!   node count of the protected roots. [`window_reorder`] drives the same
-//!   swaps through a sliding window-permutation search, and [`sift_reorder`]
-//!   scopes a sift to one function.
+//!   (growth abort against each variable's start size + swap budget,
+//!   [`SiftConfig`]); it minimizes the node count of the protected roots,
+//!   tracking that size in O(1) per swap from the swaps' exact deltas
+//!   (sift swaps eagerly reclaim displaced nodes the interior counts
+//!   prove dead, so the pass never re-walks the rooted set).
+//!   [`Manager::sift_to_fixpoint`] repeats budget-relaxed passes to
+//!   convergence ([`ConvergeConfig`]), fusing adjacent symmetric
+//!   variables into group blocks ([`Manager::symmetric_levels`]).
+//!   [`window_reorder`] drives the same swaps through a sliding
+//!   window-permutation search, and [`sift_reorder`] /
+//!   [`sift_converge_reorder`] scope a sift to one function.
 //! * Sifting runs only at explicit quiescent points, never inside a
 //!   kernel: flows either call the search functions directly (the BDS
 //!   engine reorders each supernode cone before decomposition) or enable
 //!   the threshold-gated [`Manager::maybe_sift`] hook
-//!   ([`AutoSiftConfig`], off by default), which the partition and
-//!   decomposition layers offer at the same points as `maybe_collect`.
-//!   Swaps preserve every `Ref` but displace nodes into garbage, so a
-//!   `maybe_collect` should follow.
+//!   ([`AutoSiftConfig`], off by default; its `fixpoint` option converges
+//!   instead of single-passing), which the partition and decomposition
+//!   layers offer at the same points as `maybe_collect`. Direct
+//!   [`Manager::swap_levels`] calls preserve every `Ref` but displace
+//!   nodes into garbage, so a `maybe_collect` should follow them.
 //!
 //! # Threading model
 //!
@@ -152,11 +163,11 @@ mod sat;
 pub use analysis::{InDegree, NodeStats};
 pub use hasher::{BuildFxHasher, FxHasher};
 pub use manager::{
-    AutoSiftConfig, CacheStats, GcConfig, Manager, Node, SiftConfig, SiftReport,
-    DEFAULT_CACHE_BITS,
+    AutoSiftConfig, CacheStats, ConvergeConfig, GcConfig, Manager, Node, SiftConfig,
+    SiftReport, DEFAULT_CACHE_BITS,
 };
 pub use reference::{NodeId, Ref, Var};
-pub use reorder::{invert, sift_reorder, window_reorder, Reordered};
+pub use reorder::{invert, sift_converge_reorder, sift_reorder, window_reorder, Reordered};
 
 #[cfg(test)]
 mod tests {

@@ -22,33 +22,47 @@
 //!   XOR, cofactor, restrict, constrain, scoped rebuilds) shares this cache
 //!   through per-operation tag codes.
 //!
-//! # Garbage collection
+//! # Reference counts and garbage collection
 //!
 //! Long decomposition flows create orders of magnitude more intermediate
-//! functions than they keep. The collector is the classical external
-//! reference-count + mark-and-sweep design:
+//! functions than they keep. Two reference counts govern node lifetime:
 //!
-//! * Callers declare the functions they hold across collection points with
-//!   [`Manager::protect`] and drop the claim with [`Manager::release`] —
-//!   the explicit `ref`/`deref` pair of every production BDD package.
-//! * [`Manager::collect`] marks everything reachable from a protected node
-//!   and sweeps the rest: swept slots are poisoned and pushed on the free
-//!   list, the unique table is rebuilt without them (shrinking when
-//!   sparse), and the computed cache is *scrubbed* — exactly the entries
-//!   naming a reclaimed slot are dropped — so no dangling [`Ref`] survives
-//!   anywhere in the kernel while the memo stays warm across collections.
-//! * [`Manager::maybe_collect`] is the cheap flow-level hook: it runs a
-//!   collection only once enough allocation has happened since the last
-//!   one *and* a mark pass confirms the dead fraction exceeds the
-//!   configured threshold ([`GcConfig::dead_fraction`]).
+//! * **External counts** (`refs`): callers declare the functions they
+//!   hold across collection points with [`Manager::protect`] and drop the
+//!   claim with [`Manager::release`] — the explicit `ref`/`deref` pair of
+//!   every production BDD package.
+//! * **Interior counts** (`int_refs`): exactly how many arena nodes name
+//!   a slot as a child. Every code path that creates, rewrites or
+//!   destroys an edge keeps them exact — `mk` increments the children of
+//!   each node it creates (fresh slots and free-list reuse alike), the
+//!   level swap's slot patching increments the new children and
+//!   decrements the old, and the sweep decrements the children of every
+//!   node it reclaims. A debug-mode full recount
+//!   ([`Manager::verify_interior_refs`]) audits the bookkeeping after
+//!   every collection and sift walk.
+//!
+//! A node with both counts at zero is dead by definition, which buys two
+//! things. [`Manager::collect`] reclaims **without a mark phase**: one
+//! arena scan seeds the zero-count nodes and reclamation cascades through
+//! their children — O(arena + dead), never a traversal of the live set —
+//! then the unique table is rebuilt without the dead entries (shrinking
+//! when sparse) and the computed cache is *scrubbed* (exactly the entries
+//! naming a reclaimed slot are dropped), so no dangling [`Ref`] survives
+//! anywhere in the kernel while the memo stays warm across collections.
+//! And sifting's level swaps know *immediately* when a displaced node
+//! died, which is what makes their size deltas exact (see below).
+//! [`Manager::maybe_collect`] is the cheap flow-level hook: it runs a
+//! collection only once enough allocation has happened since the last
+//! one *and* a mark pass confirms the dead fraction exceeds the
+//! configured threshold ([`GcConfig::dead_fraction`]).
 //!
 //! Collection never runs implicitly inside an operation: the recursive
 //! kernels (`ite`, `and`, `xor`, the cofactor family, scoped rebuilds)
 //! create unprotected intermediates freely, and callers invoke
 //! `collect`/`maybe_collect` only at quiescent points where every live
-//! function is protected. This keeps the hot `mk` path free of refcount
-//! traffic while still bounding arena growth to a constant factor of the
-//! live size.
+//! function is protected. The hot `mk` path pays only the two interior
+//! increments, and arena growth stays bounded to a constant factor of
+//! the live size.
 //!
 //! # Variable order
 //!
@@ -64,17 +78,30 @@
 //!   rewritten (their arena slots are patched through the unique table),
 //!   so every outstanding [`Ref`] keeps denoting the same function.
 //! * [`Manager::sift`] is Rudell's sifting on top of the swap: each
-//!   variable (densest level first) is moved through the whole order and
-//!   parked at the position minimizing the protected-root node count,
-//!   with a growth-abort factor and a total swap budget ([`SiftConfig`]).
+//!   variable (live-densest first, re-ranked before every walk) is moved
+//!   through the whole order and parked at the position minimizing the
+//!   protected-root node count, with a growth abort bounded against each
+//!   variable's own starting size and a total swap budget
+//!   ([`SiftConfig`]). The pass tracks the rooted size **in O(1) per
+//!   swap** from the swaps' exact deltas: sift swaps run in eager-reclaim
+//!   mode (a displaced node whose interior and external counts both hit
+//!   zero is reclaimed on the spot, cascading), so the live arena *is*
+//!   the rooted set for the whole pass — no per-swap re-traversal, and no
+//!   swap garbage to drag through later moves.
+//! * [`Manager::sift_to_fixpoint`] repeats budget-relaxed passes until a
+//!   pass stops paying ([`ConvergeConfig`]), and
+//!   [`SiftConfig::symmetric_groups`] fuses adjacent symmetric variables
+//!   ([`Manager::symmetric_levels`], the Panda–Somenzi check over the
+//!   interior counts) into blocks that walk the order as one unit.
 //! * [`Manager::maybe_sift`] is the flow-level hook, threshold-gated like
 //!   [`Manager::maybe_collect`] ([`AutoSiftConfig`], disabled by
 //!   default): flows offer it at the same quiescent points as collection.
 //!
-//! Swaps preserve the function behind every existing `Ref` (unlike
-//! collection, which invalidates unprotected ones), but they do create
-//! garbage — the displaced lower-level nodes — so flows pair
-//! `maybe_sift` with a following `maybe_collect`.
+//! The public [`Manager::swap_levels`] preserves the function behind
+//! every existing `Ref` (unlike collection, which invalidates unprotected
+//! ones), but it does create garbage — the displaced lower-level nodes —
+//! so flows pair direct swaps with a following `maybe_collect`. Sifting
+//! needs no such pairing: its eager-reclaim swaps leave nothing behind.
 
 use crate::reference::{NodeId, Ref, Var};
 use std::cell::RefCell;
@@ -172,8 +199,11 @@ pub struct CacheStats {
     /// Number of collections that actually swept (mark passes that found
     /// nothing to reclaim are not counted).
     pub collections: u64,
-    /// Adjacent-level swaps performed by sifting over the manager's
-    /// lifetime (restore moves included).
+    /// Adjacent-level swaps over the manager's lifetime, counted at the
+    /// swap primitive itself — sift walks and restores, window-reorder
+    /// installs, and direct [`Manager::swap_levels`] calls alike (the
+    /// window install path used to bypass this counter and under-report
+    /// reorder work).
     pub sift_swaps: u64,
     /// Number of [`Manager::sift`] passes run (including those triggered
     /// through [`Manager::maybe_sift`]).
@@ -218,15 +248,25 @@ impl Default for GcConfig {
 #[derive(Clone, Copy, Debug, PartialEq)]
 pub struct SiftConfig {
     /// While moving one variable through the order, abort the current
-    /// direction once the rooted size exceeds this factor of the best
-    /// size seen for that variable (CUDD's `maxGrowth`).
+    /// direction once the rooted size exceeds this factor of the size at
+    /// the variable's *starting position* (CUDD's `maxGrowth`). Bounding
+    /// against the start — not the best size seen this pass — keeps one
+    /// variable's big win from licensing a later variable to balloon the
+    /// global size.
     pub max_growth: f64,
     /// Total adjacent-swap budget of the pass. Once exhausted no further
-    /// variable is sifted; the in-flight variable still returns to its
-    /// best position (restore swaps may exceed the budget slightly).
+    /// variable is sifted; the in-flight variable (or group) still
+    /// returns to its best position — those restore swaps exceed the
+    /// budget and are reported as [`SiftReport::restore_overage`].
     pub max_swaps: usize,
-    /// Sift at most this many variables, densest level first.
+    /// Sift at most this many variables (each walked group counts once),
+    /// densest level first.
     pub max_vars: usize,
+    /// Detect adjacent symmetric variables at each walk's start
+    /// ([`Manager::symmetric_levels`]) and move the whole group through
+    /// the order as a block (Panda–Somenzi symmetric sifting). Off by
+    /// default; [`ConvergeConfig`] turns it on.
+    pub symmetric_groups: bool,
 }
 
 impl Default for SiftConfig {
@@ -235,11 +275,43 @@ impl Default for SiftConfig {
             max_growth: 1.2,
             max_swaps: 4096,
             max_vars: usize::MAX,
+            symmetric_groups: false,
         }
     }
 }
 
-/// Outcome of a [`Manager::sift`] pass. Sizes are rooted sizes (nodes
+/// Tuning knobs of [`Manager::sift_to_fixpoint`]: budget-relaxed
+/// [`Manager::sift`] passes repeated until one stops paying.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct ConvergeConfig {
+    /// Per-pass configuration. The default relaxes the swap budget far
+    /// beyond [`SiftConfig::default`] (the O(1) swap deltas make long
+    /// passes affordable) and enables symmetric-group sifting.
+    pub pass: SiftConfig,
+    /// Convergence threshold: stop once a pass shrinks the rooted size
+    /// by less than this fraction of its starting size.
+    pub min_gain: f64,
+    /// Hard cap on the number of passes.
+    pub max_passes: usize,
+}
+
+impl Default for ConvergeConfig {
+    fn default() -> Self {
+        ConvergeConfig {
+            pass: SiftConfig {
+                max_growth: 1.2,
+                max_swaps: 1 << 20,
+                max_vars: usize::MAX,
+                symmetric_groups: true,
+            },
+            min_gain: 0.01,
+            max_passes: 8,
+        }
+    }
+}
+
+/// Outcome of a [`Manager::sift`] pass (or an accumulated
+/// [`Manager::sift_to_fixpoint`] run). Sizes are rooted sizes (nodes
 /// reachable from the protected roots, see [`Manager::rooted_size`]).
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct SiftReport {
@@ -249,8 +321,18 @@ pub struct SiftReport {
     pub final_size: usize,
     /// Adjacent-level swaps performed, restores included.
     pub swaps: usize,
-    /// Variables actually moved through the order.
+    /// Variables actively walked through the order (a symmetric group
+    /// walked as a block counts once).
     pub vars_sifted: usize,
+    /// Swaps spent past [`SiftConfig::max_swaps`] returning the
+    /// in-flight variable or group to its best position — restores are
+    /// never budget-gated, so this is the budget overshoot.
+    pub restore_overage: usize,
+    /// Symmetric groups (two or more variables) moved as blocks.
+    pub groups: usize,
+    /// Sift passes accumulated into this report (1 from [`Manager::sift`],
+    /// up to [`ConvergeConfig::max_passes`] from the fixpoint driver).
+    pub passes: usize,
 }
 
 /// Gating of the automatic [`Manager::maybe_sift`] hook. Disabled by
@@ -266,6 +348,9 @@ pub struct AutoSiftConfig {
     pub min_nodes: usize,
     /// Per-pass budgets forwarded to [`Manager::sift`].
     pub sift: SiftConfig,
+    /// When set, a triggered sift runs [`Manager::sift_to_fixpoint`]
+    /// under this configuration instead of the single `sift` pass.
+    pub fixpoint: Option<ConvergeConfig>,
 }
 
 impl Default for AutoSiftConfig {
@@ -274,6 +359,7 @@ impl Default for AutoSiftConfig {
             enabled: false,
             min_nodes: 4096,
             sift: SiftConfig::default(),
+            fixpoint: None,
         }
     }
 }
@@ -479,9 +565,26 @@ impl VisitScratch {
 pub struct Manager {
     pub(crate) nodes: Vec<Node>,
     /// External reference count per arena slot (collection roots). Only
-    /// [`Manager::protect`]/[`Manager::release`] touch these — internal
-    /// edges are accounted by the mark phase, not by refcounts.
+    /// [`Manager::protect`]/[`Manager::release`] touch these.
     refs: Vec<u32>,
+    /// Interior reference count per arena slot: the number of *arena
+    /// edges* into the slot, i.e. how many non-free nodes name it as
+    /// `low` or `high` (edges to the terminal are not tracked — it is
+    /// always live). Maintained exactly by every code path that creates,
+    /// rewrites or destroys a node: `mk_regular` (fresh slots and
+    /// free-list reuse alike increment their children), the level swap's
+    /// slot patching (increment the new children, decrement the old), and
+    /// the sweep (reclaiming a node decrements its children). A node with
+    /// `refs == 0 && int_refs == 0` is dead by definition — nothing in
+    /// the kernel can reach it — which is what makes the refcount-driven
+    /// [`Manager::collect`] and the O(1) swap size deltas possible.
+    /// Audited against a full recount by [`Manager::verify_interior_refs`]
+    /// in debug builds.
+    int_refs: Vec<u32>,
+    /// Position of each slot inside its `var_nodes[var]` list, making
+    /// single-slot removal O(1) (swap-remove + patch the displaced
+    /// entry). Only meaningful for non-free slots.
+    var_pos: Vec<u32>,
     /// Reclaimed arena slots awaiting reuse (LIFO).
     free: Vec<u32>,
     /// Open-addressed unique table (bucket => node index, 0 = empty).
@@ -517,10 +620,15 @@ pub struct Manager {
     next_sift: usize,
     sift_swaps: u64,
     sifts: u64,
-    /// Number of collections that reclaimed at least one node. Holders of
-    /// `Ref`-keyed side tables (e.g. the majority hook's memo) compare
-    /// this against a saved value to know when their keys may dangle.
+    /// Reclamation epoch: bumped whenever any slot is reclaimed — by a
+    /// sweeping collection *or* by the eager reclamation inside sifting's
+    /// level swaps. Holders of `Ref`-keyed side tables (e.g. the majority
+    /// hook's memo) compare this against a saved value to know when their
+    /// keys may dangle.
     gc_epoch: u64,
+    /// Number of sweeping collections (mark/refcount sweeps that
+    /// reclaimed at least one node); excludes per-swap eager reclamation.
+    collections: u64,
     reclaimed_total: u64,
     /// Nodes created since the last collection attempt (gates
     /// [`Manager::maybe_collect`]).
@@ -565,6 +673,8 @@ impl Manager {
         Manager {
             nodes: arena,
             refs: vec![0u32; 1],
+            int_refs: vec![0u32; 1],
+            var_pos: vec![0u32; 1],
             free: Vec::new(),
             buckets: vec![0u32; buckets],
             bucket_mask: buckets - 1,
@@ -583,6 +693,7 @@ impl Manager {
             sift_swaps: 0,
             sifts: 0,
             gc_epoch: 0,
+            collections: 0,
             reclaimed_total: 0,
             allocs_since_gc: 0,
             peak_nodes: 1,
@@ -795,6 +906,7 @@ impl Manager {
             Some(slot) => {
                 debug_assert!(self.nodes[slot as usize].var.0 == FREE_VAR);
                 debug_assert!(self.refs[slot as usize] == 0);
+                debug_assert!(self.int_refs[slot as usize] == 0);
                 self.nodes[slot as usize] = Node { var, low, high };
                 slot
             }
@@ -803,10 +915,17 @@ impl Manager {
                 debug_assert!(idx < u32::MAX >> 1, "node arena exceeds Ref address space");
                 self.nodes.push(Node { var, low, high });
                 self.refs.push(0);
+                self.int_refs.push(0);
+                self.var_pos.push(0);
                 self.peak_nodes = self.peak_nodes.max(self.nodes.len());
                 idx
             }
         };
+        // The new node's edges are arena edges: its children gain one
+        // interior reference each (free-list reuse and fresh slots alike).
+        self.inc_child(low);
+        self.inc_child(high);
+        self.var_pos[idx as usize] = self.var_nodes[var.index()].len() as u32;
         self.var_nodes[var.index()].push(idx);
         self.allocs_since_gc += 1;
         self.buckets[i] = idx;
@@ -835,6 +954,138 @@ impl Manager {
         }
         self.buckets = buckets;
         self.bucket_mask = mask;
+    }
+
+    /// Adds one interior reference to `c`'s node (edges to the terminal
+    /// are not tracked — it is unconditionally live).
+    #[inline(always)]
+    fn inc_child(&mut self, c: Ref) {
+        let i = c.node().index();
+        if i != 0 {
+            self.int_refs[i] += 1;
+        }
+    }
+
+    /// Drops one interior reference to `c`'s node. With `reclaim`, a node
+    /// whose last reference (interior *and* external) just vanished is
+    /// reclaimed on the spot, cascading into its own children — the eager
+    /// mode sifting uses so swap garbage never exists and the live arena
+    /// size *is* the rooted size.
+    #[inline]
+    fn dec_child(&mut self, c: Ref, reclaim: bool) {
+        let i = c.node().index();
+        if i == 0 {
+            return;
+        }
+        debug_assert!(self.int_refs[i] > 0, "interior refcount underflow at slot {i}");
+        self.int_refs[i] -= 1;
+        if reclaim && self.int_refs[i] == 0 && self.refs[i] == 0 {
+            self.reclaim_cascade(i as u32);
+        }
+    }
+
+    /// Removes `slot` from its `var_nodes` list in O(1) via the stored
+    /// position (swap-remove; the displaced tail entry's position is
+    /// patched).
+    fn remove_from_var_list(&mut self, slot: u32, var: u32) {
+        let p = self.var_pos[slot as usize] as usize;
+        let list = &mut self.var_nodes[var as usize];
+        debug_assert_eq!(list[p], slot, "var_pos out of sync at slot {slot}");
+        list.swap_remove(p);
+        if p < list.len() {
+            self.var_pos[list[p] as usize] = p as u32;
+        }
+    }
+
+    /// Reclaims a dead slot (`refs == 0 && int_refs == 0`) immediately:
+    /// detaches it from the unique table and its per-variable list,
+    /// poisons it onto the free list, and cascades into any child whose
+    /// last reference this was. Iterative (worklist) so a long dead chain
+    /// cannot overflow the stack.
+    fn reclaim_cascade(&mut self, start: u32) {
+        let mut stack = vec![start];
+        while let Some(s) = stack.pop() {
+            let n = self.nodes[s as usize];
+            debug_assert!(n.var.0 != FREE_VAR, "double reclaim of slot {s}");
+            self.remove_slot(s, &n);
+            self.remove_from_var_list(s, n.var.0);
+            self.nodes[s as usize] = Node {
+                var: Var(FREE_VAR),
+                low: Ref::ONE,
+                high: Ref::ONE,
+            };
+            self.free.push(s);
+            self.reclaimed_total += 1;
+            for c in [n.low, n.high] {
+                let i = c.node().index();
+                if i == 0 {
+                    continue;
+                }
+                debug_assert!(self.int_refs[i] > 0, "interior refcount underflow at slot {i}");
+                self.int_refs[i] -= 1;
+                if self.int_refs[i] == 0 && self.refs[i] == 0 {
+                    stack.push(i as u32);
+                }
+            }
+        }
+    }
+
+    /// Full recount audit of the interior reference counts and the
+    /// per-variable slot lists: recomputes every `int_refs` entry from the
+    /// arena edges and every `var_pos` from the lists, and panics on the
+    /// first disagreement. O(arena) — the debug-mode cross-check behind
+    /// the O(1) swap deltas (called after every collection and after each
+    /// variable's sift walk in debug builds; tests call it directly).
+    pub fn verify_interior_refs(&self) {
+        let n = self.nodes.len();
+        let mut counts = vec![0u32; n];
+        for node in self.nodes.iter().skip(1) {
+            if node.var.0 == FREE_VAR {
+                continue;
+            }
+            for c in [node.low, node.high] {
+                let i = c.node().index();
+                if i != 0 {
+                    counts[i] += 1;
+                }
+            }
+        }
+        for i in 1..n {
+            if self.nodes[i].var.0 == FREE_VAR {
+                assert_eq!(
+                    self.int_refs[i], 0,
+                    "reclaimed slot {i} carries interior references"
+                );
+            } else {
+                assert_eq!(
+                    self.int_refs[i], counts[i],
+                    "interior refcount of slot {i} disagrees with a full recount"
+                );
+            }
+        }
+        for (v, list) in self.var_nodes.iter().enumerate() {
+            for (p, &s) in list.iter().enumerate() {
+                assert_eq!(
+                    self.nodes[s as usize].var.0, v as u32,
+                    "var_nodes[{v}] lists slot {s} of another variable"
+                );
+                assert_eq!(
+                    self.var_pos[s as usize] as usize, p,
+                    "var_pos of slot {s} disagrees with its list position"
+                );
+            }
+        }
+    }
+
+    /// Interior (arena-edge) reference count of `f`'s node — how many
+    /// live nodes name it as a child (test/diagnostic hook; the terminal
+    /// reports `u32::MAX` like [`Manager::protect_count`]).
+    pub fn interior_count(&self, f: Ref) -> u32 {
+        if f.is_const() {
+            u32::MAX
+        } else {
+            self.int_refs[f.node().index()]
+        }
     }
 
     /// Cofactors `f` with respect to variable `v` assumed to be at or above
@@ -890,7 +1141,7 @@ impl Manager {
             live_nodes: self.live_nodes(),
             free_nodes: self.free.len(),
             reclaimed_total: self.reclaimed_total,
-            collections: self.gc_epoch,
+            collections: self.collections,
             sift_swaps: self.sift_swaps,
             sifts: self.sifts,
         }
@@ -963,17 +1214,65 @@ impl Manager {
         self.gc_epoch
     }
 
-    /// Collects dead nodes now: marks everything reachable from the
-    /// protected roots, sweeps the rest onto the free list, rebuilds the
-    /// unique table without the dead entries (shrinking it when the
-    /// survivors would fit a table a quarter of the current size), and
-    /// scrubs the computed-cache entries that name a reclaimed slot.
-    /// Returns the number of reclaimed nodes.
+    /// Collects dead nodes now, **without a mark phase**: because the
+    /// interior reference counts are exact, a node with `refs == 0 &&
+    /// int_refs == 0` is dead by definition, and reclaiming it cascades
+    /// into any child whose last reference it held — in a DAG this
+    /// reclaims exactly the set a mark-and-sweep from the protected roots
+    /// would (debug builds assert the equivalence). The cost is one
+    /// arena scan plus O(dead), never a traversal of the live nodes.
+    /// Sweeping rebuilds the unique table without the dead entries
+    /// (shrinking it when the survivors would fit a table a quarter of
+    /// the current size) and scrubs the computed-cache entries that name
+    /// a reclaimed slot. Returns the number of reclaimed nodes.
     ///
     /// Every `Ref` the caller intends to keep using must be protected (or
     /// reachable from a protected one) — anything else dangles afterwards.
     pub fn collect(&mut self) -> usize {
-        self.mark_and_sweep(true)
+        self.allocs_since_gc = 0;
+        // Seed with every in-use node nothing references, then cascade:
+        // each reclaimed node drops its children's counts, and a child
+        // whose count reaches zero (with no external claim) joins the
+        // dead set. Acyclicity guarantees this reaches everything a mark
+        // pass would leave unmarked.
+        let n = self.nodes.len();
+        let mut stack: Vec<u32> = Vec::new();
+        for i in 1..n {
+            if self.nodes[i].var.0 != FREE_VAR && self.refs[i] == 0 && self.int_refs[i] == 0 {
+                stack.push(i as u32);
+            }
+        }
+        let mut dead: Vec<u32> = Vec::new();
+        while let Some(s) = stack.pop() {
+            dead.push(s);
+            let node = self.nodes[s as usize];
+            for c in [node.low, node.high] {
+                let i = c.node().index();
+                if i == 0 {
+                    continue;
+                }
+                debug_assert!(self.int_refs[i] > 0, "interior refcount underflow at slot {i}");
+                self.int_refs[i] -= 1;
+                if self.int_refs[i] == 0 && self.refs[i] == 0 {
+                    stack.push(i as u32);
+                }
+            }
+        }
+        if dead.is_empty() {
+            return 0;
+        }
+        // The cascade above already dropped the children's counts.
+        let reclaimed = self.sweep_dead(dead, false);
+        #[cfg(debug_assertions)]
+        {
+            self.verify_interior_refs();
+            debug_assert_eq!(
+                self.rooted_size(),
+                self.live_nodes() - 1,
+                "refcount collect and mark reachability disagree"
+            );
+        }
+        reclaimed
     }
 
     /// Collects only when worthwhile: a no-op until the allocations since
@@ -1036,36 +1335,65 @@ impl Manager {
         if dead == 0 || (!force && (dead as f64) < self.gc.dead_fraction * in_use as f64) {
             return 0;
         }
-        // Sweep phase: poison dead slots and push them on the free list.
-        {
+        let dead_list: Vec<u32> = {
             let seen = self.visited.borrow();
-            for i in 1..n {
-                if self.nodes[i].var.0 == FREE_VAR || seen.is_marked(i) {
-                    continue;
+            (1..n as u32)
+                .filter(|&i| {
+                    self.nodes[i as usize].var.0 != FREE_VAR && !seen.is_marked(i as usize)
+                })
+                .collect()
+        };
+        self.sweep_dead(dead_list, true)
+    }
+
+    /// The shared sweep finalization: poisons the `dead` slots onto the
+    /// free list, rebuilds the per-variable slot lists and the unique
+    /// table from the survivors (shrink-on-sparse), and scrubs the
+    /// computed cache. With `dec_children`, the dead nodes' arena edges
+    /// are first removed from the interior counts (the refcount-driven
+    /// [`Manager::collect`] has already done so while cascading).
+    fn sweep_dead(&mut self, dead: Vec<u32>, dec_children: bool) -> usize {
+        let n = self.nodes.len();
+        if dec_children {
+            // Every dec below corresponds to a real arena edge from a dead
+            // node, so no count underflows; dead slots' own counts are
+            // zeroed when poisoned (order between the two loops is free).
+            for &s in &dead {
+                let node = self.nodes[s as usize];
+                for c in [node.low, node.high] {
+                    let i = c.node().index();
+                    if i != 0 {
+                        self.int_refs[i] -= 1;
+                    }
                 }
-                self.nodes[i] = Node {
-                    var: Var(FREE_VAR),
-                    low: Ref::ONE,
-                    high: Ref::ONE,
-                };
-                self.refs[i] = 0;
-                self.free.push(i as u32);
             }
         }
+        for &s in &dead {
+            self.nodes[s as usize] = Node {
+                var: Var(FREE_VAR),
+                low: Ref::ONE,
+                high: Ref::ONE,
+            };
+            self.refs[s as usize] = 0;
+            self.int_refs[s as usize] = 0;
+            self.free.push(s);
+        }
         // The sweep may have poisoned slots listed anywhere: rebuild the
-        // per-variable slot lists from the survivors (one O(arena) pass,
-        // which the sweep already paid), keeping them exact.
+        // per-variable slot lists (and the slots' positions in them) from
+        // the survivors — one O(arena) pass the sweep already paid.
         for list in &mut self.var_nodes {
             list.clear();
         }
         for i in 1..n {
             let v = self.nodes[i].var.0 as usize;
             if let Some(list) = self.var_nodes.get_mut(v) {
+                self.var_pos[i] = list.len() as u32;
                 list.push(i as u32);
             }
         }
         // The unique table still lists the dead nodes: rebuild it from the
         // survivors, shrinking when they'd fit a quarter-size table.
+        let live = self.live_nodes() - 1;
         self.occupied = live;
         let wanted = (live.max(8) * 4 / 3 + 1)
             .next_power_of_two()
@@ -1097,8 +1425,9 @@ impl Manager {
             }
         }
         self.gc_epoch += 1;
-        self.reclaimed_total += dead as u64;
-        dead
+        self.collections += 1;
+        self.reclaimed_total += dead.len() as u64;
+        dead.len()
     }
 
     // ------------------------------------------------------------------
@@ -1156,12 +1485,37 @@ impl Manager {
     ///
     /// Panics if `level + 1 >= num_vars`.
     pub fn swap_levels(&mut self, level: u32) -> usize {
+        self.swap_levels_inner(level, false).0
+    }
+
+    /// The swap primitive behind [`Manager::swap_levels`] and the sift
+    /// walks. Returns `(rewritten nodes, exact signed live-size delta)`:
+    /// the delta is nodes created minus nodes reclaimed, so a caller that
+    /// entered with a garbage-free arena (sifting collects on entry) can
+    /// track the rooted size across swaps in O(1) instead of re-walking
+    /// the rooted set — the fix for the pass cost being
+    /// O(live × swaps).
+    ///
+    /// With `reclaim`, displaced nodes whose last reference the rewrite
+    /// removed are reclaimed *immediately* (cascading into their
+    /// children), their slots feeding the very next `mk`: swap garbage
+    /// never exists, so `live_nodes() - 1` *is* the rooted size for the
+    /// whole pass. Eager reclamation invalidates `Ref`s nothing holds —
+    /// the computed cache is cleared (it may name the recycled slots) and
+    /// the `gc_epoch` advances so `Ref`-keyed side tables drop theirs.
+    /// Without `reclaim` this is the historical contract: every `Ref`,
+    /// protected or not, stays valid, and only the order-sensitive memo
+    /// generation retires.
+    pub(crate) fn swap_levels_inner(&mut self, level: u32, reclaim: bool) -> (usize, isize) {
         let l = level as usize;
         assert!(
             l + 1 < self.level2var.len(),
             "swap_levels: level {level} out of range ({} variables)",
             self.level2var.len()
         );
+        // Swap accounting lives at the primitive, so sift walks, window
+        // installs and direct callers are all counted (see `sift_swaps`).
+        self.sift_swaps += 1;
         let x = self.level2var[l];
         let y = self.level2var[l + 1];
         // Only upper-level nodes referencing the lower level change shape;
@@ -1180,17 +1534,25 @@ impl Manager {
                 keep.push(slot);
             }
         }
+        for (p, &slot) in keep.iter().enumerate() {
+            self.var_pos[slot as usize] = p as u32;
+        }
         self.var_nodes[x as usize] = keep;
         // The order maps swap unconditionally.
         self.level2var.swap(l, l + 1);
         self.var2level[x as usize] = (l + 1) as u32;
         self.var2level[y as usize] = l as u32;
         if moved.is_empty() {
-            return 0;
+            return (0, 0);
         }
+        let live_before = self.live_nodes() as isize;
+        let reclaimed_before = self.reclaimed_total;
         // Detach the rewritten slots from the unique table (backward-shift
         // deletion) and poison them so a mid-rewrite table growth cannot
         // re-insert a stale triple; refcounts and identities are kept.
+        // Their old arena edges stay counted until each slot is patched,
+        // so no still-needed child can be eagerly reclaimed out from
+        // under a later rewrite.
         for &(i, n) in &moved {
             self.remove_slot(i, &n);
             self.nodes[i as usize].var = Var(FREE_VAR);
@@ -1212,18 +1574,35 @@ impl Manager {
                 low: new_low,
                 high: new_high,
             };
+            // New edges first, then the old ones: a child shared between
+            // the two sides must never transiently hit zero and be
+            // reclaimed while still referenced.
+            self.inc_child(new_low);
+            self.inc_child(new_high);
             self.insert_slot(i);
+            self.var_pos[i as usize] = self.var_nodes[y as usize].len() as u32;
             self.var_nodes[y as usize].push(i);
+            self.dec_child(n.low, reclaim);
+            self.dec_child(n.high, reclaim);
         }
-        // Conservative cache scrub. Most memoized results survive a swap
-        // unchanged: their keys and results are `Ref`s, the swap preserves
-        // every Ref's function, and ITE/AND/XOR/COFACTOR/SCOPED results
-        // are determined by operand functions alone. The Coudert–Madre
-        // restrict/constrain results additionally depend on the variable
-        // *order*, so exactly that class is retired (O(1) generation
-        // bump) — the rest of the memo stays warm across reordering.
-        self.cache.clear_order_sensitive();
-        moved.len()
+        if self.reclaimed_total != reclaimed_before {
+            // Eager reclamation recycled slots the memo (and Ref-keyed
+            // side tables) may still name: retire the whole cache (O(1)
+            // generation bump) and advance the reclamation epoch.
+            self.cache.clear();
+            self.gc_epoch += 1;
+        } else {
+            // Conservative cache scrub. Most memoized results survive a
+            // swap unchanged: their keys and results are `Ref`s, the swap
+            // preserves every Ref's function, and ITE/AND/XOR/COFACTOR/
+            // SCOPED results are determined by operand functions alone.
+            // The Coudert–Madre restrict/constrain results additionally
+            // depend on the variable *order*, so exactly that class is
+            // retired (O(1) generation bump) — the rest of the memo stays
+            // warm across reordering.
+            self.cache.clear_order_sensitive();
+        }
+        (moved.len(), self.live_nodes() as isize - live_before)
     }
 
     /// Removes one arena slot from the unique table by backward-shift
@@ -1283,20 +1662,24 @@ impl Manager {
         }
     }
 
-    /// Rudell sifting over the protected roots: each variable (densest
-    /// level first) is moved through the whole order by adjacent swaps and
-    /// parked at the position minimizing [`Manager::rooted_size`], with a
-    /// per-variable growth abort and a total swap budget (see
-    /// [`SiftConfig`]).
+    /// Rudell sifting over the protected roots: each variable (live
+    /// densest first, re-ranked before every walk) is moved through the
+    /// whole order by adjacent swaps and parked at the position
+    /// minimizing [`Manager::rooted_size`], with a growth abort bounded
+    /// against the variable's own start size and a total swap budget
+    /// (see [`SiftConfig`]).
     ///
-    /// Sifting *collects*: dead nodes are reclaimed up front and whenever
-    /// swap garbage piles up between variable moves — otherwise each move
-    /// would drag the previous moves' corpses through the unique table
-    /// and spawn more of them, a cascade that can dwarf the live size.
-    /// Call this only at quiescent points with every live function
-    /// protected, exactly like [`Manager::collect`]; with no protected
-    /// roots the pass is a no-op. (The cheaper [`Manager::swap_levels`]
-    /// primitive never collects and preserves even unprotected refs.)
+    /// Sifting *collects* on entry, and its swaps eagerly reclaim every
+    /// displaced node whose interior and external counts both reach
+    /// zero, so swap garbage never exists during the pass and the rooted
+    /// size is tracked in O(1) per swap from the swaps' exact deltas
+    /// (a debug-mode full recount audits the bookkeeping). Call this
+    /// only at quiescent points with every live function protected,
+    /// exactly like [`Manager::collect`] — eager reclamation invalidates
+    /// unprotected refs just like a collection does (and advances
+    /// [`Manager::gc_epoch`]). With no protected roots the pass is a
+    /// no-op. (The cheaper [`Manager::swap_levels`] primitive never
+    /// reclaims and preserves even unprotected refs.)
     pub fn sift(&mut self, cfg: &SiftConfig) -> SiftReport {
         self.sift_filtered(cfg, None)
     }
@@ -1305,6 +1688,11 @@ impl Manager {
     /// variables (others shift as bystanders but are never walked
     /// themselves). This is how a per-cone sift avoids paying for the
     /// manager's full variable count: pass the cone's support.
+    ///
+    /// With [`SiftConfig::symmetric_groups`] on, a subset variable that
+    /// is adjacent-symmetric with a *foreign* variable fuses with it and
+    /// the whole block walks together — symmetry outranks the scoping
+    /// (moving only half of a symmetric pair cannot improve the order).
     pub fn sift_vars(&mut self, cfg: &SiftConfig, subset: &[Var]) -> SiftReport {
         self.sift_filtered(cfg, Some(subset))
     }
@@ -1316,84 +1704,265 @@ impl Manager {
         let mut report = SiftReport {
             initial_size: initial,
             final_size: initial,
-            swaps: 0,
-            vars_sifted: 0,
+            passes: 1,
+            ..SiftReport::default()
         };
         if n < 2 || initial == 0 {
             return report;
         }
-        // Rank variables by node population, densest first — they have
-        // the most to gain (Rudell's original ordering).
-        let population: Vec<usize> = self.var_nodes.iter().map(Vec::len).collect();
-        let mut vars: Vec<u32> = match subset {
-            Some(subset) => subset
-                .iter()
-                .map(|v| v.0)
-                .filter(|&v| (v as usize) < n && population[v as usize] > 0)
-                .collect(),
-            None => (0..n as u32).filter(|&v| population[v as usize] > 0).collect(),
-        };
-        vars.sort_by_key(|&v| std::cmp::Reverse(population[v as usize]));
-        vars.truncate(cfg.max_vars);
+        // The entry collect left the arena garbage-free, and every swap
+        // below runs in eager-reclaim mode, so the live arena *is* the
+        // rooted set for the whole pass: `size` is maintained in O(1)
+        // from the swaps' exact deltas — the pass no longer re-walks the
+        // rooted set after every swap (the old O(live × swaps) cost).
+        debug_assert_eq!(
+            initial,
+            self.live_nodes() - 1,
+            "entry collect must leave a garbage-free arena"
+        );
         let mut size = initial;
-        for &v in &vars {
-            if report.swaps >= cfg.max_swaps {
+        // Candidate set, re-ranked by *live* population before every walk:
+        // earlier moves (and their reclamation) change the per-variable
+        // populations, so a one-shot snapshot picks stale "densest"
+        // variables.
+        let mut remaining: Vec<u32> = match subset {
+            Some(subset) => subset.iter().map(|v| v.0).filter(|&v| (v as usize) < n).collect(),
+            None => (0..n as u32).collect(),
+        };
+        // Variables already moved as part of a walked group.
+        let mut walked = vec![false; n];
+        while report.vars_sifted < cfg.max_vars && report.swaps < cfg.max_swaps {
+            let mut best_i = usize::MAX;
+            let mut best_pop = 0usize;
+            for (i, &v) in remaining.iter().enumerate() {
+                let pop = self.var_nodes[v as usize].len();
+                if pop > best_pop && !walked[v as usize] {
+                    best_pop = pop;
+                    best_i = i;
+                }
+            }
+            if best_pop == 0 {
                 break;
             }
+            let v = remaining.swap_remove(best_i);
+            // The block of levels to walk: just `v`, extended over every
+            // adjacent symmetric neighbour when group sifting is on. The
+            // membership is frozen for the walk; symmetries that only
+            // become adjacent mid-walk are picked up by the next pass
+            // (sift_to_fixpoint repeats passes exactly for this).
+            let mut top = self.var2level[v as usize] as usize;
+            let mut glen = 1usize;
+            let mut absorbed: Vec<u32> = Vec::new();
+            if cfg.symmetric_groups {
+                while top + glen < n && self.symmetric_levels((top + glen - 1) as u32) {
+                    absorbed.push(self.level2var[top + glen]);
+                    glen += 1;
+                }
+                while top > 0 && self.symmetric_levels((top - 1) as u32) {
+                    top -= 1;
+                    absorbed.push(self.level2var[top]);
+                    glen += 1;
+                }
+            }
+            walked[v as usize] = true;
+            // A walk that cannot afford even one block step does no work:
+            // skip it without counting it (or claiming its group members —
+            // a smaller group or single variable later may still fit the
+            // remaining budget).
+            if report.swaps + glen > cfg.max_swaps {
+                continue;
+            }
+            for &w in &absorbed {
+                walked[w as usize] = true;
+            }
+            if glen > 1 {
+                report.groups += 1;
+            }
             report.vars_sifted += 1;
-            let mut pos = self.var2level[v as usize] as usize;
+            // Growth aborts are bounded against this walk's *starting*
+            // size: a big win by an earlier variable must not let this
+            // one balloon the global size by max_growth× before aborting.
+            let start_size = size;
             let mut best_size = size;
-            let mut best_pos = pos;
+            let mut best_top = top;
             // Walk to the nearer edge first, then sweep to the other.
-            let down_first = n - 1 - pos <= pos;
-            for phase in 0..2 {
+            let down_first = n - (top + glen) <= top;
+            'walk: for phase in 0..2 {
                 let downward = if phase == 0 { down_first } else { !down_first };
                 loop {
-                    if report.swaps >= cfg.max_swaps {
+                    // A block step costs `glen` swaps and must not start
+                    // unless it fits the budget (a half-moved block would
+                    // strand foreign variables inside the group).
+                    if report.swaps + glen > cfg.max_swaps {
+                        break 'walk;
+                    }
+                    if downward && top + glen >= n || !downward && top == 0 {
                         break;
                     }
-                    if downward && pos + 1 >= n || !downward && pos == 0 {
-                        break;
-                    }
-                    let at = if downward { pos } else { pos - 1 };
-                    self.swap_levels(at as u32);
-                    report.swaps += 1;
-                    pos = if downward { pos + 1 } else { pos - 1 };
-                    size = self.rooted_size();
+                    size = self.block_step(top, glen, downward, size, &mut report.swaps);
+                    top = if downward { top + 1 } else { top - 1 };
                     if size < best_size {
                         best_size = size;
-                        best_pos = pos;
-                    } else if (size as f64) > cfg.max_growth * best_size as f64 {
+                        best_top = top;
+                    } else if (size as f64) > cfg.max_growth * start_size as f64 {
                         break;
                     }
                 }
             }
-            // Park the variable at the best position seen. Restores are not
-            // budget-gated: the variable must not be stranded mid-order.
-            while pos > best_pos {
-                self.swap_levels((pos - 1) as u32);
-                pos -= 1;
-                report.swaps += 1;
+            // Park the block at the best position seen. Restores are not
+            // budget-gated (the block must not be stranded mid-order);
+            // swaps past the budget surface as `restore_overage`.
+            while top > best_top {
+                size = self.block_step(top, glen, false, size, &mut report.swaps);
+                top -= 1;
             }
-            while pos < best_pos {
-                self.swap_levels(pos as u32);
-                pos += 1;
-                report.swaps += 1;
+            while top < best_top {
+                size = self.block_step(top, glen, true, size, &mut report.swaps);
+                top += 1;
             }
+            debug_assert_eq!(size, best_size, "restore must reach the best size");
             size = best_size;
-            debug_assert_eq!(size, self.rooted_size(), "restore must reach the best order");
-            // One variable's walk creates only linear garbage (displaced
-            // nodes are never re-dragged by the same variable), but the
-            // *next* variable would re-process and amplify it: reclaim
-            // once the dead fraction dominates the rooted size.
-            if self.live_nodes() > 2 * (size + n + 1) {
-                self.collect();
+            #[cfg(debug_assertions)]
+            {
+                // The full-recount audit pinning the O(1) accounting: the
+                // interior counts match the arena edges, and the tracked
+                // size matches a from-scratch rooted traversal.
+                self.verify_interior_refs();
+                debug_assert_eq!(size, self.rooted_size(), "O(1) size tracking drifted");
             }
         }
         report.final_size = size;
-        self.sift_swaps += report.swaps as u64;
+        report.restore_overage = report.swaps.saturating_sub(cfg.max_swaps);
         self.sifts += 1;
         report
+    }
+
+    /// Moves the block of `glen` adjacent levels starting at `top` one
+    /// position down (or up) by bubbling the neighbouring variable
+    /// through it — `glen` eager-reclaim swaps. Returns the updated
+    /// rooted size (`size` plus the swaps' exact deltas).
+    fn block_step(
+        &mut self,
+        top: usize,
+        glen: usize,
+        downward: bool,
+        size: usize,
+        swaps: &mut usize,
+    ) -> usize {
+        let mut size = size as isize;
+        if downward {
+            // The variable below the block rises to `top`.
+            for i in (top..top + glen).rev() {
+                size += self.swap_levels_inner(i as u32, true).1;
+                *swaps += 1;
+            }
+        } else {
+            // The variable above the block sinks to the block's bottom.
+            for i in top - 1..top + glen - 1 {
+                size += self.swap_levels_inner(i as u32, true).1;
+                *swaps += 1;
+            }
+        }
+        debug_assert!(size >= 0, "rooted size underflow in block step");
+        size as usize
+    }
+
+    /// Repeats budget-relaxed [`Manager::sift`] passes until one shrinks
+    /// the rooted size by less than [`ConvergeConfig::min_gain`] (or
+    /// [`ConvergeConfig::max_passes`] is reached) — sift to convergence.
+    /// Monotone: each pass parks every walked variable at its best seen
+    /// position (its start included), so the size never increases and the
+    /// loop always terminates. Returns the accumulated report
+    /// (`initial_size` from the first pass, `final_size` from the last).
+    ///
+    /// Like [`Manager::sift`], call this only at quiescent points with
+    /// every live function protected.
+    pub fn sift_to_fixpoint(&mut self, cfg: &ConvergeConfig) -> SiftReport {
+        self.sift_to_fixpoint_filtered(cfg, None)
+    }
+
+    /// The one convergence driver behind [`Manager::sift_to_fixpoint`]
+    /// and the per-cone [`crate::sift_converge_reorder`]: both share this
+    /// loop so the termination rule cannot drift between them.
+    pub(crate) fn sift_to_fixpoint_filtered(
+        &mut self,
+        cfg: &ConvergeConfig,
+        subset: Option<&[Var]>,
+    ) -> SiftReport {
+        let mut total = SiftReport::default();
+        for pass in 0..cfg.max_passes.max(1) {
+            let r = self.sift_filtered(&cfg.pass, subset);
+            if pass == 0 {
+                total.initial_size = r.initial_size;
+            }
+            total.final_size = r.final_size;
+            total.swaps += r.swaps;
+            total.vars_sifted += r.vars_sifted;
+            total.restore_overage += r.restore_overage;
+            total.groups += r.groups;
+            total.passes += 1;
+            let gained = r.initial_size.saturating_sub(r.final_size);
+            if (gained as f64) < cfg.min_gain * r.initial_size.max(1) as f64 {
+                break;
+            }
+        }
+        total
+    }
+
+    /// Whether the variables at `level` and `level + 1` are positively
+    /// symmetric in every function of the shared DAG — the structural
+    /// adjacent-level check of CUDD's symmetric sifting (Panda–Somenzi):
+    ///
+    /// * every node at the upper level must satisfy
+    ///   `f(x=0, y=1) == f(x=1, y=0)` (checked on shallow cofactors;
+    ///   canonicity turns the semantic condition into `Ref` equality), and
+    /// * every node at the lower level must be referenced *only* by
+    ///   upper-level nodes — an edge into `y` bypassing `x` (from a node
+    ///   above `x`, or an external root) could distinguish the two
+    ///   variables. The interior counts make this exact: the edges from
+    ///   upper-level nodes must account for the lower node's whole
+    ///   count, with no external claim.
+    ///
+    /// Returns `false` when either level is empty. Conservative in the
+    /// presence of unswept garbage (dead parents keep counts up, which
+    /// can only hide a symmetry, never invent one); sifting runs it on a
+    /// collected arena where the answer is exact.
+    pub fn symmetric_levels(&self, level: u32) -> bool {
+        let l = level as usize;
+        if l + 1 >= self.level2var.len() {
+            return false;
+        }
+        let x = self.level2var[l];
+        let y = self.level2var[l + 1];
+        let xs = &self.var_nodes[x as usize];
+        let ys = &self.var_nodes[y as usize];
+        if xs.is_empty() || ys.is_empty() {
+            return false;
+        }
+        let yv = Var(y);
+        let mut from_x: std::collections::HashMap<u32, u32, crate::hasher::BuildFxHasher> =
+            std::collections::HashMap::with_capacity_and_hasher(
+                ys.len(),
+                crate::hasher::BuildFxHasher::default(),
+            );
+        for &sx in xs {
+            let node = self.nodes[sx as usize];
+            let (_, f01) = self.shallow_cofactors(node.low, yv);
+            let (f10, _) = self.shallow_cofactors(node.high, yv);
+            if f01 != f10 {
+                return false;
+            }
+            for c in [node.low, node.high] {
+                let i = c.node().index();
+                if i != 0 && self.nodes[i].var.0 == y {
+                    *from_x.entry(i as u32).or_insert(0) += 1;
+                }
+            }
+        }
+        ys.iter().all(|&sy| {
+            self.refs[sy as usize] == 0
+                && self.int_refs[sy as usize] == from_x.get(&sy).copied().unwrap_or(0)
+        })
     }
 
     /// Replaces the automatic-sifting configuration and re-arms the
@@ -1412,15 +1981,21 @@ impl Manager {
     /// disabled or the live node count is below the re-armed threshold;
     /// otherwise collects (callers invoke this only at quiescent points,
     /// exactly like [`Manager::maybe_collect`], so every live function is
-    /// protected), runs one [`Manager::sift`] pass over the compacted
-    /// arena, and re-arms the trigger at twice the post-sift live size.
-    /// Returns the report when a pass ran.
+    /// protected), runs one [`Manager::sift`] pass — or a full
+    /// [`Manager::sift_to_fixpoint`] when [`AutoSiftConfig::fixpoint`] is
+    /// set — over the compacted arena, and re-arms the trigger at twice
+    /// the post-sift live size. Returns the report when a pass ran.
     pub fn maybe_sift(&mut self) -> Option<SiftReport> {
         if !self.auto_sift.enabled || self.live_nodes() < self.next_sift {
             return None;
         }
-        let cfg = self.auto_sift.sift;
-        let report = self.sift(&cfg);
+        let report = match self.auto_sift.fixpoint {
+            Some(converge) => self.sift_to_fixpoint(&converge),
+            None => {
+                let cfg = self.auto_sift.sift;
+                self.sift(&cfg)
+            }
+        };
         self.next_sift = (self.live_nodes() * 2).max(self.auto_sift.min_nodes);
         Some(report)
     }
@@ -1869,13 +2444,214 @@ mod tests {
         m.set_sift_config(AutoSiftConfig {
             enabled: true,
             min_nodes: 4,
-            sift: SiftConfig::default(),
+            ..AutoSiftConfig::default()
         });
         let report = m.maybe_sift().expect("threshold cleared");
         assert!(report.final_size <= report.initial_size);
         // Re-armed: immediately afterwards the threshold gates again.
         assert!(m.maybe_sift().is_none());
         assert!(m.sift_config().enabled);
+    }
+
+    #[test]
+    fn interior_refs_track_arena_edges_exactly() {
+        let mut m = Manager::new();
+        let a = m.var(0);
+        let b = m.var(1);
+        let c = m.var(2);
+        let ab = m.and(a, b);
+        let f = m.ite(c, ab, b);
+        m.verify_interior_refs();
+        // `b`'s projection node is the 1-child of `ab` (at least).
+        assert!(m.interior_count(b) >= 1);
+        assert_eq!(m.interior_count(Ref::ONE), u32::MAX);
+        let _ = ab;
+        // A swap rewrites edges; the audit must still pass and the counts
+        // must follow the patched slots.
+        m.protect(f);
+        m.swap_levels(0);
+        m.verify_interior_refs();
+        m.swap_levels(1);
+        m.verify_interior_refs();
+        // Collection reclaims with cascading decrements; audit again.
+        m.collect();
+        m.verify_interior_refs();
+        // Free-list reuse re-increments the new children.
+        let d = m.var(3);
+        let g = m.and(f, d);
+        let _ = g;
+        m.verify_interior_refs();
+    }
+
+    #[test]
+    fn refcount_collect_reclaims_dead_chains_without_mark() {
+        // A deep chain with no roots: the seed scan only sees the
+        // parentless top, the cascade must reach the rest.
+        let mut m = Manager::with_capacity(16, 8);
+        let mut prev = Ref::ONE;
+        for v in (0..2000u32).rev() {
+            prev = m.mk(Var(v), !prev, prev);
+        }
+        assert_eq!(m.collect(), 2000);
+        assert_eq!(m.live_nodes(), 1);
+        m.verify_interior_refs();
+    }
+
+    #[test]
+    fn symmetric_levels_detects_known_symmetries() {
+        let mut m = Manager::new();
+        let a = m.var(0);
+        let b = m.var(1);
+        let f = m.and(a, b);
+        m.protect(f);
+        m.collect();
+        // a·b is symmetric in (a, b) …
+        assert!(m.symmetric_levels(0));
+        let mut m2 = Manager::new();
+        let a = m2.var(0);
+        let b = m2.var(1);
+        let nb = !b;
+        let g = m2.and(a, nb);
+        m2.protect(g);
+        m2.collect();
+        // … a·b̄ is not (positively): g(a=0,b=1) = 0 ≠ g(a=1,b=0) = 1.
+        assert!(!m2.symmetric_levels(0));
+        // An empty level pair is never symmetric.
+        let mut m3 = Manager::new();
+        m3.var(0);
+        m3.var(1);
+        assert!(!m3.symmetric_levels(0));
+    }
+
+    #[test]
+    fn symmetric_levels_rejects_bypassing_references() {
+        // f = maj(a, b, c) is symmetric in every pair, but keeping a bare
+        // projection of b alive as a root adds an external reference to a
+        // level-1 node that bypasses level 0 — the group check must
+        // refuse to fuse (a, b) then.
+        let mut m = Manager::new();
+        let a = m.var(0);
+        let b = m.var(1);
+        let c = m.var(2);
+        let f = m.maj(a, b, c);
+        m.protect(f);
+        m.collect();
+        assert!(m.symmetric_levels(0));
+        assert!(m.symmetric_levels(1));
+        let b2 = m.var(1);
+        m.protect(b2);
+        assert!(!m.symmetric_levels(0), "external claim on b must block the group");
+        m.release(b2);
+        assert!(m.symmetric_levels(0));
+    }
+
+    #[test]
+    fn group_sifting_walks_symmetric_pairs_as_blocks() {
+        // (x0 ∨ x1) pairs with (x4 ∧ x5) across a hostile interleaving;
+        // x0/x1 and x4/x5 are symmetric pairs the walk should fuse.
+        let mut m = Manager::new();
+        let a = m.var(0);
+        let b = m.var(1);
+        let ab = m.or(a, b);
+        let c = m.var(4);
+        let d = m.var(5);
+        let cd = m.and(c, d);
+        let x2 = m.var(2);
+        let x3 = m.var(3);
+        let mid = m.and(x2, x3);
+        let t = m.xor(ab, mid);
+        let f = m.xor(t, cd);
+        m.protect(f);
+        let truth_before: Vec<bool> = (0..64u32)
+            .map(|row| m.eval(f, &(0..6).map(|i| row >> i & 1 == 1).collect::<Vec<_>>()))
+            .collect();
+        let cfg = SiftConfig {
+            symmetric_groups: true,
+            ..SiftConfig::default()
+        };
+        let report = m.sift(&cfg);
+        assert!(report.groups >= 1, "symmetric pairs must be walked as blocks");
+        assert!(report.final_size <= report.initial_size);
+        m.verify_interior_refs();
+        let truth_after: Vec<bool> = (0..64u32)
+            .map(|row| m.eval(f, &(0..6).map(|i| row >> i & 1 == 1).collect::<Vec<_>>()))
+            .collect();
+        assert_eq!(truth_before, truth_after, "group sifting changed the function");
+    }
+
+    #[test]
+    fn sift_to_fixpoint_terminates_and_never_loses_to_single_pass() {
+        let build = |m: &mut Manager| {
+            let mut f = Ref::ZERO;
+            for i in 0..4 {
+                let a = m.var(i);
+                let b = m.var(i + 4);
+                let ab = m.and(a, b);
+                f = m.or(f, ab);
+            }
+            m.protect(f)
+        };
+        let mut single = Manager::new();
+        let fs = build(&mut single);
+        let rs = single.sift(&SiftConfig::default());
+        let mut conv = Manager::new();
+        let fc = build(&mut conv);
+        let cfg = ConvergeConfig::default();
+        let rc = conv.sift_to_fixpoint(&cfg);
+        assert!(rc.passes >= 1 && rc.passes <= cfg.max_passes, "fixpoint must terminate");
+        assert!(rc.final_size <= rc.initial_size);
+        assert!(
+            rc.final_size <= rs.final_size,
+            "converged size {} must not lose to single pass {}",
+            rc.final_size,
+            rs.final_size
+        );
+        assert_eq!(conv.size(fc), single.size(fs), "both reach the linear pairing order");
+        // Once converged, another fixpoint run is a cheap no-op-ish pass.
+        let again = conv.sift_to_fixpoint(&cfg);
+        assert_eq!(again.final_size, rc.final_size);
+        assert_eq!(again.passes, 1, "a converged order stops after one pass");
+    }
+
+    #[test]
+    fn sift_budget_exhaustion_reports_restore_overage() {
+        let mut m = Manager::new();
+        let mut f = Ref::ZERO;
+        for i in 0..3 {
+            let a = m.var(i);
+            let b = m.var(i + 3);
+            let ab = m.and(a, b);
+            f = m.or(f, ab);
+        }
+        m.protect(f);
+        let truth = |m: &Manager, f: Ref| -> u64 {
+            (0..64u32).fold(0u64, |acc, row| {
+                let assignment: Vec<bool> = (0..6).map(|i| row >> i & 1 == 1).collect();
+                acc | ((m.eval(f, &assignment) as u64) << row)
+            })
+        };
+        let before = truth(&m, f);
+        // Zero budget: no swaps at all, valid permutation, function intact.
+        let r0 = m.sift(&SiftConfig {
+            max_swaps: 0,
+            ..SiftConfig::default()
+        });
+        assert_eq!((r0.swaps, r0.restore_overage), (0, 0));
+        // A tiny budget exhausts mid-walk; the restore completes anyway
+        // and the overshoot is reported.
+        let r3 = m.sift(&SiftConfig {
+            max_swaps: 3,
+            ..SiftConfig::default()
+        });
+        assert!(r3.swaps >= 3 || r3.restore_overage == 0);
+        assert_eq!(r3.restore_overage, r3.swaps.saturating_sub(3));
+        let v2l = m.var2level().to_vec();
+        let mut seen = vec![false; v2l.len()];
+        for &l in &v2l {
+            assert!(!std::mem::replace(&mut seen[l as usize], true), "order must stay a permutation");
+        }
+        assert_eq!(truth(&m, f), before, "budget exhaustion must not corrupt f");
+        m.verify_interior_refs();
     }
 
     #[test]

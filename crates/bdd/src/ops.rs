@@ -20,7 +20,11 @@
 //! None of the kernels here triggers garbage collection: recursive
 //! intermediates need no protection, and results only need
 //! [`Manager::protect`] when the caller holds them across an explicit
-//! `collect`/`maybe_collect` point.
+//! `collect`/`maybe_collect` point. Every node these kernels produce is
+//! funnelled through `Manager::mk`, which also maintains the interior
+//! (arena-edge) reference counts — the kernels themselves never touch
+//! refcounts, so the accounting behind the refcount-driven collector and
+//! sifting's O(1) size deltas cannot drift here.
 
 use crate::manager::{op, Manager};
 use crate::reference::Ref;

@@ -17,7 +17,7 @@
 //! substitution), which is occasionally what a caller wants — but it is no
 //! longer how reordering is implemented.
 
-use crate::manager::{op, Manager, SiftConfig};
+use crate::manager::{op, ConvergeConfig, Manager, SiftConfig};
 use crate::reference::Ref;
 
 impl Manager {
@@ -200,6 +200,28 @@ pub fn sift_reorder(m: &mut Manager, f: Ref, cfg: &SiftConfig) -> Reordered {
     m.protect(f);
     let support = m.support(f);
     m.sift_vars(cfg, &support);
+    m.release(f);
+    let perm = m.var2level().to_vec();
+    debug_assert!(is_permutation(&perm));
+    Reordered {
+        perm,
+        function: f,
+        size: m.size(f),
+    }
+}
+
+/// [`sift_reorder`] to convergence: protects `f` and repeats
+/// budget-relaxed sift passes over its support
+/// ([`Manager::sift_to_fixpoint`]'s contract, scoped like
+/// [`Manager::sift_vars`]) until a pass improves the rooted size by less
+/// than [`ConvergeConfig::min_gain`]. The converged size is never worse
+/// than a single pass's — each pass parks every variable at its best
+/// seen position, its start included. In place, and collecting, like
+/// [`sift_reorder`].
+pub fn sift_converge_reorder(m: &mut Manager, f: Ref, cfg: &ConvergeConfig) -> Reordered {
+    m.protect(f);
+    let support = m.support(f);
+    m.sift_to_fixpoint_filtered(cfg, Some(&support));
     m.release(f);
     let perm = m.var2level().to_vec();
     debug_assert!(is_permutation(&perm));

@@ -45,7 +45,7 @@ pub struct SuiteArgs {
 
 /// Usage text for the shared suite flags, printed on any parse error.
 pub const SUITE_USAGE: &str = "supported options:
-  --reorder {none,window,sift}  per-cone reordering policy (default: window)
+  --reorder {none,window,sift,sift-converge}  per-cone reordering policy (default: window)
   --jobs N                      suite worker threads (default: BENCH_JOBS or all cores; 1 = sequential)";
 
 /// Parses a `--jobs` value: a positive worker count.
@@ -71,10 +71,10 @@ pub fn parse_suite_args(args: &[String]) -> Result<SuiteArgs, String> {
                 }
                 let v = args
                     .get(i + 1)
-                    .ok_or("--reorder requires one of: none, window, sift")?;
+                    .ok_or("--reorder requires one of: none, window, sift, sift-converge")?;
                 reorder = Some(
                     ReorderPolicy::from_flag(v)
-                        .ok_or(format!("--reorder {v}: use none, window or sift"))?,
+                        .ok_or(format!("--reorder {v}: use none, window, sift or sift-converge"))?,
                 );
                 i += 2;
             }

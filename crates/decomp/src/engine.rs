@@ -47,15 +47,21 @@ pub enum ReorderPolicy {
     /// Rudell sifting (`bdd::sift_reorder` per cone, plus the manager's
     /// threshold-gated `maybe_sift` at the engine's quiescent points).
     Sift,
+    /// Converging sift (`bdd::sift_converge_reorder` per cone:
+    /// budget-relaxed passes with symmetric-group sifting repeated to a
+    /// fixpoint; `maybe_sift` is armed with the same fixpoint options).
+    SiftConverge,
 }
 
 impl ReorderPolicy {
-    /// Parses the `--reorder {none,window,sift}` command-line spelling.
+    /// Parses the `--reorder {none,window,sift,sift-converge}`
+    /// command-line spelling.
     pub fn from_flag(s: &str) -> Option<ReorderPolicy> {
         match s {
             "none" => Some(ReorderPolicy::None),
             "window" => Some(ReorderPolicy::Window),
             "sift" => Some(ReorderPolicy::Sift),
+            "sift-converge" => Some(ReorderPolicy::SiftConverge),
             _ => None,
         }
     }
@@ -132,13 +138,23 @@ pub fn decompose_network(
         (net.len() * 16).clamp(1 << 12, 1 << 20),
         bdd::DEFAULT_CACHE_BITS,
     );
-    if options.reorder == ReorderPolicy::Sift {
+    match options.reorder {
         // Arm the manager-global hook too: partition and this engine offer
         // `maybe_sift` at every quiescent point alongside `maybe_collect`.
-        manager.set_sift_config(bdd::AutoSiftConfig {
-            enabled: true,
-            ..Default::default()
-        });
+        ReorderPolicy::Sift => {
+            manager.set_sift_config(bdd::AutoSiftConfig {
+                enabled: true,
+                ..Default::default()
+            });
+        }
+        ReorderPolicy::SiftConverge => {
+            manager.set_sift_config(bdd::AutoSiftConfig {
+                enabled: true,
+                fixpoint: Some(bdd::ConvergeConfig::default()),
+                ..Default::default()
+            });
+        }
+        ReorderPolicy::None | ReorderPolicy::Window => {}
     }
     let part = partition(net, &mut manager, options.partition);
 
@@ -169,6 +185,13 @@ pub fn decompose_network(
                 }
                 ReorderPolicy::Sift => {
                     bdd::sift_reorder(&mut manager, function, &bdd::SiftConfig::default());
+                }
+                ReorderPolicy::SiftConverge => {
+                    bdd::sift_converge_reorder(
+                        &mut manager,
+                        function,
+                        &bdd::ConvergeConfig::default(),
+                    );
                 }
             }
         }

@@ -5,7 +5,7 @@
 //! plus an area/delay report on the CMOS 22 nm six-cell library.
 //!
 //! ```text
-//! usage: bdsmaj [--flow bds-maj|bds-pga|abc|dc] [--reorder none|window|sift]
+//! usage: bdsmaj [--flow bds-maj|bds-pga|abc|dc] [--reorder none|window|sift|sift-converge]
 //!               [--jobs N] [--map] [-o OUT.blif] IN.blif
 //!        bdsmaj ... [-o OUT_DIR] IN1.blif IN2.blif ...  # multi-file mode
 //!        bdsmaj --bench NAME        # run a built-in paper benchmark instead
@@ -34,7 +34,7 @@ struct Args {
 }
 
 const USAGE: &str = "usage: bdsmaj [--flow bds-maj|bds-pga|abc|dc] \
-                     [--reorder none|window|sift] [--jobs N] [--map] \
+                     [--reorder none|window|sift|sift-converge] [--jobs N] [--map] \
                      [-o OUT.blif] (IN.blif | --bench NAME)\n       \
                      bdsmaj ... [-o OUT_DIR] IN1.blif IN2.blif ...  # multi-file mode";
 
@@ -61,7 +61,7 @@ fn parse_args() -> Result<Args, String> {
                 reorder_seen = true;
                 let v = it.next().ok_or("--reorder needs a value")?;
                 args.reorder = ReorderPolicy::from_flag(&v)
-                    .ok_or(format!("--reorder {v}: use none, window or sift"))?;
+                    .ok_or(format!("--reorder {v}: use none, window, sift or sift-converge"))?;
             }
             "--jobs" => {
                 if jobs.is_some() {
