@@ -24,31 +24,37 @@
 //! through `Manager::mk`, which keeps the interior reference counts
 //! exact as a side effect — no cofactor path does its own refcounting.
 
-use crate::manager::{op, Manager};
+use crate::manager::{op, LimitExceeded, Manager};
 use crate::reference::{NodeId, Ref, Var};
 
 impl Manager {
     /// The cofactor `f|v=value`, for a variable anywhere in the order.
     pub fn cofactor(&mut self, f: Ref, v: Var, value: bool) -> Ref {
+        self.ungoverned(|m| m.try_cofactor(f, v, value))
+    }
+
+    /// Budget-governed [`Manager::cofactor`].
+    pub fn try_cofactor(&mut self, f: Ref, v: Var, value: bool) -> Result<Ref, LimitExceeded> {
         self.cofactor_rec(f, v, value)
     }
 
-    fn cofactor_rec(&mut self, f: Ref, v: Var, value: bool) -> Ref {
+    fn cofactor_rec(&mut self, f: Ref, v: Var, value: bool) -> Result<Ref, LimitExceeded> {
         // One level comparison covers every identity case: constants (the
         // u32::MAX pseudo-level), functions entirely below `v` in the
         // order, and variables the manager has never seen.
         let vl = self.var_level(v.0);
         if vl == u32::MAX || self.level(f) > vl {
-            return f;
+            return Ok(f);
         }
+        self.tick()?;
         // Complements commute with cofactoring; recurse on the regular
         // reference so both polarities share one cache entry.
         if f.is_complemented() {
-            return !self.cofactor_rec(!f, v, value);
+            return Ok(!self.cofactor_rec(!f, v, value)?);
         }
         let key_b = v.0 << 1 | value as u32;
         if let Some(r) = self.cache.lookup(op::COFACTOR, f.raw(), key_b, 0) {
-            return r;
+            return Ok(r);
         }
         let top = self.top_var(f).expect("non-constant here");
         let (f0, f1) = self.shallow_cofactors(f, top);
@@ -59,33 +65,48 @@ impl Manager {
                 f0
             }
         } else {
-            let r0 = self.cofactor_rec(f0, v, value);
-            let r1 = self.cofactor_rec(f1, v, value);
+            let r0 = self.cofactor_rec(f0, v, value)?;
+            let r1 = self.cofactor_rec(f1, v, value)?;
             self.mk(top, r0, r1)
         };
         self.cache.insert(op::COFACTOR, f.raw(), key_b, 0, r);
-        r
+        Ok(r)
     }
 
     /// Existential quantification `∃v. f = f|v=0 + f|v=1`.
     pub fn exists(&mut self, f: Ref, v: Var) -> Ref {
-        let f0 = self.cofactor(f, v, false);
-        let f1 = self.cofactor(f, v, true);
-        self.or(f0, f1)
+        self.ungoverned(|m| m.try_exists(f, v))
+    }
+
+    /// Budget-governed [`Manager::exists`].
+    pub fn try_exists(&mut self, f: Ref, v: Var) -> Result<Ref, LimitExceeded> {
+        let f0 = self.try_cofactor(f, v, false)?;
+        let f1 = self.try_cofactor(f, v, true)?;
+        self.try_or(f0, f1)
     }
 
     /// Universal quantification `∀v. f = f|v=0 · f|v=1`.
     pub fn forall(&mut self, f: Ref, v: Var) -> Ref {
-        let f0 = self.cofactor(f, v, false);
-        let f1 = self.cofactor(f, v, true);
-        self.and(f0, f1)
+        self.ungoverned(|m| m.try_forall(f, v))
+    }
+
+    /// Budget-governed [`Manager::forall`].
+    pub fn try_forall(&mut self, f: Ref, v: Var) -> Result<Ref, LimitExceeded> {
+        let f0 = self.try_cofactor(f, v, false)?;
+        let f1 = self.try_cofactor(f, v, true)?;
+        self.try_and(f0, f1)
     }
 
     /// Functional composition `f[v := g]`.
     pub fn compose(&mut self, f: Ref, v: Var, g: Ref) -> Ref {
-        let f0 = self.cofactor(f, v, false);
-        let f1 = self.cofactor(f, v, true);
-        self.ite(g, f1, f0)
+        self.ungoverned(|m| m.try_compose(f, v, g))
+    }
+
+    /// Budget-governed [`Manager::compose`].
+    pub fn try_compose(&mut self, f: Ref, v: Var, g: Ref) -> Result<Ref, LimitExceeded> {
+        let f0 = self.try_cofactor(f, v, false)?;
+        let f1 = self.try_cofactor(f, v, true)?;
+        self.try_ite(g, f1, f0)
     }
 
     /// The Coudert–Madre *restrict* generalized cofactor `f ⇓ c`.
@@ -99,16 +120,26 @@ impl Manager {
     ///
     /// Panics if `c` is the constant zero (the care set must be satisfiable).
     pub fn restrict(&mut self, f: Ref, c: Ref) -> Ref {
+        self.ungoverned(|m| m.try_restrict(f, c))
+    }
+
+    /// Budget-governed [`Manager::restrict`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `c` is the constant zero, like the infallible form.
+    pub fn try_restrict(&mut self, f: Ref, c: Ref) -> Result<Ref, LimitExceeded> {
         assert!(!c.is_zero(), "restrict: empty care set");
         self.restrict_rec(f, c)
     }
 
-    fn restrict_rec(&mut self, f: Ref, c: Ref) -> Ref {
+    fn restrict_rec(&mut self, f: Ref, c: Ref) -> Result<Ref, LimitExceeded> {
         if c.is_one() || f.is_const() {
-            return f;
+            return Ok(f);
         }
+        self.tick()?;
         if let Some(r) = self.cache.lookup(op::RESTRICT, f.raw(), c.raw(), 0) {
-            return r;
+            return Ok(r);
         }
         let fv = self.level(f);
         let cv = self.level(c);
@@ -117,25 +148,25 @@ impl Manager {
             let c_drop = {
                 let cvar = self.var_at_level(cv);
                 let (c0, c1) = self.shallow_cofactors(c, cvar);
-                self.or(c0, c1)
+                self.try_or(c0, c1)?
             };
-            self.restrict_rec(f, c_drop)
+            self.restrict_rec(f, c_drop)?
         } else {
             let v = self.var_at_level(fv);
             let (f0, f1) = self.shallow_cofactors(f, v);
             let (c0, c1) = self.shallow_cofactors(c, v);
             if c0.is_zero() {
-                self.restrict_rec(f1, c1)
+                self.restrict_rec(f1, c1)?
             } else if c1.is_zero() {
-                self.restrict_rec(f0, c0)
+                self.restrict_rec(f0, c0)?
             } else {
-                let r0 = self.restrict_rec(f0, c0);
-                let r1 = self.restrict_rec(f1, c1);
+                let r0 = self.restrict_rec(f0, c0)?;
+                let r1 = self.restrict_rec(f1, c1)?;
                 self.mk(v, r0, r1)
             }
         };
         self.cache.insert(op::RESTRICT, f.raw(), c.raw(), 0, r);
-        r
+        Ok(r)
     }
 
     /// The Coudert–Madre *constrain* (a.k.a. image-restricting) generalized
@@ -148,37 +179,47 @@ impl Manager {
     ///
     /// Panics if `c` is the constant zero.
     pub fn constrain(&mut self, f: Ref, c: Ref) -> Ref {
+        self.ungoverned(|m| m.try_constrain(f, c))
+    }
+
+    /// Budget-governed [`Manager::constrain`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `c` is the constant zero, like the infallible form.
+    pub fn try_constrain(&mut self, f: Ref, c: Ref) -> Result<Ref, LimitExceeded> {
         assert!(!c.is_zero(), "constrain: empty care set");
         self.constrain_rec(f, c)
     }
 
-    fn constrain_rec(&mut self, f: Ref, c: Ref) -> Ref {
+    fn constrain_rec(&mut self, f: Ref, c: Ref) -> Result<Ref, LimitExceeded> {
         if c.is_one() || f.is_const() {
-            return f;
+            return Ok(f);
         }
         if f == c {
-            return Ref::ONE;
+            return Ok(Ref::ONE);
         }
         if f == !c {
-            return Ref::ZERO;
+            return Ok(Ref::ZERO);
         }
+        self.tick()?;
         if let Some(r) = self.cache.lookup(op::CONSTRAIN, f.raw(), c.raw(), 0) {
-            return r;
+            return Ok(r);
         }
         let v = self.var_at_level(self.level(f).min(self.level(c)));
         let (f0, f1) = self.shallow_cofactors(f, v);
         let (c0, c1) = self.shallow_cofactors(c, v);
         let r = if c0.is_zero() {
-            self.constrain_rec(f1, c1)
+            self.constrain_rec(f1, c1)?
         } else if c1.is_zero() {
-            self.constrain_rec(f0, c0)
+            self.constrain_rec(f0, c0)?
         } else {
-            let r0 = self.constrain_rec(f0, c0);
-            let r1 = self.constrain_rec(f1, c1);
+            let r0 = self.constrain_rec(f0, c0)?;
+            let r1 = self.constrain_rec(f1, c1)?;
             self.mk(v, r0, r1)
         };
         self.cache.insert(op::CONSTRAIN, f.raw(), c.raw(), 0, r);
-        r
+        Ok(r)
     }
 
     /// Rebuilds the DAG of `f` with the internal node `target` replaced by
@@ -189,29 +230,46 @@ impl Manager {
     /// behind functional dominator checks: a node `d` is, e.g., a
     /// generalized 1-dominator iff `F(0) = 0`, so that `f = F(1) · f_d`.
     pub fn replace_node_with_const(&mut self, f: Ref, target: NodeId, value: bool) -> Ref {
+        self.ungoverned(|m| m.try_replace_node_with_const(f, target, value))
+    }
+
+    /// Budget-governed [`Manager::replace_node_with_const`].
+    pub fn try_replace_node_with_const(
+        &mut self,
+        f: Ref,
+        target: NodeId,
+        value: bool,
+    ) -> Result<Ref, LimitExceeded> {
         let rep = self.constant(value);
         let scope = self.new_scope();
         self.replace_rec(f, target, rep, scope)
     }
 
-    fn replace_rec(&mut self, f: Ref, target: NodeId, rep: Ref, scope: u32) -> Ref {
+    fn replace_rec(
+        &mut self,
+        f: Ref,
+        target: NodeId,
+        rep: Ref,
+        scope: u32,
+    ) -> Result<Ref, LimitExceeded> {
         let c = f.is_complemented();
         let id = f.node();
         if id == target {
-            return rep.xor_complement(c);
+            return Ok(rep.xor_complement(c));
         }
         if id.is_terminal() {
-            return f;
+            return Ok(f);
         }
+        self.tick()?;
         if let Some(r) = self.cache.lookup(op::SCOPED, f.regular().raw(), scope, 0) {
-            return r.xor_complement(c);
+            return Ok(r.xor_complement(c));
         }
         let n = self.nodes[id.index()];
-        let low = self.replace_rec(n.low, target, rep, scope);
-        let high = self.replace_rec(n.high, target, rep, scope);
+        let low = self.replace_rec(n.low, target, rep, scope)?;
+        let high = self.replace_rec(n.high, target, rep, scope)?;
         let r = self.mk(n.var, low, high);
         self.cache.insert(op::SCOPED, f.regular().raw(), scope, 0, r);
-        r.xor_complement(c)
+        Ok(r.xor_complement(c))
     }
 }
 

@@ -109,6 +109,38 @@
 //!   [`Manager::swap_levels`] calls preserve every `Ref` but displace
 //!   nodes into garbage, so a `maybe_collect` should follow them.
 //!
+//! # Resource governance and the fallible-kernel contract
+//!
+//! Every recursive kernel exists in two forms: the classic infallible
+//! entry (`ite`, `and`, `xor`, `cofactor`, ...) and a budget-governed
+//! `try_*` twin returning `Result<Ref, LimitExceeded>`. Install a budget
+//! with [`Manager::set_limits`] ([`ResourceLimits`]: a live-node ceiling,
+//! a recursion-step ceiling, a wall-clock deadline — any subset); the
+//! `try_*` kernels then poll it on a cheap counter inside the recursion
+//! and abort cooperatively with [`LimitExceeded`] when it is crossed.
+//! The infallible entries run the *same* recursions with the budget
+//! suspended ([`Manager::ungoverned`]), so pre-existing code keeps its
+//! can't-fail signatures and pays one branch per recursion step.
+//!
+//! **What survives an abort:** everything. All invariant maintenance
+//! (unique-table insertion, interior refcounts, per-variable node lists,
+//! free-list reuse) happens atomically inside `Manager::mk`, so an early
+//! return between `mk` calls cannot tear any structure. After a
+//! `LimitExceeded` the manager is fully consistent and immediately
+//! usable: the unique table and computed cache are intact (including
+//! partial results the aborted operation memoized — they are correct,
+//! just incomplete), `verify_interior_refs` passes, and the nodes the
+//! aborted operation built are ordinary unreferenced garbage that the
+//! next [`Manager::collect`] reclaims. The recommended recovery is:
+//! protect what you still need, `collect()`, then either retry with a
+//! larger budget (possibly after a sift) or fall back. Nothing needs to
+//! be rebuilt; no poisoned state exists.
+//!
+//! Limits are polled, not preemptive: the step counter advances once per
+//! cache-missing recursion step, the node ceiling is compared on the
+//! same poll, and the deadline clock is sampled every 256 steps — an
+//! abort lands within microseconds of the crossing, never mid-`mk`.
+//!
 //! # Threading model
 //!
 //! A [`Manager`] is single-threaded by design: it is `Send` (a worker
@@ -163,8 +195,8 @@ mod sat;
 pub use analysis::{InDegree, NodeStats};
 pub use hasher::{BuildFxHasher, FxHasher};
 pub use manager::{
-    AutoSiftConfig, CacheStats, ConvergeConfig, GcConfig, Manager, Node, SiftConfig,
-    SiftReport, DEFAULT_CACHE_BITS,
+    AutoSiftConfig, CacheStats, ConvergeConfig, GcConfig, LimitExceeded, LimitKind, Manager,
+    Node, ResourceLimits, SiftConfig, SiftReport, DEFAULT_CACHE_BITS,
 };
 pub use reference::{NodeId, Ref, Var};
 pub use reorder::{invert, sift_converge_reorder, sift_reorder, window_reorder, Reordered};

@@ -544,6 +544,84 @@ impl VisitScratch {
     }
 }
 
+/// Resource budget governing the fallible (`try_*`) kernel entry points.
+///
+/// All fields default to `None` (unlimited). A manager with limits
+/// installed ([`Manager::set_limits`]) checks them from a cheap step
+/// counter ticked once per recursive kernel invocation; when any bound is
+/// crossed the running `try_*` operation returns [`LimitExceeded`] and
+/// unwinds cooperatively. The infallible kernels (`ite`, `and`, ...)
+/// always run with this budget suspended — they are unlimited-budget
+/// wrappers over the same recursions and can never abort.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct ResourceLimits {
+    /// Abort once [`Manager::live_nodes`] exceeds this (the memory bound:
+    /// a blowing-up cone is cut off before it can exhaust the arena).
+    pub max_live_nodes: Option<usize>,
+    /// Abort after this many kernel recursion steps since the limits were
+    /// installed or last [`Manager::reset_steps`] (the work bound).
+    pub max_steps: Option<u64>,
+    /// Abort once `Instant::now()` passes this absolute deadline (checked
+    /// every 256 steps to keep the clock off the hot path).
+    pub deadline: Option<std::time::Instant>,
+}
+
+impl ResourceLimits {
+    /// Whether any bound is actually set.
+    pub fn is_limited(&self) -> bool {
+        self.max_live_nodes.is_some() || self.max_steps.is_some() || self.deadline.is_some()
+    }
+}
+
+/// Which bound of a [`ResourceLimits`] was crossed.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum LimitKind {
+    /// [`ResourceLimits::max_live_nodes`].
+    Nodes,
+    /// [`ResourceLimits::max_steps`].
+    Steps,
+    /// [`ResourceLimits::deadline`].
+    Deadline,
+    /// A test-only injected fault ([`Manager::fault_inject_abort_after`]).
+    Injected,
+}
+
+/// A `try_*` kernel aborted because a [`ResourceLimits`] bound was
+/// crossed.
+///
+/// The abort is *clean*: the manager remains fully consistent — unique
+/// table, computed cache, interior reference counts and per-variable
+/// lists all intact. Nodes built by the aborted recursion are ordinary
+/// unreferenced garbage for the next [`Manager::collect`]; no state needs
+/// rolling back and every previously held [`Ref`] is still valid.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct LimitExceeded {
+    /// The bound that was crossed.
+    pub kind: LimitKind,
+    /// Kernel steps taken when the abort fired.
+    pub steps: u64,
+    /// Live node count when the abort fired.
+    pub live_nodes: usize,
+}
+
+impl std::fmt::Display for LimitExceeded {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let what = match self.kind {
+            LimitKind::Nodes => "node limit",
+            LimitKind::Steps => "step limit",
+            LimitKind::Deadline => "deadline",
+            LimitKind::Injected => "injected fault",
+        };
+        write!(
+            f,
+            "BDD kernel aborted: {what} exceeded after {} steps ({} live nodes)",
+            self.steps, self.live_nodes
+        )
+    }
+}
+
+impl std::error::Error for LimitExceeded {}
+
 /// A BDD manager: owns the node arena, the unique table guaranteeing
 /// canonicity, and the shared computed cache.
 ///
@@ -634,6 +712,18 @@ pub struct Manager {
     /// [`Manager::maybe_collect`]).
     allocs_since_gc: usize,
     peak_nodes: usize,
+    /// Resource budget consulted by the `try_*` kernels (all-`None` =
+    /// unlimited). Installed by [`Manager::set_limits`].
+    limits: ResourceLimits,
+    /// Fast gate for [`Manager::tick`]: true iff `limits.is_limited()` or
+    /// a fault injection is armed, and governance is not suspended by an
+    /// infallible wrapper.
+    governed: bool,
+    /// Kernel recursion steps since limits were installed / last reset.
+    steps: u64,
+    /// Test-only fault injection: abort with [`LimitKind::Injected`] once
+    /// `steps` reaches this value.
+    abort_at_step: Option<u64>,
 }
 
 /// Default unique-table bucket count (grows on demand).
@@ -697,6 +787,10 @@ impl Manager {
             reclaimed_total: 0,
             allocs_since_gc: 0,
             peak_nodes: 1,
+            limits: ResourceLimits::default(),
+            governed: false,
+            steps: 0,
+            abort_at_step: None,
         }
     }
 
@@ -707,6 +801,115 @@ impl Manager {
         if wanted > self.buckets.len() {
             self.nodes.reserve(nodes.saturating_sub(self.nodes.len()));
             self.grow_to(wanted);
+        }
+    }
+
+    /// Installs a resource budget for the `try_*` kernels and resets the
+    /// step counter. All-`None` limits (the default) disable governance.
+    ///
+    /// See [`ResourceLimits`] for what each bound means and
+    /// [`LimitExceeded`] for the abort-recovery contract.
+    pub fn set_limits(&mut self, limits: ResourceLimits) {
+        self.limits = limits;
+        self.steps = 0;
+        self.governed = limits.is_limited() || self.abort_at_step.is_some();
+    }
+
+    /// Removes any installed resource budget (and disarms fault
+    /// injection); the `try_*` kernels become infallible in practice.
+    pub fn clear_limits(&mut self) {
+        self.limits = ResourceLimits::default();
+        self.abort_at_step = None;
+        self.steps = 0;
+        self.governed = false;
+    }
+
+    /// The currently installed resource budget.
+    pub fn limits(&self) -> ResourceLimits {
+        self.limits
+    }
+
+    /// Kernel recursion steps taken since the limits were installed or
+    /// last reset — a cheap progress/cost indicator.
+    pub fn steps_used(&self) -> u64 {
+        self.steps
+    }
+
+    /// Resets the step counter without touching the installed bounds
+    /// (e.g. to give each cone of a flow a fresh work budget).
+    pub fn reset_steps(&mut self) {
+        self.steps = 0;
+    }
+
+    /// Test-only fault injection: the next `try_*` kernel aborts with
+    /// [`LimitKind::Injected`] once the step counter reaches `steps`
+    /// (`None` disarms). Used by the abort-recovery property tests to
+    /// stop recursions at arbitrary interior points.
+    #[doc(hidden)]
+    pub fn fault_inject_abort_after(&mut self, steps: Option<u64>) {
+        self.abort_at_step = steps;
+        self.steps = 0;
+        self.governed = self.limits.is_limited() || steps.is_some();
+    }
+
+    /// One governance tick, called at the top of every fallible kernel
+    /// recursion. A single predictable branch when ungoverned.
+    #[inline(always)]
+    pub(crate) fn tick(&mut self) -> Result<(), LimitExceeded> {
+        if !self.governed {
+            return Ok(());
+        }
+        self.tick_slow()
+    }
+
+    #[cold]
+    fn tick_slow(&mut self) -> Result<(), LimitExceeded> {
+        self.steps += 1;
+        let exceeded = |kind, steps, live| LimitExceeded {
+            kind,
+            steps,
+            live_nodes: live,
+        };
+        if let Some(at) = self.abort_at_step {
+            if self.steps >= at {
+                return Err(exceeded(LimitKind::Injected, self.steps, self.live_nodes()));
+            }
+        }
+        if let Some(max) = self.limits.max_steps {
+            if self.steps > max {
+                return Err(exceeded(LimitKind::Steps, self.steps, self.live_nodes()));
+            }
+        }
+        if let Some(max) = self.limits.max_live_nodes {
+            if self.live_nodes() > max {
+                return Err(exceeded(LimitKind::Nodes, self.steps, self.live_nodes()));
+            }
+        }
+        if let Some(deadline) = self.limits.deadline {
+            // The clock is the only expensive check: sample it every 256
+            // steps so governed kernels stay within noise of ungoverned.
+            if self.steps & 0xFF == 0 && std::time::Instant::now() >= deadline {
+                return Err(exceeded(LimitKind::Deadline, self.steps, self.live_nodes()));
+            }
+        }
+        Ok(())
+    }
+
+    /// Runs a fallible kernel closure with governance suspended, turning
+    /// it into the unlimited-budget infallible form. This is how every
+    /// classic entry point (`ite`, `and`, `xor`, the cofactor family, ...)
+    /// wraps its `try_*` twin: the budget and any armed fault injection
+    /// are ignored for the duration, then restored.
+    pub fn ungoverned<T>(
+        &mut self,
+        f: impl FnOnce(&mut Manager) -> Result<T, LimitExceeded>,
+    ) -> T {
+        let saved = std::mem::replace(&mut self.governed, false);
+        let r = f(self);
+        self.governed = saved;
+        match r {
+            Ok(v) => v,
+            Err(e) => unreachable!("ungoverned kernel reported {e}"),
         }
     }
 

@@ -17,6 +17,20 @@
 //! report the `u32::MAX` pseudo-level and need no separate terminal
 //! branch when picking the top level.
 //!
+//! # Fallible entry points
+//!
+//! Every kernel exists in two forms: the classic infallible one (`ite`,
+//! `and`, ...) and a budget-governed `try_*` twin returning
+//! `Result<Ref, LimitExceeded>`. The recursions are written once, in the
+//! fallible form; each infallible entry is a thin wrapper running the
+//! same recursion with the manager's resource budget suspended
+//! ([`Manager::ungoverned`]), so it can never abort. A `try_*` abort is
+//! clean by construction: all invariant maintenance (unique table,
+//! interior refcounts, per-variable lists) happens atomically inside
+//! `Manager::mk`, so unwinding between `mk` calls leaves the manager
+//! fully consistent and the partially built nodes as unreferenced
+//! garbage for the next collection (see [`crate::LimitExceeded`]).
+//!
 //! None of the kernels here triggers garbage collection: recursive
 //! intermediates need no protection, and results only need
 //! [`Manager::protect`] when the caller holds them across an explicit
@@ -26,7 +40,7 @@
 //! refcounts, so the accounting behind the refcount-driven collector and
 //! sifting's O(1) size deltas cannot drift here.
 
-use crate::manager::{op, Manager};
+use crate::manager::{op, LimitExceeded, Manager};
 use crate::reference::Ref;
 
 impl Manager {
@@ -48,15 +62,22 @@ impl Manager {
     /// assert!(!m.eval(mux, &[false, true, false]));
     /// ```
     pub fn ite(&mut self, f: Ref, g: Ref, h: Ref) -> Ref {
+        self.ungoverned(|m| m.try_ite(f, g, h))
+    }
+
+    /// Budget-governed [`Manager::ite`]: aborts cleanly with
+    /// [`LimitExceeded`] when the installed [`crate::ResourceLimits`] are
+    /// crossed.
+    pub fn try_ite(&mut self, f: Ref, g: Ref, h: Ref) -> Result<Ref, LimitExceeded> {
         // Terminal and absorption cases.
         if f.is_one() {
-            return g;
+            return Ok(g);
         }
         if f.is_zero() {
-            return h;
+            return Ok(h);
         }
         if g == h {
-            return g;
+            return Ok(g);
         }
         let (mut g, mut h) = (g, h);
         // ite(f, f, h) = ite(f, 1, h); ite(f, !f, h) = ite(f, 0, h);
@@ -75,33 +96,34 @@ impl Manager {
         // their terminal cases and cache tags).
         if g.is_one() {
             if h.is_zero() {
-                return f;
+                return Ok(f);
             }
-            return self.or(f, h); // ite(f, 1, h) = f + h
+            return self.try_or(f, h); // ite(f, 1, h) = f + h
         }
         if g.is_zero() {
             if h.is_one() {
-                return !f;
+                return Ok(!f);
             }
             let nf = !f;
-            return self.and(nf, h); // ite(f, 0, h) = f'·h
+            return self.try_and(nf, h); // ite(f, 0, h) = f'·h
         }
         if h.is_zero() {
-            return self.and(f, g); // ite(f, g, 0) = f·g
+            return self.try_and(f, g); // ite(f, g, 0) = f·g
         }
         if h.is_one() {
             let ng = !g;
-            return !self.and(f, ng); // ite(f, g, 1) = f' + g
+            return Ok(!self.try_and(f, ng)?); // ite(f, g, 1) = f' + g
         }
         if g == !h {
-            return !self.xor(f, g); // ite(f, g, g') = f ⊙ g
+            return Ok(!self.try_xor(f, g)?); // ite(f, g, g') = f ⊙ g
         }
         self.ite_rec(f, g, h)
     }
 
     /// The memoized three-operand ITE recursion (all two-operand shapes
-    /// already filtered out by [`Manager::ite`]).
-    fn ite_rec(&mut self, f: Ref, g: Ref, h: Ref) -> Ref {
+    /// already filtered out by [`Manager::try_ite`]).
+    fn ite_rec(&mut self, f: Ref, g: Ref, h: Ref) -> Result<Ref, LimitExceeded> {
+        self.tick()?;
         let (mut f, mut g, mut h) = (f, g, h);
         // Keep the predicate regular: ite(!f, g, h) = ite(f, h, g).
         if f.is_complemented() {
@@ -117,18 +139,18 @@ impl Manager {
         }
 
         if let Some(r) = self.cache.lookup(op::ITE, f.raw(), g.raw(), h.raw()) {
-            return r.xor_complement(complement_result);
+            return Ok(r.xor_complement(complement_result));
         }
 
         let v = self.var_at_level(self.level(f).min(self.level(g)).min(self.level(h)));
         let (f0, f1) = self.shallow_cofactors(f, v);
         let (g0, g1) = self.shallow_cofactors(g, v);
         let (h0, h1) = self.shallow_cofactors(h, v);
-        let t = self.ite(f1, g1, h1);
-        let e = self.ite(f0, g0, h0);
+        let t = self.try_ite(f1, g1, h1)?;
+        let e = self.try_ite(f0, g0, h0)?;
         let r = self.mk(v, e, t);
         self.cache.insert(op::ITE, f.raw(), g.raw(), h.raw(), r);
-        r.xor_complement(complement_result)
+        Ok(r.xor_complement(complement_result))
     }
 
     /// Logical negation (free on complemented-edge BDDs).
@@ -138,39 +160,50 @@ impl Manager {
 
     /// Conjunction `f · g` — the specialized AND kernel.
     pub fn and(&mut self, f: Ref, g: Ref) -> Ref {
+        self.ungoverned(|m| m.try_and(f, g))
+    }
+
+    /// Budget-governed [`Manager::and`].
+    pub fn try_and(&mut self, f: Ref, g: Ref) -> Result<Ref, LimitExceeded> {
         // Terminal cases.
         if f == g {
-            return f;
+            return Ok(f);
         }
         if f == !g || f.is_zero() || g.is_zero() {
-            return Ref::ZERO;
+            return Ok(Ref::ZERO);
         }
         if f.is_one() {
-            return g;
+            return Ok(g);
         }
         if g.is_one() {
-            return f;
+            return Ok(f);
         }
+        self.tick()?;
         // Commutative: order operands so (f, g) and (g, f) share a slot.
         let (f, g) = if f.raw() <= g.raw() { (f, g) } else { (g, f) };
         if let Some(r) = self.cache.lookup(op::AND, f.raw(), g.raw(), 0) {
-            return r;
+            return Ok(r);
         }
         let v = self.var_at_level(self.level(f).min(self.level(g)));
         let (f0, f1) = self.shallow_cofactors(f, v);
         let (g0, g1) = self.shallow_cofactors(g, v);
-        let t = self.and(f1, g1);
-        let e = self.and(f0, g0);
+        let t = self.try_and(f1, g1)?;
+        let e = self.try_and(f0, g0)?;
         let r = self.mk(v, e, t);
         self.cache.insert(op::AND, f.raw(), g.raw(), 0, r);
-        r
+        Ok(r)
     }
 
     /// Disjunction `f + g` (De Morgan over the AND kernel; negation is
     /// free, so this shares the `op::AND` cache).
     pub fn or(&mut self, f: Ref, g: Ref) -> Ref {
+        self.ungoverned(|m| m.try_or(f, g))
+    }
+
+    /// Budget-governed [`Manager::or`].
+    pub fn try_or(&mut self, f: Ref, g: Ref) -> Result<Ref, LimitExceeded> {
         let (nf, ng) = (!f, !g);
-        !self.and(nf, ng)
+        Ok(!self.try_and(nf, ng)?)
     }
 
     /// Negated conjunction.
@@ -189,11 +222,16 @@ impl Manager {
     /// recursion runs on regular, operand-ordered references and one cache
     /// entry covers all four polarity combinations.
     pub fn xor(&mut self, f: Ref, g: Ref) -> Ref {
+        self.ungoverned(|m| m.try_xor(f, g))
+    }
+
+    /// Budget-governed [`Manager::xor`].
+    pub fn try_xor(&mut self, f: Ref, g: Ref) -> Result<Ref, LimitExceeded> {
         if f == g {
-            return Ref::ZERO;
+            return Ok(Ref::ZERO);
         }
         if f == !g {
-            return Ref::ONE;
+            return Ok(Ref::ONE);
         }
         // Factor the complements out and order the operands. (Equal
         // regular parts are impossible here: that is exactly the f == g /
@@ -206,32 +244,38 @@ impl Manager {
         }
         // After ordering, a constant operand can only be f (= ONE regular).
         if f.is_one() {
-            return (!g).xor_complement(complement_result);
+            return Ok((!g).xor_complement(complement_result));
         }
-        let r = self.xor_rec(f, g);
-        r.xor_complement(complement_result)
+        let r = self.xor_rec(f, g)?;
+        Ok(r.xor_complement(complement_result))
     }
 
     /// XOR recursion on regular, ordered, non-constant operands.
-    fn xor_rec(&mut self, f: Ref, g: Ref) -> Ref {
+    fn xor_rec(&mut self, f: Ref, g: Ref) -> Result<Ref, LimitExceeded> {
         debug_assert!(!f.is_complemented() && !g.is_complemented());
         debug_assert!(f.raw() < g.raw() && !f.is_const());
+        self.tick()?;
         if let Some(r) = self.cache.lookup(op::XOR, f.raw(), g.raw(), 0) {
-            return r;
+            return Ok(r);
         }
         let v = self.var_at_level(self.level(f).min(self.level(g)));
         let (f0, f1) = self.shallow_cofactors(f, v);
         let (g0, g1) = self.shallow_cofactors(g, v);
-        let t = self.xor(f1, g1);
-        let e = self.xor(f0, g0);
+        let t = self.try_xor(f1, g1)?;
+        let e = self.try_xor(f0, g0)?;
         let r = self.mk(v, e, t);
         self.cache.insert(op::XOR, f.raw(), g.raw(), 0, r);
-        r
+        Ok(r)
     }
 
     /// Exclusive nor (equivalence) `f ⊙ g`.
     pub fn xnor(&mut self, f: Ref, g: Ref) -> Ref {
         !self.xor(f, g)
+    }
+
+    /// Budget-governed [`Manager::xnor`].
+    pub fn try_xnor(&mut self, f: Ref, g: Ref) -> Result<Ref, LimitExceeded> {
+        Ok(!self.try_xor(f, g)?)
     }
 
     /// Implication `f → g`.
@@ -243,33 +287,72 @@ impl Manager {
     /// Three-input majority `Maj(a, b, c) = ab + bc + ac`, the radix-3
     /// primitive at the heart of BDS-MAJ.
     pub fn maj(&mut self, a: Ref, b: Ref, c: Ref) -> Ref {
-        let bc_or = self.or(b, c);
-        let bc_and = self.and(b, c);
-        self.ite(a, bc_or, bc_and)
+        self.ungoverned(|m| m.try_maj(a, b, c))
+    }
+
+    /// Budget-governed [`Manager::maj`].
+    pub fn try_maj(&mut self, a: Ref, b: Ref, c: Ref) -> Result<Ref, LimitExceeded> {
+        let bc_or = self.try_or(b, c)?;
+        let bc_and = self.try_and(b, c)?;
+        self.try_ite(a, bc_or, bc_and)
     }
 
     /// n-ary conjunction over an iterator of functions.
     pub fn and_all<I: IntoIterator<Item = Ref>>(&mut self, fs: I) -> Ref {
-        fs.into_iter()
-            .fold(Ref::ONE, |acc, f| self.and(acc, f))
+        self.ungoverned(|m| m.try_and_all(fs))
+    }
+
+    /// Budget-governed [`Manager::and_all`].
+    pub fn try_and_all<I: IntoIterator<Item = Ref>>(
+        &mut self,
+        fs: I,
+    ) -> Result<Ref, LimitExceeded> {
+        let mut acc = Ref::ONE;
+        for f in fs {
+            acc = self.try_and(acc, f)?;
+        }
+        Ok(acc)
     }
 
     /// n-ary disjunction over an iterator of functions.
     pub fn or_all<I: IntoIterator<Item = Ref>>(&mut self, fs: I) -> Ref {
-        fs.into_iter()
-            .fold(Ref::ZERO, |acc, f| self.or(acc, f))
+        self.ungoverned(|m| m.try_or_all(fs))
+    }
+
+    /// Budget-governed [`Manager::or_all`].
+    pub fn try_or_all<I: IntoIterator<Item = Ref>>(
+        &mut self,
+        fs: I,
+    ) -> Result<Ref, LimitExceeded> {
+        let mut acc = Ref::ZERO;
+        for f in fs {
+            acc = self.try_or(acc, f)?;
+        }
+        Ok(acc)
     }
 
     /// n-ary exclusive or over an iterator of functions.
     pub fn xor_all<I: IntoIterator<Item = Ref>>(&mut self, fs: I) -> Ref {
-        fs.into_iter()
-            .fold(Ref::ZERO, |acc, f| self.xor(acc, f))
+        self.ungoverned(|m| m.try_xor_all(fs))
+    }
+
+    /// Budget-governed [`Manager::xor_all`].
+    pub fn try_xor_all<I: IntoIterator<Item = Ref>>(
+        &mut self,
+        fs: I,
+    ) -> Result<Ref, LimitExceeded> {
+        let mut acc = Ref::ZERO;
+        for f in fs {
+            acc = self.try_xor(acc, f)?;
+        }
+        Ok(acc)
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::manager::{LimitKind, ResourceLimits};
     use crate::Manager;
 
     /// Exhaustively compares a BDD against a reference closure on all
@@ -413,5 +496,92 @@ mod tests {
         assert_eq!(fg, !base);
         assert_eq!(gf, !base);
         assert_eq!(m.xor(g, f), base, "commutativity");
+    }
+
+    #[test]
+    fn try_kernels_match_infallible_without_limits() {
+        let mut m = Manager::new();
+        let vars: Vec<Ref> = (0..6).map(|i| m.var(i)).collect();
+        let x01 = m.xor(vars[0], vars[1]);
+        let a23 = m.and(vars[2], vars[3]);
+        for (f, g) in [(x01, a23), (vars[4], x01), (a23, vars[5])] {
+            let and = m.and(f, g);
+            assert_eq!(m.try_and(f, g), Ok(and));
+            let xor = m.xor(f, g);
+            assert_eq!(m.try_xor(f, g), Ok(xor));
+            let ite = m.ite(f, g, vars[5]);
+            assert_eq!(m.try_ite(f, g, vars[5]), Ok(ite));
+        }
+    }
+
+    #[test]
+    fn step_limit_aborts_a_large_conjunction() {
+        let mut m = Manager::new();
+        // A function pair with a non-trivial AND recursion.
+        let xs: Vec<Ref> = (0..14).map(|i| m.var(i)).collect();
+        let f = m.xor_all(xs.iter().copied().step_by(2));
+        let g = m.xor_all(xs.iter().copied().skip(1).step_by(2));
+        m.set_limits(ResourceLimits {
+            max_steps: Some(3),
+            ..Default::default()
+        });
+        let e = m.try_and(f, g).expect_err("3 steps cannot finish");
+        assert_eq!(e.kind, LimitKind::Steps);
+        // The infallible wrapper ignores the installed budget entirely.
+        let full = m.and(f, g);
+        m.clear_limits();
+        assert_eq!(m.try_and(f, g), Ok(full));
+        if cfg!(debug_assertions) {
+            m.verify_interior_refs();
+        }
+    }
+
+    #[test]
+    fn node_limit_aborts_and_manager_recovers() {
+        let mut m = Manager::new();
+        let xs: Vec<Ref> = (0..12).map(|i| m.var(i)).collect();
+        let f = m.xor_all(xs.iter().copied().step_by(2));
+        let g = m.xor_all(xs.iter().copied().skip(1).step_by(2));
+        let live = m.live_nodes();
+        m.set_limits(ResourceLimits {
+            max_live_nodes: Some(live + 2),
+            ..Default::default()
+        });
+        let e = m.try_xor(f, g).expect_err("2 extra nodes cannot suffice");
+        assert_eq!(e.kind, LimitKind::Nodes);
+        m.clear_limits();
+        // Protect the operands, collect the aborted garbage, and re-run:
+        // the result must be canonical and correct. (The standalone
+        // variable projections in `xs` are unprotected garbage here, so
+        // they must be re-consed after the collect.)
+        m.protect(f);
+        m.protect(g);
+        m.collect();
+        if cfg!(debug_assertions) {
+            m.verify_interior_refs();
+        }
+        let r = m.xor(f, g);
+        let vars_again: Vec<Ref> = (0..12).map(|i| m.var(i)).collect();
+        let all = m.xor_all(vars_again);
+        assert_eq!(r, all, "xor of the two halves is the full parity");
+    }
+
+    #[test]
+    fn deadline_in_the_past_aborts() {
+        let mut m = Manager::new();
+        let xs: Vec<Ref> = (0..18).map(|i| m.var(i)).collect();
+        let f = m.xor_all(xs.iter().copied().step_by(2));
+        let g = m.xor_all(xs.iter().copied().skip(1).step_by(2));
+        m.set_limits(ResourceLimits {
+            deadline: Some(std::time::Instant::now() - std::time::Duration::from_millis(1)),
+            ..Default::default()
+        });
+        // The clock is sampled every 256 steps, so the op needs enough
+        // work to reach a sample point; parity AND recursions do.
+        let r = m.try_and(f, g);
+        if let Err(e) = r {
+            assert_eq!(e.kind, LimitKind::Deadline);
+        }
+        m.clear_limits();
     }
 }

@@ -2,7 +2,7 @@
 //! against randomly generated Boolean expressions, with the BDD compared to
 //! a bit-parallel truth-vector oracle.
 
-use bdd::{ConvergeConfig, GcConfig, Manager, Ref, SiftConfig};
+use bdd::{ConvergeConfig, GcConfig, LimitKind, Manager, Ref, SiftConfig};
 use proptest::prelude::*;
 
 /// A random Boolean expression over `NVARS` variables.
@@ -818,4 +818,103 @@ fn gc_keeps_arena_within_constant_factor_of_live_size() {
         live <= reachable + 1 + vars.len(),
         "live nodes {live} must be the protected set (reachable {reachable})"
     );
+}
+
+/// The abort-recovery property: a random op storm through the *fallible*
+/// kernels with a fault injected at an arbitrary recursion step. Whatever
+/// interior point the abort lands on, the manager must come back fully
+/// consistent — `verify_interior_refs` passes before and after a recovery
+/// `collect()`, every protected function still matches its truth vector,
+/// and rebuilding over the survivors stays canonical against the oracle.
+mod abort_injection {
+    use super::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(96))]
+
+        #[test]
+        fn injected_abort_leaves_manager_consistent(
+            seed in any::<u64>(),
+            abort_at in 1u64..600,
+        ) {
+            const OPS: usize = 250;
+            const POOL: usize = 48;
+            // Tiny tables so the storm exercises unique-table growth and
+            // cache evictions around the abort point too.
+            let mut m = Manager::with_capacity(16, 8);
+            let mut rng = Storm(seed | 1);
+            let mut pool: Vec<(Ref, u64)> = Vec::new();
+            for i in 0..NVARS {
+                let v = m.var(i);
+                m.protect(v);
+                pool.push((v, var_truth(i)));
+            }
+            m.fault_inject_abort_after(Some(abort_at));
+            let mut aborted = false;
+            for _ in 0..OPS {
+                let a = pool[rng.below(pool.len())];
+                let b = pool[rng.below(pool.len())];
+                let c = pool[rng.below(pool.len())];
+                let (r, truth) = match rng.below(6) {
+                    0 => (m.try_and(a.0, b.0), a.1 & b.1),
+                    1 => (m.try_or(a.0, b.0), a.1 | b.1),
+                    2 => (m.try_xor(a.0, b.0), a.1 ^ b.1),
+                    3 => (
+                        m.try_ite(a.0, b.0, c.0),
+                        (a.1 & b.1) | (!a.1 & c.1 & mask()),
+                    ),
+                    4 => (
+                        m.try_maj(a.0, b.0, c.0),
+                        (a.1 & b.1) | (b.1 & c.1) | (a.1 & c.1),
+                    ),
+                    _ => (Ok(!a.0), !a.1 & mask()),
+                };
+                match r {
+                    Ok(r) => {
+                        let truth = truth & mask();
+                        // Completed ops are exact even while armed.
+                        prop_assert_eq!(bdd_truth(&m, r), truth);
+                        if pool.len() < POOL {
+                            m.protect(r);
+                            pool.push((r, truth));
+                        } else {
+                            let k = rng.below(POOL);
+                            m.release(pool[k].0);
+                            m.protect(r);
+                            pool[k] = (r, truth);
+                        }
+                    }
+                    Err(e) => {
+                        prop_assert_eq!(e.kind, LimitKind::Injected);
+                        aborted = true;
+                        break;
+                    }
+                }
+            }
+            // Low abort steps must actually fire within the storm; high
+            // ones may outlive it — both paths audit the same way.
+            if abort_at < 64 {
+                prop_assert!(aborted, "a {abort_at}-step fuse must blow");
+            }
+            m.fault_inject_abort_after(None);
+            // The manager must already be consistent before any cleanup...
+            m.verify_interior_refs();
+            // ...and the aborted garbage must be collectable.
+            m.collect();
+            m.verify_interior_refs();
+            // Oracle + canonicity over the survivors.
+            for &(f, t) in &pool {
+                prop_assert_eq!(bdd_truth(&m, f), t, "protected function corrupted");
+            }
+            let x = pool[rng.below(pool.len())];
+            let y = pool[rng.below(pool.len())];
+            let redo1 = m.and(x.0, y.0);
+            let redo2 = m.and(x.0, y.0);
+            prop_assert_eq!(redo1, redo2, "canonicity after recovery");
+            prop_assert_eq!(bdd_truth(&m, redo1), x.1 & y.1 & mask());
+            let xor = m.try_xor(x.0, y.0);
+            prop_assert!(xor.is_ok(), "disarmed kernels must not abort");
+            prop_assert_eq!(bdd_truth(&m, xor.unwrap()), (x.1 ^ y.1) & mask());
+        }
+    }
 }

@@ -427,12 +427,13 @@ fn main() {
     }
     for (name, secs, row) in &rows {
         println!(
-            "suite: {:<18} {:>9.3} s  maj_total={} pga_total={} verified={}",
+            "suite: {:<18} {:>9.3} s  maj_total={} pga_total={} verified={} status={}",
             name,
             secs,
             row.maj.decomposition_total(),
             row.pga.decomposition_total(),
-            row.verified
+            row.verified,
+            row.status.as_str()
         );
     }
     let speedup = suite_seq_elapsed.as_secs_f64() / suite_par_elapsed.as_secs_f64().max(1e-9);
@@ -570,12 +571,13 @@ fn main() {
     for (i, (name, secs, row)) in rows.iter().enumerate() {
         let _ = write!(
             json,
-            "      {{\"name\": \"{}\", \"sec\": {:.4}, \"maj_total\": {}, \"pga_total\": {}, \"verified\": {}}}{}\n",
+            "      {{\"name\": \"{}\", \"sec\": {:.4}, \"maj_total\": {}, \"pga_total\": {}, \"verified\": {}, \"status\": \"{}\"}}{}\n",
             name,
             secs,
             row.maj.decomposition_total(),
             row.pga.decomposition_total(),
             row.verified,
+            row.status.as_str(),
             if i + 1 < rows.len() { "," } else { "" }
         );
     }

@@ -9,7 +9,8 @@
 //! vary, as they do between any two runs.
 
 use bench::{
-    average_saving, engine_options_for, print_rows_grouped, run_table1_jobs, suite_args,
+    average_saving, engine_options_for, print_rows_grouped, run_table1_budgeted, suite_args,
+    RowStatus,
 };
 
 fn main() {
@@ -22,7 +23,7 @@ fn main() {
         "AND", "OR", "XOR", "XNOR", "MAJ", "Total", "sec", "eq"
     );
     println!("{:-<18}-+-{:-<44}-+-{:-<44}-+---", "", "", "");
-    let rows = run_table1_jobs(&engine_options_for(reorder), args.jobs);
+    let rows = run_table1_budgeted(&engine_options_for(reorder), args.jobs, args.budget);
     let mut node_pairs = Vec::new();
     let mut runtime_pairs = Vec::new();
     let mut maj_nodes = 0usize;
@@ -40,6 +41,14 @@ fn main() {
             row.pga_runtime.as_secs_f64(),
             if row.verified { "ok" } else { "FAIL" },
         );
+        if row.status != RowStatus::Ok {
+            println!("{:<18} | status: {}", "", row.status.as_str());
+        }
+        // Aggregates only count fully decomposed rows: a degraded or
+        // failed row's counts describe fallback logic, not the flow.
+        if row.status != RowStatus::Ok {
+            return;
+        }
         node_pairs.push((
             m.decomposition_total() as f64,
             p.decomposition_total() as f64,
@@ -57,7 +66,7 @@ fn main() {
             *acc += v;
         }
     });
-    let n = rows.len() as f64;
+    let n = (runtime_pairs.len().max(1)) as f64;
     println!("{:-<18}-+-{:-<44}-+-{:-<44}-+---", "", "", "");
     println!(
         "{:<18} | {:>5.1} {:>5.1} {:>5.1} {:>5.1} {:>5.1} {:>6.1} {:>8.2} | {:>5.1} {:>5.1} {:>5.1} {:>5.1} {:>5.1} {:>6.1} {:>8.2} |",
@@ -84,9 +93,26 @@ fn main() {
         "  average runtime change vs BDS-PGA       : {:+5.1} %   [+4.6 %]",
         rt_delta
     );
-    let unverified = rows.iter().filter(|r| !r.verified).count();
+    let degraded = rows.iter().filter(|r| r.status == RowStatus::Degraded).count();
+    let failed = rows.iter().filter(|r| r.status == RowStatus::Limit).count();
+    if degraded + failed > 0 {
+        eprintln!(
+            "NOTE: {degraded} degraded and {failed} failed rows under the resource budget"
+        );
+    }
+    // Verification only applies to rows that produced a result.
+    let unverified = rows
+        .iter()
+        .filter(|r| r.status != RowStatus::Limit && !r.verified)
+        .count();
     if unverified > 0 {
         eprintln!("WARNING: {unverified} rows failed equivalence checking");
         std::process::exit(1);
+    }
+    if failed > 0 {
+        std::process::exit(1);
+    }
+    if degraded > 0 {
+        std::process::exit(3);
     }
 }

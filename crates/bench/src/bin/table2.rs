@@ -8,7 +8,8 @@
 //! flags) are identical at every worker count.
 
 use bench::{
-    average_saving, engine_options_for, print_rows_grouped, run_table2_jobs, suite_args,
+    average_saving, engine_options_for, print_rows_grouped, run_table2_budgeted, suite_args,
+    RowStatus,
 };
 use techmap::Library;
 
@@ -30,7 +31,7 @@ fn main() {
         "{:<18} | {:^25} | {:^25} | {:^25} | {:^25} |",
         "", "BDS-MAJ", "BDS-PGA", "ABC", "Design Compiler (sim.)"
     );
-    let rows = run_table2_jobs(&lib, &engine_options_for(reorder), args.jobs);
+    let rows = run_table2_budgeted(&lib, &engine_options_for(reorder), args.jobs, args.budget);
     let mut area_vs = [Vec::new(), Vec::new(), Vec::new()]; // pga, abc, dc
     let mut delay_vs = [Vec::new(), Vec::new(), Vec::new()];
     let mut avgs = [0.0f64; 12];
@@ -44,6 +45,13 @@ fn main() {
             row.dc.area, row.dc.gate_count, row.dc.delay,
             if row.verified { "ok" } else { "FAIL" },
         );
+        if row.status != RowStatus::Ok {
+            println!("{:<18} | status: {}", "", row.status.as_str());
+        }
+        // Aggregates only count fully decomposed rows.
+        if row.status != RowStatus::Ok {
+            return;
+        }
         area_vs[0].push((row.bds_maj.area, row.bds_pga.area));
         area_vs[1].push((row.bds_maj.area, row.abc.area));
         area_vs[2].push((row.bds_maj.area, row.dc.area));
@@ -59,7 +67,7 @@ fn main() {
             *acc += v;
         }
     });
-    let n = rows.len() as f64;
+    let n = (area_vs[0].len().max(1)) as f64;
     println!(
         "{:<18} | {:>9.2} {:>6.0} {:>7.3} | {:>9.2} {:>6.0} {:>7.3} | {:>9.2} {:>6.0} {:>7.3} | {:>9.2} {:>6.0} {:>7.3} |",
         "Average",
@@ -94,9 +102,25 @@ fn main() {
         "  delay saving vs DC      : {:5.1} %   [ 7.8 %]",
         average_saving(&delay_vs[2])
     );
-    let unverified = rows.iter().filter(|r| !r.verified).count();
+    let degraded = rows.iter().filter(|r| r.status == RowStatus::Degraded).count();
+    let failed = rows.iter().filter(|r| r.status == RowStatus::Limit).count();
+    if degraded + failed > 0 {
+        eprintln!(
+            "NOTE: {degraded} degraded and {failed} failed rows under the resource budget"
+        );
+    }
+    let unverified = rows
+        .iter()
+        .filter(|r| r.status != RowStatus::Limit && !r.verified)
+        .count();
     if unverified > 0 {
         eprintln!("WARNING: {unverified} rows failed equivalence checking");
         std::process::exit(1);
+    }
+    if failed > 0 {
+        std::process::exit(1);
+    }
+    if degraded > 0 {
+        std::process::exit(3);
     }
 }

@@ -14,6 +14,7 @@
 //! order; `--jobs 1` is the exact sequential path.
 
 use baselines::{abc_flow, dc_flow};
+use bdd::ResourceLimits;
 use bdsmaj::{bds_maj, bds_pga, BdsMajOptions};
 use circuits::suite::{paper_suite, Benchmark, Group};
 use decomp::EngineOptions;
@@ -33,6 +34,72 @@ pub fn engine_options_for(reorder: ReorderPolicy) -> EngineOptions {
     }
 }
 
+/// Outcome class of one benchmark row, printed in the tables and written
+/// to `BENCH_kernels.json` so resource-degraded runs are visible instead
+/// of silently shaping aggregates.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum RowStatus {
+    /// Every cone decomposed within budget (or no budget was set).
+    #[default]
+    Ok,
+    /// The flow completed but some cones fell back un-decomposed.
+    Degraded,
+    /// The row did not produce a result (the task panicked or was cut
+    /// off); its numbers are placeholders and must not enter aggregates.
+    Limit,
+}
+
+impl RowStatus {
+    /// The status as printed in table rows and JSON.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            RowStatus::Ok => "ok",
+            RowStatus::Degraded => "degraded",
+            RowStatus::Limit => "limit",
+        }
+    }
+}
+
+/// Per-row resource budget from the shared `--node-limit` /
+/// `--step-limit` / `--timeout` flags. The timeout is a *duration* here;
+/// it becomes an absolute deadline when the row starts
+/// ([`RowBudget::limits_now`]), so every benchmark gets its own clock.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct RowBudget {
+    /// Live-node ceiling per manager (`--node-limit`).
+    pub node_limit: Option<usize>,
+    /// Recursion-step ceiling per cone (`--step-limit`).
+    pub step_limit: Option<u64>,
+    /// Wall-clock allowance per benchmark row (`--timeout`, seconds).
+    pub timeout: Option<Duration>,
+}
+
+impl RowBudget {
+    /// True when any limit is set.
+    pub fn is_limited(&self) -> bool {
+        self.node_limit.is_some() || self.step_limit.is_some() || self.timeout.is_some()
+    }
+
+    /// Resolves the budget into [`ResourceLimits`] whose deadline starts
+    /// counting now. Call once per row, at row start.
+    pub fn limits_now(&self) -> ResourceLimits {
+        ResourceLimits {
+            max_live_nodes: self.node_limit,
+            max_steps: self.step_limit,
+            deadline: self.timeout.map(|t| Instant::now() + t),
+        }
+    }
+
+    /// Engine options for one row: `engine` with this budget installed
+    /// (deadline anchored at the call).
+    pub fn apply(&self, engine: &EngineOptions) -> EngineOptions {
+        EngineOptions {
+            limits: self.limits_now(),
+            ..*engine
+        }
+    }
+}
+
 /// The table binaries' shared command-line knobs.
 #[derive(Clone, Copy, Debug)]
 pub struct SuiteArgs {
@@ -41,12 +108,18 @@ pub struct SuiteArgs {
     /// Worker count for the suite pool (`--jobs`, default:
     /// [`pool::default_jobs`]).
     pub jobs: usize,
+    /// Per-row resource budget (`--node-limit`, `--step-limit`,
+    /// `--timeout`; default: unlimited).
+    pub budget: RowBudget,
 }
 
 /// Usage text for the shared suite flags, printed on any parse error.
 pub const SUITE_USAGE: &str = "supported options:
   --reorder {none,window,sift,sift-converge}  per-cone reordering policy (default: window)
-  --jobs N                      suite worker threads (default: BENCH_JOBS or all cores; 1 = sequential)";
+  --jobs N                      suite worker threads (default: BENCH_JOBS or all cores; 1 = sequential)
+  --node-limit N                live-BDD-node ceiling per benchmark (graceful per-cone degradation)
+  --step-limit N                kernel recursion-step ceiling per cone
+  --timeout SECS                wall-clock allowance per benchmark row (fractions allowed)";
 
 /// Parses a `--jobs` value: a positive worker count.
 pub fn parse_jobs(v: &str) -> Result<usize, String> {
@@ -56,14 +129,63 @@ pub fn parse_jobs(v: &str) -> Result<usize, String> {
     }
 }
 
+/// Parses a positive integer limit value for `flag`.
+pub fn parse_limit(flag: &str, v: &str) -> Result<u64, String> {
+    match v.trim().parse::<u64>() {
+        Ok(n) if n >= 1 => Ok(n),
+        _ => Err(format!("{flag} {v}: need a positive integer")),
+    }
+}
+
+/// Parses a `--timeout` value: positive seconds, fractions allowed.
+pub fn parse_timeout(v: &str) -> Result<Duration, String> {
+    match v.trim().parse::<f64>() {
+        Ok(secs) if secs > 0.0 && secs.is_finite() => Ok(Duration::from_secs_f64(secs)),
+        _ => Err(format!("--timeout {v}: need a positive number of seconds")),
+    }
+}
+
 /// Parses the table binaries' shared flags (`--reorder`, `--jobs`) from
 /// an argv slice (without the program name). Rejects duplicate flags and
 /// unknown arguments.
 pub fn parse_suite_args(args: &[String]) -> Result<SuiteArgs, String> {
     let mut reorder: Option<ReorderPolicy> = None;
     let mut jobs: Option<usize> = None;
+    let mut node_limit: Option<usize> = None;
+    let mut step_limit: Option<u64> = None;
+    let mut timeout: Option<Duration> = None;
     let mut i = 0;
     while i < args.len() {
+        match args[i].as_str() {
+            "--node-limit" => {
+                if node_limit.is_some() {
+                    return Err("duplicate --node-limit flag".to_string());
+                }
+                let v = args.get(i + 1).ok_or("--node-limit requires a node count")?;
+                node_limit = Some(parse_limit("--node-limit", v)? as usize);
+                i += 2;
+                continue;
+            }
+            "--step-limit" => {
+                if step_limit.is_some() {
+                    return Err("duplicate --step-limit flag".to_string());
+                }
+                let v = args.get(i + 1).ok_or("--step-limit requires a step count")?;
+                step_limit = Some(parse_limit("--step-limit", v)?);
+                i += 2;
+                continue;
+            }
+            "--timeout" => {
+                if timeout.is_some() {
+                    return Err("duplicate --timeout flag".to_string());
+                }
+                let v = args.get(i + 1).ok_or("--timeout requires seconds")?;
+                timeout = Some(parse_timeout(v)?);
+                i += 2;
+                continue;
+            }
+            _ => {}
+        }
         match args[i].as_str() {
             "--reorder" => {
                 if reorder.is_some() {
@@ -92,6 +214,11 @@ pub fn parse_suite_args(args: &[String]) -> Result<SuiteArgs, String> {
     Ok(SuiteArgs {
         reorder: reorder.unwrap_or(ReorderPolicy::Window),
         jobs: jobs.unwrap_or_else(pool::default_jobs),
+        budget: RowBudget {
+            node_limit,
+            step_limit,
+            timeout,
+        },
     })
 }
 
@@ -153,6 +280,27 @@ pub struct Table1Row {
     pub pga_runtime: Duration,
     /// Whether both decomposed networks passed equivalence checking.
     pub verified: bool,
+    /// Budget outcome: `Ok`, `Degraded` (some cones un-decomposed under
+    /// the budget), or `Limit` (no result; placeholder numbers).
+    pub status: RowStatus,
+}
+
+impl Table1Row {
+    /// A placeholder row for a benchmark whose task did not finish
+    /// (status [`RowStatus::Limit`]); its numbers must not enter
+    /// aggregates.
+    pub fn failed(bench: &Benchmark) -> Table1Row {
+        Table1Row {
+            name: bench.name,
+            group: bench.group,
+            maj: GateCounts::default(),
+            maj_runtime: Duration::ZERO,
+            pga: GateCounts::default(),
+            pga_runtime: Duration::ZERO,
+            verified: false,
+            status: RowStatus::Limit,
+        }
+    }
 }
 
 /// Runs the Table I experiment (BDS-MAJ vs BDS-PGA decomposition) on the
@@ -175,6 +323,26 @@ pub fn run_table1_jobs(engine: &EngineOptions, jobs: usize) -> Vec<Table1Row> {
     pool::run(jobs, suite.len(), |i| table1_row_with(&suite[i], engine))
 }
 
+/// [`run_table1_jobs`] under a per-row resource budget, with per-task
+/// panic isolation: a benchmark that blows the budget comes back as a
+/// `Degraded` row; one that dies entirely comes back as a `Limit`
+/// placeholder row instead of killing the batch.
+pub fn run_table1_budgeted(engine: &EngineOptions, jobs: usize, budget: RowBudget) -> Vec<Table1Row> {
+    let suite = paper_suite();
+    pool::run_catching(jobs, suite.len(), |i| {
+        table1_row_with(&suite[i], &budget.apply(engine))
+    })
+    .into_iter()
+    .enumerate()
+    .map(|(i, r)| {
+        r.unwrap_or_else(|msg| {
+            eprintln!("{}: task failed: {msg}", suite[i].name);
+            Table1Row::failed(&suite[i])
+        })
+    })
+    .collect()
+}
+
 /// Runs one benchmark of Table I with default engine options.
 pub fn table1_row(bench: &Benchmark) -> Table1Row {
     table1_row_with(bench, &EngineOptions::default())
@@ -194,6 +362,11 @@ pub fn table1_row_with(bench: &Benchmark, engine: &EngineOptions) -> Table1Row {
     let without = bds_pga(net, engine);
     let verified = equiv_sim(net, with.network(), 4, 0xBD5).is_ok()
         && equiv_sim(net, &without.network, 4, 0xBD5).is_ok();
+    let status = if with.report().is_degraded() || without.report.is_degraded() {
+        RowStatus::Degraded
+    } else {
+        RowStatus::Ok
+    };
     Table1Row {
         name: bench.name,
         group: bench.group,
@@ -202,6 +375,7 @@ pub fn table1_row_with(bench: &Benchmark, engine: &EngineOptions) -> Table1Row {
         pga: without.network.gate_counts(),
         pga_runtime: without.runtime,
         verified,
+        status,
     }
 }
 
@@ -222,6 +396,24 @@ pub struct Table2Row {
     pub dc: MappedReport,
     /// Whether all four mapped netlists passed equivalence checking.
     pub verified: bool,
+    /// Budget outcome: `Ok`, `Degraded`, or `Limit` (placeholder row).
+    pub status: RowStatus,
+}
+
+impl Table2Row {
+    /// A placeholder row for a benchmark whose task did not finish.
+    pub fn failed(bench: &Benchmark) -> Table2Row {
+        Table2Row {
+            name: bench.name,
+            group: bench.group,
+            bds_maj: MappedReport::default(),
+            bds_pga: MappedReport::default(),
+            abc: MappedReport::default(),
+            dc: MappedReport::default(),
+            verified: false,
+            status: RowStatus::Limit,
+        }
+    }
 }
 
 /// Runs the Table II experiment (full synthesis with mapping) on the
@@ -244,6 +436,29 @@ pub fn run_table2_jobs(lib: &Library, engine: &EngineOptions, jobs: usize) -> Ve
     pool::run(jobs, suite.len(), |i| table2_row_with(&suite[i], lib, engine))
 }
 
+/// [`run_table2_jobs`] under a per-row resource budget with per-task
+/// panic isolation (see [`run_table1_budgeted`]).
+pub fn run_table2_budgeted(
+    lib: &Library,
+    engine: &EngineOptions,
+    jobs: usize,
+    budget: RowBudget,
+) -> Vec<Table2Row> {
+    let suite = paper_suite();
+    pool::run_catching(jobs, suite.len(), |i| {
+        table2_row_with(&suite[i], lib, &budget.apply(engine))
+    })
+    .into_iter()
+    .enumerate()
+    .map(|(i, r)| {
+        r.unwrap_or_else(|msg| {
+            eprintln!("{}: task failed: {msg}", suite[i].name);
+            Table2Row::failed(&suite[i])
+        })
+    })
+    .collect()
+}
+
 /// Runs one benchmark of Table II with default engine options.
 pub fn table2_row(bench: &Benchmark, lib: &Library) -> Table2Row {
     table2_row_with(bench, lib, &EngineOptions::default())
@@ -261,8 +476,15 @@ pub fn table2_row_with(bench: &Benchmark, lib: &Library, engine: &EngineOptions)
         engine: *engine,
         ..BdsMajOptions::default()
     };
-    let (r_maj, ok1) = synth(bds_maj(net, &maj_options).network());
-    let (r_pga, ok2) = synth(&bds_pga(net, engine).network);
+    let with = bds_maj(net, &maj_options);
+    let without = bds_pga(net, engine);
+    let status = if with.report().is_degraded() || without.report.is_degraded() {
+        RowStatus::Degraded
+    } else {
+        RowStatus::Ok
+    };
+    let (r_maj, ok1) = synth(with.network());
+    let (r_pga, ok2) = synth(&without.network);
     let (r_abc, ok3) = synth(&abc_flow(net));
     let (r_dc, ok4) = synth(&dc_flow(net, lib).network);
     Table2Row {
@@ -273,6 +495,7 @@ pub fn table2_row_with(bench: &Benchmark, lib: &Library, engine: &EngineOptions)
         abc: r_abc,
         dc: r_dc,
         verified: ok1 && ok2 && ok3 && ok4,
+        status,
     }
 }
 
@@ -379,6 +602,46 @@ mod tests {
         let defaults = parse_suite_args(&[]).unwrap();
         assert_eq!(defaults.reorder, ReorderPolicy::Window);
         assert!(defaults.jobs >= 1);
+        assert!(!defaults.budget.is_limited());
+    }
+
+    #[test]
+    fn suite_args_parse_resource_budget_flags() {
+        let args = |v: &[&str]| v.iter().map(|s| s.to_string()).collect::<Vec<_>>();
+        let a = parse_suite_args(&args(&[
+            "--node-limit", "5000", "--step-limit", "200", "--timeout", "1.5",
+        ]))
+        .unwrap();
+        assert_eq!(a.budget.node_limit, Some(5000));
+        assert_eq!(a.budget.step_limit, Some(200));
+        assert_eq!(a.budget.timeout, Some(Duration::from_millis(1500)));
+        assert!(a.budget.is_limited());
+        let limits = a.budget.limits_now();
+        assert_eq!(limits.max_live_nodes, Some(5000));
+        assert_eq!(limits.max_steps, Some(200));
+        assert!(limits.deadline.is_some());
+        // Rejections: duplicates, zero, junk, missing values.
+        assert!(parse_suite_args(&args(&["--node-limit", "1", "--node-limit", "2"])).is_err());
+        assert!(parse_suite_args(&args(&["--step-limit", "0"])).is_err());
+        assert!(parse_suite_args(&args(&["--timeout", "-1"])).is_err());
+        assert!(parse_suite_args(&args(&["--timeout", "soon"])).is_err());
+        assert!(parse_suite_args(&args(&["--node-limit"])).is_err());
+    }
+
+    /// A starvation budget on one benchmark: the row must come back
+    /// degraded (not hang, not panic) and still verify — degradation
+    /// copies original cones, which cannot change the function.
+    #[test]
+    fn budgeted_table1_row_degrades_gracefully() {
+        let suite = paper_suite();
+        let alu2 = suite.iter().find(|b| b.name == "alu2").unwrap();
+        let budget = RowBudget {
+            step_limit: Some(2),
+            ..RowBudget::default()
+        };
+        let row = table1_row_with(alu2, &budget.apply(&EngineOptions::default()));
+        assert_eq!(row.status, RowStatus::Degraded);
+        assert!(row.verified, "degraded rows must still be equivalent");
     }
 
     #[test]

@@ -107,6 +107,13 @@ where
     });
 
     if let Some(p) = payload.lock().unwrap().take() {
+        // The early drain abandons any task that was still queued (dealt
+        // to a deque but never popped). Account for them out loud before
+        // re-throwing, so a batch log never silently under-reports.
+        let abandoned: usize = deques.iter().map(|d| d.lock().unwrap().len()).sum();
+        if abandoned > 0 {
+            eprintln!("pool: a task panicked; {abandoned} of {n} tasks were abandoned unrun");
+        }
         resume_unwind(p);
     }
     slots
@@ -117,6 +124,62 @@ where
                 .expect("every task index was drained exactly once")
         })
         .collect()
+}
+
+/// Like [`run`], but with per-task panic isolation: every task runs to
+/// completion or to its own panic, and the result vector reports each
+/// outcome as `Ok(value)` or `Err(panic message)` in task order. No task
+/// is ever skipped — one bad input yields one failed row instead of
+/// killing the batch (the behavior `bdsmaj --bench` and the table bins
+/// want; tests keep [`run`]'s fail-fast `resume_unwind` default).
+pub fn run_catching<T, F>(jobs: usize, n: usize, f: F) -> Vec<Result<T, String>>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    let call = |i: usize| catch_unwind(AssertUnwindSafe(|| f(i))).map_err(panic_message);
+    if jobs <= 1 || n <= 1 {
+        return (0..n).map(call).collect();
+    }
+    let workers = jobs.min(n);
+    let deques: Vec<Mutex<VecDeque<usize>>> = (0..workers)
+        .map(|w| Mutex::new((w..n).step_by(workers).collect()))
+        .collect();
+    let slots: Vec<Mutex<Option<Result<T, String>>>> = (0..n).map(|_| Mutex::new(None)).collect();
+
+    std::thread::scope(|scope| {
+        for me in 0..workers {
+            let deques = &deques;
+            let slots = &slots;
+            let call = &call;
+            scope.spawn(move || {
+                while let Some(i) = next_task(me, deques) {
+                    *slots[i].lock().unwrap() = Some(call(i));
+                }
+            });
+        }
+    });
+
+    slots
+        .into_iter()
+        .map(|s| {
+            s.into_inner()
+                .unwrap()
+                .expect("every task index was drained exactly once")
+        })
+        .collect()
+}
+
+/// Renders a caught panic payload as a display string (panics carry
+/// `&str` or `String` in practice; anything else gets a placeholder).
+fn panic_message(p: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = p.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = p.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "task panicked with a non-string payload".to_string()
+    }
 }
 
 /// Pops the next task for worker `me`: own deque front first, then the
@@ -202,5 +265,60 @@ mod tests {
     #[test]
     fn default_jobs_is_positive() {
         assert!(default_jobs() >= 1);
+    }
+
+    #[test]
+    fn run_catching_isolates_panics_per_task() {
+        for jobs in [1, 4] {
+            let out = run_catching(jobs, 32, |i| {
+                if i % 7 == 3 {
+                    panic!("task {i} exploded");
+                }
+                i * 2
+            });
+            assert_eq!(out.len(), 32, "every task must be accounted for");
+            for (i, r) in out.iter().enumerate() {
+                if i % 7 == 3 {
+                    let msg = r.as_ref().expect_err("task should have failed");
+                    assert_eq!(msg, &format!("task {i} exploded"), "jobs={jobs}");
+                } else {
+                    assert_eq!(r.as_ref().unwrap(), &(i * 2), "jobs={jobs}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn run_catching_runs_every_task_despite_early_panics() {
+        // Even when the very first tasks panic, later tasks still run —
+        // no early drain in catching mode.
+        const N: usize = 48;
+        let ran: Vec<AtomicUsize> = (0..N).map(|_| AtomicUsize::new(0)).collect();
+        let out = run_catching(3, N, |i| {
+            ran[i].fetch_add(1, Ordering::Relaxed);
+            if i < 8 {
+                panic!("early loss");
+            }
+            i
+        });
+        for (i, counter) in ran.iter().enumerate() {
+            assert_eq!(counter.load(Ordering::Relaxed), 1, "task {i} run count");
+        }
+        assert_eq!(out.iter().filter(|r| r.is_err()).count(), 8);
+        assert_eq!(out.iter().filter(|r| r.is_ok()).count(), N - 8);
+    }
+
+    #[test]
+    fn run_catching_all_ok_matches_run() {
+        let sq = |i: usize| i * i;
+        let plain = run(4, 40, sq);
+        let caught: Vec<usize> = run_catching(4, 40, sq).into_iter().map(Result::unwrap).collect();
+        assert_eq!(plain, caught);
+    }
+
+    #[test]
+    fn string_panic_payloads_are_preserved() {
+        let out = run_catching(1, 1, |_| -> usize { panic!("{}", String::from("owned message")) });
+        assert_eq!(out[0].as_ref().unwrap_err(), "owned message");
     }
 }

@@ -38,6 +38,11 @@ impl FlowResult {
     pub fn network(&self) -> &Network {
         &self.result.network
     }
+
+    /// Per-cone budget outcomes of the run (all `Ok` when unbudgeted).
+    pub fn report(&self) -> &decomp::FlowReport {
+        &self.result.report
+    }
 }
 
 /// Runs the BDS-MAJ decomposition flow on a network.

@@ -15,7 +15,7 @@
 //! captures the "generalized dominators" that BDS uses for non-disjoint
 //! decomposition.
 
-use bdd::{Manager, NodeId, Ref, Var};
+use bdd::{LimitExceeded, Manager, NodeId, Ref, Var};
 
 /// A two-operand decomposition step discovered on a BDD.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -64,14 +64,24 @@ pub fn classify_dominator(
     f: Ref,
     d: NodeId,
 ) -> Option<(DominatorKind, Ref, Ref)> {
+    m.ungoverned(|m| try_classify_dominator(m, f, d))
+}
+
+/// Budget-governed [`classify_dominator`]: aborts with [`LimitExceeded`]
+/// when the manager's installed [`bdd::ResourceLimits`] are crossed.
+pub fn try_classify_dominator(
+    m: &mut Manager,
+    f: Ref,
+    d: NodeId,
+) -> Result<Option<(DominatorKind, Ref, Ref)>, LimitExceeded> {
     if d == f.node() {
-        return None; // the root is always a trivial dominator
+        return Ok(None); // the root is always a trivial dominator
     }
     let fd = m.function_of(d);
-    let f1 = m.replace_node_with_const(f, d, true);
-    let f0 = m.replace_node_with_const(f, d, false);
+    let f1 = m.try_replace_node_with_const(f, d, true)?;
+    let f0 = m.try_replace_node_with_const(f, d, false)?;
     // f = F1·fd + F0·fd', so:
-    if f0.is_zero() {
+    Ok(if f0.is_zero() {
         Some((DominatorKind::And, f1, fd))
     } else if f1.is_zero() {
         Some((DominatorKind::And, f0, !fd))
@@ -83,7 +93,7 @@ pub fn classify_dominator(
         Some((DominatorKind::Xnor, f1, fd))
     } else {
         None
-    }
+    })
 }
 
 /// Options bounding the dominator search.
@@ -111,10 +121,19 @@ impl Default for SearchOptions {
 /// and requires both parts to be strictly smaller than `f` so the
 /// decomposition recursion always terminates.
 pub fn find_decomposition(m: &mut Manager, f: Ref, options: &SearchOptions) -> Decomposition {
-    let mux = mux_fallback(m, f);
+    m.ungoverned(|m| try_find_decomposition(m, f, options))
+}
+
+/// Budget-governed [`find_decomposition`].
+pub fn try_find_decomposition(
+    m: &mut Manager,
+    f: Ref,
+    options: &SearchOptions,
+) -> Result<Decomposition, LimitExceeded> {
+    let mux = try_mux_fallback(m, f)?;
     let fsize = m.size(f);
     if fsize <= 1 || fsize > options.max_bdd_size {
-        return mux;
+        return Ok(mux);
     }
     let stats = m.node_stats(f);
     let mut candidates: Vec<NodeId> = stats.nodes().to_vec();
@@ -125,7 +144,7 @@ pub fn find_decomposition(m: &mut Manager, f: Ref, options: &SearchOptions) -> D
 
     let mut best: Option<(usize, Decomposition)> = None;
     for id in candidates {
-        let Some((kind, g, d)) = classify_dominator(m, f, id) else {
+        let Some((kind, g, d)) = try_classify_dominator(m, f, id)? else {
             continue;
         };
         let (gs, ds) = (m.size(g), m.size(d));
@@ -142,7 +161,7 @@ pub fn find_decomposition(m: &mut Manager, f: Ref, options: &SearchOptions) -> D
             best = Some((score, decomp));
         }
     }
-    best.map(|(_, d)| d).unwrap_or(mux)
+    Ok(best.map(|(_, d)| d).unwrap_or(mux))
 }
 
 /// Shannon cofactoring on the top variable — the last-resort decomposition.
@@ -151,10 +170,19 @@ pub fn find_decomposition(m: &mut Manager, f: Ref, options: &SearchOptions) -> D
 ///
 /// Panics if `f` is constant (constants are handled before decomposition).
 pub fn mux_fallback(m: &mut Manager, f: Ref) -> Decomposition {
+    m.ungoverned(|m| try_mux_fallback(m, f))
+}
+
+/// Budget-governed [`mux_fallback`].
+///
+/// # Panics
+///
+/// Panics if `f` is constant, like the infallible form.
+pub fn try_mux_fallback(m: &mut Manager, f: Ref) -> Result<Decomposition, LimitExceeded> {
     let var = m.top_var(f).expect("constant reached decomposition");
-    let hi = m.cofactor(f, var, true);
-    let lo = m.cofactor(f, var, false);
-    Decomposition::Mux { var, hi, lo }
+    let hi = m.try_cofactor(f, var, true)?;
+    let lo = m.try_cofactor(f, var, false)?;
+    Ok(Decomposition::Mux { var, hi, lo })
 }
 
 #[cfg(test)]

@@ -8,10 +8,10 @@
 //! (§IV-B: "We embed our majority decomposition method on top of the
 //! dominator nodes search").
 
-use crate::dominators::{find_decomposition, Decomposition, SearchOptions};
+use crate::dominators::{try_find_decomposition, Decomposition, SearchOptions};
 use crate::emit::{Emitter, FunctionEmitter};
-use bdd::{Manager, Ref};
-use logic::{partition, GateKind, Network, PartitionConfig, SignalId};
+use bdd::{LimitExceeded, Manager, Ref, ResourceLimits};
+use logic::{partition_with_limits, GateKind, Network, PartitionConfig, SignalId};
 use std::collections::HashMap;
 use std::time::Instant;
 
@@ -88,6 +88,17 @@ pub struct EngineOptions {
     /// the *shared* level order, so tiny cones pay global swap cost for
     /// node counts that cannot meaningfully shrink.
     pub reorder_min_size: usize,
+    /// Per-cone resource budget for both the partition's cone builds and
+    /// the decomposition recursion (the step counter resets per cone; a
+    /// deadline is absolute, bounding the whole run). All-`None` (the
+    /// default) runs unbudgeted. A cone that blows the budget degrades
+    /// gracefully: its original gates are copied un-decomposed and the
+    /// outcome lands in [`FlowReport`].
+    pub limits: ResourceLimits,
+    /// After a budget abort, sift the cone's BDD and retry the
+    /// decomposition once before degrading (a smaller BDD often fits the
+    /// same budget).
+    pub retry_after_sift: bool,
 }
 
 impl Default for EngineOptions {
@@ -100,7 +111,61 @@ impl Default for EngineOptions {
             reorder_window: 3,
             reorder_size_limit: 400,
             reorder_min_size: 0,
+            limits: ResourceLimits::default(),
+            retry_after_sift: true,
         }
+    }
+}
+
+/// Outcome of one supernode cone under the engine's resource budget.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ConeStatus {
+    /// Decomposed within budget on the first attempt.
+    Ok,
+    /// The first attempt blew the budget; a sift + retry succeeded.
+    RetriedOk,
+    /// Budget exceeded: the cone's original gates were copied verbatim
+    /// (functionally correct, just not decomposed).
+    Degraded,
+}
+
+/// Per-cone status of a [`decompose_network`] run — how much of the
+/// network was actually decomposed versus carried through un-decomposed
+/// under resource pressure.
+#[derive(Clone, Debug, Default)]
+pub struct FlowReport {
+    /// One entry per supernode cone: root signal name and its outcome.
+    pub cones: Vec<(String, ConeStatus)>,
+}
+
+impl FlowReport {
+    /// Cones decomposed within budget (first try or after retry).
+    pub fn ok_count(&self) -> usize {
+        self.cones
+            .iter()
+            .filter(|(_, s)| *s != ConeStatus::Degraded)
+            .count()
+    }
+
+    /// Cones that needed the sift + retry to fit the budget.
+    pub fn retried_count(&self) -> usize {
+        self.cones
+            .iter()
+            .filter(|(_, s)| *s == ConeStatus::RetriedOk)
+            .count()
+    }
+
+    /// Cones that fell back to their original, un-decomposed gates.
+    pub fn degraded_count(&self) -> usize {
+        self.cones
+            .iter()
+            .filter(|(_, s)| *s == ConeStatus::Degraded)
+            .count()
+    }
+
+    /// True when at least one cone degraded.
+    pub fn is_degraded(&self) -> bool {
+        self.degraded_count() > 0
     }
 }
 
@@ -111,6 +176,8 @@ pub struct DecomposeResult {
     pub network: Network,
     /// Wall-clock runtime of the decomposition (excluding parsing etc.).
     pub runtime: std::time::Duration,
+    /// Per-cone budget outcomes (all `Ok` when running unbudgeted).
+    pub report: FlowReport,
 }
 
 /// Decomposes every supernode of `net` with the BDS engine, calling `hook`
@@ -156,16 +223,27 @@ pub fn decompose_network(
         }
         ReorderPolicy::None | ReorderPolicy::Window => {}
     }
-    let part = partition(net, &mut manager, options.partition);
+    let part = partition_with_limits(net, &mut manager, options.partition, options.limits);
+    let governed = options.limits.is_limited();
 
     let mut out = Network::new(net.name().to_string());
     let mut emitter = Emitter::new();
+    let mut report = FlowReport::default();
     let mut signal_map: HashMap<SignalId, SignalId> = HashMap::new();
     for &pi in net.inputs() {
         let new = out.add_input(net.signal_name(pi));
         signal_map.insert(pi, new);
     }
     for sn in &part.supernodes {
+        if sn.degraded {
+            // The partition could not even build this cone's BDD under
+            // budget: carry the original gates through verbatim.
+            copy_original_cone(net, &mut out, &mut signal_map, sn.root);
+            report
+                .cones
+                .push((net.signal_name(sn.root), ConeStatus::Degraded));
+            continue;
+        }
         let var_signals: Vec<SignalId> = sn.inputs.iter().map(|s| signal_map[s]).collect();
         let function = sn.function;
         // Per-supernode reordering pass (BDS §IV-B). Reordering is in
@@ -199,23 +277,71 @@ pub fn decompose_network(
         // everything decompose_function creates below it is transient and
         // reclaimable once the supernode is emitted.
         manager.protect(function);
-        let mut fe = FunctionEmitter::new(var_signals);
-        let sig = decompose_function(
-            &mut manager,
-            function,
-            &mut fe,
-            &mut emitter,
-            &mut out,
-            options,
-            hook,
-            0,
-        );
-        signal_map.insert(sn.root, sig);
+        let mut status = ConeStatus::Ok;
+        if governed {
+            manager.set_limits(options.limits); // fresh step budget per cone
+        }
+        let mut attempt = {
+            let mut fe = FunctionEmitter::new(var_signals.clone());
+            let r = try_decompose_function(
+                &mut manager,
+                function,
+                &mut fe,
+                &mut emitter,
+                &mut out,
+                options,
+                hook,
+                0,
+            );
+            // fe's Ref-keyed memo must not outlive a collection.
+            drop(fe);
+            r
+        };
+        if attempt.is_err() && options.retry_after_sift {
+            // Reclaim the aborted attempt's garbage, shrink the cone, and
+            // retry once with a fresh budget. Any gates the first attempt
+            // emitted stay valid (the emitter's strash may even reuse
+            // them); unreachable ones are dropped by the final clean.
+            manager.clear_limits();
+            manager.collect();
+            bdd::sift_reorder(&mut manager, function, &bdd::SiftConfig::default());
+            manager.set_limits(options.limits);
+            let mut fe = FunctionEmitter::new(var_signals.clone());
+            attempt = try_decompose_function(
+                &mut manager,
+                function,
+                &mut fe,
+                &mut emitter,
+                &mut out,
+                options,
+                hook,
+                0,
+            );
+            drop(fe);
+            if attempt.is_ok() {
+                status = ConeStatus::RetriedOk;
+            }
+        }
+        if governed {
+            manager.clear_limits();
+        }
+        match attempt {
+            Ok(sig) => {
+                signal_map.insert(sn.root, sig);
+            }
+            Err(_) => {
+                // Graceful degradation: reclaim the aborted garbage and
+                // copy the original cone's gates through un-decomposed.
+                status = ConeStatus::Degraded;
+                manager.collect();
+                copy_original_cone(net, &mut out, &mut signal_map, sn.root);
+            }
+        }
+        report.cones.push((net.signal_name(sn.root), status));
         manager.release(function); // the engine's claim from above
         // The partition's claim on this supernode is done too: its gates
         // are emitted, and later supernodes reference *signals*, not Refs.
         manager.release(sn.function);
-        drop(fe); // fe's Ref-keyed memo must not outlive a collection
         // Quiescent point: every live function is a protected root, so
         // offer dynamic reordering (no-op unless armed) and then let the
         // collector recycle decomposition garbage plus whatever nodes the
@@ -230,7 +356,42 @@ pub fn decompose_network(
     DecomposeResult {
         network,
         runtime: start.elapsed(),
+        report,
     }
+}
+
+/// The graceful-degradation fallback: copies the original network's gates
+/// for the cone rooted at `root` into `out` verbatim, stopping at signals
+/// already mapped (primary inputs and previously finished supernode
+/// roots — the partition emits supernodes in topological order, so every
+/// boundary signal below `root` is mapped by the time this runs).
+/// Iterative so a deep un-decomposed cone cannot blow the native stack.
+fn copy_original_cone(
+    net: &Network,
+    out: &mut Network,
+    signal_map: &mut HashMap<SignalId, SignalId>,
+    root: SignalId,
+) -> SignalId {
+    let mut stack = vec![(root, false)];
+    while let Some((id, expanded)) = stack.pop() {
+        if signal_map.contains_key(&id) {
+            continue;
+        }
+        let node = net.node(id);
+        if expanded {
+            let fanins: Vec<SignalId> = node.fanins.iter().map(|f| signal_map[f]).collect();
+            let new = out.add_gate(node.kind.clone(), fanins);
+            signal_map.insert(id, new);
+        } else {
+            stack.push((id, true));
+            for &f in node.fanins.iter().rev() {
+                if !signal_map.contains_key(&f) {
+                    stack.push((f, false));
+                }
+            }
+        }
+    }
+    signal_map[&root]
 }
 
 /// Recursion depth guard: decomposition strictly shrinks functions, so this
@@ -250,31 +411,50 @@ pub fn decompose_function(
     hook: &mut dyn MajorityHook,
     depth: usize,
 ) -> SignalId {
+    m.ungoverned(|m| try_decompose_function(m, f, fe, emitter, net, options, hook, depth))
+}
+
+/// Budget-governed [`decompose_function`]: aborts with [`LimitExceeded`]
+/// when the manager's installed [`ResourceLimits`] are crossed. Gates
+/// already emitted for finished subfunctions stay in `net` (they are
+/// valid, possibly shared logic); if the whole cone is then abandoned,
+/// the caller's final [`Network::cleaned`] drops the unreachable ones.
+#[allow(clippy::too_many_arguments)]
+pub fn try_decompose_function(
+    m: &mut Manager,
+    f: Ref,
+    fe: &mut FunctionEmitter,
+    emitter: &mut Emitter,
+    net: &mut Network,
+    options: &EngineOptions,
+    hook: &mut dyn MajorityHook,
+    depth: usize,
+) -> Result<SignalId, LimitExceeded> {
     if let Some(s) = fe.emit_base(m, emitter, net, f) {
-        return s;
+        return Ok(s);
     }
     if depth >= MAX_DEPTH {
         // Defensive fallback: emit by Shannon expansion without search.
-        let d = crate::dominators::mux_fallback(m, f);
-        return emit_step(m, f, d, fe, emitter, net, options, hook, depth);
+        let d = crate::dominators::try_mux_fallback(m, f)?;
+        return try_emit_step(m, f, d, fe, emitter, net, options, hook, depth);
     }
     // (1) Majority decomposition, if the hook accepts the function.
     if let Some([fa, fb, fc]) = hook.try_majority(m, f) {
         debug_assert_eq!(m.maj(fa, fb, fc), f, "hook must return a valid MAJ split");
-        let sa = decompose_function(m, fa, fe, emitter, net, options, hook, depth + 1);
-        let sb = decompose_function(m, fb, fe, emitter, net, options, hook, depth + 1);
-        let sc = decompose_function(m, fc, fe, emitter, net, options, hook, depth + 1);
+        let sa = try_decompose_function(m, fa, fe, emitter, net, options, hook, depth + 1)?;
+        let sb = try_decompose_function(m, fb, fe, emitter, net, options, hook, depth + 1)?;
+        let sc = try_decompose_function(m, fc, fe, emitter, net, options, hook, depth + 1)?;
         let s = emitter.gate(net, GateKind::Maj, vec![sa, sb, sc]);
         fe.insert(f, s);
-        return s;
+        return Ok(s);
     }
     // (2) Standard dominator search, MUX as last resort.
-    let d = find_decomposition(m, f, &options.search);
-    emit_step(m, f, d, fe, emitter, net, options, hook, depth)
+    let d = try_find_decomposition(m, f, &options.search)?;
+    try_emit_step(m, f, d, fe, emitter, net, options, hook, depth)
 }
 
 #[allow(clippy::too_many_arguments)]
-fn emit_step(
+fn try_emit_step(
     m: &mut Manager,
     f: Ref,
     d: Decomposition,
@@ -284,27 +464,27 @@ fn emit_step(
     options: &EngineOptions,
     hook: &mut dyn MajorityHook,
     depth: usize,
-) -> SignalId {
+) -> Result<SignalId, LimitExceeded> {
     let s = match d {
         Decomposition::And { g, d } => {
-            let sg = decompose_function(m, g, fe, emitter, net, options, hook, depth + 1);
-            let sd = decompose_function(m, d, fe, emitter, net, options, hook, depth + 1);
+            let sg = try_decompose_function(m, g, fe, emitter, net, options, hook, depth + 1)?;
+            let sd = try_decompose_function(m, d, fe, emitter, net, options, hook, depth + 1)?;
             emitter.gate(net, GateKind::And, vec![sg, sd])
         }
         Decomposition::Or { g, d } => {
-            let sg = decompose_function(m, g, fe, emitter, net, options, hook, depth + 1);
-            let sd = decompose_function(m, d, fe, emitter, net, options, hook, depth + 1);
+            let sg = try_decompose_function(m, g, fe, emitter, net, options, hook, depth + 1)?;
+            let sd = try_decompose_function(m, d, fe, emitter, net, options, hook, depth + 1)?;
             emitter.gate(net, GateKind::Or, vec![sg, sd])
         }
         Decomposition::Xnor { g, d } => {
-            let sg = decompose_function(m, g, fe, emitter, net, options, hook, depth + 1);
-            let sd = decompose_function(m, d, fe, emitter, net, options, hook, depth + 1);
+            let sg = try_decompose_function(m, g, fe, emitter, net, options, hook, depth + 1)?;
+            let sd = try_decompose_function(m, d, fe, emitter, net, options, hook, depth + 1)?;
             emitter.gate(net, GateKind::Xnor, vec![sg, sd])
         }
         Decomposition::Mux { var, hi, lo } => {
             let sv = fe.var_signal(var.0);
-            let sh = decompose_function(m, hi, fe, emitter, net, options, hook, depth + 1);
-            let sl = decompose_function(m, lo, fe, emitter, net, options, hook, depth + 1);
+            let sh = try_decompose_function(m, hi, fe, emitter, net, options, hook, depth + 1)?;
+            let sl = try_decompose_function(m, lo, fe, emitter, net, options, hook, depth + 1)?;
             if options.expand_mux {
                 let t1 = emitter.gate(net, GateKind::And, vec![sv, sh]);
                 let nv = emitter.invert(net, sv);
@@ -316,7 +496,7 @@ fn emit_step(
         }
     };
     fe.insert(f, s);
-    s
+    Ok(s)
 }
 
 #[cfg(test)]
@@ -417,5 +597,111 @@ mod tests {
         net.set_output("z", zero);
         let result = decompose_network(&net, &EngineOptions::default(), &mut NoMajority);
         assert_eq!(equiv_sim(&net, &result.network, 4, 1), Ok(()));
+    }
+
+    #[test]
+    fn unbudgeted_run_reports_all_cones_ok() {
+        let net = small_mixed_network();
+        let result = decompose_network(&net, &EngineOptions::default(), &mut NoMajority);
+        assert!(!result.report.cones.is_empty());
+        assert!(!result.report.is_degraded());
+        assert_eq!(result.report.ok_count(), result.report.cones.len());
+    }
+
+    /// A wide parity cone under a starvation-level step budget must
+    /// degrade gracefully: the report says so, and the output network is
+    /// still functionally equivalent because the original gates were
+    /// copied through verbatim.
+    #[test]
+    fn tiny_step_budget_degrades_but_stays_equivalent() {
+        let mut net = Network::new("parity_budget");
+        let bits: Vec<SignalId> = (0..10).map(|i| net.add_input(format!("i{i}"))).collect();
+        let p = net.add_gate(GateKind::Xor, bits.clone());
+        let q = net.add_gate(GateKind::And, bits);
+        net.set_output("p", p);
+        net.set_output("q", q);
+        let options = EngineOptions {
+            limits: ResourceLimits {
+                max_steps: Some(2),
+                ..ResourceLimits::default()
+            },
+            retry_after_sift: false,
+            ..EngineOptions::default()
+        };
+        let result = decompose_network(&net, &options, &mut NoMajority);
+        assert!(
+            result.report.is_degraded(),
+            "a 2-step budget cannot build a 10-input cone: {:?}",
+            result.report
+        );
+        assert_eq!(
+            equiv_sim(&net, &result.network, 64, 11),
+            Ok(()),
+            "degraded cones must carry the original logic through"
+        );
+    }
+
+    /// A budget generous enough for the cones must leave the result
+    /// identical to the unbudgeted run — governance is pay-per-abort.
+    #[test]
+    fn ample_budget_changes_nothing() {
+        let net = small_mixed_network();
+        let options = EngineOptions {
+            limits: ResourceLimits {
+                max_steps: Some(1_000_000),
+                max_live_nodes: Some(1 << 20),
+                ..ResourceLimits::default()
+            },
+            ..EngineOptions::default()
+        };
+        let budgeted = decompose_network(&net, &options, &mut NoMajority);
+        let free = decompose_network(&net, &EngineOptions::default(), &mut NoMajority);
+        assert!(!budgeted.report.is_degraded());
+        assert_eq!(
+            budgeted.network.gate_counts(),
+            free.network.gate_counts(),
+            "an ample budget must not perturb the decomposition"
+        );
+        assert_eq!(equiv_sim(&net, &budgeted.network, 16, 7), Ok(()));
+    }
+
+    /// The retry path: when the budget is tight (but not hopeless) the
+    /// engine may sift and retry; whatever the outcome, the function is
+    /// preserved and every cone lands in the report.
+    #[test]
+    fn retry_after_sift_preserves_function() {
+        let mut net = Network::new("add_budget");
+        let a: Vec<SignalId> = (0..6).map(|i| net.add_input(format!("a{i}"))).collect();
+        let b: Vec<SignalId> = (0..6).map(|i| net.add_input(format!("b{i}"))).collect();
+        let mut carry: Option<SignalId> = None;
+        for i in 0..6 {
+            let (s, c) = match carry {
+                None => (
+                    net.add_gate(GateKind::Xor, vec![a[i], b[i]]),
+                    net.add_gate(GateKind::And, vec![a[i], b[i]]),
+                ),
+                Some(cin) => (
+                    net.add_gate(GateKind::Xor, vec![a[i], b[i], cin]),
+                    net.add_gate(GateKind::Maj, vec![a[i], b[i], cin]),
+                ),
+            };
+            net.set_output(format!("s{i}"), s);
+            carry = Some(c);
+        }
+        net.set_output("cout", carry.unwrap());
+        let options = EngineOptions {
+            limits: ResourceLimits {
+                max_steps: Some(40),
+                ..ResourceLimits::default()
+            },
+            retry_after_sift: true,
+            ..EngineOptions::default()
+        };
+        let result = decompose_network(&net, &options, &mut NoMajority);
+        assert_eq!(equiv_sim(&net, &result.network, 64, 13), Ok(()));
+        assert_eq!(
+            result.report.cones.len(),
+            result.report.ok_count() + result.report.degraded_count()
+        );
     }
 }

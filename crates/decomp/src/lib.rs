@@ -30,12 +30,12 @@ mod engine;
 mod xordec;
 
 pub use dominators::{
-    classify_dominator, find_decomposition, mux_fallback, Decomposition, DominatorKind,
-    SearchOptions,
+    classify_dominator, find_decomposition, mux_fallback, try_classify_dominator,
+    try_find_decomposition, try_mux_fallback, Decomposition, DominatorKind, SearchOptions,
 };
 pub use emit::{Emitter, FunctionEmitter};
 pub use engine::{
-    decompose_function, decompose_network, DecomposeResult, EngineOptions, MajorityHook,
-    NoMajority, ReorderPolicy,
+    decompose_function, decompose_network, try_decompose_function, ConeStatus, DecomposeResult,
+    EngineOptions, FlowReport, MajorityHook, NoMajority, ReorderPolicy,
 };
 pub use xordec::xor_decompose_balanced;

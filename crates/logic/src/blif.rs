@@ -25,6 +25,14 @@ impl fmt::Display for ParseBlifError {
 
 impl Error for ParseBlifError {}
 
+impl ParseBlifError {
+    /// 1-based source line the error points at (never 0: every error path
+    /// carries the line of a real directive or cover row).
+    pub fn line(&self) -> usize {
+        self.line
+    }
+}
+
 fn err(line: usize, message: impl Into<String>) -> ParseBlifError {
     ParseBlifError {
         line,
@@ -52,7 +60,7 @@ struct NamesBlock {
 pub fn parse_blif(text: &str) -> Result<Network, ParseBlifError> {
     let mut model_name = String::from("model");
     let mut input_names: Vec<String> = Vec::new();
-    let mut output_names: Vec<String> = Vec::new();
+    let mut output_names: Vec<(usize, String)> = Vec::new();
     let mut blocks: Vec<NamesBlock> = Vec::new();
 
     // Join continuation lines ending in '\'.
@@ -93,7 +101,7 @@ pub fn parse_blif(text: &str) -> Result<Network, ParseBlifError> {
                 idx += 1;
             }
             ".outputs" => {
-                output_names.extend(tokens[1..].iter().map(|s| s.to_string()));
+                output_names.extend(tokens[1..].iter().map(|s| (lineno, s.to_string())));
                 idx += 1;
             }
             ".names" => {
@@ -170,15 +178,30 @@ pub fn parse_blif(text: &str) -> Result<Network, ParseBlifError> {
             }
         }
         if !progressed {
-            let line = still.first().map(|b| b.line).unwrap_or(0);
-            return Err(err(line, "undefined signal or combinational cycle"));
+            let block = still
+                .first()
+                .expect("no progress is only reported while blocks remain");
+            let missing: Vec<&str> = block
+                .inputs
+                .iter()
+                .filter(|i| !signals.contains_key(*i))
+                .map(|s| s.as_str())
+                .collect();
+            return Err(err(
+                block.line,
+                format!(
+                    "undefined signal or combinational cycle (unresolved inputs of {}: {})",
+                    block.output,
+                    missing.join(", ")
+                ),
+            ));
         }
         remaining = still;
     }
-    for name in &output_names {
+    for (lineno, name) in &output_names {
         let id = *signals
             .get(name)
-            .ok_or_else(|| err(0, format!("undriven output {name}")))?;
+            .ok_or_else(|| err(*lineno, format!("undriven output {name}")))?;
         net.set_output(name.clone(), id);
     }
     Ok(net)

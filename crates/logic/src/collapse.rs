@@ -8,7 +8,7 @@
 //! boundary signals.
 
 use crate::network::{GateKind, Network, SignalId};
-use bdd::{BuildFxHasher, Manager, Ref};
+use bdd::{BuildFxHasher, LimitExceeded, Manager, Ref, ResourceLimits};
 use std::collections::HashMap;
 
 /// Tuning knobs for the partial collapse.
@@ -44,7 +44,13 @@ pub struct Supernode {
     /// Local function over `inputs`, in the shared manager. [`partition`]
     /// protects it as a garbage-collection root; whoever finishes with the
     /// supernode releases it (see [`Partition::release_roots`]).
+    ///
+    /// Meaningless (the constant zero, unprotected) when `degraded`.
     pub function: Ref,
+    /// The cone build blew its resource budget: `function` was never
+    /// built and `inputs` is empty. Consumers must fall back to the
+    /// original network gates for this root.
+    pub degraded: bool,
 }
 
 /// Result of [`partition`]: supernodes in topological order.
@@ -59,16 +65,25 @@ impl Partition {
     pub fn total_bdd_size(&self, manager: &Manager) -> usize {
         self.supernodes
             .iter()
+            .filter(|s| !s.degraded)
             .map(|s| manager.size(s.function))
             .sum()
     }
 
+    /// Number of supernodes whose cone build blew the budget.
+    pub fn degraded_count(&self) -> usize {
+        self.supernodes.iter().filter(|s| s.degraded).count()
+    }
+
     /// Releases every supernode function protected by [`partition`].
     /// Consumers that release per supernode as they go (the decomposition
-    /// engine does) must not also call this.
+    /// engine does) must not also call this. Degraded supernodes hold no
+    /// function and are skipped.
     pub fn release_roots(&self, manager: &mut Manager) {
         for sn in &self.supernodes {
-            manager.release(sn.function);
+            if !sn.degraded {
+                manager.release(sn.function);
+            }
         }
     }
 }
@@ -88,6 +103,25 @@ impl Partition {
 /// cones are still being collapsed. Callers own the roots: release each
 /// function when done with it (or use [`Partition::release_roots`]).
 pub fn partition(net: &Network, manager: &mut Manager, config: PartitionConfig) -> Partition {
+    partition_with_limits(net, manager, config, ResourceLimits::default())
+}
+
+/// [`partition`] with a per-cone resource budget.
+///
+/// Each cone's BDD is built through the fallible kernels with `limits`
+/// installed (the step counter resets per cone; a deadline is absolute
+/// and therefore bounds the whole pass). A cone that blows the budget
+/// becomes a *degraded* supernode — [`Supernode::degraded`] set, no
+/// function, no protection — and its aborted garbage is collected before
+/// the next cone builds, so one pathological cone cannot OOM the run or
+/// poison its neighbours. All-`None` limits make this identical to
+/// [`partition`].
+pub fn partition_with_limits(
+    net: &Network,
+    manager: &mut Manager,
+    config: PartitionConfig,
+    limits: ResourceLimits,
+) -> Partition {
     // Pre-size the manager's unique table for the whole partition: local
     // BDDs are built per supernode into one shared manager, and growing
     // the table once up front beats rehash churn during every cone build.
@@ -155,18 +189,45 @@ pub fn partition(net: &Network, manager: &mut Manager, config: PartitionConfig) 
     }
 
     // Second pass: build the local BDD of every non-input boundary signal.
+    let governed = limits.is_limited();
     let mut part = Partition::default();
     for id in net.signals() {
         if !boundary[id.index()] || matches!(net.node(id).kind, GateKind::Input) {
             continue;
         }
-        let (inputs, function) = build_local_bdd(net, manager, id, &boundary);
-        manager.protect(function);
-        part.supernodes.push(Supernode {
-            root: id,
-            inputs,
-            function,
-        });
+        if governed {
+            // Fresh step budget per cone; node ceiling and deadline stay
+            // global, which is exactly the containment we want.
+            manager.set_limits(limits);
+        }
+        match try_build_local_bdd(net, manager, id, &boundary) {
+            Ok((inputs, function)) => {
+                manager.protect(function);
+                part.supernodes.push(Supernode {
+                    root: id,
+                    inputs,
+                    function,
+                    degraded: false,
+                });
+            }
+            Err(_) => {
+                // The aborted build's partial products are unreferenced
+                // garbage; reclaim them now so the blown cone does not
+                // carry its node debt into its neighbours' budgets.
+                part.supernodes.push(Supernode {
+                    root: id,
+                    inputs: Vec::new(),
+                    function: Ref::ZERO,
+                    degraded: true,
+                });
+                manager.clear_limits();
+                manager.collect();
+                continue;
+            }
+        }
+        if governed {
+            manager.clear_limits();
+        }
         // A finished cone's intermediates (the per-gate partial products
         // of eval_cone) are dead now; between builds every live function
         // is a protected supernode root, so both dynamic reordering (a
@@ -176,17 +237,20 @@ pub fn partition(net: &Network, manager: &mut Manager, config: PartitionConfig) 
         manager.maybe_sift();
         manager.maybe_collect();
     }
+    if governed {
+        manager.clear_limits();
+    }
     part
 }
 
 /// Builds the BDD of the cone rooted at `root`, stopping at boundary
 /// signals, which become the BDD variables in DFS discovery order.
-fn build_local_bdd(
+fn try_build_local_bdd(
     net: &Network,
     manager: &mut Manager,
     root: SignalId,
     boundary: &[bool],
-) -> (Vec<SignalId>, Ref) {
+) -> Result<(Vec<SignalId>, Ref), LimitExceeded> {
     let mut inputs: Vec<SignalId> = Vec::new();
     let mut var_of: HashMap<SignalId, u32, BuildFxHasher> = HashMap::default();
     // Pre-assign variables in DFS discovery order for a topology-aware
@@ -216,8 +280,8 @@ fn build_local_bdd(
     }
 
     let mut memo: HashMap<SignalId, Ref, BuildFxHasher> = HashMap::default();
-    let f = eval_cone(net, manager, root, &var_of, &mut memo, root);
-    (inputs, f)
+    let f = eval_cone(net, manager, root, &var_of, &mut memo, root)?;
+    Ok((inputs, f))
 }
 
 fn eval_cone(
@@ -227,41 +291,50 @@ fn eval_cone(
     var_of: &HashMap<SignalId, u32, BuildFxHasher>,
     memo: &mut HashMap<SignalId, Ref, BuildFxHasher>,
     root: SignalId,
-) -> Ref {
+) -> Result<Ref, LimitExceeded> {
     if id != root {
         if let Some(&v) = var_of.get(&id) {
-            return manager.var(v);
+            return Ok(manager.var(v));
         }
     }
     if let Some(&r) = memo.get(&id) {
-        return r;
+        return Ok(r);
     }
     let node = net.node(id);
-    let kids: Vec<Ref> = node
-        .fanins
-        .iter()
-        .map(|&f| eval_cone(net, manager, f, var_of, memo, root))
-        .collect();
-    let r = apply_gate(manager, &node.kind, &kids);
+    let mut kids: Vec<Ref> = Vec::with_capacity(node.fanins.len());
+    for &f in &node.fanins {
+        kids.push(eval_cone(net, manager, f, var_of, memo, root)?);
+    }
+    let r = try_apply_gate(manager, &node.kind, &kids)?;
     memo.insert(id, r);
-    r
+    Ok(r)
 }
 
 /// Applies a gate function to already-built BDD operands.
 pub fn apply_gate(manager: &mut Manager, kind: &GateKind, kids: &[Ref]) -> Ref {
-    match kind {
+    manager.ungoverned(|m| try_apply_gate(m, kind, kids))
+}
+
+/// Budget-governed [`apply_gate`]: aborts with [`LimitExceeded`] when the
+/// manager's installed [`ResourceLimits`] are crossed mid-build.
+pub fn try_apply_gate(
+    manager: &mut Manager,
+    kind: &GateKind,
+    kids: &[Ref],
+) -> Result<Ref, LimitExceeded> {
+    Ok(match kind {
         GateKind::Input => panic!("inputs are boundary signals"),
         GateKind::Const(b) => manager.constant(*b),
         GateKind::Buf => kids[0],
         GateKind::Inv => !kids[0],
-        GateKind::And => manager.and_all(kids.iter().copied()),
-        GateKind::Or => manager.or_all(kids.iter().copied()),
-        GateKind::Nand => !manager.and_all(kids.iter().copied()),
-        GateKind::Nor => !manager.or_all(kids.iter().copied()),
-        GateKind::Xor => manager.xor_all(kids.iter().copied()),
-        GateKind::Xnor => !manager.xor_all(kids.iter().copied()),
-        GateKind::Maj => manager.maj(kids[0], kids[1], kids[2]),
-        GateKind::Mux => manager.ite(kids[0], kids[1], kids[2]),
+        GateKind::And => manager.try_and_all(kids.iter().copied())?,
+        GateKind::Or => manager.try_or_all(kids.iter().copied())?,
+        GateKind::Nand => !manager.try_and_all(kids.iter().copied())?,
+        GateKind::Nor => !manager.try_or_all(kids.iter().copied())?,
+        GateKind::Xor => manager.try_xor_all(kids.iter().copied())?,
+        GateKind::Xnor => !manager.try_xor_all(kids.iter().copied())?,
+        GateKind::Maj => manager.try_maj(kids[0], kids[1], kids[2])?,
+        GateKind::Mux => manager.try_ite(kids[0], kids[1], kids[2])?,
         GateKind::Lut(table) => {
             // Shannon expansion over the LUT inputs, deepest variable first.
             fn expand(
@@ -270,20 +343,20 @@ pub fn apply_gate(manager: &mut Manager, kind: &GateKind, kids: &[Ref]) -> Ref {
                 kids: &[Ref],
                 fixed: usize,
                 row: usize,
-            ) -> Ref {
+            ) -> Result<Ref, LimitExceeded> {
                 if fixed == kids.len() {
-                    return manager.constant(table.value(row));
+                    return Ok(manager.constant(table.value(row)));
                 }
                 // Fix inputs from the last down to the first so the
                 // recursion depth matches the fanin count.
                 let i = kids.len() - 1 - fixed;
-                let hi = expand(manager, table, kids, fixed + 1, row | 1 << i);
-                let lo = expand(manager, table, kids, fixed + 1, row);
-                manager.ite(kids[i], hi, lo)
+                let hi = expand(manager, table, kids, fixed + 1, row | 1 << i)?;
+                let lo = expand(manager, table, kids, fixed + 1, row)?;
+                manager.try_ite(kids[i], hi, lo)
             }
-            expand(manager, table, kids, 0, 0)
+            expand(manager, table, kids, 0, 0)?
         }
-    }
+    })
 }
 
 #[cfg(test)]

@@ -40,7 +40,10 @@ mod verify;
 pub use balance::balance_network;
 pub use bdd::BuildFxHasher;
 pub use blif::{parse_blif, write_blif, ParseBlifError};
-pub use collapse::{apply_gate, partition, Partition, PartitionConfig, Supernode};
+pub use collapse::{
+    apply_gate, partition, partition_with_limits, try_apply_gate, Partition, PartitionConfig,
+    Supernode,
+};
 pub use network::{
     strash_key, GateCounts, GateKind, NetNode, Network, SignalId, STRASH_PAD,
 };

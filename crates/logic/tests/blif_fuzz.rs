@@ -1,0 +1,120 @@
+//! Fuzzing the BLIF reader: `parse_blif` is the first thing that touches
+//! bytes from outside the workspace, so it must be total — every input,
+//! however hostile, yields `Ok(network)` or an `Err` pointing at a real
+//! source line. It must never panic.
+
+use logic::parse_blif;
+use proptest::prelude::*;
+
+/// Upper bound on the 1-based line an error may point at: one past the
+/// last physical line (continuation joining attributes a run of `\`-lines
+/// to its first physical line, so every recorded line number is a line
+/// that exists in the input; +1 tolerates a trailing newline edge).
+fn line_bound(text: &str) -> usize {
+    text.lines().count() + 1
+}
+
+/// Fragments that steer random soup toward the parser's deeper paths.
+fn blif_fragment() -> impl Strategy<Value = String> {
+    prop_oneof![
+        Just(".model m".to_string()),
+        Just(".inputs a b c".to_string()),
+        Just(".outputs y".to_string()),
+        Just(".names a b y".to_string()),
+        Just(".names y".to_string()),
+        Just(".latch a y re clk 0".to_string()),
+        Just(".subckt foo".to_string()),
+        Just(".end".to_string()),
+        Just("11 1".to_string()),
+        Just("1- 0".to_string()),
+        Just("-".to_string()),
+        Just("1".to_string()),
+        Just("# comment".to_string()),
+        Just("\\".to_string()),
+        Just("".to_string()),
+        // printable ASCII junk
+        proptest::collection::vec(0x20u8..0x7f, 0..20)
+            .prop_map(|b| String::from_utf8(b).unwrap()),
+        // arbitrary unicode junk (lossy decode of raw bytes)
+        proptest::collection::vec(any::<u8>(), 0..12)
+            .prop_map(|b| String::from_utf8_lossy(&b).into_owned()),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    /// Raw byte soup (lossily decoded): total, with in-range error lines.
+    #[test]
+    fn byte_soup_never_panics(bytes in proptest::collection::vec(any::<u8>(), 0..512)) {
+        let text = String::from_utf8_lossy(&bytes);
+        if let Err(e) = parse_blif(&text) {
+            prop_assert!(e.line() >= 1, "error line must be 1-based: {e}");
+            prop_assert!(
+                e.line() <= line_bound(&text),
+                "error line {} out of range for {} input lines",
+                e.line(),
+                text.lines().count()
+            );
+        }
+    }
+
+    /// Line soup built from BLIF-shaped fragments: reaches the directive
+    /// and cover parsing paths that uniform bytes almost never hit.
+    #[test]
+    fn structured_soup_never_panics(
+        lines in proptest::collection::vec(blif_fragment(), 0..40)
+    ) {
+        let text = lines.join("\n");
+        if let Err(e) = parse_blif(&text) {
+            prop_assert!(e.line() >= 1, "error line must be 1-based: {e}");
+            prop_assert!(e.line() <= line_bound(&text));
+        }
+    }
+
+    /// Mutations of a valid model: flip a byte anywhere in a well-formed
+    /// BLIF file; the parser must still be total and point in range.
+    #[test]
+    fn mutated_valid_model_never_panics(pos in 0usize..200, byte in any::<u8>()) {
+        let base = "\
+.model adder
+.inputs a b cin
+.outputs sum cout
+.names a b cin sum
+100 1
+010 1
+001 1
+111 1
+.names a b cin cout
+11- 1
+1-1 1
+-11 1
+.end
+";
+        let mut bytes = base.as_bytes().to_vec();
+        let i = pos % bytes.len();
+        bytes[i] = byte;
+        let text = String::from_utf8_lossy(&bytes);
+        if let Err(e) = parse_blif(&text) {
+            prop_assert!(e.line() >= 1);
+            prop_assert!(e.line() <= line_bound(&text));
+        }
+    }
+}
+
+/// The two error paths that used to report placeholder line 0.
+#[test]
+fn undriven_output_points_at_the_outputs_line() {
+    let text = ".model m\n.inputs a\n.outputs ghost\n.end\n";
+    let e = parse_blif(text).unwrap_err();
+    assert_eq!(e.line(), 3, "undriven output must cite the .outputs line: {e}");
+    assert!(e.to_string().contains("ghost"));
+}
+
+#[test]
+fn cycle_error_points_at_a_names_block() {
+    let text = ".model m\n.inputs a\n.outputs y\n.names y x\n1 1\n.names x y\n1 1\n.end\n";
+    let e = parse_blif(text).unwrap_err();
+    assert!(e.line() == 4 || e.line() == 6, "cycle must cite a .names line: {e}");
+    assert!(e.to_string().contains("cycle"));
+}

@@ -8,7 +8,7 @@ use std::collections::HashMap;
 use std::fmt;
 
 /// Area, gate count and critical-path delay of a mapped netlist.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, Default)]
 pub struct MappedReport {
     /// Total cell area in µm².
     pub area: f64,

@@ -19,9 +19,14 @@
 //! input (stdout BLIF dumping is single-file only).
 
 use bds_maj::prelude::*;
-use bench::pool;
+use bench::{pool, RowBudget};
 use std::path::Path;
 use std::process::ExitCode;
+
+/// Exit code for runs that completed but under graceful degradation
+/// (some cones carried through un-decomposed). 0 = ok, 1 = failure,
+/// 2 = usage error.
+const EXIT_DEGRADED: u8 = 3;
 
 struct Args {
     flow: String,
@@ -31,12 +36,15 @@ struct Args {
     output: Option<String>,
     inputs: Vec<String>,
     bench: Option<String>,
+    budget: RowBudget,
 }
 
 const USAGE: &str = "usage: bdsmaj [--flow bds-maj|bds-pga|abc|dc] \
                      [--reorder none|window|sift|sift-converge] [--jobs N] [--map] \
+                     [--node-limit N] [--step-limit N] [--timeout SECS] \
                      [-o OUT.blif] (IN.blif | --bench NAME)\n       \
-                     bdsmaj ... [-o OUT_DIR] IN1.blif IN2.blif ...  # multi-file mode";
+                     bdsmaj ... [-o OUT_DIR] IN1.blif IN2.blif ...  # multi-file mode\n\
+exit codes: 0 ok, 1 failed, 2 usage error, 3 completed degraded (cones over budget)";
 
 fn parse_args() -> Result<Args, String> {
     let mut args = Args {
@@ -47,6 +55,7 @@ fn parse_args() -> Result<Args, String> {
         output: None,
         inputs: Vec::new(),
         bench: None,
+        budget: RowBudget::default(),
     };
     let mut jobs: Option<usize> = None;
     let mut reorder_seen = false;
@@ -69,6 +78,27 @@ fn parse_args() -> Result<Args, String> {
                 }
                 let v = it.next().ok_or("--jobs needs a value")?;
                 jobs = Some(bench::parse_jobs(&v)?);
+            }
+            "--node-limit" => {
+                if args.budget.node_limit.is_some() {
+                    return Err("duplicate --node-limit flag".to_string());
+                }
+                let v = it.next().ok_or("--node-limit needs a value")?;
+                args.budget.node_limit = Some(bench::parse_limit("--node-limit", &v)? as usize);
+            }
+            "--step-limit" => {
+                if args.budget.step_limit.is_some() {
+                    return Err("duplicate --step-limit flag".to_string());
+                }
+                let v = it.next().ok_or("--step-limit needs a value")?;
+                args.budget.step_limit = Some(bench::parse_limit("--step-limit", &v)?);
+            }
+            "--timeout" => {
+                if args.budget.timeout.is_some() {
+                    return Err("duplicate --timeout flag".to_string());
+                }
+                let v = it.next().ok_or("--timeout needs a value")?;
+                args.budget.timeout = Some(bench::parse_timeout(&v)?);
             }
             "--map" => args.map = true,
             "-o" | "--output" => args.output = Some(it.next().ok_or("-o needs a value")?),
@@ -93,6 +123,8 @@ fn parse_args() -> Result<Args, String> {
 struct FileResult {
     report: String,
     network: Network,
+    /// Cones that fell back un-decomposed under the resource budget.
+    degraded: bool,
 }
 
 /// Optimizes one network: flow, equivalence check, optional mapping.
@@ -106,8 +138,11 @@ fn synthesize(
     lib: &Library,
 ) -> Result<FileResult, String> {
     use std::fmt::Write as _;
+    // The budget's deadline starts counting at task start, so every file
+    // in a batch gets its own clock.
     let engine = EngineOptions {
         reorder: args.reorder,
+        limits: args.budget.limits_now(),
         ..EngineOptions::default()
     };
     let maj_options = BdsMajOptions {
@@ -116,14 +151,35 @@ fn synthesize(
     };
     let mut report_text = String::new();
     let _ = writeln!(report_text, "input : {}", net.stats());
+    let mut flow_report = None;
     let optimized = match args.flow.as_str() {
-        "bds-maj" => bds_maj(net, &maj_options).network().clone(),
-        "bds-pga" => bds_pga(net, &engine).network,
+        "bds-maj" => {
+            let r = bds_maj(net, &maj_options);
+            let net = r.network().clone();
+            flow_report = Some(r.result.report);
+            net
+        }
+        "bds-pga" => {
+            let r = bds_pga(net, &engine);
+            flow_report = Some(r.report);
+            r.network
+        }
         "abc" => abc_flow(net),
         "dc" => dc_flow(net, lib).network,
         other => return Err(format!("unknown flow {other}; use bds-maj, bds-pga, abc or dc")),
     };
     let _ = writeln!(report_text, "output: {}", optimized.stats());
+    let degraded = flow_report.as_ref().is_some_and(|r| r.is_degraded());
+    if let Some(r) = &flow_report {
+        if r.is_degraded() {
+            let _ = writeln!(
+                report_text,
+                "status: degraded — {} of {} cones over budget (carried through un-decomposed)",
+                r.degraded_count(),
+                r.cones.len()
+            );
+        }
+    }
     if let Err(mismatch) = equiv_sim(net, &optimized, 16, 0xC11) {
         return Err(format!(
             "INTERNAL ERROR: optimization changed the function of {label}: {mismatch}"
@@ -144,6 +200,7 @@ fn synthesize(
     Ok(FileResult {
         report: report_text,
         network,
+        degraded,
     })
 }
 
@@ -167,6 +224,9 @@ fn run_single(net: &Network, args: &Args, lib: &Library) -> ExitCode {
             eprintln!("wrote : {path}");
         }
         None => print!("{}", write_blif(&result.network)),
+    }
+    if result.degraded {
+        return ExitCode::from(EXIT_DEGRADED);
     }
     ExitCode::SUCCESS
 }
@@ -207,16 +267,22 @@ fn run_multi(nets: Vec<(String, Network)>, args: &Args, lib: &Library) -> ExitCo
         }
         None => None,
     };
-    let results = pool::run(args.jobs, nets.len(), |i| {
+    // Per-task panic isolation: one pathological input yields one failed
+    // row ("status: failed") instead of killing the whole batch.
+    let results = pool::run_catching(args.jobs, nets.len(), |i| {
         let (path, net) = &nets[i];
         synthesize(net, path, args, lib)
     });
     let mut failures = 0usize;
+    let mut degraded = 0usize;
     for ((path, _), result) in nets.iter().zip(results) {
         eprintln!("=== {path} ===");
         match result {
-            Ok(r) => {
+            Ok(Ok(r)) => {
                 eprint!("{}", r.report);
+                if r.degraded {
+                    degraded += 1;
+                }
                 if let Some(dir) = out_dir {
                     let out = dir.join(output_name(path));
                     let out = out.to_string_lossy();
@@ -228,15 +294,28 @@ fn run_multi(nets: Vec<(String, Network)>, args: &Args, lib: &Library) -> ExitCo
                     eprintln!("wrote : {out}");
                 }
             }
-            Err(msg) => {
-                eprintln!("{msg}");
+            Ok(Err(msg)) => {
+                eprintln!("status: failed — {msg}");
+                failures += 1;
+            }
+            Err(panic_msg) => {
+                eprintln!("status: failed — task panicked: {panic_msg}");
                 failures += 1;
             }
         }
     }
+    if degraded > 0 {
+        eprintln!(
+            "{degraded} of {} files completed degraded (cones over budget)",
+            nets.len()
+        );
+    }
     if failures > 0 {
         eprintln!("{failures} of {} files failed", nets.len());
         return ExitCode::FAILURE;
+    }
+    if degraded > 0 {
+        return ExitCode::from(EXIT_DEGRADED);
     }
     ExitCode::SUCCESS
 }
