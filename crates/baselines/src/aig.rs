@@ -276,7 +276,13 @@ impl Aig {
 
     /// Shannon expansion of a LUT over AIG edges.
     fn lut(&mut self, table: &TruthTable, kids: &[AigRef]) -> AigRef {
-        fn expand(aig: &mut Aig, table: &TruthTable, kids: &[AigRef], fixed: usize, row: usize) -> AigRef {
+        fn expand(
+            aig: &mut Aig,
+            table: &TruthTable,
+            kids: &[AigRef],
+            fixed: usize,
+            row: usize,
+        ) -> AigRef {
             if fixed == kids.len() {
                 return if table.value(row) {
                     AigRef::ONE

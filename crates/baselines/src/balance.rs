@@ -8,8 +8,7 @@ use logic::Network;
 impl Aig {
     /// Returns a balanced copy of this AIG.
     pub fn balanced(&self) -> Aig {
-        let mut map: std::collections::HashMap<AigRef, AigRef> =
-            std::collections::HashMap::new();
+        let mut map: std::collections::HashMap<AigRef, AigRef> = std::collections::HashMap::new();
         map.insert(AigRef::ONE, AigRef::ONE);
         let mut rebuilt = Aig::new(self.network_name());
         for i in 0..self.input_count() {

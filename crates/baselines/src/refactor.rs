@@ -54,9 +54,14 @@ fn factored_and(dst: &mut Aig, x: AigRef, y: AigRef) -> AigRef {
             dst.and_children(y.regular_edge()),
         ) {
             // Find a shared literal between {p1,q1} and {p2,q2}.
-            let shared = [(p1, q1, p2, q2), (q1, p1, p2, q2), (p1, q1, q2, p2), (q1, p1, q2, p2)]
-                .into_iter()
-                .find(|(s, _, s2, _)| s == s2);
+            let shared = [
+                (p1, q1, p2, q2),
+                (q1, p1, p2, q2),
+                (p1, q1, q2, p2),
+                (q1, p1, q2, p2),
+            ]
+            .into_iter()
+            .find(|(s, _, s2, _)| s == s2);
             if let Some((a, b, _, c)) = shared {
                 // x·y = !(a·b) · !(a·c) = !(a·b + a·c) = !(a·(b+c))
                 //     = !AND(a, !AND(!b, !c)).
@@ -127,8 +132,7 @@ mod tests {
         let mut rng = XorShift64::new(31);
         for round in 0..12 {
             let mut net = Network::new("rand");
-            let mut pool: Vec<SignalId> =
-                (0..5).map(|i| net.add_input(format!("i{i}"))).collect();
+            let mut pool: Vec<SignalId> = (0..5).map(|i| net.add_input(format!("i{i}"))).collect();
             for _ in 0..24 {
                 let a = pool[(rng.next_u64() % pool.len() as u64) as usize];
                 let b = pool[(rng.next_u64() % pool.len() as u64) as usize];

@@ -143,11 +143,7 @@ impl Manager {
     /// Fraction of the `2^num_vars` input assignments satisfying `f`,
     /// computed exactly by one DAG traversal.
     pub fn density(&self, f: Ref) -> f64 {
-        fn prob(
-            m: &Manager,
-            r: Ref,
-            memo: &mut HashMap<NodeId, f64, BuildFxHasher>,
-        ) -> f64 {
+        fn prob(m: &Manager, r: Ref, memo: &mut HashMap<NodeId, f64, BuildFxHasher>) -> f64 {
             let p = if r.regular().is_one() {
                 1.0
             } else if let Some(&p) = memo.get(&r.node()) {

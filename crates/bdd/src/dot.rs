@@ -15,7 +15,11 @@ impl Manager {
     pub fn to_dot(&self, f: Ref, highlight: &[NodeId]) -> String {
         let mut out = String::from("digraph bdd {\n  rankdir=TB;\n");
         let _ = writeln!(out, "  t1 [label=\"1\", shape=box];");
-        let root_style = if f.is_complemented() { "dotted" } else { "dashed" };
+        let root_style = if f.is_complemented() {
+            "dotted"
+        } else {
+            "dashed"
+        };
         let _ = writeln!(out, "  root [shape=none, label=\"F\"];");
         if f.is_const() {
             let _ = writeln!(out, "  root -> t1 [style={root_style}];");

@@ -195,8 +195,8 @@ mod sat;
 pub use analysis::{InDegree, NodeStats};
 pub use hasher::{BuildFxHasher, FxHasher};
 pub use manager::{
-    AutoSiftConfig, CacheStats, ConvergeConfig, GcConfig, LimitExceeded, LimitKind, Manager,
-    Node, ResourceLimits, SiftConfig, SiftReport, DEFAULT_CACHE_BITS,
+    AutoSiftConfig, CacheStats, ConvergeConfig, GcConfig, LimitExceeded, LimitKind, Manager, Node,
+    ResourceLimits, SiftConfig, SiftReport, DEFAULT_CACHE_BITS,
 };
 pub use reference::{NodeId, Ref, Var};
 pub use reorder::{invert, sift_converge_reorder, sift_reorder, window_reorder, Reordered};

@@ -900,10 +900,7 @@ impl Manager {
     /// classic entry point (`ite`, `and`, `xor`, the cofactor family, ...)
     /// wraps its `try_*` twin: the budget and any armed fault injection
     /// are ignored for the duration, then restored.
-    pub fn ungoverned<T>(
-        &mut self,
-        f: impl FnOnce(&mut Manager) -> Result<T, LimitExceeded>,
-    ) -> T {
+    pub fn ungoverned<T>(&mut self, f: impl FnOnce(&mut Manager) -> Result<T, LimitExceeded>) -> T {
         let saved = std::mem::replace(&mut self.governed, false);
         let r = f(self);
         self.governed = saved;
@@ -984,7 +981,10 @@ impl Manager {
     pub fn node(&self, id: NodeId) -> &Node {
         assert!(!id.is_terminal(), "terminal node has no decision variable");
         let n = &self.nodes[id.index()];
-        debug_assert!(n.var.0 != FREE_VAR, "dangling reference to reclaimed node {id:?}");
+        debug_assert!(
+            n.var.0 != FREE_VAR,
+            "dangling reference to reclaimed node {id:?}"
+        );
         n
     }
 
@@ -1180,7 +1180,10 @@ impl Manager {
         if i == 0 {
             return;
         }
-        debug_assert!(self.int_refs[i] > 0, "interior refcount underflow at slot {i}");
+        debug_assert!(
+            self.int_refs[i] > 0,
+            "interior refcount underflow at slot {i}"
+        );
         self.int_refs[i] -= 1;
         if reclaim && self.int_refs[i] == 0 && self.refs[i] == 0 {
             self.reclaim_cascade(i as u32);
@@ -1224,7 +1227,10 @@ impl Manager {
                 if i == 0 {
                     continue;
                 }
-                debug_assert!(self.int_refs[i] > 0, "interior refcount underflow at slot {i}");
+                debug_assert!(
+                    self.int_refs[i] > 0,
+                    "interior refcount underflow at slot {i}"
+                );
                 self.int_refs[i] -= 1;
                 if self.int_refs[i] == 0 && self.refs[i] == 0 {
                     stack.push(i as u32);
@@ -1253,7 +1259,7 @@ impl Manager {
                 }
             }
         }
-        for i in 1..n {
+        for (i, &count) in counts.iter().enumerate().skip(1) {
             if self.nodes[i].var.0 == FREE_VAR {
                 assert_eq!(
                     self.int_refs[i], 0,
@@ -1261,7 +1267,7 @@ impl Manager {
                 );
             } else {
                 assert_eq!(
-                    self.int_refs[i], counts[i],
+                    self.int_refs[i], count,
                     "interior refcount of slot {i} disagrees with a full recount"
                 );
             }
@@ -1373,7 +1379,10 @@ impl Manager {
     pub fn protect(&mut self, f: Ref) -> Ref {
         if !f.is_const() {
             let slot = f.node().index();
-            debug_assert!(self.nodes[slot].var.0 != FREE_VAR, "protect of reclaimed node");
+            debug_assert!(
+                self.nodes[slot].var.0 != FREE_VAR,
+                "protect of reclaimed node"
+            );
             self.refs[slot] = self.refs[slot].saturating_add(1);
         }
         f
@@ -1454,7 +1463,10 @@ impl Manager {
                 if i == 0 {
                     continue;
                 }
-                debug_assert!(self.int_refs[i] > 0, "interior refcount underflow at slot {i}");
+                debug_assert!(
+                    self.int_refs[i] > 0,
+                    "interior refcount underflow at slot {i}"
+                );
                 self.int_refs[i] -= 1;
                 if self.int_refs[i] == 0 && self.refs[i] == 0 {
                     stack.push(i as u32);
@@ -1770,7 +1782,10 @@ impl Manager {
             // `f11` is a cofactor of the regular `n.high`, hence regular,
             // so the patched 1-edge stays regular; and the children cannot
             // collapse (that would need `f0 == f1`).
-            debug_assert!(!new_high.is_complemented(), "swap: 1-edge must stay regular");
+            debug_assert!(
+                !new_high.is_complemented(),
+                "swap: 1-edge must stay regular"
+            );
             debug_assert_ne!(new_low, new_high, "swap: a rewritten node cannot vanish");
             self.nodes[i as usize] = Node {
                 var: yv,
@@ -1929,7 +1944,11 @@ impl Manager {
         // populations, so a one-shot snapshot picks stale "densest"
         // variables.
         let mut remaining: Vec<u32> = match subset {
-            Some(subset) => subset.iter().map(|v| v.0).filter(|&v| (v as usize) < n).collect(),
+            Some(subset) => subset
+                .iter()
+                .map(|v| v.0)
+                .filter(|&v| (v as usize) < n)
+                .collect(),
             None => (0..n as u32).collect(),
         };
         // Variables already moved as part of a walked group.
@@ -2405,7 +2424,11 @@ mod tests {
         m.protect(f);
         m.protect(a); // the projection of var 0 is not part of f's DAG
         assert_eq!(m.collect(), 0);
-        assert_eq!(m.cache_stats().collections, 0, "empty sweeps are not counted");
+        assert_eq!(
+            m.cache_stats().collections,
+            0,
+            "empty sweeps are not counted"
+        );
         assert_eq!(m.gc_epoch(), 0);
     }
 
@@ -2533,7 +2556,11 @@ mod tests {
         assert_eq!(m.level2var(), &[0, 1, 2]);
         assert_eq!(m.level(Ref::ONE), u32::MAX);
         assert_eq!(m.level(Ref::ZERO), u32::MAX);
-        assert_eq!(m.level_of_var(Var(99)), u32::MAX, "unknown vars sit below all");
+        assert_eq!(
+            m.level_of_var(Var(99)),
+            u32::MAX,
+            "unknown vars sit below all"
+        );
         let a = m.var(1);
         assert_eq!(m.level(a), 1);
         assert_eq!(m.var_at_level(1), Var(1));
@@ -2607,7 +2634,10 @@ mod tests {
         assert_eq!(report.initial_size, before);
         assert_eq!(report.final_size, after);
         assert!(report.swaps > 0);
-        assert_eq!(after, 6, "sifting must find a pairing order ({before} -> {after})");
+        assert_eq!(
+            after, 6,
+            "sifting must find a pairing order ({before} -> {after})"
+        );
         // The function itself is untouched.
         for row in 0..64u32 {
             let assignment: Vec<bool> = (0..6).map(|i| row >> i & 1 == 1).collect();
@@ -2743,7 +2773,10 @@ mod tests {
         assert!(m.symmetric_levels(1));
         let b2 = m.var(1);
         m.protect(b2);
-        assert!(!m.symmetric_levels(0), "external claim on b must block the group");
+        assert!(
+            !m.symmetric_levels(0),
+            "external claim on b must block the group"
+        );
         m.release(b2);
         assert!(m.symmetric_levels(0));
     }
@@ -2773,13 +2806,19 @@ mod tests {
             ..SiftConfig::default()
         };
         let report = m.sift(&cfg);
-        assert!(report.groups >= 1, "symmetric pairs must be walked as blocks");
+        assert!(
+            report.groups >= 1,
+            "symmetric pairs must be walked as blocks"
+        );
         assert!(report.final_size <= report.initial_size);
         m.verify_interior_refs();
         let truth_after: Vec<bool> = (0..64u32)
             .map(|row| m.eval(f, &(0..6).map(|i| row >> i & 1 == 1).collect::<Vec<_>>()))
             .collect();
-        assert_eq!(truth_before, truth_after, "group sifting changed the function");
+        assert_eq!(
+            truth_before, truth_after,
+            "group sifting changed the function"
+        );
     }
 
     #[test]
@@ -2801,7 +2840,10 @@ mod tests {
         let fc = build(&mut conv);
         let cfg = ConvergeConfig::default();
         let rc = conv.sift_to_fixpoint(&cfg);
-        assert!(rc.passes >= 1 && rc.passes <= cfg.max_passes, "fixpoint must terminate");
+        assert!(
+            rc.passes >= 1 && rc.passes <= cfg.max_passes,
+            "fixpoint must terminate"
+        );
         assert!(rc.final_size <= rc.initial_size);
         assert!(
             rc.final_size <= rs.final_size,
@@ -2809,7 +2851,11 @@ mod tests {
             rc.final_size,
             rs.final_size
         );
-        assert_eq!(conv.size(fc), single.size(fs), "both reach the linear pairing order");
+        assert_eq!(
+            conv.size(fc),
+            single.size(fs),
+            "both reach the linear pairing order"
+        );
         // Once converged, another fixpoint run is a cheap no-op-ish pass.
         let again = conv.sift_to_fixpoint(&cfg);
         assert_eq!(again.final_size, rc.final_size);
@@ -2851,7 +2897,10 @@ mod tests {
         let v2l = m.var2level().to_vec();
         let mut seen = vec![false; v2l.len()];
         for &l in &v2l {
-            assert!(!std::mem::replace(&mut seen[l as usize], true), "order must stay a permutation");
+            assert!(
+                !std::mem::replace(&mut seen[l as usize], true),
+                "order must stay a permutation"
+            );
         }
         assert_eq!(truth(&m, f), before, "budget exhaustion must not corrupt f");
         m.verify_interior_refs();

@@ -320,10 +320,7 @@ impl Manager {
     }
 
     /// Budget-governed [`Manager::or_all`].
-    pub fn try_or_all<I: IntoIterator<Item = Ref>>(
-        &mut self,
-        fs: I,
-    ) -> Result<Ref, LimitExceeded> {
+    pub fn try_or_all<I: IntoIterator<Item = Ref>>(&mut self, fs: I) -> Result<Ref, LimitExceeded> {
         let mut acc = Ref::ZERO;
         for f in fs {
             acc = self.try_or(acc, f)?;
@@ -373,7 +370,8 @@ mod tests {
         let mut m = Manager::new();
         let a = m.var(0);
         let b = m.var(1);
-        let cases: Vec<(Ref, fn(bool, bool) -> bool)> = vec![
+        type BoolOp = fn(bool, bool) -> bool;
+        let cases: Vec<(Ref, BoolOp)> = vec![
             (m.and(a, b), |x, y| x && y),
             (m.or(a, b), |x, y| x || y),
             (m.nand(a, b), |x, y| !(x && y)),
@@ -400,9 +398,7 @@ mod tests {
         let mut m = Manager::new();
         let (a, b, c) = (m.var(0), m.var(1), m.var(2));
         let f = m.maj(a, b, c);
-        assert_equiv(&m, f, 3, |v| {
-            (v[0] as u8 + v[1] as u8 + v[2] as u8) >= 2
-        });
+        assert_equiv(&m, f, 3, |v| (v[0] as u8 + v[1] as u8 + v[2] as u8) >= 2);
     }
 
     #[test]

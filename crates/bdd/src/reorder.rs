@@ -92,9 +92,8 @@ pub struct Reordered {
 /// Whether `perm` is a permutation of `0..perm.len()`.
 fn is_permutation(perm: &[u32]) -> bool {
     let mut seen = vec![false; perm.len()];
-    perm.iter().all(|&p| {
-        (p as usize) < seen.len() && !std::mem::replace(&mut seen[p as usize], true)
-    })
+    perm.iter()
+        .all(|&p| (p as usize) < seen.len() && !std::mem::replace(&mut seen[p as usize], true))
 }
 
 /// Window-permutation minimization over the manager's live order: for each

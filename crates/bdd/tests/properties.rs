@@ -24,16 +24,19 @@ fn arb_expr() -> impl Strategy<Value = Expr> {
     leaf.prop_recursive(5, 64, 3, |inner| {
         prop_oneof![
             inner.clone().prop_map(|e| Expr::Not(Box::new(e))),
-            (inner.clone(), inner.clone())
-                .prop_map(|(a, b)| Expr::And(Box::new(a), Box::new(b))),
-            (inner.clone(), inner.clone())
-                .prop_map(|(a, b)| Expr::Or(Box::new(a), Box::new(b))),
-            (inner.clone(), inner.clone())
-                .prop_map(|(a, b)| Expr::Xor(Box::new(a), Box::new(b))),
-            (inner.clone(), inner.clone(), inner.clone())
-                .prop_map(|(a, b, c)| Expr::Ite(Box::new(a), Box::new(b), Box::new(c))),
-            (inner.clone(), inner.clone(), inner)
-                .prop_map(|(a, b, c)| Expr::Maj(Box::new(a), Box::new(b), Box::new(c))),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| Expr::And(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| Expr::Or(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| Expr::Xor(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone(), inner.clone()).prop_map(|(a, b, c)| Expr::Ite(
+                Box::new(a),
+                Box::new(b),
+                Box::new(c)
+            )),
+            (inner.clone(), inner.clone(), inner).prop_map(|(a, b, c)| Expr::Maj(
+                Box::new(a),
+                Box::new(b),
+                Box::new(c)
+            )),
         ]
     })
 }
@@ -390,7 +393,10 @@ fn storm_of_ops_stays_canonical_and_bounded() {
             1 => (m.or(a.0, b.0), a.1 | b.1),
             2 => (m.xor(a.0, b.0), a.1 ^ b.1),
             3 => (m.ite(a.0, b.0, c.0), (a.1 & b.1) | (!a.1 & c.1 & mask())),
-            4 => (m.maj(a.0, b.0, c.0), (a.1 & b.1) | (b.1 & c.1) | (a.1 & c.1)),
+            4 => (
+                m.maj(a.0, b.0, c.0),
+                (a.1 & b.1) | (b.1 & c.1) | (a.1 & c.1),
+            ),
             _ => (!a.0, !a.1 & mask()),
         };
         let truth = truth & mask();
@@ -484,7 +490,10 @@ fn gc_storm_stays_canonical_across_collections() {
             1 => (m.or(a.0, b.0), a.1 | b.1),
             2 => (m.xor(a.0, b.0), a.1 ^ b.1),
             3 => (m.ite(a.0, b.0, c.0), (a.1 & b.1) | (!a.1 & c.1 & mask())),
-            4 => (m.maj(a.0, b.0, c.0), (a.1 & b.1) | (b.1 & c.1) | (a.1 & c.1)),
+            4 => (
+                m.maj(a.0, b.0, c.0),
+                (a.1 & b.1) | (b.1 & c.1) | (a.1 & c.1),
+            ),
             _ => (!a.0, !a.1 & mask()),
         };
         let truth = truth & mask();
@@ -575,13 +584,20 @@ fn sift_truth_oracle_on_twelve_vars() {
     let report = m.sift(&SiftConfig::default());
     let after = m.size(pairs);
     assert!(report.swaps > 0);
-    assert!(after < before, "sift must shrink the interleaved pairing ({before} -> {after})");
+    assert!(
+        after < before,
+        "sift must shrink the interleaved pairing ({before} -> {after})"
+    );
     assert_eq!(after, VARS as usize, "pairing order is linear");
-    assert_eq!(m.size(parity), VARS as usize, "parity stays linear under any order");
+    assert_eq!(
+        m.size(parity),
+        VARS as usize,
+        "parity stays linear under any order"
+    );
     for row in 0u32..1 << VARS {
         let assignment: Vec<bool> = (0..VARS).map(|i| row >> i & 1 == 1).collect();
-        let want_pairs = (0..VARS / 2)
-            .any(|i| assignment[i as usize] && assignment[(i + VARS / 2) as usize]);
+        let want_pairs =
+            (0..VARS / 2).any(|i| assignment[i as usize] && assignment[(i + VARS / 2) as usize]);
         let want_parity = assignment.iter().filter(|&&b| b).count() % 2 == 1;
         assert_eq!(m.eval(pairs, &assignment), want_pairs, "pairs row {row}");
         assert_eq!(m.eval(parity, &assignment), want_parity, "parity row {row}");
@@ -621,11 +637,18 @@ fn sift_storm_interleaved_with_gc_stays_canonical() {
             1 => (m.or(a.0, b.0), a.1 | b.1),
             2 => (m.xor(a.0, b.0), a.1 ^ b.1),
             3 => (m.ite(a.0, b.0, c.0), (a.1 & b.1) | (!a.1 & c.1 & mask())),
-            4 => (m.maj(a.0, b.0, c.0), (a.1 & b.1) | (b.1 & c.1) | (a.1 & c.1)),
+            4 => (
+                m.maj(a.0, b.0, c.0),
+                (a.1 & b.1) | (b.1 & c.1) | (a.1 & c.1),
+            ),
             _ => (!a.0, !a.1 & mask()),
         };
         let truth = truth & mask();
-        assert_eq!(bdd_truth(&m, r), truth, "step {step}: BDD disagrees with oracle");
+        assert_eq!(
+            bdd_truth(&m, r),
+            truth,
+            "step {step}: BDD disagrees with oracle"
+        );
         if pool.len() < POOL {
             m.protect(r);
             pool.push((r, truth));
@@ -638,7 +661,7 @@ fn sift_storm_interleaved_with_gc_stays_canonical() {
         if step % SIFT_EVERY == SIFT_EVERY - 1 {
             // Alternate sift-then-collect and collect-then-sift so both
             // interleavings are exercised (sift itself also collects).
-            if (step / SIFT_EVERY) % 2 == 0 {
+            if (step / SIFT_EVERY).is_multiple_of(2) {
                 m.sift(&SiftConfig::default());
                 m.collect();
             } else {
@@ -648,7 +671,11 @@ fn sift_storm_interleaved_with_gc_stays_canonical() {
             sift_reports += 1;
             // (a) every protected function survives reordering + sweeps.
             for &(f, t) in &pool {
-                assert_eq!(bdd_truth(&m, f), t, "pool function corrupted at step {step}");
+                assert_eq!(
+                    bdd_truth(&m, f),
+                    t,
+                    "pool function corrupted at step {step}"
+                );
             }
             // (b) canonicity under the installed order and recycled slots.
             let x = pool[rng.below(pool.len())];
@@ -698,11 +725,18 @@ fn converge_sift_storm_with_gc_stays_canonical() {
             1 => (m.or(a.0, b.0), a.1 | b.1),
             2 => (m.xor(a.0, b.0), a.1 ^ b.1),
             3 => (m.ite(a.0, b.0, c.0), (a.1 & b.1) | (!a.1 & c.1 & mask())),
-            4 => (m.maj(a.0, b.0, c.0), (a.1 & b.1) | (b.1 & c.1) | (a.1 & c.1)),
+            4 => (
+                m.maj(a.0, b.0, c.0),
+                (a.1 & b.1) | (b.1 & c.1) | (a.1 & c.1),
+            ),
             _ => (!a.0, !a.1 & mask()),
         };
         let truth = truth & mask();
-        assert_eq!(bdd_truth(&m, r), truth, "step {step}: BDD disagrees with oracle");
+        assert_eq!(
+            bdd_truth(&m, r),
+            truth,
+            "step {step}: BDD disagrees with oracle"
+        );
         if pool.len() < POOL {
             m.protect(r);
             pool.push((r, truth));
@@ -720,7 +754,11 @@ fn converge_sift_storm_with_gc_stays_canonical() {
             m.verify_interior_refs();
             converges += 1;
             for &(f, t) in &pool {
-                assert_eq!(bdd_truth(&m, f), t, "pool function corrupted at step {step}");
+                assert_eq!(
+                    bdd_truth(&m, f),
+                    t,
+                    "pool function corrupted at step {step}"
+                );
             }
             let x = pool[rng.below(pool.len())];
             let y = pool[rng.below(pool.len())];
@@ -732,7 +770,10 @@ fn converge_sift_storm_with_gc_stays_canonical() {
     }
     assert!(converges >= 4, "the storm must actually converge-sift");
     let stats = m.cache_stats();
-    assert!(stats.sifts as usize >= converges, "each converge runs at least one pass");
+    assert!(
+        stats.sifts as usize >= converges,
+        "each converge runs at least one pass"
+    );
 }
 
 /// The bounded-memory proof for long flows: a storm over enough variables
@@ -749,7 +790,7 @@ fn gc_keeps_arena_within_constant_factor_of_live_size() {
         dead_fraction: 0.25,
         min_nodes: 1 << 12,
     });
-    let mut rng = Storm(0xBDD_6C_BDD_6C);
+    let mut rng = Storm(0xBD_D6_CB_DD_6C);
     // The projection variables are used as operands across collection
     // points, so they are roots too.
     let vars: Vec<Ref> = (0..24)
@@ -803,8 +844,16 @@ fn gc_keeps_arena_within_constant_factor_of_live_size() {
     // The arena footprint is a constant factor of the live size, not of
     // the operation count: between-collection growth is bounded by the
     // churn of one threshold window, far below the 100k-op total.
-    let max_arena = arena_after_collect.iter().map(|&(a, _)| a).max().unwrap_or(0);
-    let max_live = arena_after_collect.iter().map(|&(_, l)| l).max().unwrap_or(1);
+    let max_arena = arena_after_collect
+        .iter()
+        .map(|&(a, _)| a)
+        .max()
+        .unwrap_or(0);
+    let max_live = arena_after_collect
+        .iter()
+        .map(|&(_, l)| l)
+        .max()
+        .unwrap_or(1);
     assert!(
         max_arena < 16 * max_live,
         "arena footprint {max_arena} not within constant factor of live {max_live}"

@@ -24,7 +24,10 @@ fn main() {
             let mut opts = BdsMajOptions::default();
             opts.maj.max_candidates = cap;
             let (total, maj, ok) = run(name, &opts);
-            print!("  {name}={total} (maj {maj}){}", if ok { "" } else { " FAIL" });
+            print!(
+                "  {name}={total} (maj {maj}){}",
+                if ok { "" } else { " FAIL" }
+            );
         }
         println!();
     }
@@ -36,7 +39,10 @@ fn main() {
             let mut opts = BdsMajOptions::default();
             opts.maj.max_iterations = iters;
             let (total, maj, ok) = run(name, &opts);
-            print!("  {name}={total} (maj {maj}){}", if ok { "" } else { " FAIL" });
+            print!(
+                "  {name}={total} (maj {maj}){}",
+                if ok { "" } else { " FAIL" }
+            );
         }
         println!();
     }
@@ -48,19 +54,28 @@ fn main() {
             let mut opts = BdsMajOptions::default();
             opts.maj.global_k = k;
             let (total, maj, ok) = run(name, &opts);
-            print!("  {name}={total} (maj {maj}){}", if ok { "" } else { " FAIL" });
+            print!(
+                "  {name}={total} (maj {maj}){}",
+                if ok { "" } else { " FAIL" }
+            );
         }
         println!();
     }
 
     println!("\n== generalized-cofactor operator (paper cites both) ==");
-    for (label, op) in [("restrict", CofactorOp::Restrict), ("constrain", CofactorOp::Constrain)] {
+    for (label, op) in [
+        ("restrict", CofactorOp::Restrict),
+        ("constrain", CofactorOp::Constrain),
+    ] {
         print!("{label:>9}:");
         for name in names {
             let mut opts = BdsMajOptions::default();
             opts.maj.cofactor = op;
             let (total, maj, ok) = run(name, &opts);
-            print!("  {name}={total} (maj {maj}){}", if ok { "" } else { " FAIL" });
+            print!(
+                "  {name}={total} (maj {maj}){}",
+                if ok { "" } else { " FAIL" }
+            );
         }
         println!();
     }
@@ -72,7 +87,10 @@ fn main() {
             let mut opts = BdsMajOptions::default();
             opts.engine.partition.max_support = bound;
             let (total, maj, ok) = run(name, &opts);
-            print!("  {name}={total} (maj {maj}){}", if ok { "" } else { " FAIL" });
+            print!(
+                "  {name}={total} (maj {maj}){}",
+                if ok { "" } else { " FAIL" }
+            );
         }
         println!();
     }

@@ -37,7 +37,11 @@ fn and_storm(m: &mut Manager, rounds: u32) -> u64 {
     for r in 0..rounds {
         let mut acc = m.one();
         for (i, &v) in vars.iter().enumerate() {
-            let operand = if (i + r as usize) % 2 == 0 { v } else { !v };
+            let operand = if (i + r as usize).is_multiple_of(2) {
+                v
+            } else {
+                !v
+            };
             acc = m.and(acc, operand);
             let alt = m.or(acc, v);
             acc = m.and(acc, alt);
@@ -74,11 +78,13 @@ struct StormResult {
 struct GcStormResult {
     ops: u64,
     micros: u128,
+    lookups: u64,
     reclaimed: u64,
     collections: u64,
     peak_nodes: usize,
     final_nodes: usize,
     live_nodes: usize,
+    garbage_estimate: usize,
     hit_rate: f64,
 }
 
@@ -87,6 +93,8 @@ struct GcStormResult {
 /// memory pattern of a long decomposition flow. Without the collector the
 /// arena would grow monotonically with `ops`; with it, `final_nodes` and
 /// `peak_nodes` stay within a constant factor of `live_nodes`.
+// bdslint: allow(protect-release) -- the vars/accs roots live for the
+// whole storm and die with the manager at the end of this function
 fn gc_storm(rounds: u32) -> GcStormResult {
     let mut m = Manager::new();
     m.set_gc_config(GcConfig {
@@ -130,11 +138,13 @@ fn gc_storm(rounds: u32) -> GcStormResult {
     GcStormResult {
         ops,
         micros: elapsed.as_micros(),
+        lookups: stats.lookups,
         reclaimed: stats.reclaimed_total,
         collections: stats.collections,
         peak_nodes: stats.peak_nodes,
         final_nodes: m.num_nodes(),
         live_nodes: m.live_nodes(),
+        garbage_estimate: stats.garbage_estimate,
         hit_rate: stats.hit_rate(),
     }
 }
@@ -143,6 +153,8 @@ struct SiftStormResult {
     nodes_before: usize,
     nodes_after: usize,
     swaps: usize,
+    vars_sifted: usize,
+    groups: usize,
     micros: u128,
     /// The same storm sifted to a fixpoint instead of one pass.
     converge_nodes: usize,
@@ -157,6 +169,8 @@ struct SiftStormResult {
 /// Run twice from the same start order: one default sift pass (the
 /// tracked wall-clock — the O(1) swap deltas show up here) and one
 /// converging sift.
+// bdslint: allow(protect-release) -- the storm function stays rooted
+// across both sift passes and dies with its manager
 fn sift_storm() -> SiftStormResult {
     let build = |m: &mut Manager| {
         let mut f = m.zero();
@@ -180,6 +194,8 @@ fn sift_storm() -> SiftStormResult {
         nodes_before,
         nodes_after,
         swaps: report.swaps,
+        vars_sifted: report.vars_sifted,
+        groups: report.groups,
         micros: elapsed.as_micros(),
         converge_nodes: mc.size(fc),
         converge_swaps: creport.swaps,
@@ -375,25 +391,29 @@ fn main() {
 
     let gc = gc_storm(3_125);
     println!(
-        "gc_storm   {:>8} ops in {:>8} µs  ({:.1} Mops/s, cache hit {:.1}%, reclaimed {} in {} collections, arena {} peak {} live {})",
+        "gc_storm   {:>8} ops in {:>8} µs  ({:.1} Mops/s, cache hit {:.1}% of {} lookups, reclaimed {} in {} collections, arena {} peak {} live {} garbage-est {})",
         gc.ops,
         gc.micros,
         gc.ops as f64 / gc.micros.max(1) as f64,
         100.0 * gc.hit_rate,
+        gc.lookups,
         gc.reclaimed,
         gc.collections,
         gc.final_nodes,
         gc.peak_nodes,
-        gc.live_nodes
+        gc.live_nodes,
+        gc.garbage_estimate
     );
 
     let sift = sift_storm();
     println!(
-        "sift_storm {:>4} -> {:>4} nodes in {:>8} µs  ({} adjacent swaps); converge {:>4} nodes in {:>8} µs ({} swaps, {} passes)",
+        "sift_storm {:>4} -> {:>4} nodes in {:>8} µs  ({} adjacent swaps over {} vars, {} symmetric groups); converge {:>4} nodes in {:>8} µs ({} swaps, {} passes)",
         sift.nodes_before,
         sift.nodes_after,
         sift.micros,
         sift.swaps,
+        sift.vars_sifted,
+        sift.groups,
         sift.converge_nodes,
         sift.converge_micros,
         sift.converge_swaps,
@@ -492,9 +512,9 @@ fn main() {
     let mut json = String::new();
     json.push_str("{\n  \"storms\": [\n");
     for (i, s) in storms.iter().enumerate() {
-        let _ = write!(
+        let _ = writeln!(
             json,
-            "    {{\"name\": \"{}\", \"ops\": {}, \"micros\": {}, \"mops_per_sec\": {:.3}, \"cache_hit_rate\": {:.4}, \"nodes\": {}}}{}\n",
+            "    {{\"name\": \"{}\", \"ops\": {}, \"micros\": {}, \"mops_per_sec\": {:.3}, \"cache_hit_rate\": {:.4}, \"nodes\": {}}}{}",
             s.name,
             s.ops,
             s.micros,
@@ -505,25 +525,29 @@ fn main() {
         );
     }
     json.push_str("  ],\n");
-    let _ = write!(
+    let _ = writeln!(
         json,
-        "  \"gc_storm\": {{\"ops\": {}, \"micros\": {}, \"mops_per_sec\": {:.3}, \"cache_hit_rate\": {:.4}, \"reclaimed\": {}, \"collections\": {}, \"peak_nodes\": {}, \"final_nodes\": {}, \"live_nodes\": {}}},\n",
+        "  \"gc_storm\": {{\"ops\": {}, \"micros\": {}, \"mops_per_sec\": {:.3}, \"cache_lookups\": {}, \"cache_hit_rate\": {:.4}, \"reclaimed\": {}, \"collections\": {}, \"peak_nodes\": {}, \"final_nodes\": {}, \"live_nodes\": {}, \"garbage_estimate\": {}}},",
         gc.ops,
         gc.micros,
         gc.ops as f64 / gc.micros.max(1) as f64,
+        gc.lookups,
         gc.hit_rate,
         gc.reclaimed,
         gc.collections,
         gc.peak_nodes,
         gc.final_nodes,
-        gc.live_nodes
+        gc.live_nodes,
+        gc.garbage_estimate
     );
-    let _ = write!(
+    let _ = writeln!(
         json,
-        "  \"sift_storm\": {{\"nodes_before\": {}, \"nodes_after\": {}, \"swaps\": {}, \"micros\": {}, \"converge_nodes\": {}, \"converge_swaps\": {}, \"converge_passes\": {}, \"converge_micros\": {}}},\n",
+        "  \"sift_storm\": {{\"nodes_before\": {}, \"nodes_after\": {}, \"swaps\": {}, \"vars_sifted\": {}, \"groups\": {}, \"micros\": {}, \"converge_nodes\": {}, \"converge_swaps\": {}, \"converge_passes\": {}, \"converge_micros\": {}}},",
         sift.nodes_before,
         sift.nodes_after,
         sift.swaps,
+        sift.vars_sifted,
+        sift.groups,
         sift.micros,
         sift.converge_nodes,
         sift.converge_swaps,
@@ -531,13 +555,16 @@ fn main() {
         sift.converge_micros
     );
     json.push_str("  \"sift_suite\": {\n");
-    let _ = write!(json, "    \"reduced_benchmarks\": {reduced},\n");
-    let _ = write!(json, "    \"converge_no_worse_than_single_pass\": {converge_no_worse},\n");
+    let _ = writeln!(json, "    \"reduced_benchmarks\": {reduced},");
+    let _ = writeln!(
+        json,
+        "    \"converge_no_worse_than_single_pass\": {converge_no_worse},"
+    );
     json.push_str("    \"rows\": [\n");
     for (i, r) in sift_rows.iter().enumerate() {
-        let _ = write!(
+        let _ = writeln!(
             json,
-            "      {{\"name\": \"{}\", \"static_nodes\": {}, \"sifted_nodes\": {}, \"sifted_rooted\": {}, \"swaps\": {}, \"sift_sec\": {:.4}, \"converged_nodes\": {}, \"converged_rooted\": {}, \"converge_swaps\": {}, \"converge_passes\": {}, \"converge_sec\": {:.4}, \"flow_sec\": {:.4}, \"verified\": {}, \"converge_verified\": {}}}{}\n",
+            "      {{\"name\": \"{}\", \"static_nodes\": {}, \"sifted_nodes\": {}, \"sifted_rooted\": {}, \"swaps\": {}, \"sift_sec\": {:.4}, \"converged_nodes\": {}, \"converged_rooted\": {}, \"converge_swaps\": {}, \"converge_passes\": {}, \"converge_sec\": {:.4}, \"flow_sec\": {:.4}, \"verified\": {}, \"converge_verified\": {}}}{}",
             r.name,
             r.static_nodes,
             r.sifted_nodes,
@@ -569,9 +596,9 @@ fn main() {
     );
     json.push_str("    \"rows\": [\n");
     for (i, (name, secs, row)) in rows.iter().enumerate() {
-        let _ = write!(
+        let _ = writeln!(
             json,
-            "      {{\"name\": \"{}\", \"sec\": {:.4}, \"maj_total\": {}, \"pga_total\": {}, \"verified\": {}, \"status\": \"{}\"}}{}\n",
+            "      {{\"name\": \"{}\", \"sec\": {:.4}, \"maj_total\": {}, \"pga_total\": {}, \"verified\": {}, \"status\": \"{}\"}}{}",
             name,
             secs,
             row.maj.decomposition_total(),

@@ -18,9 +18,9 @@ fn main() {
     let reorder = args.reorder;
     println!("TABLE I: Decomposition Results: BDS-MAJ vs. BDS-PGA ({reorder:?} reordering)");
     println!(
-        "{:<18} | {:>5} {:>5} {:>5} {:>5} {:>5} {:>6} {:>8} | {:>5} {:>5} {:>5} {:>5} {:>5} {:>6} {:>8} | {}",
+        "{:<18} | {:>5} {:>5} {:>5} {:>5} {:>5} {:>6} {:>8} | {:>5} {:>5} {:>5} {:>5} {:>5} {:>6} {:>8} | eq",
         "Benchmark", "AND", "OR", "XOR", "XNOR", "MAJ", "Total", "sec",
-        "AND", "OR", "XOR", "XNOR", "MAJ", "Total", "sec", "eq"
+        "AND", "OR", "XOR", "XNOR", "MAJ", "Total", "sec"
     );
     println!("{:-<18}-+-{:-<44}-+-{:-<44}-+---", "", "", "");
     let rows = run_table1_budgeted(&engine_options_for(reorder), args.jobs, args.budget);
@@ -29,10 +29,13 @@ fn main() {
     let mut maj_nodes = 0usize;
     let mut total_nodes = 0usize;
     let mut sums = [0usize; 14];
-    print_rows_grouped(&rows, |row| row.group, |row| {
-        let m = &row.maj;
-        let p = &row.pga;
-        println!(
+    print_rows_grouped(
+        &rows,
+        |row| row.group,
+        |row| {
+            let m = &row.maj;
+            let p = &row.pga;
+            println!(
             "{:<18} | {:>5} {:>5} {:>5} {:>5} {:>5} {:>6} {:>8.2} | {:>5} {:>5} {:>5} {:>5} {:>5} {:>6} {:>8.2} | {}",
             row.name,
             m.and, m.or, m.xor, m.xnor, m.maj, m.decomposition_total(),
@@ -41,31 +44,41 @@ fn main() {
             row.pga_runtime.as_secs_f64(),
             if row.verified { "ok" } else { "FAIL" },
         );
-        if row.status != RowStatus::Ok {
-            println!("{:<18} | status: {}", "", row.status.as_str());
-        }
-        // Aggregates only count fully decomposed rows: a degraded or
-        // failed row's counts describe fallback logic, not the flow.
-        if row.status != RowStatus::Ok {
-            return;
-        }
-        node_pairs.push((
-            m.decomposition_total() as f64,
-            p.decomposition_total() as f64,
-        ));
-        runtime_pairs.push((
-            row.maj_runtime.as_secs_f64(),
-            row.pga_runtime.as_secs_f64(),
-        ));
-        maj_nodes += m.maj;
-        total_nodes += m.decomposition_total();
-        for (acc, v) in sums.iter_mut().zip([
-            m.and, m.or, m.xor, m.xnor, m.maj, m.decomposition_total(), 0,
-            p.and, p.or, p.xor, p.xnor, p.maj, p.decomposition_total(), 0,
-        ]) {
-            *acc += v;
-        }
-    });
+            if row.status != RowStatus::Ok {
+                println!("{:<18} | status: {}", "", row.status.as_str());
+            }
+            // Aggregates only count fully decomposed rows: a degraded or
+            // failed row's counts describe fallback logic, not the flow.
+            if row.status != RowStatus::Ok {
+                return;
+            }
+            node_pairs.push((
+                m.decomposition_total() as f64,
+                p.decomposition_total() as f64,
+            ));
+            runtime_pairs.push((row.maj_runtime.as_secs_f64(), row.pga_runtime.as_secs_f64()));
+            maj_nodes += m.maj;
+            total_nodes += m.decomposition_total();
+            for (acc, v) in sums.iter_mut().zip([
+                m.and,
+                m.or,
+                m.xor,
+                m.xnor,
+                m.maj,
+                m.decomposition_total(),
+                0,
+                p.and,
+                p.or,
+                p.xor,
+                p.xnor,
+                p.maj,
+                p.decomposition_total(),
+                0,
+            ]) {
+                *acc += v;
+            }
+        },
+    );
     let n = (runtime_pairs.len().max(1)) as f64;
     println!("{:-<18}-+-{:-<44}-+-{:-<44}-+---", "", "", "");
     println!(
@@ -93,12 +106,13 @@ fn main() {
         "  average runtime change vs BDS-PGA       : {:+5.1} %   [+4.6 %]",
         rt_delta
     );
-    let degraded = rows.iter().filter(|r| r.status == RowStatus::Degraded).count();
+    let degraded = rows
+        .iter()
+        .filter(|r| r.status == RowStatus::Degraded)
+        .count();
     let failed = rows.iter().filter(|r| r.status == RowStatus::Limit).count();
     if degraded + failed > 0 {
-        eprintln!(
-            "NOTE: {degraded} degraded and {failed} failed rows under the resource budget"
-        );
+        eprintln!("NOTE: {degraded} degraded and {failed} failed rows under the resource budget");
     }
     // Verification only applies to rows that produced a result.
     let unverified = rows

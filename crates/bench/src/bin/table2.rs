@@ -19,13 +19,12 @@ fn main() {
     let reorder = args.reorder;
     println!("TABLE II: Logic Synthesis, CMOS 22nm Technology Node ({reorder:?} reordering)");
     println!(
-        "{:<18} | {:>9} {:>6} {:>7} | {:>9} {:>6} {:>7} | {:>9} {:>6} {:>7} | {:>9} {:>6} {:>7} | {}",
+        "{:<18} | {:>9} {:>6} {:>7} | {:>9} {:>6} {:>7} | {:>9} {:>6} {:>7} | {:>9} {:>6} {:>7} | eq",
         "Benchmark",
         "A.(um2)", "G.C.", "D.(ns)",
         "A.(um2)", "G.C.", "D.(ns)",
         "A.(um2)", "G.C.", "D.(ns)",
-        "A.(um2)", "G.C.", "D.(ns)",
-        "eq"
+        "A.(um2)", "G.C.", "D.(ns)"
     );
     println!(
         "{:<18} | {:^25} | {:^25} | {:^25} | {:^25} |",
@@ -35,8 +34,11 @@ fn main() {
     let mut area_vs = [Vec::new(), Vec::new(), Vec::new()]; // pga, abc, dc
     let mut delay_vs = [Vec::new(), Vec::new(), Vec::new()];
     let mut avgs = [0.0f64; 12];
-    print_rows_grouped(&rows, |row| row.group, |row| {
-        println!(
+    print_rows_grouped(
+        &rows,
+        |row| row.group,
+        |row| {
+            println!(
             "{:<18} | {:>9.2} {:>6} {:>7.3} | {:>9.2} {:>6} {:>7.3} | {:>9.2} {:>6} {:>7.3} | {:>9.2} {:>6} {:>7.3} | {}",
             row.name,
             row.bds_maj.area, row.bds_maj.gate_count, row.bds_maj.delay,
@@ -45,28 +47,37 @@ fn main() {
             row.dc.area, row.dc.gate_count, row.dc.delay,
             if row.verified { "ok" } else { "FAIL" },
         );
-        if row.status != RowStatus::Ok {
-            println!("{:<18} | status: {}", "", row.status.as_str());
-        }
-        // Aggregates only count fully decomposed rows.
-        if row.status != RowStatus::Ok {
-            return;
-        }
-        area_vs[0].push((row.bds_maj.area, row.bds_pga.area));
-        area_vs[1].push((row.bds_maj.area, row.abc.area));
-        area_vs[2].push((row.bds_maj.area, row.dc.area));
-        delay_vs[0].push((row.bds_maj.delay, row.bds_pga.delay));
-        delay_vs[1].push((row.bds_maj.delay, row.abc.delay));
-        delay_vs[2].push((row.bds_maj.delay, row.dc.delay));
-        for (acc, v) in avgs.iter_mut().zip([
-            row.bds_maj.area, row.bds_maj.gate_count as f64, row.bds_maj.delay,
-            row.bds_pga.area, row.bds_pga.gate_count as f64, row.bds_pga.delay,
-            row.abc.area, row.abc.gate_count as f64, row.abc.delay,
-            row.dc.area, row.dc.gate_count as f64, row.dc.delay,
-        ]) {
-            *acc += v;
-        }
-    });
+            if row.status != RowStatus::Ok {
+                println!("{:<18} | status: {}", "", row.status.as_str());
+            }
+            // Aggregates only count fully decomposed rows.
+            if row.status != RowStatus::Ok {
+                return;
+            }
+            area_vs[0].push((row.bds_maj.area, row.bds_pga.area));
+            area_vs[1].push((row.bds_maj.area, row.abc.area));
+            area_vs[2].push((row.bds_maj.area, row.dc.area));
+            delay_vs[0].push((row.bds_maj.delay, row.bds_pga.delay));
+            delay_vs[1].push((row.bds_maj.delay, row.abc.delay));
+            delay_vs[2].push((row.bds_maj.delay, row.dc.delay));
+            for (acc, v) in avgs.iter_mut().zip([
+                row.bds_maj.area,
+                row.bds_maj.gate_count as f64,
+                row.bds_maj.delay,
+                row.bds_pga.area,
+                row.bds_pga.gate_count as f64,
+                row.bds_pga.delay,
+                row.abc.area,
+                row.abc.gate_count as f64,
+                row.abc.delay,
+                row.dc.area,
+                row.dc.gate_count as f64,
+                row.dc.delay,
+            ]) {
+                *acc += v;
+            }
+        },
+    );
     let n = (area_vs[0].len().max(1)) as f64;
     println!(
         "{:<18} | {:>9.2} {:>6.0} {:>7.3} | {:>9.2} {:>6.0} {:>7.3} | {:>9.2} {:>6.0} {:>7.3} | {:>9.2} {:>6.0} {:>7.3} |",
@@ -102,12 +113,13 @@ fn main() {
         "  delay saving vs DC      : {:5.1} %   [ 7.8 %]",
         average_saving(&delay_vs[2])
     );
-    let degraded = rows.iter().filter(|r| r.status == RowStatus::Degraded).count();
+    let degraded = rows
+        .iter()
+        .filter(|r| r.status == RowStatus::Degraded)
+        .count();
     let failed = rows.iter().filter(|r| r.status == RowStatus::Limit).count();
     if degraded + failed > 0 {
-        eprintln!(
-            "NOTE: {degraded} degraded and {failed} failed rows under the resource budget"
-        );
+        eprintln!("NOTE: {degraded} degraded and {failed} failed rows under the resource budget");
     }
     let unverified = rows
         .iter()

@@ -161,7 +161,9 @@ pub fn parse_suite_args(args: &[String]) -> Result<SuiteArgs, String> {
                 if node_limit.is_some() {
                     return Err("duplicate --node-limit flag".to_string());
                 }
-                let v = args.get(i + 1).ok_or("--node-limit requires a node count")?;
+                let v = args
+                    .get(i + 1)
+                    .ok_or("--node-limit requires a node count")?;
                 node_limit = Some(parse_limit("--node-limit", v)? as usize);
                 i += 2;
                 continue;
@@ -170,7 +172,9 @@ pub fn parse_suite_args(args: &[String]) -> Result<SuiteArgs, String> {
                 if step_limit.is_some() {
                     return Err("duplicate --step-limit flag".to_string());
                 }
-                let v = args.get(i + 1).ok_or("--step-limit requires a step count")?;
+                let v = args
+                    .get(i + 1)
+                    .ok_or("--step-limit requires a step count")?;
                 step_limit = Some(parse_limit("--step-limit", v)?);
                 i += 2;
                 continue;
@@ -194,10 +198,9 @@ pub fn parse_suite_args(args: &[String]) -> Result<SuiteArgs, String> {
                 let v = args
                     .get(i + 1)
                     .ok_or("--reorder requires one of: none, window, sift, sift-converge")?;
-                reorder = Some(
-                    ReorderPolicy::from_flag(v)
-                        .ok_or(format!("--reorder {v}: use none, window, sift or sift-converge"))?,
-                );
+                reorder = Some(ReorderPolicy::from_flag(v).ok_or(format!(
+                    "--reorder {v}: use none, window, sift or sift-converge"
+                ))?);
                 i += 2;
             }
             "--jobs" => {
@@ -327,7 +330,11 @@ pub fn run_table1_jobs(engine: &EngineOptions, jobs: usize) -> Vec<Table1Row> {
 /// panic isolation: a benchmark that blows the budget comes back as a
 /// `Degraded` row; one that dies entirely comes back as a `Limit`
 /// placeholder row instead of killing the batch.
-pub fn run_table1_budgeted(engine: &EngineOptions, jobs: usize, budget: RowBudget) -> Vec<Table1Row> {
+pub fn run_table1_budgeted(
+    engine: &EngineOptions,
+    jobs: usize,
+    budget: RowBudget,
+) -> Vec<Table1Row> {
     let suite = paper_suite();
     pool::run_catching(jobs, suite.len(), |i| {
         table1_row_with(&suite[i], &budget.apply(engine))
@@ -433,7 +440,9 @@ pub fn run_table2_with(lib: &Library, engine: &EngineOptions) -> Vec<Table2Row> 
 /// path.
 pub fn run_table2_jobs(lib: &Library, engine: &EngineOptions, jobs: usize) -> Vec<Table2Row> {
     let suite = paper_suite();
-    pool::run(jobs, suite.len(), |i| table2_row_with(&suite[i], lib, engine))
+    pool::run(jobs, suite.len(), |i| {
+        table2_row_with(&suite[i], lib, engine)
+    })
 }
 
 /// [`run_table2_jobs`] under a per-row resource budget with per-task
@@ -528,7 +537,11 @@ pub fn saving_summary(pairs: &[(f64, f64)]) -> SavingSummary {
         }
     }
     SavingSummary {
-        percent: if used == 0 { 0.0 } else { 100.0 * sum / used as f64 },
+        percent: if used == 0 {
+            0.0
+        } else {
+            100.0 * sum / used as f64
+        },
         used,
         skipped: pairs.len() - used,
     }
@@ -609,7 +622,12 @@ mod tests {
     fn suite_args_parse_resource_budget_flags() {
         let args = |v: &[&str]| v.iter().map(|s| s.to_string()).collect::<Vec<_>>();
         let a = parse_suite_args(&args(&[
-            "--node-limit", "5000", "--step-limit", "200", "--timeout", "1.5",
+            "--node-limit",
+            "5000",
+            "--step-limit",
+            "200",
+            "--timeout",
+            "1.5",
         ]))
         .unwrap();
         assert_eq!(a.budget.node_limit, Some(5000));

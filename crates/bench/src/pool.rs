@@ -91,7 +91,9 @@ where
             let f = &f;
             scope.spawn(move || {
                 while !panicked.load(Ordering::Relaxed) {
-                    let Some(i) = next_task(me, deques) else { break };
+                    let Some(i) = next_task(me, deques) else {
+                        break;
+                    };
                     match catch_unwind(AssertUnwindSafe(|| f(i))) {
                         Ok(v) => *slots[i].lock().unwrap() = Some(v),
                         Err(p) => {
@@ -229,7 +231,9 @@ mod tests {
             let rounds = if i == 0 { 4_000_000u64 } else { 50_000 };
             let mut x = i as u64 + 1;
             for _ in 0..rounds {
-                x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                x = x
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
             }
             (i, x)
         });
@@ -312,13 +316,18 @@ mod tests {
     fn run_catching_all_ok_matches_run() {
         let sq = |i: usize| i * i;
         let plain = run(4, 40, sq);
-        let caught: Vec<usize> = run_catching(4, 40, sq).into_iter().map(Result::unwrap).collect();
+        let caught: Vec<usize> = run_catching(4, 40, sq)
+            .into_iter()
+            .map(Result::unwrap)
+            .collect();
         assert_eq!(plain, caught);
     }
 
     #[test]
     fn string_panic_payloads_are_preserved() {
-        let out = run_catching(1, 1, |_| -> usize { panic!("{}", String::from("owned message")) });
+        let out = run_catching(1, 1, |_| -> usize {
+            panic!("{}", String::from("owned message"))
+        });
         assert_eq!(out[0].as_ref().unwrap_err(), "owned message");
     }
 }

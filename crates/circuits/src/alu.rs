@@ -20,7 +20,7 @@ pub fn alu2_like() -> Network {
     let xor = zip_gate(&mut net, GateKind::Xor, &a, &b);
 
     // op1 op0: 00 add, 01 and, 10 or, 11 xor.
-    let low = mux_bus(&mut net, op0, &and, &sum[..4].to_vec());
+    let low = mux_bus(&mut net, op0, &and, &sum[..4]);
     let high = mux_bus(&mut net, op0, &xor, &or);
     let result = mux_bus(&mut net, op1, &high, &low);
     output_bus(&mut net, "r", &result);
@@ -66,10 +66,10 @@ pub fn dalu_like() -> Network {
     let choices: [&Bus; 8] = [&sum_lo, &diff, &and, &or, &xor, &nor, &a, &shifted];
     // 8:1 mux tree over the opcode.
     let mut layer: Vec<Bus> = choices.iter().map(|b| (*b).clone()).collect();
-    for bit in 0..3 {
+    for &sel in op.iter().take(3) {
         let mut next: Vec<Bus> = Vec::new();
         for pair in layer.chunks(2) {
-            next.push(mux_bus(&mut net, op[bit], &pair[1], &pair[0]));
+            next.push(mux_bus(&mut net, sel, &pair[1], &pair[0]));
         }
         layer = next;
     }
@@ -161,7 +161,7 @@ mod tests {
         // a = 5, b = 5, op = sub: result 0, zero flag set, ge set.
         let mut patterns = lanes_from_values(&[5], 8);
         patterns.extend(lanes_from_values(&[5], 8));
-        patterns.extend([u64::MAX & 1, 0, 0]); // op = 1 (sub) in lane 0
+        patterns.extend([1, 0, 0]); // op = 1 (sub) in lane 0
         patterns.push(0);
         let out = net.simulate(&patterns);
         // Outputs: r0..r7, carry, ge, zero, parity.

@@ -5,8 +5,7 @@
 //! bit-parallel simulation against `u128` reference arithmetic.
 
 use crate::bus::{
-    const_bus, full_adder, half_adder, input_bus, mux_bus, output_bus, ripple_add, ripple_sub,
-    Bus,
+    const_bus, full_adder, half_adder, input_bus, mux_bus, output_bus, ripple_add, ripple_sub, Bus,
 };
 use logic::{GateKind, Network, SignalId};
 
@@ -139,10 +138,10 @@ pub fn array_multiplier(n: u32, m: u32) -> Network {
     // Pending value aligned one bit above the last emitted product bit.
     let mut pending: Bus = row0[1..].to_vec();
     pending.push(zero);
-    for i in 1..m as usize {
+    for &bi in b.iter().take(m as usize).skip(1) {
         let pp: Bus = a
             .iter()
-            .map(|&x| net.add_gate(GateKind::And, vec![x, b[i]]))
+            .map(|&x| net.add_gate(GateKind::And, vec![x, bi]))
             .collect();
         let sum = ripple_add(&mut net, &pending, &pp, None);
         out.push(sum[0]);
@@ -272,7 +271,10 @@ pub fn reciprocal(width: u32) -> Network {
 ///
 /// Panics if `width` is odd.
 pub fn sqrt(width: u32) -> Network {
-    assert!(width % 2 == 0, "sqrt generator expects an even width");
+    assert!(
+        width.is_multiple_of(2),
+        "sqrt generator expects an even width"
+    );
     let mut net = Network::new(format!("sqrt_{width}"));
     let x = input_bus(&mut net, "x", width);
     let zero = net.add_const(false);
@@ -334,8 +336,12 @@ mod tests {
     /// output values.
     fn run2(net: &Network, wa: u32, wb: u32, seed: u64) -> (Vec<u64>, Vec<u64>, Vec<u64>) {
         let mut rng = XorShift64::new(seed);
-        let va: Vec<u64> = (0..64).map(|_| rng.next_u64() & ((1u64 << wa) - 1)).collect();
-        let vb: Vec<u64> = (0..64).map(|_| rng.next_u64() & ((1u64 << wb) - 1)).collect();
+        let va: Vec<u64> = (0..64)
+            .map(|_| rng.next_u64() & ((1u64 << wa) - 1))
+            .collect();
+        let vb: Vec<u64> = (0..64)
+            .map(|_| rng.next_u64() & ((1u64 << wb) - 1))
+            .collect();
         let mut patterns = lanes_from_values(&va, wa);
         patterns.extend(lanes_from_values(&vb, wb));
         let out = net.simulate(&patterns);
@@ -348,17 +354,20 @@ mod tests {
         for width in [4u32, 8, 13, 64] {
             let net = cla_adder(width);
             let mut rng = XorShift64::new(width as u64);
-            let mask = if width == 64 { u64::MAX } else { (1u64 << width) - 1 };
+            let mask = if width == 64 {
+                u64::MAX
+            } else {
+                (1u64 << width) - 1
+            };
             let va: Vec<u64> = (0..64).map(|_| rng.next_u64() & mask).collect();
             let vb: Vec<u64> = (0..64).map(|_| rng.next_u64() & mask).collect();
             let mut patterns = lanes_from_values(&va, width);
             patterns.extend(lanes_from_values(&vb, width));
             let out = net.simulate(&patterns);
             for lane in 0..64usize {
-                let got = out
-                    .iter()
-                    .enumerate()
-                    .fold(0u128, |acc, (bit, w)| acc | ((w >> lane & 1) as u128) << bit);
+                let got = out.iter().enumerate().fold(0u128, |acc, (bit, w)| {
+                    acc | ((w >> lane & 1) as u128) << bit
+                });
                 let want = va[lane] as u128 + vb[lane] as u128;
                 assert_eq!(got, want, "width {width} lane {lane}");
             }
@@ -455,7 +464,7 @@ mod tests {
             if vx[i] == 0 {
                 continue;
             }
-            let want = (1u64 << 14) / vx[i] & ((1u64 << 15) - 1);
+            let want = ((1u64 << 14) / vx[i]) & ((1u64 << 15) - 1);
             assert_eq!(vo[i] & ((1 << 15) - 1), want, "lane {i} x={}", vx[i]);
         }
     }
@@ -468,12 +477,12 @@ mod tests {
         let patterns = lanes_from_values(&vx, 16);
         let out = net.simulate(&patterns);
         // Outputs: s (8 bits) then r (9 bits).
-        for lane in 0..64usize {
+        for (lane, &x) in vx.iter().enumerate() {
             let s = (0..8).fold(0u64, |acc, b| acc | (out[b] >> lane & 1) << b);
-            let want = (vx[lane] as f64).sqrt().floor() as u64;
-            assert_eq!(s, want, "lane {lane} x={}", vx[lane]);
+            let want = (x as f64).sqrt().floor() as u64;
+            assert_eq!(s, want, "lane {lane} x={x}");
             let r = (0..9).fold(0u64, |acc, b| acc | (out[8 + b] >> lane & 1) << b);
-            assert_eq!(r, vx[lane] - want * want, "remainder lane {lane}");
+            assert_eq!(r, x - want * want, "remainder lane {lane}");
         }
     }
 

@@ -84,7 +84,12 @@ pub fn ripple_sub(net: &mut Network, a: &[SignalId], b: &[SignalId]) -> (Bus, Si
 }
 
 /// Bitwise MUX between two buses: `sel ? then_bus : else_bus`.
-pub fn mux_bus(net: &mut Network, sel: SignalId, then_bus: &[SignalId], else_bus: &[SignalId]) -> Bus {
+pub fn mux_bus(
+    net: &mut Network,
+    sel: SignalId,
+    then_bus: &[SignalId],
+    else_bus: &[SignalId],
+) -> Bus {
     assert_eq!(then_bus.len(), else_bus.len(), "bus width mismatch");
     then_bus
         .iter()
@@ -195,7 +200,7 @@ mod tests {
 
     #[test]
     fn lane_packing_roundtrips() {
-        let values: Vec<u64> = (0..64).map(|i| i * 0x123 & 0xFFFF).collect();
+        let values: Vec<u64> = (0..64).map(|i| (i * 0x123) & 0xFFFF).collect();
         let lanes = lanes_from_values(&values, 16);
         assert_eq!(values_from_lanes(&lanes, 64), values);
     }

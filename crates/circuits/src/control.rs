@@ -100,7 +100,11 @@ pub fn random_control(config: ControlConfig) -> Network {
             // Bias toward recent signals for a multi-level structure.
             let n = pool.len() as u64;
             let r = rng.next_u64() % (n * 2);
-            let idx = if r < n { r } else { n - 1 - (r - n) % (n / 2 + 1) };
+            let idx = if r < n {
+                r
+            } else {
+                n - 1 - (r - n) % (n / 2 + 1)
+            };
             pool[idx as usize % pool.len()]
         };
         let a = pick(&mut rng, &signals);
@@ -156,7 +160,9 @@ mod tests {
         };
         let a = random_sop(cfg);
         let b = random_sop(cfg);
-        let patterns: Vec<u64> = (0..10).map(|i| 0x123456789abcdef0u64.rotate_left(i)).collect();
+        let patterns: Vec<u64> = (0..10)
+            .map(|i| 0x123456789abcdef0u64.rotate_left(i))
+            .collect();
         assert_eq!(a.simulate(&patterns), b.simulate(&patterns));
         assert_eq!(a.len(), b.len());
     }
@@ -188,7 +194,7 @@ mod tests {
         };
         let net = random_sop(cfg);
         let mut rng = XorShift64::new(99);
-        let mut any_zero = vec![false; 8];
+        let mut any_zero = [false; 8];
         let mut any_one = vec![false; 8];
         for _ in 0..64 {
             let patterns: Vec<u64> = (0..12).map(|_| rng.next_u64()).collect();
@@ -206,7 +212,10 @@ mod tests {
             .zip(&any_one)
             .filter(|(z, o)| **z && **o)
             .count();
-        assert!(live >= 6, "most SOP outputs should be non-constant, got {live}");
+        assert!(
+            live >= 6,
+            "most SOP outputs should be non-constant, got {live}"
+        );
     }
 
     #[test]
@@ -223,7 +232,9 @@ mod tests {
         assert_eq!(a.inputs().len(), 20);
         assert_eq!(a.outputs().len(), 10);
         assert!(a.len() >= 200, "requested gate count present");
-        let patterns: Vec<u64> = (0..20).map(|i| (i as u64).wrapping_mul(0x9e3779b9)).collect();
+        let patterns: Vec<u64> = (0..20)
+            .map(|i| (i as u64).wrapping_mul(0x9e3779b9))
+            .collect();
         assert_eq!(a.simulate(&patterns), b.simulate(&patterns));
     }
 
@@ -236,6 +247,10 @@ mod tests {
             seed: 11,
         };
         let net = random_control(cfg);
-        assert!(net.depth() > 5, "multi-level structure expected, depth {}", net.depth());
+        assert!(
+            net.depth() > 5,
+            "multi-level structure expected, depth {}",
+            net.depth()
+        );
     }
 }

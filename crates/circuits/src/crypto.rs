@@ -17,9 +17,7 @@ pub fn bigkey_like(rounds: u32, seed: u64) -> Network {
     let sboxes: Vec<[TruthTable; 4]> = (0..16)
         .map(|_| {
             let spec: Vec<u64> = (0..16).map(|_| rng.next_u64()).collect();
-            std::array::from_fn(|bit| {
-                TruthTable::from_fn(4, |row| spec[row] >> bit & 1 == 1)
-            })
+            std::array::from_fn(|bit| TruthTable::from_fn(4, |row| spec[row] >> bit & 1 == 1))
         })
         .collect();
 
@@ -64,7 +62,9 @@ mod tests {
         assert_eq!(a.len(), b.len());
         assert_eq!(a.inputs().len(), 128);
         assert_eq!(a.outputs().len(), 64);
-        let patterns: Vec<u64> = (0..128).map(|i| (i as u64).wrapping_mul(0xdeadbeef137)).collect();
+        let patterns: Vec<u64> = (0..128)
+            .map(|i| (i as u64).wrapping_mul(0xdeadbeef137))
+            .collect();
         assert_eq!(a.simulate(&patterns), b.simulate(&patterns));
     }
 
@@ -77,7 +77,10 @@ mod tests {
         let out0 = net.simulate(&zero_key);
         let out1 = net.simulate(&one_key);
         let differing = out0.iter().zip(&out1).filter(|(a, b)| a != b).count();
-        assert!(differing > 4, "key bit must diffuse, changed {differing} outputs");
+        assert!(
+            differing > 4,
+            "key bit must diffuse, changed {differing} outputs"
+        );
     }
 
     #[test]

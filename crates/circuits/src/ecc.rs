@@ -17,7 +17,7 @@ pub fn c1355_like() -> Network {
     // (position + 1) has bit j set — a (63,57)-style Hamming pattern
     // truncated to 32 data bits, plus an overall parity bit.
     let mut syndrome: Vec<SignalId> = Vec::new();
-    for j in 0..6 {
+    for (j, &chk) in check.iter().take(6).enumerate() {
         let members: Vec<SignalId> = data
             .iter()
             .enumerate()
@@ -25,7 +25,7 @@ pub fn c1355_like() -> Network {
             .map(|(_, &s)| s)
             .collect();
         let parity = net.add_gate(GateKind::Xor, members);
-        let s = net.add_gate(GateKind::Xor, vec![parity, check[j]]);
+        let s = net.add_gate(GateKind::Xor, vec![parity, chk]);
         syndrome.push(s);
     }
     // Two extra mixing syndromes keep all 8 check inputs live.
@@ -85,8 +85,7 @@ mod tests {
             }
         }
         let all_parity = (data.count_ones() as u8 + (check >> 6 & 1)) % 2 == 1;
-        let half_parity =
-            ((data & 0xFFFF).count_ones() as u8 + (check >> 7 & 1)) % 2 == 1;
+        let half_parity = ((data & 0xFFFF).count_ones() as u8 + (check >> 7 & 1)) % 2 == 1;
         let mut corrected = data;
         if all_parity {
             for pos in 0..32u32 {

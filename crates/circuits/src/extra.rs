@@ -57,7 +57,10 @@ pub fn kogge_stone_adder(width: u32) -> Network {
 /// recoding layer of MUX/XOR logic — a classic area/delay trade-off
 /// circuit.
 pub fn booth_multiplier(width: u32) -> Network {
-    assert!(width >= 2 && width % 2 == 0, "even width ≥ 2 expected");
+    assert!(
+        width >= 2 && width.is_multiple_of(2),
+        "even width ≥ 2 expected"
+    );
     let mut net = Network::new(format!("booth_{width}"));
     let a = input_bus(&mut net, "a", width);
     let b = input_bus(&mut net, "b", width);
@@ -72,7 +75,11 @@ pub fn booth_multiplier(width: u32) -> Network {
     let digits = width / 2;
     for d in 0..=digits as usize {
         let b_m1 = if d == 0 { zero } else { b[2 * d - 1] };
-        let b_0 = if 2 * d < width as usize { b[2 * d] } else { zero };
+        let b_0 = if 2 * d < width as usize {
+            b[2 * d]
+        } else {
+            zero
+        };
         let b_p1 = if 2 * d + 1 < width as usize {
             b[2 * d + 1]
         } else {
@@ -108,8 +115,12 @@ pub fn booth_multiplier(width: u32) -> Network {
         // Sign extension: the selected magnitude (0, A or 2A) fits in the
         // w+1 explicit columns and is non-negative, so the extension bit of
         // `±magnitude` in two's complement is exactly `neg`.
-        for col in (shift + width as usize + 1)..out_w {
-            columns[col].push(neg);
+        for column in columns
+            .iter_mut()
+            .take(out_w)
+            .skip(shift + width as usize + 1)
+        {
+            column.push(neg);
         }
         // +neg at the digit's LSB completes the two's complement.
         columns[shift].push(neg);
@@ -169,18 +180,25 @@ mod tests {
         for width in [8u32, 16, 33] {
             let net = kogge_stone_adder(width);
             let mut rng = XorShift64::new(width as u64 + 1);
-            let mask = if width >= 64 { u64::MAX } else { (1u64 << width) - 1 };
+            let mask = if width >= 64 {
+                u64::MAX
+            } else {
+                (1u64 << width) - 1
+            };
             let va: Vec<u64> = (0..64).map(|_| rng.next_u64() & mask).collect();
             let vb: Vec<u64> = (0..64).map(|_| rng.next_u64() & mask).collect();
             let mut patterns = lanes_from_values(&va, width);
             patterns.extend(lanes_from_values(&vb, width));
             let out = net.simulate(&patterns);
             for lane in 0..64usize {
-                let got = out
-                    .iter()
-                    .enumerate()
-                    .fold(0u128, |acc, (bit, w)| acc | ((w >> lane & 1) as u128) << bit);
-                assert_eq!(got, va[lane] as u128 + vb[lane] as u128, "w{width} lane {lane}");
+                let got = out.iter().enumerate().fold(0u128, |acc, (bit, w)| {
+                    acc | ((w >> lane & 1) as u128) << bit
+                });
+                assert_eq!(
+                    got,
+                    va[lane] as u128 + vb[lane] as u128,
+                    "w{width} lane {lane}"
+                );
             }
         }
     }

@@ -77,11 +77,7 @@ impl MajCandidate {
     fn of(m: &Manager, triple: [Ref; 3]) -> MajCandidate {
         MajCandidate {
             triple,
-            sizes: [
-                m.size(triple[0]),
-                m.size(triple[1]),
-                m.size(triple[2]),
-            ],
+            sizes: [m.size(triple[0]), m.size(triple[1]), m.size(triple[2])],
         }
     }
 
@@ -142,12 +138,7 @@ pub fn find_m_dominators(m: &mut Manager, f: Ref, config: &MajConfig) -> Vec<Nod
 
 /// Constructs the initial majority decomposition for a candidate `fa`
 /// (phase (β): Theorems 3.2 and 3.3).
-pub fn construct_majority(
-    m: &mut Manager,
-    f: Ref,
-    fa: Ref,
-    cofactor: CofactorOp,
-) -> MajCandidate {
+pub fn construct_majority(m: &mut Manager, f: Ref, fa: Ref, cofactor: CofactorOp) -> MajCandidate {
     let h = generalized_cofactor(m, f, fa, cofactor);
     let w = generalized_cofactor(m, f, !fa, cofactor);
     let diff = m.xor(fa, f);
@@ -286,10 +277,7 @@ impl MajorityHook for MajDecomposer {
         } else {
             maj_decompose(m, f, &self.config).and_then(|cand| {
                 let k = self.config.global_k;
-                let fits = cand
-                    .sizes
-                    .iter()
-                    .all(|&s| k * s as f64 <= fsize as f64);
+                let fits = cand.sizes.iter().all(|&s| k * s as f64 <= fsize as f64);
                 if fits {
                     Some(cand.triple)
                 } else {

@@ -29,8 +29,11 @@ fn arb_expr() -> impl Strategy<Value = Expr> {
             (inner.clone(), inner.clone()).prop_map(|(a, b)| Expr::And(Box::new(a), Box::new(b))),
             (inner.clone(), inner.clone()).prop_map(|(a, b)| Expr::Or(Box::new(a), Box::new(b))),
             (inner.clone(), inner.clone()).prop_map(|(a, b)| Expr::Xor(Box::new(a), Box::new(b))),
-            (inner.clone(), inner.clone(), inner)
-                .prop_map(|(a, b, c)| Expr::Maj(Box::new(a), Box::new(b), Box::new(c))),
+            (inner.clone(), inner.clone(), inner).prop_map(|(a, b, c)| Expr::Maj(
+                Box::new(a),
+                Box::new(b),
+                Box::new(c)
+            )),
         ]
     })
 }

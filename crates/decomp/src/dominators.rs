@@ -59,11 +59,7 @@ pub enum DominatorKind {
 /// reference (the node function, complemented when the dominator condition
 /// holds for the complemented divisor — edges into `d` may carry the
 /// complement attribute).
-pub fn classify_dominator(
-    m: &mut Manager,
-    f: Ref,
-    d: NodeId,
-) -> Option<(DominatorKind, Ref, Ref)> {
+pub fn classify_dominator(m: &mut Manager, f: Ref, d: NodeId) -> Option<(DominatorKind, Ref, Ref)> {
     m.ungoverned(|m| try_classify_dominator(m, f, d))
 }
 

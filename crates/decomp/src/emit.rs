@@ -41,7 +41,12 @@ impl Emitter {
 
     /// Adds (or reuses) a gate. Commutative gates normalize their fanin
     /// order so equal functions hash equally.
-    pub fn gate(&mut self, net: &mut Network, kind: GateKind, mut fanins: Vec<SignalId>) -> SignalId {
+    pub fn gate(
+        &mut self,
+        net: &mut Network,
+        kind: GateKind,
+        mut fanins: Vec<SignalId>,
+    ) -> SignalId {
         match kind {
             GateKind::And | GateKind::Or | GateKind::Xor | GateKind::Xnor | GateKind::Maj => {
                 fanins.sort();
@@ -87,7 +92,12 @@ impl Emitter {
         self.gate(net, GateKind::Inv, vec![s])
     }
 
-    fn simplify(&mut self, net: &mut Network, kind: &GateKind, fanins: &[SignalId]) -> Option<SignalId> {
+    fn simplify(
+        &mut self,
+        net: &mut Network,
+        kind: &GateKind,
+        fanins: &[SignalId],
+    ) -> Option<SignalId> {
         let value_of = |net: &Network, s: SignalId| match net.node(s).kind {
             GateKind::Const(b) => Some(b),
             _ => None,
@@ -107,9 +117,7 @@ impl Emitter {
                     0 => Some(self.constant(net, identity)),
                     1 => Some(live[0]),
                     2 if live[0] == live[1] => Some(live[0]),
-                    _ if live.len() < fanins.len() => {
-                        Some(self.gate(net, kind.clone(), live))
-                    }
+                    _ if live.len() < fanins.len() => Some(self.gate(net, kind.clone(), live)),
                     _ => None,
                 }
             }

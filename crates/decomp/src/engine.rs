@@ -192,6 +192,8 @@ pub struct DecomposeResult {
 /// supernode's gates are emitted, and the manager is offered a collection
 /// between supernodes — so the arena tracks the largest live working set
 /// instead of accumulating every intermediate of the whole run.
+// bdslint: allow(protect-release) -- releases roots protected by
+// partition_with_limits: ownership transfers in with the Partition
 pub fn decompose_network(
     net: &Network,
     options: &EngineOptions,
@@ -339,8 +341,8 @@ pub fn decompose_network(
         }
         report.cones.push((net.signal_name(sn.root), status));
         manager.release(function); // the engine's claim from above
-        // The partition's claim on this supernode is done too: its gates
-        // are emitted, and later supernodes reference *signals*, not Refs.
+                                   // The partition's claim on this supernode is done too: its gates
+                                   // are emitted, and later supernodes reference *signals*, not Refs.
         manager.release(sn.function);
         // Quiescent point: every live function is a protected root, so
         // offer dynamic reordering (no-op unless armed) and then let the

@@ -15,11 +15,7 @@ use bdd::{Manager, Ref};
 /// x-dominator exists, the split falls back to Shannon cofactoring on the
 /// top variable, `fx = v ⊕ (v ⊕ fx)` being rejected in favour of the
 /// trivial `(fx, 0)` when it would not reduce the balance.
-pub fn xor_decompose_balanced(
-    m: &mut Manager,
-    fx: Ref,
-    options: &SearchOptions,
-) -> (Ref, Ref) {
+pub fn xor_decompose_balanced(m: &mut Manager, fx: Ref, options: &SearchOptions) -> (Ref, Ref) {
     let trivial = (fx, Ref::ZERO);
     let fsize = m.size(fx);
     if fsize <= 1 {

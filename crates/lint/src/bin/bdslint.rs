@@ -1,0 +1,87 @@
+//! `bdslint` — run the workspace invariant checks from the command line.
+//!
+//! ```text
+//! bdslint [--json] [ROOT]
+//! ```
+//!
+//! `ROOT` defaults to the nearest enclosing directory that looks like the
+//! workspace root (contains both `Cargo.toml` and `crates/`), so the tool
+//! works from any subdirectory. Exit codes: 0 clean, 1 findings, 2 usage
+//! or I/O error.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn usage() -> ExitCode {
+    eprintln!("usage: bdslint [--json] [ROOT]");
+    ExitCode::from(2)
+}
+
+fn find_root(start: PathBuf) -> Option<PathBuf> {
+    let mut dir = start.canonicalize().ok()?;
+    loop {
+        if dir.join("Cargo.toml").is_file() && dir.join("crates").is_dir() {
+            return Some(dir);
+        }
+        if !dir.pop() {
+            return None;
+        }
+    }
+}
+
+fn main() -> ExitCode {
+    let mut json = false;
+    let mut root_arg: Option<PathBuf> = None;
+    for arg in std::env::args().skip(1) {
+        match arg.as_str() {
+            "--json" => json = true,
+            "--help" | "-h" => {
+                println!("usage: bdslint [--json] [ROOT]");
+                return ExitCode::SUCCESS;
+            }
+            a if a.starts_with('-') => {
+                eprintln!("bdslint: unknown flag {a}");
+                return usage();
+            }
+            a => {
+                if root_arg.replace(PathBuf::from(a)).is_some() {
+                    eprintln!("bdslint: more than one ROOT given");
+                    return usage();
+                }
+            }
+        }
+    }
+    let start = root_arg.unwrap_or_else(|| PathBuf::from("."));
+    let Some(root) = find_root(start.clone()) else {
+        eprintln!(
+            "bdslint: no workspace root (Cargo.toml + crates/) at or above {}",
+            start.display()
+        );
+        return ExitCode::from(2);
+    };
+    match lint::lint_root(&root) {
+        Ok(findings) => {
+            if json {
+                print!("{}", lint::findings_to_json(&findings));
+            } else {
+                for f in &findings {
+                    println!("{f}");
+                }
+                if findings.is_empty() {
+                    eprintln!("bdslint: clean ({} rules)", lint::rules::RULES.len());
+                } else {
+                    eprintln!("bdslint: {} finding(s)", findings.len());
+                }
+            }
+            if findings.is_empty() {
+                ExitCode::SUCCESS
+            } else {
+                ExitCode::FAILURE
+            }
+        }
+        Err(e) => {
+            eprintln!("bdslint: {e}");
+            ExitCode::from(2)
+        }
+    }
+}

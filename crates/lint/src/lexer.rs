@@ -1,0 +1,282 @@
+//! A line-aware lexical pass over Rust source.
+//!
+//! `bdslint`'s rules are token searches, and token searches lie when a
+//! banned token sits inside a doc comment, a string literal, or a test
+//! fixture embedded as text. This pass splits a source file into two
+//! parallel line-indexed views:
+//!
+//! * **code** — the source with every comment and every string/char
+//!   literal body blanked out (delimiters of string literals are kept so
+//!   the code still reads as `foo("")`), and
+//! * **comments** — the text of the comments alone, which is where the
+//!   `// bdslint: allow(...)` annotations and `// SAFETY:` justifications
+//!   live.
+//!
+//! The lexer understands line comments, nested block comments, string
+//! escapes, raw strings (`r"…"`, `r#"…"#`, byte variants), char literals,
+//! and the char-literal-versus-lifetime ambiguity (`'a'` vs `'a`). It is
+//! deliberately *not* a full Rust lexer: it never tokenizes, it only
+//! decides "code or not" per character, which is all the rules need.
+
+/// The two line-parallel views of one source file.
+pub struct Stripped {
+    /// Source lines with comments removed and literal bodies blanked.
+    pub code: Vec<String>,
+    /// Comment text per line (joined with a space when a line carries
+    /// more than one comment), without the `//`/`/*` markers.
+    pub comments: Vec<String>,
+}
+
+#[derive(Clone, Copy, PartialEq)]
+enum State {
+    Code,
+    LineComment,
+    /// Nested block comment depth (Rust block comments nest).
+    BlockComment(u32),
+    Str,
+    /// Raw string with this many `#` marks in its delimiter.
+    RawStr(usize),
+    CharLit,
+}
+
+fn is_ident(c: char) -> bool {
+    c.is_alphanumeric() || c == '_'
+}
+
+/// Splits `text` into the code view and the comment view.
+pub fn strip(text: &str) -> Stripped {
+    let chars: Vec<char> = text.chars().collect();
+    let mut code_lines = Vec::new();
+    let mut comment_lines = Vec::new();
+    let mut code = String::new();
+    let mut comment = String::new();
+    let mut state = State::Code;
+    let mut i = 0;
+    let n = chars.len();
+    while i < n {
+        let c = chars[i];
+        if c == '\n' {
+            code_lines.push(std::mem::take(&mut code));
+            comment_lines.push(std::mem::take(&mut comment));
+            if state == State::LineComment {
+                state = State::Code;
+            }
+            i += 1;
+            continue;
+        }
+        match state {
+            State::Code => {
+                let next = chars.get(i + 1).copied();
+                if c == '/' && next == Some('/') {
+                    state = State::LineComment;
+                    if !comment.is_empty() {
+                        comment.push(' ');
+                    }
+                    i += 2;
+                    // Skip the doc-comment third slash / inner-doc bang.
+                    while matches!(chars.get(i), Some('/') | Some('!')) {
+                        i += 1;
+                    }
+                    continue;
+                }
+                if c == '/' && next == Some('*') {
+                    state = State::BlockComment(1);
+                    if !comment.is_empty() {
+                        comment.push(' ');
+                    }
+                    i += 2;
+                    continue;
+                }
+                // Raw (byte) strings: r"…", r#"…"#, br"…", br#"…"#.
+                // Only when the introducer is not the tail of an identifier.
+                let prev_ident = i > 0 && is_ident(chars[i - 1]);
+                if (c == 'r' || c == 'b') && !prev_ident {
+                    let mut j = i + 1;
+                    if c == 'b' && chars.get(j) == Some(&'r') {
+                        j += 1;
+                    }
+                    if c == 'b' && j == i + 1 && chars.get(j) != Some(&'r') {
+                        // b"…" / b'…' are handled by the plain cases below.
+                    } else if c == 'r' || j > i + 1 {
+                        let mut hashes = 0;
+                        while chars.get(j + hashes) == Some(&'#') {
+                            hashes += 1;
+                        }
+                        if chars.get(j + hashes) == Some(&'"') {
+                            code.push('"');
+                            state = State::RawStr(hashes);
+                            i = j + hashes + 1;
+                            continue;
+                        }
+                    }
+                }
+                // Byte string b"…" forwards to the Str state.
+                if c == 'b' && !prev_ident && next == Some('"') {
+                    code.push('"');
+                    state = State::Str;
+                    i += 2;
+                    continue;
+                }
+                // Byte char b'…'.
+                if c == 'b' && !prev_ident && next == Some('\'') {
+                    state = State::CharLit;
+                    i += 2;
+                    continue;
+                }
+                if c == '"' {
+                    code.push('"');
+                    state = State::Str;
+                    i += 1;
+                    continue;
+                }
+                if c == '\'' {
+                    // Char literal vs lifetime: '\…' and 'x' (a closing
+                    // quote two ahead) are literals; anything else is a
+                    // lifetime and stays in the code view.
+                    if next == Some('\\') || (next.is_some() && chars.get(i + 2) == Some(&'\'')) {
+                        state = State::CharLit;
+                        i += 1;
+                        continue;
+                    }
+                    code.push('\'');
+                    i += 1;
+                    continue;
+                }
+                code.push(c);
+                i += 1;
+            }
+            State::LineComment => {
+                comment.push(c);
+                i += 1;
+            }
+            State::BlockComment(depth) => {
+                let next = chars.get(i + 1).copied();
+                if c == '/' && next == Some('*') {
+                    state = State::BlockComment(depth + 1);
+                    i += 2;
+                } else if c == '*' && next == Some('/') {
+                    state = if depth == 1 {
+                        State::Code
+                    } else {
+                        State::BlockComment(depth - 1)
+                    };
+                    i += 2;
+                } else {
+                    comment.push(c);
+                    i += 1;
+                }
+            }
+            State::Str => {
+                if c == '\\' {
+                    // Skip the escaped char — unless it is a line break
+                    // (the `\`-continuation), which must still be seen by
+                    // the newline handler to keep line numbers aligned.
+                    i += if chars.get(i + 1) == Some(&'\n') {
+                        1
+                    } else {
+                        2
+                    };
+                } else if c == '"' {
+                    code.push('"');
+                    state = State::Code;
+                    i += 1;
+                } else {
+                    i += 1;
+                }
+            }
+            State::RawStr(hashes) => {
+                if c == '"' {
+                    let mut k = 0;
+                    while k < hashes && chars.get(i + 1 + k) == Some(&'#') {
+                        k += 1;
+                    }
+                    if k == hashes {
+                        code.push('"');
+                        state = State::Code;
+                        i += 1 + hashes;
+                        continue;
+                    }
+                }
+                i += 1;
+            }
+            State::CharLit => {
+                if c == '\\' {
+                    i += 2;
+                } else if c == '\'' {
+                    state = State::Code;
+                    i += 1;
+                } else {
+                    i += 1;
+                }
+            }
+        }
+    }
+    code_lines.push(code);
+    comment_lines.push(comment);
+    Stripped {
+        code: code_lines,
+        comments: comment_lines,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn line_comments_move_to_comment_view() {
+        let s = strip("let x = 1; // trailing note\n// full line\nlet y = 2;");
+        assert_eq!(s.code[0].trim_end(), "let x = 1;");
+        assert_eq!(s.comments[0].trim(), "trailing note");
+        assert_eq!(s.code[1].trim(), "");
+        assert_eq!(s.comments[1].trim(), "full line");
+        assert_eq!(s.code[2], "let y = 2;");
+    }
+
+    #[test]
+    fn doc_comment_markers_are_dropped() {
+        let s = strip("/// calls unwrap() in prose\nfn f() {}");
+        assert!(!s.code[0].contains("unwrap"));
+        assert!(s.comments[0].contains("unwrap() in prose"));
+    }
+
+    #[test]
+    fn string_bodies_are_blanked() {
+        let s = strip("let m = \"panic!(true) .unwrap()\";");
+        assert_eq!(s.code[0], "let m = \"\";");
+    }
+
+    #[test]
+    fn raw_strings_with_hashes() {
+        let s = strip("let m = r#\"x \" .unwrap() \"#; let k = 1;");
+        assert_eq!(s.code[0], "let m = \"\"; let k = 1;");
+    }
+
+    #[test]
+    fn nested_block_comments() {
+        let s = strip("a /* one /* two */ still comment */ b");
+        assert_eq!(s.code[0].split_whitespace().collect::<Vec<_>>(), ["a", "b"]);
+        assert!(s.comments[0].contains("still comment"));
+    }
+
+    #[test]
+    fn char_literals_and_lifetimes() {
+        let s = strip("fn f<'a>(x: &'a str) { let c = '['; let d = '\\''; }");
+        assert!(s.code[0].contains("<'a>"));
+        assert!(s.code[0].contains("&'a str"));
+        assert!(!s.code[0].contains('['));
+    }
+
+    #[test]
+    fn escaped_quote_does_not_end_string() {
+        let s = strip(r#"let m = "a\"b[0]"; m.len();"#);
+        assert_eq!(s.code[0], "let m = \"\"; m.len();");
+    }
+
+    #[test]
+    fn multiline_string_spans_lines() {
+        let s = strip("let m = \"one\ntwo .unwrap()\nthree\"; done();");
+        assert!(!s.code[1].contains("unwrap"));
+        assert!(s.code[2].contains("done();"));
+    }
+}

@@ -1,0 +1,9 @@
+// Fixture: annotation hygiene failures. An allow without a reason does
+// not suppress (the panic finding stays), and both bad annotations are
+// findings in their own right.
+fn parse(tokens: &[&str]) -> usize {
+    // bdslint: allow(panic-surface)
+    let first = tokens[0];
+    // bdslint: allow(made-up-rule) -- sounds plausible
+    first.len()
+}

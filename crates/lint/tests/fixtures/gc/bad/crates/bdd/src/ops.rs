@@ -1,0 +1,11 @@
+// Fixture: a kernel file calling GC and reorder entry points — exactly
+// what the quiescent-point contract forbids.
+impl Manager {
+    fn and_rec(&mut self, f: Ref, g: Ref) -> Result<Ref, LimitExceeded> {
+        self.tick()?;
+        self.maybe_collect();
+        let r = self.mk(v, e, t);
+        self.sift(&cfg);
+        Ok(r)
+    }
+}

@@ -1,0 +1,17 @@
+// Fixture: two governance violations — a kernel that builds a node
+// before ticking, and a kernel that never ticks at all.
+impl Manager {
+    fn ite_rec(&mut self, f: Ref, g: Ref, h: Ref) -> Result<Ref, LimitExceeded> {
+        let r = self.mk(v, e, t);
+        self.tick()?;
+        Ok(r)
+    }
+
+    fn xor_rec(&mut self, f: Ref, g: Ref) -> Result<Ref, LimitExceeded> {
+        if f == g {
+            return Ok(Ref::ZERO);
+        }
+        let t = self.xor_rec(f1, g1)?;
+        Ok(t)
+    }
+}

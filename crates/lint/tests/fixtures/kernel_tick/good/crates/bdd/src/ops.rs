@@ -1,0 +1,20 @@
+// Fixture: both kernels check the budget before any mk/recursion.
+// Terminal cases before the tick are fine — the contract is only that
+// the budget check precedes node construction and self-recursion.
+impl Manager {
+    fn ite_rec(&mut self, f: Ref, g: Ref, h: Ref) -> Result<Ref, LimitExceeded> {
+        if f.is_one() {
+            return Ok(g);
+        }
+        self.tick()?;
+        let t = self.ite_rec(f1, g1, h1)?;
+        let r = self.mk(v, e, t);
+        Ok(r)
+    }
+
+    fn xor_rec(&mut self, f: Ref, g: Ref) -> Result<Ref, LimitExceeded> {
+        self.tick()?;
+        let t = self.xor_rec(f1, g1)?;
+        Ok(self.mk(v, e, t))
+    }
+}

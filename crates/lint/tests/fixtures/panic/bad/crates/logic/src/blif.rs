@@ -1,0 +1,9 @@
+// Fixture: the three classic panic surfaces on a reader path.
+fn parse(tokens: &[&str]) -> usize {
+    let first = tokens[0];
+    let n: usize = first.parse().unwrap();
+    if n == 0 {
+        panic!("empty cover");
+    }
+    n
+}

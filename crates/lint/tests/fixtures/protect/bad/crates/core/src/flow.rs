@@ -1,0 +1,7 @@
+// Fixture: a function that takes two root claims but drops only one.
+fn leaky(m: &mut Manager, f: Ref, g: Ref) {
+    m.protect(f);
+    m.protect(g);
+    m.collect();
+    m.release(f);
+}

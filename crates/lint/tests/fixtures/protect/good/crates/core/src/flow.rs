@@ -1,0 +1,24 @@
+// Fixture: balanced claims pass; a deliberate ownership transfer is
+// annotated with its rationale.
+fn balanced(m: &mut Manager, f: Ref, g: Ref) {
+    m.protect(f);
+    m.protect(g);
+    m.collect();
+    m.release(f);
+    m.release(g);
+}
+
+// bdslint: allow(protect-release) -- roots handed to the caller, released in finish()
+fn handoff(m: &mut Manager, f: Ref) -> Ref {
+    m.protect(f)
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn tests_may_leak_roots() {
+        let mut m = Manager::new();
+        let f = m.var(0);
+        m.protect(f);
+    }
+}

@@ -1,0 +1,16 @@
+// Fixture: a telemetry struct with a counter nobody outside reads.
+/// Running statistics of the kernel's memory system.
+pub struct CacheStats {
+    /// Computed-cache probes.
+    pub lookups: u64,
+    /// Probes that returned a memoized result.
+    pub hits: u64,
+}
+
+impl CacheStats {
+    pub fn hit_rate(&self) -> f64 {
+        // In-module reads do not count: this is exactly how a counter
+        // goes dead while still looking used.
+        self.hits as f64 / self.lookups.max(1) as f64
+    }
+}

@@ -1,0 +1,4 @@
+// Fixture: the bench reads hits but never lookups.
+pub fn report(st: &CacheStats) -> u64 {
+    st.hits
+}

@@ -1,0 +1,8 @@
+// Fixture: same struct, every field read by the bench.
+/// Running statistics of the kernel's memory system.
+pub struct CacheStats {
+    /// Computed-cache probes.
+    pub lookups: u64,
+    /// Probes that returned a memoized result.
+    pub hits: u64,
+}

@@ -1,0 +1,4 @@
+// Fixture: both counters surface in the report.
+pub fn report(st: &CacheStats) -> (u64, u64) {
+    (st.lookups, st.hits)
+}

@@ -1,0 +1,5 @@
+// Fixture: the justification rides directly above the unsafe block.
+fn read_first(p: *const u32) -> u32 {
+    // SAFETY: caller guarantees `p` points at a live, aligned u32.
+    unsafe { *p }
+}

@@ -1,0 +1,23 @@
+//! The self-test: `cargo test` anywhere in the workspace runs the full
+//! linter over the real source tree with the production configuration
+//! and fails on any finding. This is the enforcement point — the
+//! `bdslint` binary is the same engine for humans and CI logs.
+
+use std::path::Path;
+
+#[test]
+fn workspace_has_no_findings() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+    let findings = lint::lint_root(&root).expect("workspace scan");
+    if !findings.is_empty() {
+        let mut msg = format!("bdslint: {} finding(s):\n", findings.len());
+        for f in &findings {
+            msg.push_str(&format!("  {f}\n"));
+        }
+        msg.push_str(
+            "fix the violation or annotate it with \
+             `// bdslint: allow(<rule>) -- <reason>` (see crates/lint/README.md)",
+        );
+        panic!("{msg}");
+    }
+}

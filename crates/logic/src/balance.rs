@@ -164,7 +164,12 @@ fn build_balanced(
         let b = operands.pop().expect("len > 1");
         let last = operands.is_empty();
         let s = out.add_gate_simplified(kind(last), vec![a, b]);
-        let lvl = level.get(&a).copied().unwrap_or(0).max(level.get(&b).copied().unwrap_or(0)) + 1;
+        let lvl = level
+            .get(&a)
+            .copied()
+            .unwrap_or(0)
+            .max(level.get(&b).copied().unwrap_or(0))
+            + 1;
         level.insert(s, lvl.max(level.get(&s).copied().unwrap_or(0)));
         operands.push(s);
     }

@@ -79,6 +79,8 @@ impl Partition {
     /// Consumers that release per supernode as they go (the decomposition
     /// engine does) must not also call this. Degraded supernodes hold no
     /// function and are skipped.
+    // bdslint: allow(protect-release) -- this IS the release half:
+    // it frees the roots partition() protected on the caller's behalf
     pub fn release_roots(&self, manager: &mut Manager) {
         for sn in &self.supernodes {
             if !sn.degraded {
@@ -116,6 +118,8 @@ pub fn partition(net: &Network, manager: &mut Manager, config: PartitionConfig) 
 /// the next cone builds, so one pathological cone cannot OOM the run or
 /// poison its neighbours. All-`None` limits make this identical to
 /// [`partition`].
+// bdslint: allow(protect-release) -- supernode roots are handed to the
+// caller, who releases them per cone or via Partition::release_roots
 pub fn partition_with_limits(
     net: &Network,
     manager: &mut Manager,
@@ -259,9 +263,9 @@ fn try_build_local_bdd(
     let mut visited: HashMap<SignalId, bool, BuildFxHasher> = HashMap::default();
     while let Some((id, is_boundary_ref)) = stack.pop() {
         if is_boundary_ref || boundary[id.index()] && id != root {
-            if !var_of.contains_key(&id) {
+            if let std::collections::hash_map::Entry::Vacant(e) = var_of.entry(id) {
                 let v = inputs.len() as u32;
-                var_of.insert(id, v);
+                e.insert(v);
                 inputs.push(id);
             }
             continue;

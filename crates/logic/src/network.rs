@@ -232,14 +232,20 @@ impl Network {
             }
             GateKind::Maj => assert_eq!(fanins.len(), 3, "maj takes three fanins"),
             GateKind::Mux => assert_eq!(fanins.len(), 3, "mux takes [sel, then, else]"),
-            GateKind::Lut(t) => assert_eq!(
-                t.num_inputs() as usize,
-                fanins.len(),
-                "LUT arity mismatch"
-            ),
-            GateKind::And | GateKind::Or | GateKind::Nand | GateKind::Nor | GateKind::Xor
+            GateKind::Lut(t) => {
+                assert_eq!(t.num_inputs() as usize, fanins.len(), "LUT arity mismatch")
+            }
+            GateKind::And
+            | GateKind::Or
+            | GateKind::Nand
+            | GateKind::Nor
+            | GateKind::Xor
             | GateKind::Xnor => {
-                assert!(!fanins.is_empty(), "{} needs at least one fanin", kind.tag())
+                assert!(
+                    !fanins.is_empty(),
+                    "{} needs at least one fanin",
+                    kind.tag()
+                )
             }
         }
         self.push(NetNode {
@@ -381,7 +387,10 @@ impl Network {
                 }
             };
         }
-        self.outputs.iter().map(|(_, s)| values[s.index()]).collect()
+        self.outputs
+            .iter()
+            .map(|(_, s)| values[s.index()])
+            .collect()
     }
 
     /// Per-type node counts.
@@ -469,12 +478,11 @@ impl Network {
             map.insert(pi, new);
         }
         let mut const_cache: HashMap<bool, SignalId> = HashMap::new();
-        for idx in 0..self.nodes.len() {
+        for (idx, node) in self.nodes.iter().enumerate() {
             let id = SignalId(idx as u32);
             if !live[idx] || map.contains_key(&id) {
                 continue;
             }
-            let node = &self.nodes[idx];
             let fanins: Vec<SignalId> = node.fanins.iter().map(|f| map[f]).collect();
             let new = out.rewrite_gate(node.kind.clone(), fanins, &mut const_cache);
             map.insert(id, new);
@@ -493,11 +501,8 @@ impl Network {
         fanins: Vec<SignalId>,
         const_cache: &mut HashMap<bool, SignalId>,
     ) -> SignalId {
-        let mut get_const = |net: &mut Network, v: bool| {
-            *const_cache
-                .entry(v)
-                .or_insert_with(|| net.add_const(v))
-        };
+        let mut get_const =
+            |net: &mut Network, v: bool| *const_cache.entry(v).or_insert_with(|| net.add_const(v));
         let value_of = |net: &Network, s: SignalId| match net.node(s).kind {
             GateKind::Const(b) => Some(b),
             _ => None,
@@ -570,8 +575,7 @@ impl Network {
             }
             GateKind::Maj => {
                 let (a, b, c) = (fanins[0], fanins[1], fanins[2]);
-                let consts: Vec<Option<bool>> =
-                    fanins.iter().map(|&f| value_of(self, f)).collect();
+                let consts: Vec<Option<bool>> = fanins.iter().map(|&f| value_of(self, f)).collect();
                 // Maj(1, b, c) = b + c; Maj(0, b, c) = b · c, and symmetric.
                 if a == b || consts[0].is_some() && consts[0] == consts[1] {
                     return a;

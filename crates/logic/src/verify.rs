@@ -22,7 +22,11 @@ pub struct Mismatch {
 
 impl fmt::Display for Mismatch {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "output {} differs under {:?}", self.output, self.assignment)
+        write!(
+            f,
+            "output {} differs under {:?}",
+            self.output, self.assignment
+        )
     }
 }
 
@@ -75,7 +79,13 @@ pub fn equiv_sim(a: &Network, b: &Network, rounds: usize, seed: u64) -> Result<(
         let patterns: Vec<u64> = if round == 0 {
             // Deterministic corner patterns: include all-zero / all-one rows.
             (0..n)
-                .map(|i| if i % 2 == 0 { 0xFFFF_FFFF_0000_0000 } else { 0xFF00_FF00_FF00_FF00 })
+                .map(|i| {
+                    if i % 2 == 0 {
+                        0xFFFF_FFFF_0000_0000
+                    } else {
+                        0xFF00_FF00_FF00_FF00
+                    }
+                })
                 .collect()
         } else {
             (0..n).map(|_| rng.next_u64()).collect()
@@ -188,8 +198,14 @@ mod tests {
 
     #[test]
     fn exact_checker_proves_equivalence() {
-        assert_eq!(equiv_exact(&xor_as_xor(), &xor_as_aoi(), 1 << 20), Some(true));
-        assert_eq!(equiv_exact(&xor_as_xor(), &broken_xor(), 1 << 20), Some(false));
+        assert_eq!(
+            equiv_exact(&xor_as_xor(), &xor_as_aoi(), 1 << 20),
+            Some(true)
+        );
+        assert_eq!(
+            equiv_exact(&xor_as_xor(), &broken_xor(), 1 << 20),
+            Some(false)
+        );
     }
 
     #[test]

@@ -33,8 +33,7 @@ fn blif_fragment() -> impl Strategy<Value = String> {
         Just("\\".to_string()),
         Just("".to_string()),
         // printable ASCII junk
-        proptest::collection::vec(0x20u8..0x7f, 0..20)
-            .prop_map(|b| String::from_utf8(b).unwrap()),
+        proptest::collection::vec(0x20u8..0x7f, 0..20).prop_map(|b| String::from_utf8(b).unwrap()),
         // arbitrary unicode junk (lossy decode of raw bytes)
         proptest::collection::vec(any::<u8>(), 0..12)
             .prop_map(|b| String::from_utf8_lossy(&b).into_owned()),
@@ -107,7 +106,11 @@ proptest! {
 fn undriven_output_points_at_the_outputs_line() {
     let text = ".model m\n.inputs a\n.outputs ghost\n.end\n";
     let e = parse_blif(text).unwrap_err();
-    assert_eq!(e.line(), 3, "undriven output must cite the .outputs line: {e}");
+    assert_eq!(
+        e.line(),
+        3,
+        "undriven output must cite the .outputs line: {e}"
+    );
     assert!(e.to_string().contains("ghost"));
 }
 
@@ -115,6 +118,71 @@ fn undriven_output_points_at_the_outputs_line() {
 fn cycle_error_points_at_a_names_block() {
     let text = ".model m\n.inputs a\n.outputs y\n.names y x\n1 1\n.names x y\n1 1\n.end\n";
     let e = parse_blif(text).unwrap_err();
-    assert!(e.line() == 4 || e.line() == 6, "cycle must cite a .names line: {e}");
+    assert!(
+        e.line() == 4 || e.line() == 6,
+        "cycle must cite a .names line: {e}"
+    );
     assert!(e.to_string().contains("cycle"));
+}
+
+/// Deterministic adversarial corpus under an explicit `catch_unwind`:
+/// each entry targets a specific parse path that once indexed or
+/// `unwrap`ped (bdslint's panic-surface rule now bans those outright,
+/// and this test pins the behavioural claim independently of proptest's
+/// harness).
+#[test]
+fn adversarial_corpus_never_panics() {
+    let corpus: &[&str] = &[
+        // Directive with no tokens after comment stripping.
+        "#\n   # only comments\n\t\n",
+        // `.names` with nothing after it (no output token).
+        ".model m\n.names\n.end\n",
+        // Cover rows with the wrong arity in both constant and gate form.
+        ".model m\n.inputs a\n.outputs y\n.names y\n1 1 1\n.end\n",
+        ".model m\n.inputs a\n.outputs y\n.names a y\n1\n.end\n",
+        // Mask width mismatch and bad cover values.
+        ".model m\n.inputs a b\n.outputs y\n.names a b y\n1 1\n.end\n",
+        ".model m\n.inputs a\n.outputs y\n.names a y\n1 2\n.end\n",
+        // Undefined fanin, self-loop, and a two-node cycle.
+        ".model m\n.inputs a\n.outputs y\n.names ghost y\n1 1\n.end\n",
+        ".model m\n.outputs y\n.names y y\n1 1\n.end\n",
+        ".model m\n.outputs y\n.names x y\n1 1\n.names y x\n1 1\n.end\n",
+        // Continuation-line pathologies: trailing `\` at EOF, a file of
+        // only continuations, and a continuation into a directive.
+        ".model m\\",
+        "\\\n\\\n\\",
+        ".inputs a \\\n.outputs y\n",
+        // A 17-input cover (over the truth-table limit).
+        ".model m\n.inputs a b c d e f g h i j k l n o p q r\n.outputs y\n.names a b c d e f g h i j k l n o p q r y\n11111111111111111 1\n.end\n",
+        // Null bytes and CRLF line endings.
+        ".model m\0\n.inputs a\r\n.outputs y\r\n.names a y\r\n1 1\r\n.end\r\n",
+        // Unknown and unsupported directives.
+        ".model m\n.clock c\n.end\n",
+        ".model m\n.gate AND a=x b=y o=z\n.end\n",
+    ];
+    for (i, text) in corpus.iter().enumerate() {
+        let outcome = std::panic::catch_unwind(|| parse_blif(text).map(|n| n.len()));
+        assert!(
+            outcome.is_ok(),
+            "parse_blif panicked on corpus[{i}]: {text:?}"
+        );
+    }
+}
+
+/// Write-side totality: any network the parser accepts must serialize
+/// and reparse without panicking, and the reparse must succeed.
+#[test]
+fn writer_is_total_on_parsed_fragments() {
+    let accepted: &[&str] = &[
+        ".model m\n.inputs a b\n.outputs y\n.names a b y\n11 1\n.end\n",
+        ".model m\n.inputs a b\n.outputs y\n.names a b y\n11 0\n.end\n",
+        ".model m\n.inputs a\n.outputs y z\n.names y\n1\n.names z\n.end\n",
+        ".model m\n.inputs a\n.outputs y\n.names a y\n0 1\n.end\n",
+    ];
+    for (i, text) in accepted.iter().enumerate() {
+        let net = parse_blif(text).unwrap_or_else(|e| panic!("corpus[{i}] must parse: {e}"));
+        let outcome = std::panic::catch_unwind(|| logic::write_blif(&net));
+        let written = outcome.unwrap_or_else(|_| panic!("write_blif panicked on corpus[{i}]"));
+        parse_blif(&written).unwrap_or_else(|e| panic!("round-trip of corpus[{i}] failed: {e}"));
+    }
 }

@@ -78,12 +78,30 @@ impl Library {
     pub fn cmos22() -> Library {
         Library {
             cells: [
-                Cell { area: 0.065, delay: 0.008 }, // INV
-                Cell { area: 0.130, delay: 0.012 }, // NAND2
-                Cell { area: 0.130, delay: 0.014 }, // NOR2
-                Cell { area: 0.325, delay: 0.024 }, // XOR2
-                Cell { area: 0.325, delay: 0.024 }, // XNOR2
-                Cell { area: 0.355, delay: 0.028 }, // MAJ3
+                Cell {
+                    area: 0.065,
+                    delay: 0.008,
+                }, // INV
+                Cell {
+                    area: 0.130,
+                    delay: 0.012,
+                }, // NAND2
+                Cell {
+                    area: 0.130,
+                    delay: 0.014,
+                }, // NOR2
+                Cell {
+                    area: 0.325,
+                    delay: 0.024,
+                }, // XOR2
+                Cell {
+                    area: 0.325,
+                    delay: 0.024,
+                }, // XNOR2
+                Cell {
+                    area: 0.355,
+                    delay: 0.028,
+                }, // MAJ3
             ],
             load_delay_per_fanout: 0.0015,
         }
@@ -146,7 +164,10 @@ mod tests {
     fn with_cell_overrides() {
         let lib = Library::cmos22().with_cell(
             CellKind::Maj3,
-            Cell { area: 9.9, delay: 1.0 },
+            Cell {
+                area: 9.9,
+                delay: 1.0,
+            },
         );
         assert_eq!(lib.cell(CellKind::Maj3).area, 9.9);
         assert_ne!(lib.cell(CellKind::Inv).area, 9.9);

@@ -190,7 +190,13 @@ fn emit_kind(
             let left = tree(net, strash, head, &|net, st, a, b| {
                 hashed(net, st, 4, GateKind::Xor, &[a, b])
             });
-            hashed(net, strash, 5, GateKind::Xnor, &[left, fanins[fanins.len() - 1]])
+            hashed(
+                net,
+                strash,
+                5,
+                GateKind::Xnor,
+                &[left, fanins[fanins.len() - 1]],
+            )
         }
         GateKind::Maj => hashed(net, strash, 6, GateKind::Maj, fanins),
         GateKind::Mux => {
@@ -326,8 +332,15 @@ mod tests {
                 ),
                 "non-library gate {kind:?} survived mapping"
             );
-            if matches!(kind, GateKind::Nand | GateKind::Nor | GateKind::Xor | GateKind::Xnor) {
-                assert_eq!(mapped.network.node(id).fanins.len(), 2, "two-input cells only");
+            if matches!(
+                kind,
+                GateKind::Nand | GateKind::Nor | GateKind::Xor | GateKind::Xnor
+            ) {
+                assert_eq!(
+                    mapped.network.node(id).fanins.len(),
+                    2,
+                    "two-input cells only"
+                );
             }
         }
     }
@@ -338,7 +351,10 @@ mod tests {
         let mapped = map_network(&net);
         let h = mapped.histogram();
         assert_eq!(h.get(&CellKind::Maj3), Some(&1), "MAJ preserved");
-        assert!(h.get(&CellKind::Xor2).copied().unwrap_or(0) >= 1, "XOR preserved");
+        assert!(
+            h.get(&CellKind::Xor2).copied().unwrap_or(0) >= 1,
+            "XOR preserved"
+        );
     }
 
     #[test]
@@ -363,7 +379,9 @@ mod tests {
         let b = net.add_input("b");
         let c = net.add_input("c");
         // A random-ish 3-input function.
-        let t = TruthTable::from_fn(3, |r| [true, false, false, true, true, false, true, false][r]);
+        let t = TruthTable::from_fn(3, |r| {
+            [true, false, false, true, true, false, true, false][r]
+        });
         let l = net.add_gate(GateKind::Lut(t), vec![a, b, c]);
         net.set_output("y", l);
         let mapped = map_network(&net);
@@ -394,7 +412,7 @@ mod tests {
         net.set_output("y", t2);
         let mapped = map_network(&net);
         assert_eq!(equiv_sim(&net, &mapped.network, 8, 4), Ok(()));
-        let h = mapped.histogram();
+        let _h = mapped.histogram();
         // NAND(a,b) -> INV -> NAND(.., a) -> INV: 2 NAND + 2 INV before
         // cleaning; the output INV stays, the internal pair is kept only if
         // structurally needed. Ensure we are not worse than the naive form.

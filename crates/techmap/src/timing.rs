@@ -54,8 +54,7 @@ pub fn report(mapped: &MappedNetwork, lib: &Library) -> MappedReport {
                 area += cell.area;
                 gate_count += 1;
                 *histogram.entry(kind).or_insert(0) += 1;
-                let load = lib.load_delay_per_fanout
-                    * fanouts[id.index()].saturating_sub(1) as f64;
+                let load = lib.load_delay_per_fanout * fanouts[id.index()].saturating_sub(1) as f64;
                 input_arrival + cell.delay + load
             }
             None => input_arrival,

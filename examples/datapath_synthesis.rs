@@ -7,8 +7,8 @@
 //!
 //! Run with: `cargo run --release --example datapath_synthesis`
 
-use bds_maj::prelude::*;
 use bds_maj::circuits::arith;
+use bds_maj::prelude::*;
 
 fn main() {
     let lib = Library::cmos22();

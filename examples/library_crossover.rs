@@ -38,7 +38,11 @@ fn main() {
         );
         let ra = report(&mapped_maj, &lib);
         let rb = report(&mapped_pga, &lib);
-        let winner = if ra.area < rb.area { "BDS-MAJ" } else { "BDS-PGA" };
+        let winner = if ra.area < rb.area {
+            "BDS-MAJ"
+        } else {
+            "BDS-PGA"
+        };
         if winner == "BDS-PGA" && crossover.is_none() {
             crossover = Some(maj_area);
         }

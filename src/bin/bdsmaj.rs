@@ -69,8 +69,9 @@ fn parse_args() -> Result<Args, String> {
                 }
                 reorder_seen = true;
                 let v = it.next().ok_or("--reorder needs a value")?;
-                args.reorder = ReorderPolicy::from_flag(&v)
-                    .ok_or(format!("--reorder {v}: use none, window, sift or sift-converge"))?;
+                args.reorder = ReorderPolicy::from_flag(&v).ok_or(format!(
+                    "--reorder {v}: use none, window, sift or sift-converge"
+                ))?;
             }
             "--jobs" => {
                 if jobs.is_some() {
@@ -166,7 +167,11 @@ fn synthesize(
         }
         "abc" => abc_flow(net),
         "dc" => dc_flow(net, lib).network,
-        other => return Err(format!("unknown flow {other}; use bds-maj, bds-pga, abc or dc")),
+        other => {
+            return Err(format!(
+                "unknown flow {other}; use bds-maj, bds-pga, abc or dc"
+            ))
+        }
     };
     let _ = writeln!(report_text, "output: {}", optimized.stats());
     let degraded = flow_report.as_ref().is_some_and(|r| r.is_degraded());

@@ -45,14 +45,10 @@ fn build_network(num_inputs: usize, recipes: &[GateRecipe]) -> Network {
     for recipe in recipes {
         let pick = |idx: &usize| pool[idx % pool.len()];
         let s = match recipe {
-            GateRecipe::And(a, b) => {
-                net.add_gate(GateKind::And, vec![pick(a), pick(b)])
-            }
+            GateRecipe::And(a, b) => net.add_gate(GateKind::And, vec![pick(a), pick(b)]),
             GateRecipe::Or(a, b) => net.add_gate(GateKind::Or, vec![pick(a), pick(b)]),
             GateRecipe::Xor(a, b) => net.add_gate(GateKind::Xor, vec![pick(a), pick(b)]),
-            GateRecipe::Xnor(a, b) => {
-                net.add_gate(GateKind::Xnor, vec![pick(a), pick(b)])
-            }
+            GateRecipe::Xnor(a, b) => net.add_gate(GateKind::Xnor, vec![pick(a), pick(b)]),
             GateRecipe::Maj(a, b, c) => {
                 net.add_gate(GateKind::Maj, vec![pick(a), pick(b), pick(c)])
             }

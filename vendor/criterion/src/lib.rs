@@ -211,7 +211,9 @@ mod tests {
         let mut group = c.benchmark_group("g");
         group.sample_size(1);
         let mut runs = 0;
-        group.bench_function("one", |b| b.iter_batched(|| (), |()| runs += 1, BatchSize::SmallInput));
+        group.bench_function("one", |b| {
+            b.iter_batched(|| (), |()| runs += 1, BatchSize::SmallInput)
+        });
         group.finish();
         assert_eq!(runs, 2, "one warm-up + one sample");
     }

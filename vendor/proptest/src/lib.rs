@@ -129,7 +129,10 @@ impl<T> Strategy for BoxedStrategy<T> {
 
 /// Uniform choice between type-erased alternatives (`prop_oneof!` backend).
 pub fn union<T: 'static>(alts: Vec<BoxedStrategy<T>>) -> BoxedStrategy<T> {
-    assert!(!alts.is_empty(), "prop_oneof! needs at least one alternative");
+    assert!(
+        !alts.is_empty(),
+        "prop_oneof! needs at least one alternative"
+    );
     BoxedStrategy(Rc::new(move |rng: &mut TestRng| {
         let i = rng.below(alts.len());
         alts[i].generate(rng)
