@@ -10,23 +10,25 @@ impl Manager {
     ///
     /// Solid arrows are 1-edges, dashed arrows are 0-edges, and dotted
     /// arrows are complemented 0-edges — matching the legend of Fig. 1 in
-    /// the BDS-MAJ paper. Nodes listed in `highlight` are drawn in red
+    /// the BDS-MAJ paper. Complemented arcs additionally carry a `¬`
+    /// label, so the sign of an edge survives renderers that flatten
+    /// line styles. Nodes listed in `highlight` are drawn in red
     /// (the paper highlights the non-trivial m-dominator this way).
     pub fn to_dot(&self, f: Ref, highlight: &[NodeId]) -> String {
         let mut out = String::from("digraph bdd {\n  rankdir=TB;\n");
         let _ = writeln!(out, "  t1 [label=\"1\", shape=box];");
-        let root_style = if f.is_complemented() {
-            "dotted"
+        let root_attrs = if f.is_complemented() {
+            "style=dotted, label=\"¬\""
         } else {
-            "dashed"
+            "style=dashed"
         };
         let _ = writeln!(out, "  root [shape=none, label=\"F\"];");
         if f.is_const() {
-            let _ = writeln!(out, "  root -> t1 [style={root_style}];");
+            let _ = writeln!(out, "  root -> t1 [{root_attrs}];");
             out.push_str("}\n");
             return out;
         }
-        let _ = writeln!(out, "  root -> n{} [style={root_style}];", f.node().0);
+        let _ = writeln!(out, "  root -> n{} [{root_attrs}];", f.node().0);
         let mut seen: HashSet<NodeId> = HashSet::new();
         let mut stack = vec![f.node()];
         while let Some(id) = stack.pop() {
@@ -46,17 +48,17 @@ impl Manager {
                 self.var_name(n.var.0),
                 color
             );
-            let low_style = if n.low.is_complemented() {
-                "dotted"
+            let low_attrs = if n.low.is_complemented() {
+                "style=dotted, label=\"¬\""
             } else {
-                "dashed"
+                "style=dashed"
             };
             let low_target = if n.low.node().is_terminal() {
                 "t1".to_string()
             } else {
                 format!("n{}", n.low.node().0)
             };
-            let _ = writeln!(out, "  n{} -> {low_target} [style={low_style}];", id.0);
+            let _ = writeln!(out, "  n{} -> {low_target} [{low_attrs}];", id.0);
             let high_target = if n.high.node().is_terminal() {
                 "t1".to_string()
             } else {
@@ -97,5 +99,45 @@ mod tests {
         }
         assert!(dot.contains("color=red"), "highlighting missing");
         assert!(dot.contains("style=dashed") && dot.contains("style=solid"));
+    }
+
+    /// Snapshot of `¬x0`: both the complemented root arc and the
+    /// complemented 0-edge to the terminal must render dotted with a `¬`
+    /// label, while the 1-edge stays a plain solid arrow.
+    #[test]
+    fn dot_snapshot_labels_complement_arcs() {
+        let mut m = Manager::new();
+        let f = !m.var(0);
+        let id = f.node().0;
+        let expected = format!(
+            "digraph bdd {{\n\
+             \x20 rankdir=TB;\n\
+             \x20 t1 [label=\"1\", shape=box];\n\
+             \x20 root [shape=none, label=\"F\"];\n\
+             \x20 root -> n{id} [style=dotted, label=\"¬\"];\n\
+             \x20 n{id} [label=\"x0\"];\n\
+             \x20 n{id} -> t1 [style=dotted, label=\"¬\"];\n\
+             \x20 n{id} -> t1 [style=solid];\n\
+             }}\n"
+        );
+        assert_eq!(m.to_dot(f, &[]), expected);
+    }
+
+    #[test]
+    fn regular_arcs_carry_no_complement_label() {
+        let mut m = Manager::new();
+        let (a, b) = (m.var(0), m.var(1));
+        let f = m.and(a, b);
+        let dot = m.to_dot(f, &[]);
+        // AND of positive literals: the root arc is regular, so the only
+        // complemented arcs are 0-edges into the terminal.
+        assert!(!dot.contains("root -> n1 [style=dotted"));
+        for line in dot.lines() {
+            assert_eq!(
+                line.contains("label=\"¬\""),
+                line.contains("style=dotted"),
+                "¬ label must appear exactly on dotted (complemented) arcs: {line}"
+            );
+        }
     }
 }

@@ -16,6 +16,32 @@
 //! * structural analysis needed by dominator-driven decomposition:
 //!   node iteration, in-degree statistics and node-to-constant substitution.
 //!
+//! # Edge encoding
+//!
+//! A [`Ref`] is a single `u32`: the node index shifted left by one, with
+//! the *complement bit* in bit 0. An edge with the bit set denotes the
+//! negation of the function rooted at its node, so `!f` is one XOR on
+//! the sign bit — no traversal, no allocation, O(1)
+//! ([`Ref::is_complemented`], [`Ref::regular`]).
+//!
+//! Sharing a node between `f` and `¬f` requires one canonical
+//! representative per complement pair, and this package picks the
+//! classical Brace–Rudell–Bryant rule: **the 1-edge (`high`) of a stored
+//! node is never complemented**. `mk` enforces it by construction —
+//! asked for a node with a complemented 1-edge, it builds the
+//! complemented-inputs twin and returns the complement of *that*
+//! (`mk(v, l, h)` with `h` complemented ⇒ `¬mk(v, ¬l, ¬h)`), so the
+//! bit only ever surfaces on 0-edges and on the refs handed to callers.
+//! [`Manager::verify_edge_canonical_form`] audits the invariant over the
+//! live arena, and the workspace linter (`bdslint`'s
+//! `complement-canonical` rule) bans raw sign-bit construction outside
+//! the registered constructors.
+//!
+//! One consequence: there is only one terminal, `⊤` (node 0) — `ZERO`
+//! *is* `¬ONE`, the same node with the sign bit set. A 0/1 terminal pair
+//! would be two names for one complement pair and break canonicity
+//! (every function would gain a second, complemented spelling).
+//!
 //! # Storage architecture
 //!
 //! The kernel's hot state is three flat arrays — no per-operation
@@ -33,15 +59,22 @@
 //!   tombstones: deletions happen only in bulk during a collection, which
 //!   rebuilds the buckets from the survivors and shrinks the array when
 //!   they would fit a quarter of it.
-//! * **Computed cache** — a fixed-size, direct-mapped, *lossy* table
+//! * **Computed cache** — a fixed-size, set-associative, *lossy* table
 //!   ([`Manager::with_capacity`] sets its size; default
-//!   `2^DEFAULT_CACHE_BITS` = `2^14` entries).
-//!   Each slot stores the full operation key `(op, a, b, c)`, the result,
-//!   and a generation tag; colliding inserts overwrite. All recursive
-//!   kernels share this one cache via op tag codes: `ITE`, `AND`, `XOR`,
-//!   `COFACTOR`, `RESTRICT`, `CONSTRAIN`, and `SCOPED` (per-call epochs
-//!   used by `permute` / `replace_node_with_const` rebuilds).
-//!   [`Manager::clear_caches`] bumps the generation: O(1), capacity kept.
+//!   `3 · 2^(DEFAULT_CACHE_BITS − 2)` = 3 · 2^12 entries). Entries are
+//!   grouped into 64-byte, cache-line-aligned *sets* of three ways plus
+//!   a round-robin victim cursor, so one probe touches one line and a
+//!   hot key survives two colliding neighbours instead of being evicted
+//!   by the first (a full 20-byte entry — operation key `(op, a, b, c)`,
+//!   result, generation tag — rules out a 4-way/64-byte split without
+//!   truncating keys, and a truncated key can alias two different
+//!   operations). Inserts refresh a matching key in place, then prefer
+//!   a stale way (generation retired), then rotate the victim cursor.
+//!   All recursive kernels share this one cache via op tag codes: `ITE`,
+//!   `AND`, `XOR`, `COFACTOR`, `RESTRICT`, `CONSTRAIN`, and `SCOPED`
+//!   (per-call epochs used by `permute` / `replace_node_with_const`
+//!   rebuilds). [`Manager::clear_caches`] bumps the generation: O(1),
+//!   capacity kept.
 //!
 //! # Garbage collection
 //!

@@ -155,6 +155,23 @@ pub(crate) mod op {
     pub const SCOPED: u32 = 7;
 }
 
+/// Best-effort prefetch of the cache line holding `*p` (x86_64 only; a
+/// no-op elsewhere). Unique-table probes use it to overlap the *next*
+/// probe slot's node fetch with the current slot's key comparison — on a
+/// collision chain the bucket words share a line but the arena nodes they
+/// name do not.
+#[inline(always)]
+fn prefetch<T>(p: *const T) {
+    #[cfg(target_arch = "x86_64")]
+    // SAFETY: prefetch is a pure performance hint with no memory effects;
+    // the CPU ignores addresses it cannot fetch.
+    unsafe {
+        core::arch::x86_64::_mm_prefetch(p as *const i8, core::arch::x86_64::_MM_HINT_T0);
+    }
+    #[cfg(not(target_arch = "x86_64"))]
+    let _ = p;
+}
+
 /// Multiply-mix of a `(var, low, high)` triple — the unique-table hash.
 #[inline(always)]
 fn triple_hash(a: u32, b: u32, c: u32) -> u64 {
@@ -364,8 +381,10 @@ impl Default for AutoSiftConfig {
     }
 }
 
-/// One direct-mapped computed-cache slot: the full operation key, the
-/// result, and the generation that wrote it.
+/// One computed-cache entry: the full operation key, the result, and the
+/// generation that wrote it. 20 bytes — the key is three full words plus
+/// a tag, because a lossy *match* (as opposed to a lossy *eviction*)
+/// would return a wrong function, so the key can never be hashed down.
 #[derive(Clone, Copy, Default)]
 struct CacheEntry {
     a: u32,
@@ -377,7 +396,41 @@ struct CacheEntry {
     result: u32,
 }
 
-/// The fixed-size, direct-mapped, lossy operation cache.
+/// Associativity of one computed-cache set. Three 20-byte entries plus
+/// the 4-byte victim cursor fill a 64-byte line exactly; a fourth way
+/// would need lossy keys, which rules it out (see [`CacheEntry`]).
+const CACHE_WAYS: usize = 3;
+
+/// One cache-line-sized associativity set of the computed cache: three
+/// ways probed together, plus a round-robin victim cursor for inserts
+/// that find no matching or stale way. The alignment pins each set to
+/// one line, so a probe that misses all three ways still costs a single
+/// memory access — where the old direct-mapped layout paid a full miss
+/// per conflicting key.
+#[repr(align(64))]
+#[derive(Clone, Copy)]
+struct CacheSet {
+    ways: [CacheEntry; CACHE_WAYS],
+    victim: u32,
+}
+
+impl Default for CacheSet {
+    fn default() -> CacheSet {
+        CacheSet {
+            ways: [CacheEntry::default(); CACHE_WAYS],
+            victim: 0,
+        }
+    }
+}
+
+// The whole point of the set geometry: one set, one cache line.
+const _: () = assert!(std::mem::size_of::<CacheSet>() == 64);
+
+/// The fixed-size, set-associative, lossy operation cache: power-of-two
+/// [`CacheSet`] groups (three ways per 64-byte line), indexed by the same
+/// multiply-mix hash as the unique table. Within a set, inserts overwrite
+/// a stale way first and round-robin among live ones, so two hot keys
+/// that collide no longer evict each other every call.
 ///
 /// Entries are tagged by one of *two* generations: most operations are
 /// function-valued (their keys and results are `Ref`s whose functions the
@@ -388,7 +441,7 @@ struct CacheEntry {
 /// warm across level swaps — the same warm-memo philosophy as the GC's
 /// selective scrub.
 pub(crate) struct ComputedCache {
-    entries: Vec<CacheEntry>,
+    sets: Vec<CacheSet>,
     mask: usize,
     generation: u32,
     /// Generation of the order-sensitive ops (`RESTRICT`, `CONSTRAIN`);
@@ -403,6 +456,9 @@ pub(crate) struct ComputedCache {
 /// low `GEN_SHIFT` bits.
 const GEN_SHIFT: u32 = 3;
 
+/// Mask extracting the op code from an entry tag.
+const OP_MASK: u32 = (1 << GEN_SHIFT) - 1;
+
 /// Whether a memoized result of `op` depends on the current variable
 /// order (rather than only on the operand functions).
 #[inline(always)]
@@ -411,10 +467,14 @@ fn order_sensitive(op: u32) -> bool {
 }
 
 impl ComputedCache {
+    /// `bits` is the historical entry-count budget (`2^bits` direct-mapped
+    /// slots); the set geometry spends it as `2^(bits-2)` three-way sets,
+    /// i.e. three quarters of the entries in four fifths of the memory,
+    /// with the associativity buying back far more than the lost quarter.
     fn with_bits(bits: u32) -> ComputedCache {
-        let n = 1usize << bits.clamp(8, 28);
+        let n = 1usize << (bits.clamp(8, 28) - 2);
         ComputedCache {
-            entries: vec![CacheEntry::default(); n],
+            sets: vec![CacheSet::default(); n],
             mask: n - 1,
             generation: 1,
             order_generation: 1,
@@ -424,8 +484,13 @@ impl ComputedCache {
         }
     }
 
+    /// Total entry capacity (all ways of all sets), for stats.
+    fn entry_capacity(&self) -> usize {
+        self.sets.len() * CACHE_WAYS
+    }
+
     #[inline(always)]
-    fn slot(&self, op: u32, a: u32, b: u32, c: u32) -> usize {
+    fn set_of(&self, op: u32, a: u32, b: u32, c: u32) -> usize {
         (triple_hash(a, b ^ op.rotate_left(27), c) as usize) & self.mask
     }
 
@@ -442,24 +507,62 @@ impl ComputedCache {
     #[inline(always)]
     pub(crate) fn lookup(&mut self, op: u32, a: u32, b: u32, c: u32) -> Option<Ref> {
         self.lookups += 1;
-        let e = &self.entries[self.slot(op, a, b, c)];
-        if e.tag == self.tag_for(op) && e.a == a && e.b == b && e.c == c {
-            self.hits += 1;
-            Some(Ref::from_raw(e.result))
-        } else {
-            None
+        let tag = self.tag_for(op);
+        let idx = self.set_of(op, a, b, c);
+        let set = &mut self.sets[idx];
+        for i in 0..CACHE_WAYS {
+            let e = set.ways[i];
+            if e.tag == tag && e.a == a && e.b == b && e.c == c {
+                self.hits += 1;
+                // MRU promotion: hot keys migrate to way 0, so their next
+                // probe matches on the first compare. Both ways share one
+                // cache line, so the swap is register traffic.
+                if i != 0 {
+                    set.ways[i] = set.ways[0];
+                    set.ways[0] = e;
+                }
+                return Some(Ref::from_raw(e.result));
+            }
         }
+        None
     }
 
     #[inline(always)]
     pub(crate) fn insert(&mut self, op: u32, a: u32, b: u32, c: u32, result: Ref) {
         self.insertions += 1;
-        let slot = self.slot(op, a, b, c);
-        self.entries[slot] = CacheEntry {
+        let tag = self.tag_for(op);
+        let idx = self.set_of(op, a, b, c);
+        let (generation, order_generation) = (self.generation, self.order_generation);
+        let set = &mut self.sets[idx];
+        // Way choice: the way already holding this key, else the first
+        // stale way (its generation was retired by a clear), else the
+        // round-robin victim — so re-memoizing refreshes in place and
+        // live conflicting keys take turns instead of thrashing one slot.
+        let mut way = None;
+        for (i, e) in set.ways.iter().enumerate() {
+            if e.tag == tag && e.a == a && e.b == b && e.c == c {
+                way = Some(i);
+                break;
+            }
+            let live_gen = if order_sensitive(e.tag & OP_MASK) {
+                order_generation
+            } else {
+                generation
+            };
+            if way.is_none() && e.tag >> GEN_SHIFT != live_gen {
+                way = Some(i);
+            }
+        }
+        let i = way.unwrap_or_else(|| {
+            let v = set.victim as usize % CACHE_WAYS;
+            set.victim = set.victim.wrapping_add(1);
+            v
+        });
+        set.ways[i] = CacheEntry {
             a,
             b,
             c,
-            tag: self.tag_for(op),
+            tag,
             result: result.raw(),
         };
     }
@@ -473,7 +576,7 @@ impl ComputedCache {
         if self.generation >= u32::MAX >> GEN_SHIFT
             || self.order_generation >= u32::MAX >> GEN_SHIFT
         {
-            self.entries.fill(CacheEntry::default());
+            self.sets.fill(CacheSet::default());
             self.generation = 1;
             self.order_generation = 1;
         }
@@ -484,7 +587,7 @@ impl ComputedCache {
     fn clear_order_sensitive(&mut self) {
         self.order_generation += 1;
         if self.order_generation >= u32::MAX >> GEN_SHIFT {
-            self.entries.fill(CacheEntry::default());
+            self.sets.fill(CacheSet::default());
             self.generation = 1;
             self.order_generation = 1;
         }
@@ -494,7 +597,8 @@ impl ComputedCache {
 impl std::fmt::Debug for ComputedCache {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("ComputedCache")
-            .field("entries", &self.entries.len())
+            .field("sets", &self.sets.len())
+            .field("ways", &CACHE_WAYS)
             .field("generation", &self.generation)
             .field("lookups", &self.lookups)
             .field("hits", &self.hits)
@@ -730,7 +834,10 @@ pub struct Manager {
 const DEFAULT_BUCKETS: usize = 1 << 12;
 /// Smallest bucket array [`Manager::with_capacity`] will allocate.
 const MIN_BUCKETS: usize = 1 << 8;
-/// Default computed-cache size in bits (entries = `1 << bits`).
+/// Default computed-cache size in bits: the entry-count budget a
+/// direct-mapped cache would spend as `1 << bits` slots; the
+/// set-associative geometry spends it as `1 << (bits - 2)` three-way,
+/// cache-line-sized sets (see [`ComputedCache`]).
 pub const DEFAULT_CACHE_BITS: u32 = 14;
 
 impl Default for Manager {
@@ -746,7 +853,8 @@ impl Manager {
     }
 
     /// Creates a manager pre-sized for `nodes` arena nodes and a computed
-    /// cache of `1 << cache_bits` entries (clamped to `[8, 28]` bits).
+    /// cache budgeted at `cache_bits` (clamped to `[8, 28]`; the cache
+    /// holds `3 << (cache_bits - 2)` entries in three-way line-sized sets).
     ///
     /// Sizing the tables up front avoids rehash churn while building large
     /// functions; the unique table still doubles on demand past `nodes`.
@@ -1097,6 +1205,13 @@ impl Manager {
             if b == 0 {
                 break;
             }
+            // Overlap the next probe's node fetch with this comparison:
+            // the next bucket word is (almost always) in the line already
+            // loaded, but the arena node it names is not.
+            let next = self.buckets[(i + 1) & self.bucket_mask];
+            if next != 0 {
+                prefetch(&self.nodes[next as usize]);
+            }
             let n = &self.nodes[b as usize];
             if n.var == var && n.low == low && n.high == high {
                 return Ref::new(NodeId(b), false);
@@ -1286,6 +1401,27 @@ impl Manager {
         }
     }
 
+    /// Audits the complement-edge canonical form over the live arena: no
+    /// stored node may carry a complemented 1-edge (`mk` pushes the
+    /// complement onto the 0-edge and the incoming edge) and no stored
+    /// node may have equal children (the reduction rule). Together with
+    /// hash-consing this is exactly why a function and its negation can
+    /// never occupy two nodes: the only stored form of `¬f` is `f`'s own
+    /// node reached through a complemented edge. Panics on the first
+    /// violation; O(arena), intended for tests and debug audits.
+    pub fn verify_edge_canonical_form(&self) {
+        for (i, n) in self.nodes.iter().enumerate().skip(1) {
+            if n.var.0 == FREE_VAR {
+                continue;
+            }
+            assert!(
+                !n.high.is_complemented(),
+                "slot {i}: complemented 1-edge escaped mk's normalization"
+            );
+            assert_ne!(n.low, n.high, "slot {i}: redundant node escaped mk");
+        }
+    }
+
     /// Interior (arena-edge) reference count of `f`'s node — how many
     /// live nodes name it as a child (test/diagnostic hook; the terminal
     /// reports `u32::MAX` like [`Manager::protect_count`]).
@@ -1344,7 +1480,7 @@ impl Manager {
             hits: self.cache.hits,
             insertions: self.cache.insertions,
             peak_nodes: self.peak_nodes,
-            cache_entries: self.cache.entries.len(),
+            cache_entries: self.cache.entry_capacity(),
             unique_buckets: self.buckets.len(),
             garbage_estimate: self.free.len(),
             live_nodes: self.live_nodes(),
@@ -1632,11 +1768,13 @@ impl Manager {
             let idx = (w >> 1) as usize;
             idx >= nodes.len() || nodes[idx].var.0 != FREE_VAR
         };
-        for e in self.cache.entries.iter_mut() {
-            if e.tag != 0
-                && !(live_word(e.a) && live_word(e.b) && live_word(e.c) && live_word(e.result))
-            {
-                *e = CacheEntry::default();
+        for set in self.cache.sets.iter_mut() {
+            for e in set.ways.iter_mut() {
+                if e.tag != 0
+                    && !(live_word(e.a) && live_word(e.b) && live_word(e.c) && live_word(e.result))
+                {
+                    *e = CacheEntry::default();
+                }
             }
         }
         self.gc_epoch += 1;
@@ -2333,7 +2471,8 @@ mod tests {
         let m = Manager::with_capacity(100_000, 18);
         let stats = m.cache_stats();
         assert!(stats.unique_buckets >= 100_000 * 4 / 3);
-        assert_eq!(stats.cache_entries, 1 << 18);
+        // 18 cache bits → 2^16 three-way sets = 3·2^16 entries.
+        assert_eq!(stats.cache_entries, 3 << 16);
     }
 
     #[test]
@@ -2492,8 +2631,11 @@ mod tests {
         m.cache.clear();
         assert_eq!(m.cache.generation, 1, "wrap resets to generation 1");
         assert!(
-            m.cache.entries.iter().all(|e| e.tag == 0),
-            "wrap must wipe every slot"
+            m.cache
+                .sets
+                .iter()
+                .all(|s| s.ways.iter().all(|e| e.tag == 0)),
+            "wrap must wipe every way of every set"
         );
         assert_eq!(
             m.cache.lookup(op::AND, a.raw(), b.raw(), 0),

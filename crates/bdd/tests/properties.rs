@@ -371,7 +371,8 @@ impl Storm {
 fn storm_of_ops_stays_canonical_and_bounded() {
     const OPS: usize = 10_000;
     // 16-node arena hint → unique table starts at its floor; 8 cache bits
-    // → 256 computed-cache entries, thousands of evictions over the storm.
+    // → 64 three-way sets = 192 computed-cache entries, thousands of
+    // evictions over the storm.
     let mut m = Manager::with_capacity(16, 8);
     let mut rng = Storm(0xB0D5_DAC1_3BDD_5EED);
     let mut pool: Vec<(Ref, u64)> = Vec::new();
@@ -382,7 +383,7 @@ fn storm_of_ops_stays_canonical_and_bounded() {
     let mut canon: std::collections::HashMap<u64, Ref> = std::collections::HashMap::new();
     let initial_buckets = m.cache_stats().unique_buckets;
     let cache_entries = m.cache_stats().cache_entries;
-    assert_eq!(cache_entries, 1 << 8);
+    assert_eq!(cache_entries, 3 << 6);
 
     for step in 0..OPS {
         let a = pool[rng.below(pool.len())];
@@ -966,4 +967,168 @@ mod abort_injection {
             prop_assert_eq!(bdd_truth(&m, xor.unwrap()), (x.1 ^ y.1) & mask());
         }
     }
+}
+
+/// Exhaustive complement-edge oracle over every 4-variable function: all
+/// 65 536 truth tables are built through the public kernels and the
+/// manager must represent each function `f` and its negation `¬f` by the
+/// *same* node with only the sign bit differing. Together with the
+/// canonical-form audit this proves no node and its complement ever
+/// coexist in the unique table — the entire point of the encoding.
+#[test]
+fn exhaustive_four_var_complement_pairs_share_one_node() {
+    const VARS: u32 = 4;
+    const TABLES: usize = 1 << (1 << VARS);
+    let mut m = Manager::new();
+    let vars: Vec<Ref> = (0..VARS).map(|i| m.var(i)).collect();
+
+    // Build every function bottom-up by Shannon expansion on the topmost
+    // variable: a 2^k-bit table over k variables splits into two
+    // 2^(k-1)-bit cofactor tables over k-1 variables.
+    fn build(
+        m: &mut Manager,
+        vars: &[Ref],
+        table: u64,
+        k: u32,
+        memo: &mut std::collections::HashMap<(u32, u64), Ref>,
+    ) -> Ref {
+        let bits = 1u32 << k;
+        let mask = if bits == 64 {
+            u64::MAX
+        } else {
+            (1 << bits) - 1
+        };
+        let table = table & mask;
+        if table == 0 {
+            return Ref::ZERO;
+        }
+        if table == mask {
+            return Ref::ONE;
+        }
+        if let Some(&r) = memo.get(&(k, table)) {
+            return r;
+        }
+        let half = bits / 2;
+        let lo = build(m, vars, table, k - 1, memo);
+        let hi = build(m, vars, table >> half, k - 1, memo);
+        let r = m.ite(vars[(k - 1) as usize], hi, lo);
+        memo.insert((k, table), r);
+        r
+    }
+
+    let mut memo = std::collections::HashMap::new();
+    let mut refs: Vec<Ref> = Vec::with_capacity(TABLES);
+    for t in 0..TABLES {
+        refs.push(build(&mut m, &vars, t as u64, VARS, &mut memo));
+    }
+
+    for t in 0..TABLES {
+        let f = refs[t];
+        let g = refs[t ^ (TABLES - 1)];
+        // `¬f` is the same node, opposite sign: complement is free.
+        assert_eq!(g, !f, "table {t:#06x}: negation must be a sign flip");
+        assert_eq!(f.node(), g.node(), "table {t:#06x}: pair must share a node");
+        // Double negation is the identity at the `Ref` level.
+        assert_eq!(!!f, f, "table {t:#06x}: double negation");
+        // Semantic spot-proof against the table itself.
+        for row in 0..1u32 << VARS {
+            let assignment: Vec<bool> = (0..VARS).map(|i| row >> i & 1 == 1).collect();
+            assert_eq!(
+                m.eval(f, &assignment),
+                t as u64 >> row & 1 == 1,
+                "table {t:#06x} row {row}"
+            );
+        }
+    }
+    // The structural half of the claim: every stored node is in canonical
+    // form (1-edge regular), which makes a node/complement collision
+    // unrepresentable in the unique table.
+    m.verify_edge_canonical_form();
+    m.verify_interior_refs();
+}
+
+/// Complement-edge ⨯ GC ⨯ converge-sift storm: a negation-heavy op mix
+/// (every result also enters the pool complemented) driven through
+/// periodic `sift_to_fixpoint` + `collect` cycles. After every quiescent
+/// point the canonical-form audit must hold, every pool function and its
+/// complement must still agree with the truth-table oracle, and negation
+/// must still be a pure sign flip on the reordered, compacted arena.
+#[test]
+fn complement_storm_with_gc_and_converge_sift_stays_canonical() {
+    const OPS: usize = 8_000;
+    const POOL: usize = 80;
+    const QUIESCE_EVERY: usize = 2_000;
+    let mut m = Manager::with_capacity(16, 8);
+    let mut rng = Storm(0x3BDD_C0DE_5EED_F00D);
+    let mut pool: Vec<(Ref, u64)> = Vec::new();
+    for i in 0..NVARS {
+        let v = m.var(i);
+        m.protect(v);
+        pool.push((v, var_truth(i)));
+    }
+    let cfg = ConvergeConfig::default();
+    let mut quiesces = 0usize;
+    for step in 0..OPS {
+        let a = pool[rng.below(pool.len())];
+        let b = pool[rng.below(pool.len())];
+        let c = pool[rng.below(pool.len())];
+        let (r, truth) = match rng.below(6) {
+            0 => (m.and(a.0, b.0), a.1 & b.1),
+            1 => {
+                // De Morgan through the sign bit: ¬(¬a ∨ ¬b) = a ∧ b.
+                let nor = !m.or(!a.0, !b.0);
+                (nor, a.1 & b.1)
+            }
+            2 => (m.xor(a.0, !b.0), a.1 ^ !b.1),
+            3 => (m.ite(!a.0, b.0, c.0), (!a.1 & b.1) | (a.1 & c.1)),
+            4 => (
+                m.maj(!a.0, !b.0, !c.0),
+                !((a.1 & b.1) | (b.1 & c.1) | (a.1 & c.1)),
+            ),
+            _ => (!a.0, !a.1),
+        };
+        let truth = truth & mask();
+        assert_eq!(
+            bdd_truth(&m, r),
+            truth,
+            "step {step}: BDD disagrees with oracle"
+        );
+        assert_eq!(!!r, r, "step {step}: double negation at the Ref level");
+        // Half the inserts go in complemented, so the working set is
+        // saturated with signed edges before every sift/collect cycle.
+        let (ins, ins_t) = if step % 2 == 0 {
+            (r, truth)
+        } else {
+            (!r, !truth & mask())
+        };
+        if pool.len() < POOL {
+            m.protect(ins);
+            pool.push((ins, ins_t));
+        } else {
+            let k = rng.below(POOL);
+            m.release(pool[k].0);
+            m.protect(ins);
+            pool[k] = (ins, ins_t);
+        }
+        if step % QUIESCE_EVERY == QUIESCE_EVERY - 1 {
+            let report = m.sift_to_fixpoint(&cfg);
+            assert!(report.passes <= cfg.max_passes, "fixpoint must terminate");
+            m.collect();
+            m.verify_edge_canonical_form();
+            m.verify_interior_refs();
+            quiesces += 1;
+            for &(f, t) in &pool {
+                assert_eq!(bdd_truth(&m, f), t, "pool function corrupted at {step}");
+                assert_eq!(
+                    bdd_truth(&m, !f),
+                    !t & mask(),
+                    "complement corrupted at {step}"
+                );
+            }
+            // Negation stays free after reordering: same node, new sign.
+            let x = pool[rng.below(pool.len())].0;
+            assert_eq!((!x).node(), x.node(), "sift must not split a pair");
+        }
+    }
+    assert!(quiesces >= 4, "the storm must actually quiesce");
 }

@@ -586,12 +586,16 @@ fn main() {
     json.push_str("  \"suite\": {\n");
     let _ = write!(
         json,
-        "    \"benchmarks_run\": {},\n    \"benchmarks_total\": {},\n    \"wall_clock_sec\": {:.4},\n    \"wall_clock_par_sec\": {:.4},\n    \"jobs\": {},\n    \"speedup\": {:.3},\n",
+        "    \"benchmarks_run\": {},\n    \"benchmarks_total\": {},\n    \"wall_clock_sec\": {:.4},\n    \"wall_clock_par_sec\": {:.4},\n    \"jobs\": {},\n    \"cores\": {},\n    \"speedup\": {:.3},\n",
         take,
         suite.len(),
         suite_seq_elapsed.as_secs_f64(),
         suite_par_elapsed.as_secs_f64(),
         jobs,
+        // Available parallelism of the machine that produced the file, so
+        // a sub-1.0 speedup on a single-core container reads as expected
+        // behaviour rather than a regression.
+        std::thread::available_parallelism().map_or(1, |n| n.get()),
         speedup
     );
     json.push_str("    \"rows\": [\n");

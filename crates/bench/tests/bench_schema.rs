@@ -258,6 +258,11 @@ fn committed_bench_json_keeps_its_schema() {
         .as_num("suite.wall_clock_par_sec");
     let jobs = suite.expect_field("suite", "jobs").as_num("suite.jobs");
     assert!(jobs >= 1.0, "suite.jobs must be at least 1, got {jobs}");
+    // Machine context for the speedup number: a committed file produced
+    // on a single-core container legitimately reports speedup < 1.0, and
+    // `cores` is what lets a reader tell that apart from a regression.
+    let cores = suite.expect_field("suite", "cores").as_num("suite.cores");
+    assert!(cores >= 1.0, "suite.cores must be at least 1, got {cores}");
     let rows = suite.expect_field("suite", "rows").as_arr("suite.rows");
     assert!(!rows.is_empty(), "suite.rows must not be empty");
     for (i, row) in rows.iter().enumerate() {

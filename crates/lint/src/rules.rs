@@ -1,4 +1,4 @@
-//! The six workspace invariants `bdslint` enforces, plus the annotation
+//! The seven workspace invariants `bdslint` enforces, plus the annotation
 //! hygiene diagnostics.
 //!
 //! Every rule is deny-by-default: a violation is suppressed only by a
@@ -14,17 +14,19 @@ use crate::model::FileModel;
 
 /// Rule identifiers, exactly as they appear in findings and in
 /// `allow(...)` annotations.
-pub const RULES: [&str; 7] = [
+pub const RULES: [&str; 8] = [
     KERNEL_TICK,
     GC_IN_KERNEL,
     PROTECT_RELEASE,
     PANIC_SURFACE,
     UNSAFE_SAFETY,
     TELEMETRY_LIVENESS,
+    COMPLEMENT_CANONICAL,
     ANNOTATION,
 ];
 
 pub const KERNEL_TICK: &str = "kernel-tick";
+pub const COMPLEMENT_CANONICAL: &str = "complement-canonical";
 pub const GC_IN_KERNEL: &str = "gc-in-kernel";
 pub const PROTECT_RELEASE: &str = "protect-release";
 pub const PANIC_SURFACE: &str = "panic-surface";
@@ -77,6 +79,19 @@ pub struct Config {
     /// defining file, or it is a dead counter (the PR 4 bug class).
     /// Entries are `(struct name, defining file)`.
     pub telemetry_structs: &'static [(&'static str, &'static str)],
+    /// Directory governed by the complement-canonicity rule: raw `Ref`
+    /// construction (`Ref::new(` / `Ref::from_raw(`) is banned outside the
+    /// registered constructor functions, because hand-built refs can put a
+    /// complement bit on a 1-edge and break the canonical form (PR 8).
+    /// Empty disables the rule (fixture roots for other rules).
+    pub ref_ctor_dir: &'static str,
+    /// The edge-encoding module itself — the one file that owns the bit
+    /// layout and is exempt from the raw-construction ban.
+    pub ref_encoding_file: &'static str,
+    /// Functions (inside `ref_ctor_dir`) allowed to construct a `Ref`
+    /// from raw parts: the hash-consing constructor, the computed-cache
+    /// decoder, and the node→function view. Grow this list deliberately.
+    pub ref_ctor_fns: &'static [&'static str],
 }
 
 impl Default for Config {
@@ -111,6 +126,9 @@ impl Default for Config {
                 ("SiftReport", "crates/bdd/src/manager.rs"),
                 ("FlowReport", "crates/decomp/src/engine.rs"),
             ],
+            ref_ctor_dir: "crates/bdd/src",
+            ref_encoding_file: "crates/bdd/src/reference.rs",
+            ref_ctor_fns: &["mk_regular", "lookup", "function_of"],
         }
     }
 }
@@ -166,6 +184,7 @@ pub fn run(cfg: &Config, lintable: &[FileModel], corpus: &[FileModel]) -> Vec<Fi
         protect_release(file, &mut findings);
         panic_surface(cfg, file, &mut findings);
         unsafe_safety(file, &mut findings);
+        complement_canonical(cfg, file, &mut findings);
         annotation_hygiene(file, &mut findings);
     }
     for file in corpus {
@@ -429,6 +448,55 @@ fn unsafe_safety(file: &FileModel, findings: &mut Vec<Finding>) {
                 rule: UNSAFE_SAFETY,
                 message: "`unsafe` without a `// SAFETY:` comment on or above the line".to_string(),
             });
+        }
+    }
+}
+
+/// Rule 7 (`complement-canonical`): inside the kernel crate, `Ref`s are
+/// minted only by the registered constructors. A raw `Ref::new(` /
+/// `Ref::from_raw(` anywhere else can set the complement bit on a
+/// 1-edge and silently break the canonical form (`f` and `¬f` stop
+/// sharing a node; hash-consing canonicity is gone). The encoding module
+/// itself owns the bit layout and is exempt.
+fn complement_canonical(cfg: &Config, file: &FileModel, findings: &mut Vec<Finding>) {
+    if cfg.ref_ctor_dir.is_empty()
+        || !file.path.starts_with(cfg.ref_ctor_dir)
+        || file.path == cfg.ref_encoding_file
+    {
+        return;
+    }
+    for (lineno, line) in file.code.iter().enumerate() {
+        if file.is_test[lineno] {
+            continue;
+        }
+        for ctor in ["Ref::new(", "Ref::from_raw("] {
+            let bytes = line.as_bytes();
+            let mut from = 0;
+            while let Some(pos) = line[from..].find(ctor) {
+                let col = from + pos;
+                from = col + ctor.len();
+                // `SomeRef::new(` is a different type, not a signed edge.
+                if col > 0 && is_ident_byte(bytes[col - 1]) {
+                    continue;
+                }
+                let minted_by_ctor = file
+                    .enclosing_fn(lineno, col)
+                    .is_some_and(|f| cfg.ref_ctor_fns.contains(&f.name.as_str()));
+                if !minted_by_ctor && !file.allowed(COMPLEMENT_CANONICAL, lineno) {
+                    findings.push(Finding {
+                        file: file.path.clone(),
+                        line: lineno + 1,
+                        rule: COMPLEMENT_CANONICAL,
+                        message: format!(
+                            "raw `{}...)` outside the registered constructors \
+                             ({}) — hand-built refs can complement a 1-edge and \
+                             break canonical form; go through `mk`",
+                            ctor,
+                            cfg.ref_ctor_fns.join(", ")
+                        ),
+                    });
+                }
+            }
         }
     }
 }

@@ -1,0 +1,12 @@
+// Fixture: raw `Ref` construction outside the registered constructors.
+// Both hand-built refs could put a complement bit on a 1-edge; each must
+// be a `complement-canonical` finding.
+impl Manager {
+    fn sneaky_not(&mut self, f: Ref) -> Ref {
+        Ref::from_raw(f.raw() ^ 1)
+    }
+
+    fn hand_rolled_edge(&mut self, id: NodeId) -> Ref {
+        Ref::new(id, true)
+    }
+}

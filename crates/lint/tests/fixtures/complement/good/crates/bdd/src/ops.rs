@@ -1,0 +1,34 @@
+// Fixture: clean kernel file under the complement-canonical rule.
+// Registered constructors may mint refs from raw parts, other code goes
+// through `mk`/operators, a different type's `::new(` is out of scope,
+// test code is exempt, and the one escape hatch carries a justification.
+impl Manager {
+    fn mk_regular(&mut self, var: Var, low: Ref, high: Ref) -> Ref {
+        Ref::new(NodeId(idx), false)
+    }
+
+    fn lookup(&mut self, op: u32, a: u32, b: u32, c: u32) -> Option<Ref> {
+        Some(Ref::from_raw(e.result))
+    }
+
+    fn uses_the_public_surface(&mut self, f: Ref, g: Ref) -> Ref {
+        let probe = WeakRef::new(f.node(), false);
+        let _ = probe;
+        self.ite(f, g, !g)
+    }
+
+    fn serde_escape(&mut self, bits: u64) -> Ref {
+        // bdslint: allow(complement-canonical) -- decoding a checkpointed
+        // ref whose invariant was validated at save time
+        Ref::from_raw(bits as u32)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn tests_may_build_raw_refs() {
+        let r = Ref::new(NodeId(7), true);
+        assert!(r.is_complemented());
+    }
+}

@@ -1,0 +1,11 @@
+// Fixture: the edge-encoding module owns the bit layout and is exempt
+// from the raw-construction ban.
+impl Ref {
+    pub fn new(id: NodeId, complemented: bool) -> Ref {
+        Ref(id.0 << 1 | complemented as u32)
+    }
+
+    pub fn flipped(self) -> Ref {
+        Ref::from_raw(self.0 ^ 1)
+    }
+}

@@ -27,6 +27,9 @@ fn base_config() -> Config {
         gc_methods: &[],
         panic_free_files: &[],
         telemetry_structs: &[],
+        ref_ctor_dir: "",
+        ref_encoding_file: "",
+        ref_ctor_fns: &[],
     }
 }
 
@@ -193,6 +196,42 @@ fn dead_telemetry_field_is_caught() {
 #[test]
 fn fully_read_telemetry_passes() {
     let findings = lint_fixture("telemetry/good", &telemetry_cfg());
+    assert!(findings.is_empty(), "{findings:?}");
+}
+
+// ---------------------------------------------------------------- rule 7
+
+fn complement_cfg() -> Config {
+    Config {
+        ref_ctor_dir: "crates/bdd/src",
+        ref_encoding_file: "crates/bdd/src/reference.rs",
+        ref_ctor_fns: &["mk_regular", "lookup", "function_of"],
+        ..base_config()
+    }
+}
+
+#[test]
+fn raw_ref_construction_is_caught() {
+    let findings = lint_fixture("complement/bad", &complement_cfg());
+    assert_eq!(
+        rules_of(&findings),
+        ["complement-canonical", "complement-canonical"],
+        "{findings:?}"
+    );
+    let all = findings
+        .iter()
+        .map(|f| f.message.as_str())
+        .collect::<Vec<_>>()
+        .join("\n");
+    assert!(
+        all.contains("Ref::from_raw(") && all.contains("Ref::new("),
+        "{all}"
+    );
+}
+
+#[test]
+fn registered_constructors_encoding_module_and_tests_pass() {
+    let findings = lint_fixture("complement/good", &complement_cfg());
     assert!(findings.is_empty(), "{findings:?}");
 }
 

@@ -192,6 +192,22 @@ pub fn partition_with_limits(
         }
     }
 
+    // Logic depth of every signal (longest fanin chain), used by the cone
+    // builds to pick a depth-weighted static variable order: signals from
+    // the deepest sub-cones come first, the classic Malik/Fujita DFS
+    // heuristic that keeps late-arriving (structurally "controlling")
+    // boundary signals near the top of each local BDD.
+    let mut depth = vec![0u32; net.len()];
+    for id in net.signals() {
+        depth[id.index()] = net
+            .node(id)
+            .fanins
+            .iter()
+            .map(|f| depth[f.index()] + 1)
+            .max()
+            .unwrap_or(0);
+    }
+
     // Second pass: build the local BDD of every non-input boundary signal.
     let governed = limits.is_limited();
     let mut part = Partition::default();
@@ -204,9 +220,30 @@ pub fn partition_with_limits(
             // global, which is exactly the containment we want.
             manager.set_limits(limits);
         }
-        match try_build_local_bdd(net, manager, id, &boundary) {
+        match try_build_local_bdd(net, manager, id, &boundary, &depth, false) {
             Ok((inputs, function)) => {
                 manager.protect(function);
+                // Second candidate under the depth-weighted visit order.
+                // Neither static order dominates the suite, so keep the
+                // smaller of the two; the loser's nodes are unprotected
+                // garbage reclaimed by the maybe_collect below. A fresh
+                // step budget keeps the extra build from starving the
+                // cone, and a blown second build just falls back to the
+                // first — never a new degradation.
+                if governed {
+                    manager.set_limits(limits);
+                }
+                let (inputs, function) =
+                    match try_build_local_bdd(net, manager, id, &boundary, &depth, true) {
+                        Ok((inputs2, function2))
+                            if manager.size(function2) < manager.size(function) =>
+                        {
+                            manager.protect(function2);
+                            manager.release(function);
+                            (inputs2, function2)
+                        }
+                        _ => (inputs, function),
+                    };
                 part.supernodes.push(Supernode {
                     root: id,
                     inputs,
@@ -249,16 +286,25 @@ pub fn partition_with_limits(
 
 /// Builds the BDD of the cone rooted at `root`, stopping at boundary
 /// signals, which become the BDD variables in DFS discovery order.
+///
+/// With `deep_first` the DFS is depth-weighted: at each gate the deepest
+/// fanin sub-cone is descended first (ties keep the structural
+/// left-to-right order), so boundary signals on long arrival paths are
+/// assigned low variable indices. Neither order dominates across the
+/// benchmark suite, so [`partition_with_limits`] builds both candidates
+/// and keeps the smaller BDD.
 fn try_build_local_bdd(
     net: &Network,
     manager: &mut Manager,
     root: SignalId,
     boundary: &[bool],
+    depth: &[u32],
+    deep_first: bool,
 ) -> Result<(Vec<SignalId>, Ref), LimitExceeded> {
     let mut inputs: Vec<SignalId> = Vec::new();
     let mut var_of: HashMap<SignalId, u32, BuildFxHasher> = HashMap::default();
     // Pre-assign variables in DFS discovery order for a topology-aware
-    // static ordering (fanins visited left to right).
+    // static ordering (deepest fanin visited first).
     let mut stack = vec![(root, false)];
     let mut visited: HashMap<SignalId, bool, BuildFxHasher> = HashMap::default();
     while let Some((id, is_boundary_ref)) = stack.pop() {
@@ -273,13 +319,15 @@ fn try_build_local_bdd(
         if visited.insert(id, true).is_some() {
             continue;
         }
-        // Push fanins in reverse so they are discovered left-to-right.
-        for &f in net.node(id).fanins.iter().rev() {
-            if boundary[f.index()] {
-                stack.push((f, true));
-            } else {
-                stack.push((f, false));
-            }
+        // Visit order: left-to-right, or deepest fanin sub-cone first.
+        // Pushing the reverse of the visit order makes the stack pop it
+        // in order; the sort is stable so ties stay left-to-right.
+        let mut fanins = net.node(id).fanins.clone();
+        if deep_first {
+            fanins.sort_by_key(|f| std::cmp::Reverse(depth[f.index()]));
+        }
+        for &f in fanins.iter().rev() {
+            stack.push((f, boundary[f.index()]));
         }
     }
 
