@@ -6,13 +6,18 @@
 //! both return a function that agrees with `f` wherever the care set `c`
 //! holds, while being (heuristically) smaller outside it.
 //!
+//! Like the connective kernels in [`crate::ops`], every recursion here is
+//! a [`Session`] method taking `(&NodeStore, ...)` — per-session
+//! memoization and governance against the shared, `Sync` node store —
+//! with thin [`Manager`] entry points running them through `run_kernel`.
+//!
 //! All recursions branch on *levels* (current order positions, via
-//! [`Manager::level`]), never on raw variable indices, so they are
+//! `NodeStore::level`), never on raw variable indices, so they are
 //! correct under any order installed by the reordering machinery;
 //! constants report the `u32::MAX` pseudo-level, which subsumes the old
 //! per-kernel terminal special cases.
 //!
-//! All recursions here memoize through the manager's shared computed cache
+//! All recursions here memoize through the session's computed cache
 //! (tags `op::COFACTOR`, `op::RESTRICT`, `op::CONSTRAIN`, `op::SCOPED`)
 //! instead of allocating a fresh `HashMap` per call: results persist across
 //! calls, repeated cofactors of the same function hit immediately, and a
@@ -21,11 +26,171 @@
 //! intermediates); when the manager does collect, it scrubs every cache
 //! entry naming a reclaimed slot, so no entry here can outlive the nodes
 //! it names. Like every kernel, these recursions create nodes only
-//! through `Manager::mk`, which keeps the interior reference counts
+//! through `Session::mk`, which keeps the interior reference counts
 //! exact as a side effect — no cofactor path does its own refcounting.
 
-use crate::manager::{op, LimitExceeded, Manager};
+use crate::manager::Manager;
 use crate::reference::{NodeId, Ref, Var};
+use crate::session::{op, LimitExceeded, Session};
+use crate::store::NodeStore;
+
+impl Session {
+    /// The cofactor recursion `f|v=value`.
+    pub(crate) fn cofactor_rec(
+        &mut self,
+        store: &NodeStore,
+        f: Ref,
+        v: Var,
+        value: bool,
+    ) -> Result<Ref, LimitExceeded> {
+        // One level comparison covers every identity case: constants (the
+        // u32::MAX pseudo-level), functions entirely below `v` in the
+        // order, and variables the manager has never seen.
+        let vl = store.var_level(v.0);
+        if vl == u32::MAX || store.level(f) > vl {
+            return Ok(f);
+        }
+        self.tick(store)?;
+        // Complements commute with cofactoring; recurse on the regular
+        // reference so both polarities share one cache entry.
+        if f.is_complemented() {
+            return Ok(!self.cofactor_rec(store, !f, v, value)?);
+        }
+        let key_b = v.0 << 1 | value as u32;
+        if let Some(r) = self.cache.lookup(op::COFACTOR, f.raw(), key_b, 0) {
+            return Ok(r);
+        }
+        // bdslint: allow(panic-surface) -- constants returned at the level
+        // guard above (their pseudo-level u32::MAX exceeds any real vl)
+        let top = store.top_var(f).expect("non-constant here");
+        let (f0, f1) = store.shallow_cofactors(f, top);
+        let r = if top == v {
+            if value {
+                f1
+            } else {
+                f0
+            }
+        } else {
+            let r0 = self.cofactor_rec(store, f0, v, value)?;
+            let r1 = self.cofactor_rec(store, f1, v, value)?;
+            self.mk(store, top, r0, r1)?
+        };
+        self.cache.insert(op::COFACTOR, f.raw(), key_b, 0, r);
+        Ok(r)
+    }
+
+    /// The Coudert–Madre *restrict* recursion (care set non-zero,
+    /// enforced by the entry point).
+    pub(crate) fn restrict_rec(
+        &mut self,
+        store: &NodeStore,
+        f: Ref,
+        c: Ref,
+    ) -> Result<Ref, LimitExceeded> {
+        if c.is_one() || f.is_const() {
+            return Ok(f);
+        }
+        self.tick(store)?;
+        if let Some(r) = self.cache.lookup(op::RESTRICT, f.raw(), c.raw(), 0) {
+            return Ok(r);
+        }
+        let fv = store.level(f);
+        let cv = store.level(c);
+        let r = if cv < fv {
+            // The care-set top variable does not influence f here: remove it.
+            let c_drop = {
+                let cvar = store.var_at_level(cv);
+                let (c0, c1) = store.shallow_cofactors(c, cvar);
+                self.or_ap(store, c0, c1)?
+            };
+            self.restrict_rec(store, f, c_drop)?
+        } else {
+            let v = store.var_at_level(fv);
+            let (f0, f1) = store.shallow_cofactors(f, v);
+            let (c0, c1) = store.shallow_cofactors(c, v);
+            if c0.is_zero() {
+                self.restrict_rec(store, f1, c1)?
+            } else if c1.is_zero() {
+                self.restrict_rec(store, f0, c0)?
+            } else {
+                let r0 = self.restrict_rec(store, f0, c0)?;
+                let r1 = self.restrict_rec(store, f1, c1)?;
+                self.mk(store, v, r0, r1)?
+            }
+        };
+        self.cache.insert(op::RESTRICT, f.raw(), c.raw(), 0, r);
+        Ok(r)
+    }
+
+    /// The Coudert–Madre *constrain* recursion (care set non-zero,
+    /// enforced by the entry point).
+    pub(crate) fn constrain_rec(
+        &mut self,
+        store: &NodeStore,
+        f: Ref,
+        c: Ref,
+    ) -> Result<Ref, LimitExceeded> {
+        if c.is_one() || f.is_const() {
+            return Ok(f);
+        }
+        if f == c {
+            return Ok(Ref::ONE);
+        }
+        if f == !c {
+            return Ok(Ref::ZERO);
+        }
+        self.tick(store)?;
+        if let Some(r) = self.cache.lookup(op::CONSTRAIN, f.raw(), c.raw(), 0) {
+            return Ok(r);
+        }
+        let v = store.var_at_level(store.level(f).min(store.level(c)));
+        let (f0, f1) = store.shallow_cofactors(f, v);
+        let (c0, c1) = store.shallow_cofactors(c, v);
+        let r = if c0.is_zero() {
+            self.constrain_rec(store, f1, c1)?
+        } else if c1.is_zero() {
+            self.constrain_rec(store, f0, c0)?
+        } else {
+            let r0 = self.constrain_rec(store, f0, c0)?;
+            let r1 = self.constrain_rec(store, f1, c1)?;
+            self.mk(store, v, r0, r1)?
+        };
+        self.cache.insert(op::CONSTRAIN, f.raw(), c.raw(), 0, r);
+        Ok(r)
+    }
+
+    /// The scoped rebuild behind node-to-constant substitution: rebuilds
+    /// the DAG of `f` with `target` replaced by `rep`, memoized under the
+    /// per-call `scope` epoch.
+    pub(crate) fn replace_rec(
+        &mut self,
+        store: &NodeStore,
+        f: Ref,
+        target: NodeId,
+        rep: Ref,
+        scope: u32,
+    ) -> Result<Ref, LimitExceeded> {
+        let c = f.is_complemented();
+        let id = f.node();
+        if id == target {
+            return Ok(rep.xor_complement(c));
+        }
+        if id.is_terminal() {
+            return Ok(f);
+        }
+        self.tick(store)?;
+        if let Some(r) = self.cache.lookup(op::SCOPED, f.regular().raw(), scope, 0) {
+            return Ok(r.xor_complement(c));
+        }
+        let n = store.node(id.index());
+        let low = self.replace_rec(store, n.low, target, rep, scope)?;
+        let high = self.replace_rec(store, n.high, target, rep, scope)?;
+        let r = self.mk(store, n.var, low, high)?;
+        self.cache
+            .insert(op::SCOPED, f.regular().raw(), scope, 0, r);
+        Ok(r.xor_complement(c))
+    }
+}
 
 impl Manager {
     /// The cofactor `f|v=value`, for a variable anywhere in the order.
@@ -35,44 +200,7 @@ impl Manager {
 
     /// Budget-governed [`Manager::cofactor`].
     pub fn try_cofactor(&mut self, f: Ref, v: Var, value: bool) -> Result<Ref, LimitExceeded> {
-        self.cofactor_rec(f, v, value)
-    }
-
-    fn cofactor_rec(&mut self, f: Ref, v: Var, value: bool) -> Result<Ref, LimitExceeded> {
-        // One level comparison covers every identity case: constants (the
-        // u32::MAX pseudo-level), functions entirely below `v` in the
-        // order, and variables the manager has never seen.
-        let vl = self.var_level(v.0);
-        if vl == u32::MAX || self.level(f) > vl {
-            return Ok(f);
-        }
-        self.tick()?;
-        // Complements commute with cofactoring; recurse on the regular
-        // reference so both polarities share one cache entry.
-        if f.is_complemented() {
-            return Ok(!self.cofactor_rec(!f, v, value)?);
-        }
-        let key_b = v.0 << 1 | value as u32;
-        if let Some(r) = self.cache.lookup(op::COFACTOR, f.raw(), key_b, 0) {
-            return Ok(r);
-        }
-        // bdslint: allow(panic-surface) -- constants returned at the level
-        // guard above (their pseudo-level u32::MAX exceeds any real vl)
-        let top = self.top_var(f).expect("non-constant here");
-        let (f0, f1) = self.shallow_cofactors(f, top);
-        let r = if top == v {
-            if value {
-                f1
-            } else {
-                f0
-            }
-        } else {
-            let r0 = self.cofactor_rec(f0, v, value)?;
-            let r1 = self.cofactor_rec(f1, v, value)?;
-            self.mk(top, r0, r1)
-        };
-        self.cache.insert(op::COFACTOR, f.raw(), key_b, 0, r);
-        Ok(r)
+        self.run_kernel(|st, s| s.cofactor_rec(st, f, v, value))
     }
 
     /// Existential quantification `∃v. f = f|v=0 + f|v=1`.
@@ -132,43 +260,7 @@ impl Manager {
     /// Panics if `c` is the constant zero, like the infallible form.
     pub fn try_restrict(&mut self, f: Ref, c: Ref) -> Result<Ref, LimitExceeded> {
         assert!(!c.is_zero(), "restrict: empty care set");
-        self.restrict_rec(f, c)
-    }
-
-    fn restrict_rec(&mut self, f: Ref, c: Ref) -> Result<Ref, LimitExceeded> {
-        if c.is_one() || f.is_const() {
-            return Ok(f);
-        }
-        self.tick()?;
-        if let Some(r) = self.cache.lookup(op::RESTRICT, f.raw(), c.raw(), 0) {
-            return Ok(r);
-        }
-        let fv = self.level(f);
-        let cv = self.level(c);
-        let r = if cv < fv {
-            // The care-set top variable does not influence f here: remove it.
-            let c_drop = {
-                let cvar = self.var_at_level(cv);
-                let (c0, c1) = self.shallow_cofactors(c, cvar);
-                self.try_or(c0, c1)?
-            };
-            self.restrict_rec(f, c_drop)?
-        } else {
-            let v = self.var_at_level(fv);
-            let (f0, f1) = self.shallow_cofactors(f, v);
-            let (c0, c1) = self.shallow_cofactors(c, v);
-            if c0.is_zero() {
-                self.restrict_rec(f1, c1)?
-            } else if c1.is_zero() {
-                self.restrict_rec(f0, c0)?
-            } else {
-                let r0 = self.restrict_rec(f0, c0)?;
-                let r1 = self.restrict_rec(f1, c1)?;
-                self.mk(v, r0, r1)
-            }
-        };
-        self.cache.insert(op::RESTRICT, f.raw(), c.raw(), 0, r);
-        Ok(r)
+        self.run_kernel(|st, s| s.restrict_rec(st, f, c))
     }
 
     /// The Coudert–Madre *constrain* (a.k.a. image-restricting) generalized
@@ -191,37 +283,7 @@ impl Manager {
     /// Panics if `c` is the constant zero, like the infallible form.
     pub fn try_constrain(&mut self, f: Ref, c: Ref) -> Result<Ref, LimitExceeded> {
         assert!(!c.is_zero(), "constrain: empty care set");
-        self.constrain_rec(f, c)
-    }
-
-    fn constrain_rec(&mut self, f: Ref, c: Ref) -> Result<Ref, LimitExceeded> {
-        if c.is_one() || f.is_const() {
-            return Ok(f);
-        }
-        if f == c {
-            return Ok(Ref::ONE);
-        }
-        if f == !c {
-            return Ok(Ref::ZERO);
-        }
-        self.tick()?;
-        if let Some(r) = self.cache.lookup(op::CONSTRAIN, f.raw(), c.raw(), 0) {
-            return Ok(r);
-        }
-        let v = self.var_at_level(self.level(f).min(self.level(c)));
-        let (f0, f1) = self.shallow_cofactors(f, v);
-        let (c0, c1) = self.shallow_cofactors(c, v);
-        let r = if c0.is_zero() {
-            self.constrain_rec(f1, c1)?
-        } else if c1.is_zero() {
-            self.constrain_rec(f0, c0)?
-        } else {
-            let r0 = self.constrain_rec(f0, c0)?;
-            let r1 = self.constrain_rec(f1, c1)?;
-            self.mk(v, r0, r1)
-        };
-        self.cache.insert(op::CONSTRAIN, f.raw(), c.raw(), 0, r);
-        Ok(r)
+        self.run_kernel(|st, s| s.constrain_rec(st, f, c))
     }
 
     /// Rebuilds the DAG of `f` with the internal node `target` replaced by
@@ -244,37 +306,7 @@ impl Manager {
     ) -> Result<Ref, LimitExceeded> {
         let rep = self.constant(value);
         let scope = self.new_scope();
-        self.replace_rec(f, target, rep, scope)
-    }
-
-    fn replace_rec(
-        &mut self,
-        f: Ref,
-        target: NodeId,
-        rep: Ref,
-        scope: u32,
-    ) -> Result<Ref, LimitExceeded> {
-        let c = f.is_complemented();
-        let id = f.node();
-        if id == target {
-            return Ok(rep.xor_complement(c));
-        }
-        if id.is_terminal() {
-            return Ok(f);
-        }
-        self.tick()?;
-        if let Some(r) = self.cache.lookup(op::SCOPED, f.regular().raw(), scope, 0) {
-            return Ok(r.xor_complement(c));
-        }
-        // bdslint: allow(panic-surface) -- id passed the is_terminal guard,
-        // so it names a live slot in the node table
-        let n = self.nodes[id.index()];
-        let low = self.replace_rec(n.low, target, rep, scope)?;
-        let high = self.replace_rec(n.high, target, rep, scope)?;
-        let r = self.mk(n.var, low, high);
-        self.cache
-            .insert(op::SCOPED, f.regular().raw(), scope, 0, r);
-        Ok(r.xor_complement(c))
+        self.run_kernel(|st, s| s.replace_rec(st, f, target, rep, scope))
     }
 }
 

@@ -45,12 +45,20 @@
 //! # Storage architecture
 //!
 //! The kernel's hot state is three flat arrays — no per-operation
-//! allocation, no std `HashMap` on any hot path:
+//! allocation, no std `HashMap` on any hot path. Since PR 9 they are
+//! split across two types: the node-owning arena and unique table live
+//! in the shared [`NodeStore`], the computed cache and traversal
+//! scratch in the per-thread [`Session`] (see the concurrency contract
+//! below); a [`Manager`] bundles one store with one default session and
+//! keeps the classic single-threaded API.
 //!
-//! * **Node arena** — `Vec<Node>`; a node is its index, index 0 is the
-//!   terminal. Dead nodes are reclaimed by the collector (below); their
-//!   slots are poisoned, linked into a free list, and reused by `mk`
-//!   before the arena grows (reclaim-before-grow).
+//! * **Node arena** — a flat cell vector in [`NodeStore`]; a node is its
+//!   index, index 0 is the terminal. The `(var, low, high)` words are
+//!   atomics so concurrent sessions can publish nodes race-free, but on
+//!   the sequential path they cost nothing (Relaxed loads compile to
+//!   plain loads). Dead nodes are reclaimed by the collector (below);
+//!   their slots are poisoned, linked into a free list, and reused by
+//!   `mk` before the arena grows (reclaim-before-grow).
 //! * **Unique table** — an open-addressed, power-of-two `Vec<u32>` bucket
 //!   array over the arena, probed linearly from an inlined multiply-mix
 //!   hash of `(var, low, high)`. Bucket value 0 doubles as the
@@ -174,26 +182,79 @@
 //! same poll, and the deadline clock is sampled every 256 steps — an
 //! abort lands within microseconds of the crossing, never mid-`mk`.
 //!
-//! # Threading model
+//! # Concurrency contract
 //!
-//! A [`Manager`] is single-threaded by design: it is `Send` (a worker
-//! thread may own one outright) but deliberately **not `Sync`** — the
-//! `&self` traversal helpers share `RefCell` visited-stamp scratch, and
-//! none of the flat tables are synchronized. Parallel harnesses (the
-//! `bench` crate's work-stealing suite pool) therefore give every worker
-//! its own manager and never share one across threads; the compile-time
-//! assertions below pin both halves of that contract.
+//! The kernel state is split along the thread boundary (PR 9, stages
+//! 1–2 of the concurrent-kernel plan):
+//!
+//! * **Shared: [`NodeStore`]** — the node arena, the unique table, and
+//!   the interior refcounts. It is `Sync`: any number of sessions may
+//!   hash-cons into it concurrently through `try_mk`, which claims a
+//!   slot (free-list pop or arena high-water CAS), writes the node's
+//!   words, and *publishes* the slot index into its bucket with a
+//!   single compare-exchange. Losing a publication race abandons the
+//!   claimed slot (recovered at the next sweep) and adopts the winner.
+//! * **Per-thread: [`Session`]** — the set-associative computed cache,
+//!   the `RefCell` visited-stamp scratch (which is what makes it
+//!   deliberately **not `Sync`**), the [`ResourceLimits`] budget, and
+//!   the created-node log. Every recursive kernel runs against
+//!   `(&NodeStore, &mut Session)`; sessions never share memoization.
+//! * **[`Manager`]** bundles one store with one default session, so the
+//!   classic API is unchanged: it stays `Send` and `!Sync`, one manager
+//!   per worker thread.
+//!
+//! **Memory ordering.** Publication is the only ordering-critical edge:
+//! `try_mk` releases the node's field writes with a `Release` CAS on
+//! the bucket, and every probe reads buckets with `Acquire`, so
+//! observing an index implies observing the node it names. Slot
+//! claiming and the statistics counters are `Relaxed` — they only
+//! arbitrate indices or feed heuristics reconciled at quiescent points.
+//! The workspace linter (`bdslint`'s `cas-publication` rule) confines
+//! atomic table writes to the publication functions and requires each
+//! to justify its ordering.
+//!
+//! **Quiescence.** Everything that is *not* publication is
+//! stop-the-world: GC, sifting, and table/arena growth require `&mut`
+//! access with exactly one session live. The store counts sessions
+//! outstanding during parallel regions and the quiescent entry points
+//! assert that count is zero. When the shared table fills mid-region,
+//! workers abort their cones through the [`LimitExceeded`] path; the
+//! manager then grows at the now-quiescent point and retries — loudly,
+//! never by silently degrading.
+//!
+//! **Parallel apply.** `Manager::par_and` / `par_xor` / `par_ite` fork
+//! one large cone: the operands are Shannon-expanded over the top
+//! levels, leaf subproblems run on scoped workers (each with a fresh
+//! session against the shared store), and the results are recombined
+//! bottom-up with `mk`. Canonicity makes the result the identical
+//! [`Ref`] at any width. The fork width comes from the installed
+//! [`JobBudget`] — a machine-wide permit pool shared with the `bench`
+//! suite pool, so nested parallelism never oversubscribes — and a
+//! zero-width fork (no budget, no spare permits, or a small cone) *is*
+//! the sequential kernel, node counts and all.
+//!
+//! The compile-time assertions below pin the contract:
 //!
 //! ```
 //! fn sendable<T: Send>() {}
 //! sendable::<bdd::Manager>(); // a worker may own a Manager
+//!
+//! fn sharable<T: Sync>() {}
+//! sharable::<bdd::NodeStore>(); // the store is shared across sessions
 //! ```
 //!
 //! ```compile_fail
 //! // Does not compile: a Manager must never be shared across threads
-//! // (RefCell scratch + unsynchronized tables). One Manager per worker.
+//! // (RefCell session scratch). One Manager per worker.
 //! fn sharable<T: Sync>() {}
 //! sharable::<bdd::Manager>();
+//! ```
+//!
+//! ```compile_fail
+//! // Does not compile: a Session is pinned to its thread — its RefCell
+//! // scratch and computed cache are deliberately unsynchronized.
+//! fn sharable<T: Sync>() {}
+//! sharable::<bdd::Session>();
 //! ```
 //!
 //! # Example
@@ -221,18 +282,24 @@ mod dot;
 mod hasher;
 mod manager;
 mod ops;
+mod parallel;
 mod reference;
 mod reorder;
 mod sat;
+mod session;
+mod store;
 
 pub use analysis::{InDegree, NodeStats};
 pub use hasher::{BuildFxHasher, FxHasher};
 pub use manager::{
-    AutoSiftConfig, CacheStats, ConvergeConfig, GcConfig, LimitExceeded, LimitKind, Manager, Node,
-    ResourceLimits, SiftConfig, SiftReport, DEFAULT_CACHE_BITS,
+    AutoSiftConfig, CacheStats, ConvergeConfig, GcConfig, Manager, Node, SiftConfig, SiftReport,
 };
 pub use reference::{NodeId, Ref, Var};
 pub use reorder::{invert, sift_converge_reorder, sift_reorder, window_reorder, Reordered};
+pub use session::{
+    JobBudget, LimitExceeded, LimitKind, ResourceLimits, Session, DEFAULT_CACHE_BITS,
+};
+pub use store::NodeStore;
 
 #[cfg(test)]
 mod tests {

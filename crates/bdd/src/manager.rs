@@ -1,187 +1,42 @@
-//! The node arena, the open-addressed unique table, the direct-mapped
-//! computed cache and the dead-node collector — the memory system of the
-//! BDD kernel.
+//! The manager façade over the concurrent-kernel split: one shared
+//! [`NodeStore`] plus one default [`Session`], presenting the classic
+//! single-threaded BDD-manager API.
 //!
-//! Layout (CUDD-style):
+//! The heavy lifting lives elsewhere since the store/session split:
 //!
-//! * **Nodes** live in a flat arena (`Vec<Node>`); a node is identified by
-//!   its index and never moves. Reclaimed slots are poisoned, linked into a
-//!   free list, and reused by [`Manager::mk`] before the arena grows.
-//! * The **unique table** is a power-of-two `Vec<u32>` bucket array mapping
-//!   a multiply-mixed hash of `(var, low, high)` to a node index by linear
-//!   probing. Index `0` (the terminal, which is never hash-consed) doubles
-//!   as the empty-bucket sentinel, so a probe touches exactly one `u32` per
-//!   step. The table doubles when 3/4 full. There are no tombstones:
-//!   deletions happen only in bulk during a collection, which rebuilds the
-//!   bucket array from the surviving nodes (and shrinks it when they would
-//!   fit a table a quarter of the size).
-//! * The **computed cache** ([`ComputedCache`]) memoizes operation results
-//!   in a fixed-size, direct-mapped, lossy table: a colliding insert simply
-//!   overwrites. Entries are generation-tagged, so [`Manager::clear_caches`]
-//!   is O(1) (it bumps the generation). Every recursive kernel (ITE, AND,
-//!   XOR, cofactor, restrict, constrain, scoped rebuilds) shares this cache
-//!   through per-operation tag codes.
+//! * [`crate::store`] owns the node arena, the open-addressed unique
+//!   table and the interior reference counts — the `Sync` half that many
+//!   threads may publish nodes into at once;
+//! * [`crate::session`] owns the set-associative computed cache, the
+//!   visit scratch, the resource budget and the tick state — the
+//!   per-thread half (`!Sync` by construction);
+//! * the recursive kernels in [`crate::ops`] and [`crate::cofactor`] are
+//!   methods on `Session` taking `(&NodeStore, &mut Session)`;
+//! * [`crate::parallel`] forks extra sessions against the shared store
+//!   for the parallel apply.
 //!
-//! # Reference counts and garbage collection
+//! What remains here is the *quiescent-point* machinery — everything
+//! that needs `&mut` exclusivity over the store: garbage collection
+//! (refcount-driven and mark-and-sweep), dynamic reordering (adjacent
+//! level swaps, Rudell sifting, symmetric groups), table and arena
+//! growth, and the bookkeeping that folds kernel publication logs into
+//! the per-variable slot lists. All of it asserts store quiescence (no
+//! extra sessions outstanding) — GC, sifting and growth are
+//! stop-the-world by contract (see the crate-level "Concurrency
+//! contract").
 //!
-//! Long decomposition flows create orders of magnitude more intermediate
-//! functions than they keep. Two reference counts govern node lifetime:
-//!
-//! * **External counts** (`refs`): callers declare the functions they
-//!   hold across collection points with [`Manager::protect`] and drop the
-//!   claim with [`Manager::release`] — the explicit `ref`/`deref` pair of
-//!   every production BDD package.
-//! * **Interior counts** (`int_refs`): exactly how many arena nodes name
-//!   a slot as a child. Every code path that creates, rewrites or
-//!   destroys an edge keeps them exact — `mk` increments the children of
-//!   each node it creates (fresh slots and free-list reuse alike), the
-//!   level swap's slot patching increments the new children and
-//!   decrements the old, and the sweep decrements the children of every
-//!   node it reclaims. A debug-mode full recount
-//!   ([`Manager::verify_interior_refs`]) audits the bookkeeping after
-//!   every collection and sift walk.
-//!
-//! A node with both counts at zero is dead by definition, which buys two
-//! things. [`Manager::collect`] reclaims **without a mark phase**: one
-//! arena scan seeds the zero-count nodes and reclamation cascades through
-//! their children — O(arena + dead), never a traversal of the live set —
-//! then the unique table is rebuilt without the dead entries (shrinking
-//! when sparse) and the computed cache is *scrubbed* (exactly the entries
-//! naming a reclaimed slot are dropped), so no dangling [`Ref`] survives
-//! anywhere in the kernel while the memo stays warm across collections.
-//! And sifting's level swaps know *immediately* when a displaced node
-//! died, which is what makes their size deltas exact (see below).
-//! [`Manager::maybe_collect`] is the cheap flow-level hook: it runs a
-//! collection only once enough allocation has happened since the last
-//! one *and* a mark pass confirms the dead fraction exceeds the
-//! configured threshold ([`GcConfig::dead_fraction`]).
-//!
-//! Collection never runs implicitly inside an operation: the recursive
-//! kernels (`ite`, `and`, `xor`, the cofactor family, scoped rebuilds)
-//! create unprotected intermediates freely, and callers invoke
-//! `collect`/`maybe_collect` only at quiescent points where every live
-//! function is protected. The hot `mk` path pays only the two interior
-//! increments, and arena growth stays bounded to a constant factor of
-//! the live size.
-//!
-//! # Variable order
-//!
-//! A variable's *index* is its identity (what callers, assignments and
-//! gate bindings name); its *level* is its current position in the
-//! decision order, `0` being the root. The two are decoupled through the
-//! [`Manager`]'s `var2level`/`level2var` permutation maps, and every
-//! recursive kernel branches on levels, so the order can change without
-//! rebuilding a single function:
-//!
-//! * [`Manager::swap_levels`] exchanges two *adjacent* levels in place:
-//!   only the nodes at the upper level that reference the lower one are
-//!   rewritten (their arena slots are patched through the unique table),
-//!   so every outstanding [`Ref`] keeps denoting the same function.
-//! * [`Manager::sift`] is Rudell's sifting on top of the swap: each
-//!   variable (live-densest first, re-ranked before every walk) is moved
-//!   through the whole order and parked at the position minimizing the
-//!   protected-root node count, with a growth abort bounded against each
-//!   variable's own starting size and a total swap budget
-//!   ([`SiftConfig`]). The pass tracks the rooted size **in O(1) per
-//!   swap** from the swaps' exact deltas: sift swaps run in eager-reclaim
-//!   mode (a displaced node whose interior and external counts both hit
-//!   zero is reclaimed on the spot, cascading), so the live arena *is*
-//!   the rooted set for the whole pass — no per-swap re-traversal, and no
-//!   swap garbage to drag through later moves.
-//! * [`Manager::sift_to_fixpoint`] repeats budget-relaxed passes until a
-//!   pass stops paying ([`ConvergeConfig`]), and
-//!   [`SiftConfig::symmetric_groups`] fuses adjacent symmetric variables
-//!   ([`Manager::symmetric_levels`], the Panda–Somenzi check over the
-//!   interior counts) into blocks that walk the order as one unit.
-//! * [`Manager::maybe_sift`] is the flow-level hook, threshold-gated like
-//!   [`Manager::maybe_collect`] ([`AutoSiftConfig`], disabled by
-//!   default): flows offer it at the same quiescent points as collection.
-//!
-//! The public [`Manager::swap_levels`] preserves the function behind
-//! every existing `Ref` (unlike collection, which invalidates unprotected
-//! ones), but it does create garbage — the displaced lower-level nodes —
-//! so flows pair direct swaps with a following `maybe_collect`. Sifting
-//! needs no such pairing: its eager-reclaim swaps leave nothing behind.
+//! The façade also owns the grow-and-retry loop: a kernel that runs the
+//! shared store out of headroom unwinds with
+//! [`LimitKind::TableFull`], the façade grows the store at this (by
+//! definition quiescent) point and re-runs the operation — the warm
+//! computed cache makes the retry cheap, and the error never escapes a
+//! `Manager` entry point.
 
 use crate::reference::{NodeId, Ref, Var};
-use std::cell::RefCell;
+use crate::session::{LimitExceeded, LimitKind, ResourceLimits, Session, DEFAULT_CACHE_BITS};
+use crate::store::{NodeStore, FREE_VAR, MIN_BUCKETS};
 
-/// A stored BDD node: the Shannon expansion of a function with respect to
-/// its top variable.
-///
-/// Invariants maintained by the [`Manager`]:
-/// * `high` (the 1-edge) is never complemented;
-/// * `low != high`;
-/// * the top variables of `low` and `high` sit at strictly deeper
-///   *levels* than `var` (in the current `var2level` order).
-#[derive(Clone, Copy, PartialEq, Eq, Debug)]
-pub struct Node {
-    /// Decision variable *index* (its identity). The variable's current
-    /// position in the order is `Manager::var2level`; the two coincide
-    /// only until the first reordering.
-    pub var: Var,
-    /// Negative (0-edge) cofactor; may be complemented.
-    pub low: Ref,
-    /// Positive (1-edge) cofactor; always regular.
-    pub high: Ref,
-}
-
-/// Sentinel variable index used by the terminal node; compares below every
-/// real variable when ordered by *level depth* (larger index = deeper).
-pub(crate) const TERMINAL_VAR: u32 = u32::MAX;
-
-/// Sentinel variable index poisoning a reclaimed arena slot. A slot with
-/// this variable is on the free list: it is never reachable from a live
-/// [`Ref`], never listed in the unique table, and is overwritten on reuse.
-pub(crate) const FREE_VAR: u32 = u32::MAX - 1;
-
-/// Operation tags for the shared computed cache. Tag 0 is reserved so a
-/// zero-initialized entry can never match a real key.
-pub(crate) mod op {
-    /// Three-operand if-then-else.
-    pub const ITE: u32 = 1;
-    /// Two-operand conjunction (specialized kernel).
-    pub const AND: u32 = 2;
-    /// Two-operand exclusive-or (specialized kernel).
-    pub const XOR: u32 = 3;
-    /// Single-variable cofactor `f|v=b`.
-    pub const COFACTOR: u32 = 4;
-    /// Coudert–Madre restrict.
-    pub const RESTRICT: u32 = 5;
-    /// Coudert–Madre constrain.
-    pub const CONSTRAIN: u32 = 6;
-    /// Call-scoped rebuilds (permute, node replacement): the second key
-    /// word is a per-call epoch, so stale entries can never be observed.
-    pub const SCOPED: u32 = 7;
-}
-
-/// Best-effort prefetch of the cache line holding `*p` (x86_64 only; a
-/// no-op elsewhere). Unique-table probes use it to overlap the *next*
-/// probe slot's node fetch with the current slot's key comparison — on a
-/// collision chain the bucket words share a line but the arena nodes they
-/// name do not.
-#[inline(always)]
-fn prefetch<T>(p: *const T) {
-    #[cfg(target_arch = "x86_64")]
-    // SAFETY: prefetch is a pure performance hint with no memory effects;
-    // the CPU ignores addresses it cannot fetch.
-    unsafe {
-        core::arch::x86_64::_mm_prefetch(p as *const i8, core::arch::x86_64::_MM_HINT_T0);
-    }
-    #[cfg(not(target_arch = "x86_64"))]
-    let _ = p;
-}
-
-/// Multiply-mix of a `(var, low, high)` triple — the unique-table hash.
-#[inline(always)]
-fn triple_hash(a: u32, b: u32, c: u32) -> u64 {
-    let x = ((a as u64) << 32 | b as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
-    let y = (c as u64 ^ 0xD1B5_4A32_D192_ED03).wrapping_mul(0xA24B_AED4_963E_E407);
-    let mut h = x ^ y;
-    h ^= h >> 29;
-    h = h.wrapping_mul(0xBF58_476D_1CE4_E5B9);
-    h ^ (h >> 32)
-}
+pub use crate::store::Node;
 
 /// Running statistics of the kernel's memory system.
 #[derive(Clone, Copy, Debug, Default, PartialEq)]
@@ -381,353 +236,13 @@ impl Default for AutoSiftConfig {
     }
 }
 
-/// One computed-cache entry: the full operation key, the result, and the
-/// generation that wrote it. 20 bytes — the key is three full words plus
-/// a tag, because a lossy *match* (as opposed to a lossy *eviction*)
-/// would return a wrong function, so the key can never be hashed down.
-#[derive(Clone, Copy, Default)]
-struct CacheEntry {
-    a: u32,
-    b: u32,
-    c: u32,
-    /// `generation << 3 | op` — op tags fit in 3 bits, and generation 0 is
-    /// never current, so zero-initialized slots never match.
-    tag: u32,
-    result: u32,
-}
+/// Default unique-table bucket count (grows on demand).
+const DEFAULT_BUCKETS: usize = 1 << 12;
 
-/// Associativity of one computed-cache set. Three 20-byte entries plus
-/// the 4-byte victim cursor fill a 64-byte line exactly; a fourth way
-/// would need lossy keys, which rules it out (see [`CacheEntry`]).
-const CACHE_WAYS: usize = 3;
-
-/// One cache-line-sized associativity set of the computed cache: three
-/// ways probed together, plus a round-robin victim cursor for inserts
-/// that find no matching or stale way. The alignment pins each set to
-/// one line, so a probe that misses all three ways still costs a single
-/// memory access — where the old direct-mapped layout paid a full miss
-/// per conflicting key.
-#[repr(align(64))]
-#[derive(Clone, Copy)]
-struct CacheSet {
-    ways: [CacheEntry; CACHE_WAYS],
-    victim: u32,
-}
-
-impl Default for CacheSet {
-    fn default() -> CacheSet {
-        CacheSet {
-            ways: [CacheEntry::default(); CACHE_WAYS],
-            victim: 0,
-        }
-    }
-}
-
-// The whole point of the set geometry: one set, one cache line.
-const _: () = assert!(std::mem::size_of::<CacheSet>() == 64);
-
-/// The fixed-size, set-associative, lossy operation cache: power-of-two
-/// [`CacheSet`] groups (three ways per 64-byte line), indexed by the same
-/// multiply-mix hash as the unique table. Within a set, inserts overwrite
-/// a stale way first and round-robin among live ones, so two hot keys
-/// that collide no longer evict each other every call.
-///
-/// Entries are tagged by one of *two* generations: most operations are
-/// function-valued (their keys and results are `Ref`s whose functions the
-/// in-place level swap preserves), but the Coudert–Madre generalized
-/// cofactors pick their result *using the variable order*, so their memo
-/// must not survive a reordering. [`ComputedCache::clear_order_sensitive`]
-/// retires only the latter in O(1), keeping the ITE/AND/XOR/cofactor memo
-/// warm across level swaps — the same warm-memo philosophy as the GC's
-/// selective scrub.
-pub(crate) struct ComputedCache {
-    sets: Vec<CacheSet>,
-    mask: usize,
-    generation: u32,
-    /// Generation of the order-sensitive ops (`RESTRICT`, `CONSTRAIN`);
-    /// bumped by every node-rewriting level swap.
-    order_generation: u32,
-    lookups: u64,
-    hits: u64,
-    insertions: u64,
-}
-
-/// Generations live in the upper bits of the entry tag; op tags occupy the
-/// low `GEN_SHIFT` bits.
-const GEN_SHIFT: u32 = 3;
-
-/// Mask extracting the op code from an entry tag.
-const OP_MASK: u32 = (1 << GEN_SHIFT) - 1;
-
-/// Whether a memoized result of `op` depends on the current variable
-/// order (rather than only on the operand functions).
-#[inline(always)]
-fn order_sensitive(op: u32) -> bool {
-    op == op::RESTRICT || op == op::CONSTRAIN
-}
-
-impl ComputedCache {
-    /// `bits` is the historical entry-count budget (`2^bits` direct-mapped
-    /// slots); the set geometry spends it as `2^(bits-2)` three-way sets,
-    /// i.e. three quarters of the entries in four fifths of the memory,
-    /// with the associativity buying back far more than the lost quarter.
-    fn with_bits(bits: u32) -> ComputedCache {
-        let n = 1usize << (bits.clamp(8, 28) - 2);
-        ComputedCache {
-            sets: vec![CacheSet::default(); n],
-            mask: n - 1,
-            generation: 1,
-            order_generation: 1,
-            lookups: 0,
-            hits: 0,
-            insertions: 0,
-        }
-    }
-
-    /// Total entry capacity (all ways of all sets), for stats.
-    fn entry_capacity(&self) -> usize {
-        self.sets.len() * CACHE_WAYS
-    }
-
-    #[inline(always)]
-    fn set_of(&self, op: u32, a: u32, b: u32, c: u32) -> usize {
-        (triple_hash(a, b ^ op.rotate_left(27), c) as usize) & self.mask
-    }
-
-    #[inline(always)]
-    fn tag_for(&self, op: u32) -> u32 {
-        let gen = if order_sensitive(op) {
-            self.order_generation
-        } else {
-            self.generation
-        };
-        gen << GEN_SHIFT | op
-    }
-
-    #[inline(always)]
-    pub(crate) fn lookup(&mut self, op: u32, a: u32, b: u32, c: u32) -> Option<Ref> {
-        self.lookups += 1;
-        let tag = self.tag_for(op);
-        let idx = self.set_of(op, a, b, c);
-        let set = &mut self.sets[idx];
-        for i in 0..CACHE_WAYS {
-            let e = set.ways[i];
-            if e.tag == tag && e.a == a && e.b == b && e.c == c {
-                self.hits += 1;
-                // MRU promotion: hot keys migrate to way 0, so their next
-                // probe matches on the first compare. Both ways share one
-                // cache line, so the swap is register traffic.
-                if i != 0 {
-                    set.ways[i] = set.ways[0];
-                    set.ways[0] = e;
-                }
-                return Some(Ref::from_raw(e.result));
-            }
-        }
-        None
-    }
-
-    #[inline(always)]
-    pub(crate) fn insert(&mut self, op: u32, a: u32, b: u32, c: u32, result: Ref) {
-        self.insertions += 1;
-        let tag = self.tag_for(op);
-        let idx = self.set_of(op, a, b, c);
-        let (generation, order_generation) = (self.generation, self.order_generation);
-        let set = &mut self.sets[idx];
-        // Way choice: the way already holding this key, else the first
-        // stale way (its generation was retired by a clear), else the
-        // round-robin victim — so re-memoizing refreshes in place and
-        // live conflicting keys take turns instead of thrashing one slot.
-        let mut way = None;
-        for (i, e) in set.ways.iter().enumerate() {
-            if e.tag == tag && e.a == a && e.b == b && e.c == c {
-                way = Some(i);
-                break;
-            }
-            let live_gen = if order_sensitive(e.tag & OP_MASK) {
-                order_generation
-            } else {
-                generation
-            };
-            if way.is_none() && e.tag >> GEN_SHIFT != live_gen {
-                way = Some(i);
-            }
-        }
-        let i = way.unwrap_or_else(|| {
-            let v = set.victim as usize % CACHE_WAYS;
-            set.victim = set.victim.wrapping_add(1);
-            v
-        });
-        set.ways[i] = CacheEntry {
-            a,
-            b,
-            c,
-            tag,
-            result: result.raw(),
-        };
-    }
-
-    /// O(1) clear of everything: bump both generations so every slot is
-    /// stale. On the (practically unreachable) generation wrap, pay one
-    /// real wipe.
-    fn clear(&mut self) {
-        self.generation += 1;
-        self.order_generation += 1;
-        if self.generation >= u32::MAX >> GEN_SHIFT
-            || self.order_generation >= u32::MAX >> GEN_SHIFT
-        {
-            self.sets.fill(CacheSet::default());
-            self.generation = 1;
-            self.order_generation = 1;
-        }
-    }
-
-    /// O(1) clear of only the order-sensitive results (the conservative
-    /// post-swap scrub); function-valued memos stay warm.
-    fn clear_order_sensitive(&mut self) {
-        self.order_generation += 1;
-        if self.order_generation >= u32::MAX >> GEN_SHIFT {
-            self.sets.fill(CacheSet::default());
-            self.generation = 1;
-            self.order_generation = 1;
-        }
-    }
-}
-
-impl std::fmt::Debug for ComputedCache {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("ComputedCache")
-            .field("sets", &self.sets.len())
-            .field("ways", &CACHE_WAYS)
-            .field("generation", &self.generation)
-            .field("lookups", &self.lookups)
-            .field("hits", &self.hits)
-            .finish()
-    }
-}
-
-/// Reusable visited-stamp scratch for `&self` DAG traversals: `stamp[i] ==
-/// gen` means node `i` was seen in the current traversal. Replaces a fresh
-/// `HashSet` per call with two loads and a compare per visit.
-#[derive(Debug, Default)]
-pub(crate) struct VisitScratch {
-    stamp: Vec<u32>,
-    gen: u32,
-}
-
-impl VisitScratch {
-    /// Starts a traversal over `n` nodes; returns the scratch ready to mark.
-    pub(crate) fn begin(&mut self, n: usize) {
-        if self.stamp.len() < n {
-            self.stamp.resize(n, 0);
-        }
-        self.gen = self.gen.wrapping_add(1);
-        if self.gen == 0 {
-            self.stamp.fill(0);
-            self.gen = 1;
-        }
-    }
-
-    /// Marks a node; returns `true` the first time it is seen.
-    #[inline(always)]
-    pub(crate) fn mark(&mut self, i: usize) -> bool {
-        if self.stamp[i] == self.gen {
-            false
-        } else {
-            self.stamp[i] = self.gen;
-            true
-        }
-    }
-
-    /// Whether node `i` was marked in the traversal opened by the most
-    /// recent [`VisitScratch::begin`] (used by the sweep phase to read the
-    /// mark phase's result).
-    #[inline(always)]
-    pub(crate) fn is_marked(&self, i: usize) -> bool {
-        self.stamp.get(i) == Some(&self.gen)
-    }
-}
-
-/// Resource budget governing the fallible (`try_*`) kernel entry points.
-///
-/// All fields default to `None` (unlimited). A manager with limits
-/// installed ([`Manager::set_limits`]) checks them from a cheap step
-/// counter ticked once per recursive kernel invocation; when any bound is
-/// crossed the running `try_*` operation returns [`LimitExceeded`] and
-/// unwinds cooperatively. The infallible kernels (`ite`, `and`, ...)
-/// always run with this budget suspended — they are unlimited-budget
-/// wrappers over the same recursions and can never abort.
-#[derive(Clone, Copy, Debug, Default, PartialEq)]
-pub struct ResourceLimits {
-    /// Abort once [`Manager::live_nodes`] exceeds this (the memory bound:
-    /// a blowing-up cone is cut off before it can exhaust the arena).
-    pub max_live_nodes: Option<usize>,
-    /// Abort after this many kernel recursion steps since the limits were
-    /// installed or last [`Manager::reset_steps`] (the work bound).
-    pub max_steps: Option<u64>,
-    /// Abort once `Instant::now()` passes this absolute deadline (checked
-    /// every 256 steps to keep the clock off the hot path).
-    pub deadline: Option<std::time::Instant>,
-}
-
-impl ResourceLimits {
-    /// Whether any bound is actually set.
-    pub fn is_limited(&self) -> bool {
-        self.max_live_nodes.is_some() || self.max_steps.is_some() || self.deadline.is_some()
-    }
-}
-
-/// Which bound of a [`ResourceLimits`] was crossed.
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
-pub enum LimitKind {
-    /// [`ResourceLimits::max_live_nodes`].
-    Nodes,
-    /// [`ResourceLimits::max_steps`].
-    Steps,
-    /// [`ResourceLimits::deadline`].
-    Deadline,
-    /// A test-only injected fault ([`Manager::fault_inject_abort_after`]).
-    Injected,
-}
-
-/// A `try_*` kernel aborted because a [`ResourceLimits`] bound was
-/// crossed.
-///
-/// The abort is *clean*: the manager remains fully consistent — unique
-/// table, computed cache, interior reference counts and per-variable
-/// lists all intact. Nodes built by the aborted recursion are ordinary
-/// unreferenced garbage for the next [`Manager::collect`]; no state needs
-/// rolling back and every previously held [`Ref`] is still valid.
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
-pub struct LimitExceeded {
-    /// The bound that was crossed.
-    pub kind: LimitKind,
-    /// Kernel steps taken when the abort fired.
-    pub steps: u64,
-    /// Live node count when the abort fired.
-    pub live_nodes: usize,
-}
-
-impl std::fmt::Display for LimitExceeded {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        let what = match self.kind {
-            LimitKind::Nodes => "node limit",
-            LimitKind::Steps => "step limit",
-            LimitKind::Deadline => "deadline",
-            LimitKind::Injected => "injected fault",
-        };
-        write!(
-            f,
-            "BDD kernel aborted: {what} exceeded after {} steps ({} live nodes)",
-            self.steps, self.live_nodes
-        )
-    }
-}
-
-impl std::error::Error for LimitExceeded {}
-
-/// A BDD manager: owns the node arena, the unique table guaranteeing
-/// canonicity, and the shared computed cache.
+/// A BDD manager: one shared [`NodeStore`] (arena, unique table,
+/// interior refcounts) plus one default [`Session`] (computed cache,
+/// visit scratch, resource budget), presenting the classic
+/// single-threaded API.
 ///
 /// All functions created by one manager live in the same shared DAG, so
 /// equality of [`Ref`]s is equality of Boolean functions.
@@ -745,57 +260,10 @@ impl std::error::Error for LimitExceeded {}
 /// ```
 #[derive(Debug)]
 pub struct Manager {
-    pub(crate) nodes: Vec<Node>,
-    /// External reference count per arena slot (collection roots). Only
-    /// [`Manager::protect`]/[`Manager::release`] touch these.
-    refs: Vec<u32>,
-    /// Interior reference count per arena slot: the number of *arena
-    /// edges* into the slot, i.e. how many non-free nodes name it as
-    /// `low` or `high` (edges to the terminal are not tracked — it is
-    /// always live). Maintained exactly by every code path that creates,
-    /// rewrites or destroys a node: `mk_regular` (fresh slots and
-    /// free-list reuse alike increment their children), the level swap's
-    /// slot patching (increment the new children, decrement the old), and
-    /// the sweep (reclaiming a node decrements its children). A node with
-    /// `refs == 0 && int_refs == 0` is dead by definition — nothing in
-    /// the kernel can reach it — which is what makes the refcount-driven
-    /// [`Manager::collect`] and the O(1) swap size deltas possible.
-    /// Audited against a full recount by [`Manager::verify_interior_refs`]
-    /// in debug builds.
-    int_refs: Vec<u32>,
-    /// Position of each slot inside its `var_nodes[var]` list, making
-    /// single-slot removal O(1) (swap-remove + patch the displaced
-    /// entry). Only meaningful for non-free slots.
-    var_pos: Vec<u32>,
-    /// Reclaimed arena slots awaiting reuse (LIFO).
-    free: Vec<u32>,
-    /// Open-addressed unique table (bucket => node index, 0 = empty).
-    buckets: Vec<u32>,
-    bucket_mask: usize,
-    occupied: usize,
-    pub(crate) cache: ComputedCache,
-    /// Per-call epoch for [`op::SCOPED`] cache entries.
-    pub(crate) scope_epoch: u32,
-    /// Visited-stamp scratch shared by the `&self` traversals. This
-    /// `RefCell` is what makes `Manager: !Sync` (pinned by a
-    /// `compile_fail` doctest in the crate docs): a manager must be owned
-    /// by one thread at a time — parallel suite harnesses build one
-    /// manager per worker and never share it.
-    pub(crate) visited: RefCell<VisitScratch>,
-    num_vars: u32,
-    /// Position of each variable in the decision order
-    /// (`var2level[var] = level`; always a permutation of `0..num_vars`).
-    var2level: Vec<u32>,
-    /// Inverse of `var2level` (`level2var[level] = var`).
-    level2var: Vec<u32>,
-    /// Exact per-variable slot lists (`var_nodes[var]` holds every arena
-    /// slot currently storing a node of that variable, live or
-    /// dead-but-unswept). Maintained by `mk` on creation, by the level
-    /// swap when nodes change variable, and rebuilt by the sweep — this
-    /// is what makes [`Manager::swap_levels`] O(level population) instead
-    /// of O(arena).
-    var_nodes: Vec<Vec<u32>>,
-    var_names: Vec<Option<String>>,
+    /// The shared node-owning half (see [`crate::store`]).
+    pub(crate) store: NodeStore,
+    /// The manager's own per-thread half (see [`crate::session`]).
+    pub(crate) session: Session,
     gc: GcConfig,
     auto_sift: AutoSiftConfig,
     /// Live-node threshold re-arming [`Manager::maybe_sift`].
@@ -812,33 +280,10 @@ pub struct Manager {
     /// reclaimed at least one node); excludes per-swap eager reclamation.
     collections: u64,
     reclaimed_total: u64,
-    /// Nodes created since the last collection attempt (gates
-    /// [`Manager::maybe_collect`]).
-    allocs_since_gc: usize,
-    peak_nodes: usize,
-    /// Resource budget consulted by the `try_*` kernels (all-`None` =
-    /// unlimited). Installed by [`Manager::set_limits`].
-    limits: ResourceLimits,
-    /// Fast gate for [`Manager::tick`]: true iff `limits.is_limited()` or
-    /// a fault injection is armed, and governance is not suspended by an
-    /// infallible wrapper.
-    governed: bool,
-    /// Kernel recursion steps since limits were installed / last reset.
-    steps: u64,
-    /// Test-only fault injection: abort with [`LimitKind::Injected`] once
-    /// `steps` reaches this value.
-    abort_at_step: Option<u64>,
+    /// The global worker-thread budget the parallel apply draws from
+    /// (`None` = no intra-cone parallelism; see [`crate::parallel`]).
+    pub(crate) job_budget: Option<crate::session::JobBudget>,
 }
-
-/// Default unique-table bucket count (grows on demand).
-const DEFAULT_BUCKETS: usize = 1 << 12;
-/// Smallest bucket array [`Manager::with_capacity`] will allocate.
-const MIN_BUCKETS: usize = 1 << 8;
-/// Default computed-cache size in bits: the entry-count budget a
-/// direct-mapped cache would spend as `1 << bits` slots; the
-/// set-associative geometry spends it as `1 << (bits - 2)` three-way,
-/// cache-line-sized sets (see [`ComputedCache`]).
-pub const DEFAULT_CACHE_BITS: u32 = 14;
 
 impl Default for Manager {
     fn default() -> Self {
@@ -859,32 +304,9 @@ impl Manager {
     /// Sizing the tables up front avoids rehash churn while building large
     /// functions; the unique table still doubles on demand past `nodes`.
     pub fn with_capacity(nodes: usize, cache_bits: u32) -> Manager {
-        let buckets = (nodes.max(8) * 4 / 3 + 1)
-            .next_power_of_two()
-            .max(MIN_BUCKETS);
-        let mut arena = Vec::with_capacity(nodes.max(16));
-        arena.push(Node {
-            var: Var(TERMINAL_VAR),
-            low: Ref::ONE,
-            high: Ref::ONE,
-        });
         Manager {
-            nodes: arena,
-            refs: vec![0u32; 1],
-            int_refs: vec![0u32; 1],
-            var_pos: vec![0u32; 1],
-            free: Vec::new(),
-            buckets: vec![0u32; buckets],
-            bucket_mask: buckets - 1,
-            occupied: 0,
-            cache: ComputedCache::with_bits(cache_bits),
-            scope_epoch: 0,
-            visited: RefCell::new(VisitScratch::default()),
-            num_vars: 0,
-            var2level: Vec::new(),
-            level2var: Vec::new(),
-            var_nodes: Vec::new(),
-            var_names: Vec::new(),
+            store: NodeStore::with_capacity(nodes),
+            session: Session::with_cache_bits(cache_bits),
             gc: GcConfig::default(),
             auto_sift: AutoSiftConfig::default(),
             next_sift: AutoSiftConfig::default().min_nodes,
@@ -893,23 +315,27 @@ impl Manager {
             gc_epoch: 0,
             collections: 0,
             reclaimed_total: 0,
-            allocs_since_gc: 0,
-            peak_nodes: 1,
-            limits: ResourceLimits::default(),
-            governed: false,
-            steps: 0,
-            abort_at_step: None,
+            job_budget: None,
         }
     }
 
-    /// Grows the unique table so at least `nodes` arena nodes fit without a
-    /// rehash. No-op when already large enough.
+    /// Grows the unique table (and the arena) so at least `nodes` arena
+    /// nodes fit without a rehash. No-op when already large enough.
     pub fn reserve_nodes(&mut self, nodes: usize) {
         let wanted = (nodes.max(8) * 4 / 3 + 1).next_power_of_two();
-        if wanted > self.buckets.len() {
-            self.nodes.reserve(nodes.saturating_sub(self.nodes.len()));
-            self.grow_to(wanted);
+        if wanted > self.store.buckets_len() {
+            self.store.ensure_arena_capacity(nodes);
+            self.store.grow_buckets_to(wanted);
         }
+    }
+
+    /// Installs the global worker-thread budget the parallel apply draws
+    /// from (see [`crate::session::JobBudget`]): suite-level and
+    /// intra-cone parallelism share one pool of permits, so `--jobs`
+    /// stays the single oversubscription knob. `None` (the default)
+    /// disables intra-cone forking entirely.
+    pub fn set_job_budget(&mut self, budget: Option<crate::session::JobBudget>) {
+        self.job_budget = budget;
     }
 
     /// Installs a resource budget for the `try_*` kernels and resets the
@@ -918,35 +344,30 @@ impl Manager {
     /// See [`ResourceLimits`] for what each bound means and
     /// [`LimitExceeded`] for the abort-recovery contract.
     pub fn set_limits(&mut self, limits: ResourceLimits) {
-        self.limits = limits;
-        self.steps = 0;
-        self.governed = limits.is_limited() || self.abort_at_step.is_some();
+        self.session.set_limits(limits);
     }
 
     /// Removes any installed resource budget (and disarms fault
     /// injection); the `try_*` kernels become infallible in practice.
     pub fn clear_limits(&mut self) {
-        self.limits = ResourceLimits::default();
-        self.abort_at_step = None;
-        self.steps = 0;
-        self.governed = false;
+        self.session.clear_limits();
     }
 
     /// The currently installed resource budget.
     pub fn limits(&self) -> ResourceLimits {
-        self.limits
+        self.session.limits()
     }
 
     /// Kernel recursion steps taken since the limits were installed or
     /// last reset — a cheap progress/cost indicator.
     pub fn steps_used(&self) -> u64 {
-        self.steps
+        self.session.steps_used()
     }
 
     /// Resets the step counter without touching the installed bounds
     /// (e.g. to give each cone of a flow a fresh work budget).
     pub fn reset_steps(&mut self) {
-        self.steps = 0;
+        self.session.reset_steps();
     }
 
     /// Test-only fault injection: the next `try_*` kernel aborts with
@@ -955,66 +376,95 @@ impl Manager {
     /// stop recursions at arbitrary interior points.
     #[doc(hidden)]
     pub fn fault_inject_abort_after(&mut self, steps: Option<u64>) {
-        self.abort_at_step = steps;
-        self.steps = 0;
-        self.governed = self.limits.is_limited() || steps.is_some();
-    }
-
-    /// One governance tick, called at the top of every fallible kernel
-    /// recursion. A single predictable branch when ungoverned.
-    #[inline(always)]
-    pub(crate) fn tick(&mut self) -> Result<(), LimitExceeded> {
-        if !self.governed {
-            return Ok(());
-        }
-        self.tick_slow()
-    }
-
-    #[cold]
-    fn tick_slow(&mut self) -> Result<(), LimitExceeded> {
-        self.steps += 1;
-        let exceeded = |kind, steps, live| LimitExceeded {
-            kind,
-            steps,
-            live_nodes: live,
-        };
-        if let Some(at) = self.abort_at_step {
-            if self.steps >= at {
-                return Err(exceeded(LimitKind::Injected, self.steps, self.live_nodes()));
-            }
-        }
-        if let Some(max) = self.limits.max_steps {
-            if self.steps > max {
-                return Err(exceeded(LimitKind::Steps, self.steps, self.live_nodes()));
-            }
-        }
-        if let Some(max) = self.limits.max_live_nodes {
-            if self.live_nodes() > max {
-                return Err(exceeded(LimitKind::Nodes, self.steps, self.live_nodes()));
-            }
-        }
-        if let Some(deadline) = self.limits.deadline {
-            // The clock is the only expensive check: sample it every 256
-            // steps so governed kernels stay within noise of ungoverned.
-            if self.steps & 0xFF == 0 && std::time::Instant::now() >= deadline {
-                return Err(exceeded(LimitKind::Deadline, self.steps, self.live_nodes()));
-            }
-        }
-        Ok(())
+        self.session.fault_inject_abort_after(steps);
     }
 
     /// Runs a fallible kernel closure with governance suspended, turning
     /// it into the unlimited-budget infallible form. This is how every
     /// classic entry point (`ite`, `and`, `xor`, the cofactor family, ...)
     /// wraps its `try_*` twin: the budget and any armed fault injection
-    /// are ignored for the duration, then restored.
+    /// are ignored for the duration, then restored. (Store exhaustion is
+    /// not governance: the façade's grow-and-retry loop has already
+    /// absorbed any [`LimitKind::TableFull`] before this returns.)
     pub fn ungoverned<T>(&mut self, f: impl FnOnce(&mut Manager) -> Result<T, LimitExceeded>) -> T {
-        let saved = std::mem::replace(&mut self.governed, false);
+        let saved = std::mem::replace(&mut self.session.governed, false);
         let r = f(self);
-        self.governed = saved;
+        self.session.governed = saved;
         match r {
             Ok(v) => v,
             Err(e) => unreachable!("ungoverned kernel reported {e}"),
+        }
+    }
+
+    /// The façade's kernel driver: runs a recursive kernel against
+    /// `(&store, &mut session)` (the split borrow that replaced the old
+    /// `&mut Manager` threading), folds the session's publication log
+    /// into the per-variable slot lists afterwards (success and abort
+    /// alike — aborted recursions leave real arena nodes behind), and
+    /// absorbs [`LimitKind::TableFull`] by growing the store at this
+    /// quiescent point and re-running (the warm computed cache makes the
+    /// retry cheap). Genuine governance aborts pass through.
+    pub(crate) fn run_kernel(
+        &mut self,
+        kernel: impl Fn(&NodeStore, &mut Session) -> Result<Ref, LimitExceeded>,
+    ) -> Result<Ref, LimitExceeded> {
+        loop {
+            let r = kernel(&self.store, &mut self.session);
+            self.drain_created();
+            match r {
+                Err(e) if e.kind == LimitKind::TableFull => {
+                    self.grow_for_retry();
+                }
+                r => {
+                    // Grow-ahead at the operation boundary keeps the
+                    // shared path's 7/8 emergency cap out of reach on
+                    // the next call.
+                    if self.store.occupied() * 4 >= self.store.buckets_len() * 3 {
+                        self.store.grow_buckets_to(self.store.buckets_len() * 2);
+                    }
+                    return r;
+                }
+            }
+        }
+    }
+
+    /// Folds the default session's publication log into the store's
+    /// per-variable slot lists (kernels hold only `&NodeStore`, so they
+    /// log what they create instead of maintaining the lists).
+    pub(crate) fn drain_created(&mut self) {
+        let created = std::mem::take(&mut self.session.created);
+        self.fold_created(created);
+    }
+
+    /// List-drain core shared with the parallel apply (which folds the
+    /// logs of every worker session after joining them).
+    pub(crate) fn fold_created(&mut self, created: Vec<u32>) {
+        self.store.sync_lengths();
+        for idx in created {
+            let v = self.store.var_of(idx as usize) as usize;
+            self.store.var_pos[idx as usize] = self.store.var_nodes[v].len() as u32;
+            self.store.var_nodes[v].push(idx);
+        }
+    }
+
+    /// Grows whichever store resource ran out: the unique table past its
+    /// shared-region load cap, the arena past its capacity, or both.
+    /// Called at quiescent points only (growth asserts it).
+    pub(crate) fn grow_for_retry(&mut self) {
+        let mut grew = false;
+        if (self.store.occupied() + 1) * 8 > self.store.buckets_len() * 7 {
+            self.store.grow_buckets_to(self.store.buckets_len() * 2);
+            grew = true;
+        }
+        if self.store.arena_full() {
+            self.store.grow_arena();
+            grew = true;
+        }
+        if !grew {
+            // try_mk only fails on one of the two conditions; racing
+            // counters can leave both checks momentarily happy, in which
+            // case arena headroom is the safe default.
+            self.store.grow_arena();
         }
     }
 
@@ -1041,28 +491,13 @@ impl Manager {
     /// variable count if needed (new variables enter at the deepest
     /// levels, leaving the existing order untouched).
     pub fn var(&mut self, index: u32) -> Ref {
-        self.ensure_var(index);
+        self.store.ensure_var(index);
         self.mk(Var(index), Ref::ZERO, Ref::ONE)
-    }
-
-    /// Registers `index` (and any gap below it) in the order maps; new
-    /// variables are appended at the deepest levels in index order.
-    fn ensure_var(&mut self, index: u32) {
-        if index < self.num_vars {
-            return;
-        }
-        self.num_vars = index + 1;
-        while (self.var2level.len() as u32) < self.num_vars {
-            let next = self.var2level.len() as u32;
-            self.var2level.push(next);
-            self.level2var.push(next);
-            self.var_nodes.push(Vec::new());
-        }
     }
 
     /// Number of variables known to the manager.
     pub fn num_vars(&self) -> u32 {
-        self.num_vars
+        self.store.num_vars()
     }
 
     /// Current arena size in slots, including the terminal and reclaimed
@@ -1070,25 +505,26 @@ impl Manager {
     /// collection this stays within a constant factor of
     /// [`Manager::live_nodes`] instead of growing monotonically.
     pub fn num_nodes(&self) -> usize {
-        self.nodes.len()
+        self.store.num_nodes()
     }
 
     /// Number of live nodes (arena slots currently holding a node,
     /// including the terminal; excludes the free list).
     pub fn live_nodes(&self) -> usize {
-        self.nodes.len() - self.free.len()
+        self.store.live_nodes()
     }
 
-    /// Read access to a stored node.
+    /// Read access to a stored node (a by-value snapshot since the
+    /// store/session split — nodes are three words).
     ///
     /// # Panics
     ///
     /// Panics if `id` is the terminal node or out of bounds; in debug
     /// builds, also if `id` was reclaimed by a collection (a dangling
     /// reference the caller failed to protect).
-    pub fn node(&self, id: NodeId) -> &Node {
+    pub fn node(&self, id: NodeId) -> Node {
         assert!(!id.is_terminal(), "terminal node has no decision variable");
-        let n = &self.nodes[id.index()];
+        let n = self.store.node(id.index());
         debug_assert!(
             n.var.0 != FREE_VAR,
             "dangling reference to reclaimed node {id:?}"
@@ -1098,11 +534,7 @@ impl Manager {
 
     /// The decision variable of an edge's top node; `None` for constants.
     pub fn top_var(&self, f: Ref) -> Option<Var> {
-        if f.is_const() {
-            None
-        } else {
-            Some(self.nodes[f.node().index()].var)
-        }
+        self.store.top_var(f)
     }
 
     /// Level of an edge's top node in the current variable order, the
@@ -1111,23 +543,13 @@ impl Manager {
     /// below every real one. Smaller means closer to the root.
     #[inline(always)]
     pub fn level(&self, f: Ref) -> u32 {
-        self.var_level(self.nodes[f.node().index()].var.0)
-    }
-
-    /// Level of a variable index; `u32::MAX` for the terminal/free
-    /// sentinels and for variables the manager has never seen.
-    #[inline(always)]
-    pub(crate) fn var_level(&self, var: u32) -> u32 {
-        match self.var2level.get(var as usize) {
-            Some(&l) => l,
-            None => u32::MAX,
-        }
+        self.store.level(f)
     }
 
     /// Level of variable `v` in the current order (`u32::MAX` if `v` is
     /// unknown to the manager).
     pub fn level_of_var(&self, v: Var) -> u32 {
-        self.var_level(v.0)
+        self.store.var_level(v.0)
     }
 
     /// The variable currently sitting at `level`.
@@ -1137,41 +559,36 @@ impl Manager {
     /// Panics if `level >= num_vars`.
     #[inline(always)]
     pub fn var_at_level(&self, level: u32) -> Var {
-        Var(self.level2var[level as usize])
+        self.store.var_at_level(level)
     }
 
     /// The current order as `var2level[var] = level` (a permutation of
     /// `0..num_vars`).
     pub fn var2level(&self) -> &[u32] {
-        &self.var2level
+        &self.store.var2level
     }
 
     /// The current order as `level2var[level] = var` (the inverse of
     /// [`Manager::var2level`]).
     pub fn level2var(&self) -> &[u32] {
-        &self.level2var
+        &self.store.level2var
     }
 
     /// Associates a display name with a variable (used by the DOT export).
     pub fn set_var_name(&mut self, index: u32, name: impl Into<String>) {
-        let idx = index as usize;
-        if self.var_names.len() <= idx {
-            self.var_names.resize(idx + 1, None);
-        }
-        self.var_names[idx] = Some(name.into());
+        self.store.set_var_name(index, name.into());
     }
 
     /// Display name of a variable, defaulting to `x<i>`.
     pub fn var_name(&self, index: u32) -> String {
-        self.var_names
-            .get(index as usize)
-            .and_then(|n| n.clone())
-            .unwrap_or_else(|| format!("x{index}"))
+        self.store.var_name(index)
     }
 
     /// Finds or creates the node `(var, low, high)`, applying the reduction
     /// rules (equal children; complement pushed off the 1-edge). Unknown
-    /// variables are registered at the deepest level first.
+    /// variables are registered at the deepest level first. This is the
+    /// quiescent (`&mut`) construction path — kernels use the session-side
+    /// `mk` against the shared store instead.
     ///
     /// # Panics
     ///
@@ -1179,177 +596,35 @@ impl Manager {
     /// below `var`'s level (which would break canonicity).
     #[inline]
     pub fn mk(&mut self, var: Var, low: Ref, high: Ref) -> Ref {
-        self.ensure_var(var.0);
+        self.store.ensure_var(var.0);
         if low == high {
             return low;
         }
         debug_assert!(
-            self.var_level(var.0) < self.level(low) && self.var_level(var.0) < self.level(high),
+            self.store.var_level(var.0) < self.store.level(low)
+                && self.store.var_level(var.0) < self.store.level(high),
             "mk: ordering violated at {var:?}"
         );
-        if high.is_complemented() {
-            return !self.mk_regular(var, !low, !high);
-        }
-        self.mk_regular(var, low, high)
-    }
-
-    /// The unique-table probe/insert: finds the canonical node for a
-    /// regular-`high` triple or appends a fresh arena node.
-    #[inline]
-    fn mk_regular(&mut self, var: Var, low: Ref, high: Ref) -> Ref {
-        debug_assert!(!high.is_complemented());
-        let h = triple_hash(var.0, low.raw(), high.raw());
-        let mut i = (h as usize) & self.bucket_mask;
-        loop {
-            let b = self.buckets[i];
-            if b == 0 {
-                break;
-            }
-            // Overlap the next probe's node fetch with this comparison:
-            // the next bucket word is (almost always) in the line already
-            // loaded, but the arena node it names is not.
-            let next = self.buckets[(i + 1) & self.bucket_mask];
-            if next != 0 {
-                prefetch(&self.nodes[next as usize]);
-            }
-            let n = &self.nodes[b as usize];
-            if n.var == var && n.low == low && n.high == high {
-                return Ref::new(NodeId(b), false);
-            }
-            i = (i + 1) & self.bucket_mask;
-        }
-        // Reclaim-before-grow: reuse a swept slot when one is available,
-        // so the arena only grows once the free list is exhausted.
-        let idx = match self.free.pop() {
-            Some(slot) => {
-                debug_assert!(self.nodes[slot as usize].var.0 == FREE_VAR);
-                debug_assert!(self.refs[slot as usize] == 0);
-                debug_assert!(self.int_refs[slot as usize] == 0);
-                self.nodes[slot as usize] = Node { var, low, high };
-                slot
-            }
-            None => {
-                let idx = self.nodes.len() as u32;
-                debug_assert!(idx < u32::MAX >> 1, "node arena exceeds Ref address space");
-                self.nodes.push(Node { var, low, high });
-                self.refs.push(0);
-                self.int_refs.push(0);
-                self.var_pos.push(0);
-                self.peak_nodes = self.peak_nodes.max(self.nodes.len());
-                idx
-            }
+        let complement = high.is_complemented();
+        let (low, high) = if complement {
+            (!low, !high)
+        } else {
+            (low, high)
         };
-        // The new node's edges are arena edges: its children gain one
-        // interior reference each (free-list reuse and fresh slots alike).
-        self.inc_child(low);
-        self.inc_child(high);
-        self.var_pos[idx as usize] = self.var_nodes[var.index()].len() as u32;
-        self.var_nodes[var.index()].push(idx);
-        self.allocs_since_gc += 1;
-        self.buckets[i] = idx;
-        self.occupied += 1;
-        if self.occupied * 4 >= self.buckets.len() * 3 {
-            self.grow_to(self.buckets.len() * 2);
-        }
-        Ref::new(NodeId(idx), false)
-    }
-
-    /// Rebuilds the bucket array at `new_len` (a power of two) by
-    /// re-inserting every live arena node; reclaimed slots are skipped.
-    fn grow_to(&mut self, new_len: usize) {
-        debug_assert!(new_len.is_power_of_two());
-        let mask = new_len - 1;
-        let mut buckets = vec![0u32; new_len];
-        for (idx, n) in self.nodes.iter().enumerate().skip(1) {
-            if n.var.0 == FREE_VAR {
-                continue;
-            }
-            let mut i = (triple_hash(n.var.0, n.low.raw(), n.high.raw()) as usize) & mask;
-            while buckets[i] != 0 {
-                i = (i + 1) & mask;
-            }
-            buckets[i] = idx as u32;
-        }
-        self.buckets = buckets;
-        self.bucket_mask = mask;
-    }
-
-    /// Adds one interior reference to `c`'s node (edges to the terminal
-    /// are not tracked — it is unconditionally live).
-    #[inline(always)]
-    fn inc_child(&mut self, c: Ref) {
-        let i = c.node().index();
-        if i != 0 {
-            self.int_refs[i] += 1;
-        }
-    }
-
-    /// Drops one interior reference to `c`'s node. With `reclaim`, a node
-    /// whose last reference (interior *and* external) just vanished is
-    /// reclaimed on the spot, cascading into its own children — the eager
-    /// mode sifting uses so swap garbage never exists and the live arena
-    /// size *is* the rooted size.
-    #[inline]
-    fn dec_child(&mut self, c: Ref, reclaim: bool) {
-        let i = c.node().index();
-        if i == 0 {
-            return;
-        }
-        debug_assert!(
-            self.int_refs[i] > 0,
-            "interior refcount underflow at slot {i}"
-        );
-        self.int_refs[i] -= 1;
-        if reclaim && self.int_refs[i] == 0 && self.refs[i] == 0 {
-            self.reclaim_cascade(i as u32);
-        }
-    }
-
-    /// Removes `slot` from its `var_nodes` list in O(1) via the stored
-    /// position (swap-remove; the displaced tail entry's position is
-    /// patched).
-    fn remove_from_var_list(&mut self, slot: u32, var: u32) {
-        let p = self.var_pos[slot as usize] as usize;
-        let list = &mut self.var_nodes[var as usize];
-        debug_assert_eq!(list[p], slot, "var_pos out of sync at slot {slot}");
-        list.swap_remove(p);
-        if p < list.len() {
-            self.var_pos[list[p] as usize] = p as u32;
-        }
-    }
-
-    /// Reclaims a dead slot (`refs == 0 && int_refs == 0`) immediately:
-    /// detaches it from the unique table and its per-variable list,
-    /// poisons it onto the free list, and cascades into any child whose
-    /// last reference this was. Iterative (worklist) so a long dead chain
-    /// cannot overflow the stack.
-    fn reclaim_cascade(&mut self, start: u32) {
-        let mut stack = vec![start];
-        while let Some(s) = stack.pop() {
-            let n = self.nodes[s as usize];
-            debug_assert!(n.var.0 != FREE_VAR, "double reclaim of slot {s}");
-            self.remove_slot(s, &n);
-            self.remove_from_var_list(s, n.var.0);
-            self.nodes[s as usize] = Node {
-                var: Var(FREE_VAR),
-                low: Ref::ONE,
-                high: Ref::ONE,
-            };
-            self.free.push(s);
-            self.reclaimed_total += 1;
-            for c in [n.low, n.high] {
-                let i = c.node().index();
-                if i == 0 {
-                    continue;
+        loop {
+            match self.store.try_mk(var, low, high) {
+                Ok((r, created)) => {
+                    if created {
+                        self.fold_created(vec![r.node().0]);
+                        // Exclusive-path growth at 3/4 load, ahead of the
+                        // shared path's 7/8 emergency cap.
+                        if self.store.occupied() * 4 >= self.store.buckets_len() * 3 {
+                            self.store.grow_buckets_to(self.store.buckets_len() * 2);
+                        }
+                    }
+                    return r.xor_complement(complement);
                 }
-                debug_assert!(
-                    self.int_refs[i] > 0,
-                    "interior refcount underflow at slot {i}"
-                );
-                self.int_refs[i] -= 1;
-                if self.int_refs[i] == 0 && self.refs[i] == 0 {
-                    stack.push(i as u32);
-                }
+                Err(_) => self.grow_for_retry(),
             }
         }
     }
@@ -1361,40 +636,44 @@ impl Manager {
     /// the O(1) swap deltas (called after every collection and after each
     /// variable's sift walk in debug builds; tests call it directly).
     pub fn verify_interior_refs(&self) {
-        let n = self.nodes.len();
+        let n = self.store.num_nodes();
         let mut counts = vec![0u32; n];
-        for node in self.nodes.iter().skip(1) {
+        for i in 1..n {
+            let node = self.store.node(i);
             if node.var.0 == FREE_VAR {
                 continue;
             }
             for c in [node.low, node.high] {
-                let i = c.node().index();
-                if i != 0 {
-                    counts[i] += 1;
+                let ci = c.node().index();
+                if ci != 0 {
+                    counts[ci] += 1;
                 }
             }
         }
         for (i, &count) in counts.iter().enumerate().skip(1) {
-            if self.nodes[i].var.0 == FREE_VAR {
+            if self.store.var_of(i) == FREE_VAR {
                 assert_eq!(
-                    self.int_refs[i], 0,
+                    self.store.int_ref(i),
+                    0,
                     "reclaimed slot {i} carries interior references"
                 );
             } else {
                 assert_eq!(
-                    self.int_refs[i], count,
+                    self.store.int_ref(i),
+                    count,
                     "interior refcount of slot {i} disagrees with a full recount"
                 );
             }
         }
-        for (v, list) in self.var_nodes.iter().enumerate() {
+        for (v, list) in self.store.var_nodes.iter().enumerate() {
             for (p, &s) in list.iter().enumerate() {
                 assert_eq!(
-                    self.nodes[s as usize].var.0, v as u32,
+                    self.store.var_of(s as usize),
+                    v as u32,
                     "var_nodes[{v}] lists slot {s} of another variable"
                 );
                 assert_eq!(
-                    self.var_pos[s as usize] as usize, p,
+                    self.store.var_pos[s as usize] as usize, p,
                     "var_pos of slot {s} disagrees with its list position"
                 );
             }
@@ -1410,7 +689,8 @@ impl Manager {
     /// node reached through a complemented edge. Panics on the first
     /// violation; O(arena), intended for tests and debug audits.
     pub fn verify_edge_canonical_form(&self) {
-        for (i, n) in self.nodes.iter().enumerate().skip(1) {
+        for i in 1..self.store.num_nodes() {
+            let n = self.store.node(i);
             if n.var.0 == FREE_VAR {
                 continue;
             }
@@ -1429,23 +709,15 @@ impl Manager {
         if f.is_const() {
             u32::MAX
         } else {
-            self.int_refs[f.node().index()]
+            self.store.int_ref(f.node().index())
         }
     }
 
     /// Cofactors `f` with respect to variable `v` assumed to be at or above
-    /// `f`'s top level: returns `(f|v=0, f|v=1)`. Comparing the stored top
-    /// variable covers the constant case too (the terminal's sentinel never
-    /// equals a real variable), so there is no separate terminal branch.
+    /// `f`'s top level: returns `(f|v=0, f|v=1)`.
     #[inline(always)]
     pub(crate) fn shallow_cofactors(&self, f: Ref, v: Var) -> (Ref, Ref) {
-        let n = self.nodes[f.node().index()];
-        if n.var != v {
-            (f, f)
-        } else {
-            let c = f.is_complemented();
-            (n.low.xor_complement(c), n.high.xor_complement(c))
-        }
+        self.store.shallow_cofactors(f, v)
     }
 
     /// Drops every memoized operation result in O(1) (generation bump).
@@ -1453,20 +725,21 @@ impl Manager {
     /// between phases without paying a re-allocation or a re-grow.
     /// Correctness is unaffected.
     pub fn clear_caches(&mut self) {
-        self.cache.clear();
+        self.session.cache.clear();
     }
 
-    /// Opens a fresh scope for [`op::SCOPED`] cache entries (per-call
-    /// memoization of permute / node-replacement rebuilds).
+    /// Opens a fresh scope for [`crate::session::op::SCOPED`] cache
+    /// entries (per-call memoization of permute / node-replacement
+    /// rebuilds).
     #[inline]
     pub(crate) fn new_scope(&mut self) -> u32 {
-        self.scope_epoch = self.scope_epoch.wrapping_add(1);
-        if self.scope_epoch == 0 {
+        self.session.scope_epoch = self.session.scope_epoch.wrapping_add(1);
+        if self.session.scope_epoch == 0 {
             // An epoch reuse after wrap could alias old entries: flush.
-            self.cache.clear();
-            self.scope_epoch = 1;
+            self.session.cache.clear();
+            self.session.scope_epoch = 1;
         }
-        self.scope_epoch
+        self.session.scope_epoch
     }
 
     /// Snapshot of the kernel's memory-system counters. The
@@ -1476,15 +749,15 @@ impl Manager {
     /// dead nodes.
     pub fn cache_stats(&self) -> CacheStats {
         CacheStats {
-            lookups: self.cache.lookups,
-            hits: self.cache.hits,
-            insertions: self.cache.insertions,
-            peak_nodes: self.peak_nodes,
-            cache_entries: self.cache.entry_capacity(),
-            unique_buckets: self.buckets.len(),
-            garbage_estimate: self.free.len(),
+            lookups: self.session.cache.lookups,
+            hits: self.session.cache.hits,
+            insertions: self.session.cache.insertions,
+            peak_nodes: self.store.num_nodes(),
+            cache_entries: self.session.cache.entry_capacity(),
+            unique_buckets: self.store.buckets_len(),
+            garbage_estimate: self.store.free_nodes(),
             live_nodes: self.live_nodes(),
-            free_nodes: self.free.len(),
+            free_nodes: self.store.free_nodes(),
             reclaimed_total: self.reclaimed_total,
             collections: self.collections,
             sift_swaps: self.sift_swaps,
@@ -1499,7 +772,7 @@ impl Manager {
         let mut stats = self.cache_stats();
         let live = self.shared_size(roots);
         let in_use = self.live_nodes() - 1; // internal nodes currently held
-        stats.garbage_estimate = self.free.len() + in_use.saturating_sub(live);
+        stats.garbage_estimate = self.store.free_nodes() + in_use.saturating_sub(live);
         stats
     }
 
@@ -1516,10 +789,10 @@ impl Manager {
         if !f.is_const() {
             let slot = f.node().index();
             debug_assert!(
-                self.nodes[slot].var.0 != FREE_VAR,
+                self.store.var_of(slot) != FREE_VAR,
                 "protect of reclaimed node"
             );
-            self.refs[slot] = self.refs[slot].saturating_add(1);
+            self.store.refs[slot] = self.store.refs[slot].saturating_add(1);
         }
         f
     }
@@ -1530,8 +803,11 @@ impl Manager {
     pub fn release(&mut self, f: Ref) {
         if !f.is_const() {
             let slot = f.node().index();
-            debug_assert!(self.refs[slot] > 0, "release without matching protect");
-            self.refs[slot] = self.refs[slot].saturating_sub(1);
+            debug_assert!(
+                self.store.refs[slot] > 0,
+                "release without matching protect"
+            );
+            self.store.refs[slot] = self.store.refs[slot].saturating_sub(1);
         }
     }
 
@@ -1540,7 +816,7 @@ impl Manager {
         if f.is_const() {
             u32::MAX
         } else {
-            self.refs[f.node().index()]
+            self.store.refs[f.node().index()]
         }
     }
 
@@ -1562,6 +838,81 @@ impl Manager {
         self.gc_epoch
     }
 
+    /// Adds one interior reference to `c`'s node (edges to the terminal
+    /// are not tracked — it is unconditionally live).
+    #[inline(always)]
+    fn inc_child(&mut self, c: Ref) {
+        let i = c.node().index();
+        if i != 0 {
+            *self.store.int_ref_mut(i) += 1;
+        }
+    }
+
+    /// Drops one interior reference to `c`'s node. With `reclaim`, a node
+    /// whose last reference (interior *and* external) just vanished is
+    /// reclaimed on the spot, cascading into its own children — the eager
+    /// mode sifting uses so swap garbage never exists and the live arena
+    /// size *is* the rooted size.
+    #[inline]
+    fn dec_child(&mut self, c: Ref, reclaim: bool) {
+        let i = c.node().index();
+        if i == 0 {
+            return;
+        }
+        debug_assert!(
+            self.store.int_ref(i) > 0,
+            "interior refcount underflow at slot {i}"
+        );
+        *self.store.int_ref_mut(i) -= 1;
+        if reclaim && self.store.int_ref(i) == 0 && self.store.refs[i] == 0 {
+            self.reclaim_cascade(i as u32);
+        }
+    }
+
+    /// Removes `slot` from its `var_nodes` list in O(1) via the stored
+    /// position (swap-remove; the displaced tail entry's position is
+    /// patched).
+    fn remove_from_var_list(&mut self, slot: u32, var: u32) {
+        let p = self.store.var_pos[slot as usize] as usize;
+        let list = &mut self.store.var_nodes[var as usize];
+        debug_assert_eq!(list[p], slot, "var_pos out of sync at slot {slot}");
+        list.swap_remove(p);
+        if p < list.len() {
+            self.store.var_pos[list[p] as usize] = p as u32;
+        }
+    }
+
+    /// Reclaims a dead slot (`refs == 0 && int_refs == 0`) immediately:
+    /// detaches it from the unique table and its per-variable list,
+    /// poisons it onto the free list, and cascades into any child whose
+    /// last reference this was. Iterative (worklist) so a long dead chain
+    /// cannot overflow the stack.
+    fn reclaim_cascade(&mut self, start: u32) {
+        let mut stack = vec![start];
+        while let Some(s) = stack.pop() {
+            let n = self.store.node(s as usize);
+            debug_assert!(n.var.0 != FREE_VAR, "double reclaim of slot {s}");
+            self.store.remove_slot(s, &n);
+            self.remove_from_var_list(s, n.var.0);
+            self.store.free_push(s);
+            self.reclaimed_total += 1;
+            for c in [n.low, n.high] {
+                let i = c.node().index();
+                if i == 0 {
+                    continue;
+                }
+                debug_assert!(
+                    self.store.int_ref(i) > 0,
+                    "interior refcount underflow at slot {i}"
+                );
+                *self.store.int_ref_mut(i) -= 1;
+                if self.store.int_ref(i) == 0 && self.store.refs[i] == 0 {
+                    stack.push(i as u32);
+                }
+            }
+        }
+    }
+
     /// Collects dead nodes now, **without a mark phase**: because the
     /// interior reference counts are exact, a node with `refs == 0 &&
     /// int_refs == 0` is dead by definition, and reclaiming it cascades
@@ -1574,37 +925,44 @@ impl Manager {
     /// the current size) and scrubs the computed-cache entries that name
     /// a reclaimed slot. Returns the number of reclaimed nodes.
     ///
-    /// Every `Ref` the caller intends to keep using must be protected (or
-    /// reachable from a protected one) — anything else dangles afterwards.
+    /// Stop-the-world: asserts store quiescence (no parallel sessions
+    /// outstanding). Every `Ref` the caller intends to keep using must be
+    /// protected (or reachable from a protected one) — anything else
+    /// dangles afterwards.
     pub fn collect(&mut self) -> usize {
-        self.allocs_since_gc = 0;
+        self.store.assert_quiescent("collect");
+        self.store.sync_lengths();
+        self.store.reset_allocs_since_gc();
         // Seed with every in-use node nothing references, then cascade:
         // each reclaimed node drops its children's counts, and a child
         // whose count reaches zero (with no external claim) joins the
         // dead set. Acyclicity guarantees this reaches everything a mark
         // pass would leave unmarked.
-        let n = self.nodes.len();
+        let n = self.store.num_nodes();
         let mut stack: Vec<u32> = Vec::new();
         for i in 1..n {
-            if self.nodes[i].var.0 != FREE_VAR && self.refs[i] == 0 && self.int_refs[i] == 0 {
+            if self.store.var_of(i) != FREE_VAR
+                && self.store.refs[i] == 0
+                && self.store.int_ref(i) == 0
+            {
                 stack.push(i as u32);
             }
         }
         let mut dead: Vec<u32> = Vec::new();
         while let Some(s) = stack.pop() {
             dead.push(s);
-            let node = self.nodes[s as usize];
+            let node = self.store.node(s as usize);
             for c in [node.low, node.high] {
                 let i = c.node().index();
                 if i == 0 {
                     continue;
                 }
                 debug_assert!(
-                    self.int_refs[i] > 0,
+                    self.store.int_ref(i) > 0,
                     "interior refcount underflow at slot {i}"
                 );
-                self.int_refs[i] -= 1;
-                if self.int_refs[i] == 0 && self.refs[i] == 0 {
+                *self.store.int_ref_mut(i) -= 1;
+                if self.store.int_ref(i) == 0 && self.store.refs[i] == 0 {
                     stack.push(i as u32);
                 }
             }
@@ -1641,7 +999,9 @@ impl Manager {
         // proportional amount of fresh allocation first keeps the
         // amortized overhead per created node constant even under extreme
         // churn.
-        if (self.allocs_since_gc as f64) < self.gc.dead_fraction * self.nodes.len() as f64 {
+        if (self.store.allocs_since_gc() as f64)
+            < self.gc.dead_fraction * self.store.num_nodes() as f64
+        {
             return 0;
         }
         self.mark_and_sweep(false)
@@ -1651,18 +1011,20 @@ impl Manager {
     /// or the dead fraction clears the threshold) sweep, rebuild the
     /// unique table and invalidate the computed cache.
     fn mark_and_sweep(&mut self, force: bool) -> usize {
-        self.allocs_since_gc = 0;
-        let n = self.nodes.len();
+        self.store.assert_quiescent("collect");
+        self.store.sync_lengths();
+        self.store.reset_allocs_since_gc();
+        let n = self.store.num_nodes();
         let in_use = self.live_nodes() - 1;
         // Mark phase: flood from every externally referenced node. The
         // visited scratch doubles as the mark bitmap; nothing else may
         // traverse between mark and sweep.
         let mut live = 0usize;
         {
-            let mut seen = self.visited.borrow_mut();
+            let mut seen = self.session.visited.borrow_mut();
             seen.begin(n);
             let mut stack: Vec<u32> = Vec::new();
-            for (i, &rc) in self.refs.iter().enumerate().skip(1) {
+            for (i, &rc) in self.store.refs.iter().enumerate().skip(1) {
                 if rc > 0 {
                     stack.push(i as u32);
                 }
@@ -1672,7 +1034,7 @@ impl Manager {
                     continue;
                 }
                 live += 1;
-                let node = self.nodes[i as usize];
+                let node = self.store.node(i as usize);
                 debug_assert!(node.var.0 != FREE_VAR, "marked a reclaimed slot");
                 if !node.low.node().is_terminal() {
                     stack.push(node.low.node().0);
@@ -1687,10 +1049,10 @@ impl Manager {
             return 0;
         }
         let dead_list: Vec<u32> = {
-            let seen = self.visited.borrow();
+            let seen = self.session.visited.borrow();
             (1..n as u32)
                 .filter(|&i| {
-                    self.nodes[i as usize].var.0 != FREE_VAR && !seen.is_marked(i as usize)
+                    self.store.var_of(i as usize) != FREE_VAR && !seen.is_marked(i as usize)
                 })
                 .collect()
         };
@@ -1698,63 +1060,62 @@ impl Manager {
     }
 
     /// The shared sweep finalization: poisons the `dead` slots onto the
-    /// free list, rebuilds the per-variable slot lists and the unique
-    /// table from the survivors (shrink-on-sparse), and scrubs the
-    /// computed cache. With `dec_children`, the dead nodes' arena edges
-    /// are first removed from the interior counts (the refcount-driven
+    /// free list (also recovering any slots abandoned by lost publication
+    /// races), rebuilds the per-variable slot lists and the unique table
+    /// from the survivors (shrink-on-sparse), and scrubs the computed
+    /// cache. With `dec_children`, the dead nodes' arena edges are first
+    /// removed from the interior counts (the refcount-driven
     /// [`Manager::collect`] has already done so while cascading).
     fn sweep_dead(&mut self, dead: Vec<u32>, dec_children: bool) -> usize {
-        let n = self.nodes.len();
+        let n = self.store.num_nodes();
         if dec_children {
             // Every dec below corresponds to a real arena edge from a dead
             // node, so no count underflows; dead slots' own counts are
             // zeroed when poisoned (order between the two loops is free).
             for &s in &dead {
-                let node = self.nodes[s as usize];
+                let node = self.store.node(s as usize);
                 for c in [node.low, node.high] {
                     let i = c.node().index();
                     if i != 0 {
-                        self.int_refs[i] -= 1;
+                        *self.store.int_ref_mut(i) -= 1;
                     }
                 }
             }
         }
         for &s in &dead {
-            self.nodes[s as usize] = Node {
-                var: Var(FREE_VAR),
-                low: Ref::ONE,
-                high: Ref::ONE,
-            };
-            self.refs[s as usize] = 0;
-            self.int_refs[s as usize] = 0;
-            self.free.push(s);
+            self.store.free_push(s);
+            self.store.refs[s as usize] = 0;
+            *self.store.int_ref_mut(s as usize) = 0;
         }
+        // Recover race-abandoned slots alongside the freshly poisoned
+        // dead: one arena scan rebuilds the free stack exactly.
+        self.store.rebuild_free();
         // The sweep may have poisoned slots listed anywhere: rebuild the
         // per-variable slot lists (and the slots' positions in them) from
         // the survivors — one O(arena) pass the sweep already paid.
-        for list in &mut self.var_nodes {
+        for list in &mut self.store.var_nodes {
             list.clear();
         }
         for i in 1..n {
-            let v = self.nodes[i].var.0 as usize;
-            if let Some(list) = self.var_nodes.get_mut(v) {
-                self.var_pos[i] = list.len() as u32;
-                list.push(i as u32);
+            let v = self.store.var_of(i) as usize;
+            if v < self.store.var_nodes.len() {
+                self.store.var_pos[i] = self.store.var_nodes[v].len() as u32;
+                self.store.var_nodes[v].push(i as u32);
             }
         }
         // The unique table still lists the dead nodes: rebuild it from the
         // survivors, shrinking when they'd fit a quarter-size table.
         let live = self.live_nodes() - 1;
-        self.occupied = live;
+        self.store.set_occupied(live);
         let wanted = (live.max(8) * 4 / 3 + 1)
             .next_power_of_two()
             .max(MIN_BUCKETS);
-        let new_len = if wanted * 4 <= self.buckets.len() {
+        let new_len = if wanted * 4 <= self.store.buckets_len() {
             wanted
         } else {
-            self.buckets.len()
+            self.store.buckets_len()
         };
-        self.grow_to(new_len);
+        self.store.grow_buckets_to(new_len);
         // Cached results naming a dead node must not survive — but wiping
         // the whole cache (a generation bump) makes every collection cost
         // a full memo rebuild, which dominates high-churn flows. Instead,
@@ -1763,20 +1124,11 @@ impl Manager {
         // scope epochs) are treated as if they were — a false hit there
         // only costs a spurious miss, while every word that *is* a `Ref`
         // gets checked, so no dangling reference survives in the cache.
-        let nodes = &self.nodes;
-        let live_word = |w: u32| {
+        let store = &self.store;
+        self.session.cache.scrub(|w| {
             let idx = (w >> 1) as usize;
-            idx >= nodes.len() || nodes[idx].var.0 != FREE_VAR
-        };
-        for set in self.cache.sets.iter_mut() {
-            for e in set.ways.iter_mut() {
-                if e.tag != 0
-                    && !(live_word(e.a) && live_word(e.b) && live_word(e.c) && live_word(e.result))
-                {
-                    *e = CacheEntry::default();
-                }
-            }
-        }
+            idx >= store.num_nodes() || store.var_of(idx) != FREE_VAR
+        });
         self.gc_epoch += 1;
         self.collections += 1;
         self.reclaimed_total += dead.len() as u64;
@@ -1792,10 +1144,10 @@ impl Manager {
     /// (dead intermediates awaiting collection) is excluded, so the
     /// metric is stable under churn.
     pub fn rooted_size(&self) -> usize {
-        let mut seen = self.visited.borrow_mut();
-        seen.begin(self.nodes.len());
+        let mut seen = self.session.visited.borrow_mut();
+        seen.begin(self.store.num_nodes());
         let mut stack: Vec<u32> = Vec::new();
-        for (i, &rc) in self.refs.iter().enumerate().skip(1) {
+        for (i, &rc) in self.store.refs.iter().enumerate().skip(1) {
             if rc > 0 {
                 stack.push(i as u32);
             }
@@ -1806,7 +1158,7 @@ impl Manager {
                 continue;
             }
             count += 1;
-            let n = self.nodes[i as usize];
+            let n = self.store.node(i as usize);
             if !n.low.node().is_terminal() {
                 stack.push(n.low.node().0);
             }
@@ -1860,27 +1212,29 @@ impl Manager {
     /// protected or not, stays valid, and only the order-sensitive memo
     /// generation retires.
     pub(crate) fn swap_levels_inner(&mut self, level: u32, reclaim: bool) -> (usize, isize) {
+        self.store.assert_quiescent("level swap");
+        self.store.sync_lengths();
         let l = level as usize;
         assert!(
-            l + 1 < self.level2var.len(),
+            l + 1 < self.store.level2var.len(),
             "swap_levels: level {level} out of range ({} variables)",
-            self.level2var.len()
+            self.store.level2var.len()
         );
         // Swap accounting lives at the primitive, so sift walks, window
         // installs and direct callers are all counted (see `sift_swaps`).
         self.sift_swaps += 1;
-        let x = self.level2var[l];
-        let y = self.level2var[l + 1];
+        let x = self.store.level2var[l];
+        let y = self.store.level2var[l + 1];
         // Only upper-level nodes referencing the lower level change shape;
         // everything else is order-independent under an adjacent swap.
-        let list = std::mem::take(&mut self.var_nodes[x as usize]);
+        let list = std::mem::take(&mut self.store.var_nodes[x as usize]);
         let mut keep: Vec<u32> = Vec::with_capacity(list.len());
         let mut moved: Vec<(u32, Node)> = Vec::new();
         for &slot in &list {
-            let n = self.nodes[slot as usize];
+            let n = self.store.node(slot as usize);
             debug_assert_eq!(n.var.0, x, "per-variable slot list out of sync");
-            let low_y = self.nodes[n.low.node().index()].var.0 == y;
-            let high_y = self.nodes[n.high.node().index()].var.0 == y;
+            let low_y = self.store.var_of(n.low.node().index()) == y;
+            let high_y = self.store.var_of(n.high.node().index()) == y;
             if low_y || high_y {
                 moved.push((slot, n));
             } else {
@@ -1888,13 +1242,13 @@ impl Manager {
             }
         }
         for (p, &slot) in keep.iter().enumerate() {
-            self.var_pos[slot as usize] = p as u32;
+            self.store.var_pos[slot as usize] = p as u32;
         }
-        self.var_nodes[x as usize] = keep;
+        self.store.var_nodes[x as usize] = keep;
         // The order maps swap unconditionally.
-        self.level2var.swap(l, l + 1);
-        self.var2level[x as usize] = (l + 1) as u32;
-        self.var2level[y as usize] = l as u32;
+        self.store.level2var.swap(l, l + 1);
+        self.store.var2level[x as usize] = (l + 1) as u32;
+        self.store.var2level[y as usize] = l as u32;
         if moved.is_empty() {
             return (0, 0);
         }
@@ -1906,15 +1260,15 @@ impl Manager {
         // Their old arena edges stay counted until each slot is patched,
         // so no still-needed child can be eagerly reclaimed out from
         // under a later rewrite.
-        for &(i, n) in &moved {
-            self.remove_slot(i, &n);
-            self.nodes[i as usize].var = Var(FREE_VAR);
+        for &(i, ref n) in &moved {
+            self.store.remove_slot(i, n);
+            self.store.set_var_of(i as usize, FREE_VAR);
         }
         let (xv, yv) = (Var(x), Var(y));
         for &(i, n) in &moved {
             // f = x·f1 + x'·f0 = y·(x·f11 + x'·f01) + y'·(x·f10 + x'·f00).
-            let (f00, f01) = self.shallow_cofactors(n.low, yv);
-            let (f10, f11) = self.shallow_cofactors(n.high, yv);
+            let (f00, f01) = self.store.shallow_cofactors(n.low, yv);
+            let (f10, f11) = self.store.shallow_cofactors(n.high, yv);
             let new_low = self.mk(xv, f00, f10);
             let new_high = self.mk(xv, f01, f11);
             // `f11` is a cofactor of the regular `n.high`, hence regular,
@@ -1925,19 +1279,22 @@ impl Manager {
                 "swap: 1-edge must stay regular"
             );
             debug_assert_ne!(new_low, new_high, "swap: a rewritten node cannot vanish");
-            self.nodes[i as usize] = Node {
-                var: yv,
-                low: new_low,
-                high: new_high,
-            };
+            self.store.set_node(
+                i as usize,
+                Node {
+                    var: yv,
+                    low: new_low,
+                    high: new_high,
+                },
+            );
             // New edges first, then the old ones: a child shared between
             // the two sides must never transiently hit zero and be
             // reclaimed while still referenced.
             self.inc_child(new_low);
             self.inc_child(new_high);
-            self.insert_slot(i);
-            self.var_pos[i as usize] = self.var_nodes[y as usize].len() as u32;
-            self.var_nodes[y as usize].push(i);
+            self.store.insert_slot(i);
+            self.store.var_pos[i as usize] = self.store.var_nodes[y as usize].len() as u32;
+            self.store.var_nodes[y as usize].push(i);
             self.dec_child(n.low, reclaim);
             self.dec_child(n.high, reclaim);
         }
@@ -1945,7 +1302,7 @@ impl Manager {
             // Eager reclamation recycled slots the memo (and Ref-keyed
             // side tables) may still name: retire the whole cache (O(1)
             // generation bump) and advance the reclamation epoch.
-            self.cache.clear();
+            self.session.cache.clear();
             self.gc_epoch += 1;
         } else {
             // Conservative cache scrub. Most memoized results survive a
@@ -1956,66 +1313,9 @@ impl Manager {
             // depend on the variable *order*, so exactly that class is
             // retired (O(1) generation bump) — the rest of the memo stays
             // warm across reordering.
-            self.cache.clear_order_sensitive();
+            self.session.cache.clear_order_sensitive();
         }
         (moved.len(), self.live_nodes() as isize - live_before)
-    }
-
-    /// Removes one arena slot from the unique table by backward-shift
-    /// deletion (no tombstones, so later probes stay one-load-per-step).
-    /// `n` is the node content the slot is currently hashed under.
-    fn remove_slot(&mut self, idx: u32, n: &Node) {
-        let mask = self.bucket_mask;
-        let mut i = (triple_hash(n.var.0, n.low.raw(), n.high.raw()) as usize) & mask;
-        while self.buckets[i] != idx {
-            debug_assert!(self.buckets[i] != 0, "remove_slot: slot not in the table");
-            i = (i + 1) & mask;
-        }
-        // Shift the rest of the probe cluster back over the hole so no
-        // entry becomes unreachable from its ideal bucket.
-        let mut hole = i;
-        let mut j = (hole + 1) & mask;
-        loop {
-            let b = self.buckets[j];
-            if b == 0 {
-                break;
-            }
-            let nb = self.nodes[b as usize];
-            let ideal = (triple_hash(nb.var.0, nb.low.raw(), nb.high.raw()) as usize) & mask;
-            // `b` may move into the hole iff its ideal bucket is not in
-            // the (cyclic) open interval (hole, j].
-            if (j.wrapping_sub(ideal) & mask) >= (j.wrapping_sub(hole) & mask) {
-                self.buckets[hole] = b;
-                hole = j;
-            }
-            j = (j + 1) & mask;
-        }
-        self.buckets[hole] = 0;
-        self.occupied -= 1;
-    }
-
-    /// Inserts an existing arena slot into the unique table (the slot's
-    /// triple must not already be present — guaranteed by the level-swap
-    /// rewrite, which never recreates an existing function's node).
-    fn insert_slot(&mut self, idx: u32) {
-        let n = self.nodes[idx as usize];
-        let mut i = (triple_hash(n.var.0, n.low.raw(), n.high.raw()) as usize) & self.bucket_mask;
-        loop {
-            let b = self.buckets[i];
-            if b == 0 {
-                break;
-            }
-            debug_assert!(
-                self.nodes[b as usize] != n,
-                "insert_slot: duplicate triple would break canonicity"
-            );
-            i = (i + 1) & self.bucket_mask;
-        }
-        self.buckets[i] = idx;
-        self.occupied += 1;
-        if self.occupied * 4 >= self.buckets.len() * 3 {
-            self.grow_to(self.buckets.len() * 2);
-        }
     }
 
     /// Rudell sifting over the protected roots: each variable (live
@@ -2054,7 +1354,8 @@ impl Manager {
     }
 
     fn sift_filtered(&mut self, cfg: &SiftConfig, subset: Option<&[Var]>) -> SiftReport {
-        let n = self.num_vars as usize;
+        self.store.assert_quiescent("sift");
+        let n = self.num_vars() as usize;
         self.collect();
         let initial = self.rooted_size();
         let mut report = SiftReport {
@@ -2095,7 +1396,7 @@ impl Manager {
             let mut best_i = usize::MAX;
             let mut best_pop = 0usize;
             for (i, &v) in remaining.iter().enumerate() {
-                let pop = self.var_nodes[v as usize].len();
+                let pop = self.store.var_nodes[v as usize].len();
                 if pop > best_pop && !walked[v as usize] {
                     best_pop = pop;
                     best_i = i;
@@ -2110,17 +1411,17 @@ impl Manager {
             // membership is frozen for the walk; symmetries that only
             // become adjacent mid-walk are picked up by the next pass
             // (sift_to_fixpoint repeats passes exactly for this).
-            let mut top = self.var2level[v as usize] as usize;
+            let mut top = self.store.var2level[v as usize] as usize;
             let mut glen = 1usize;
             let mut absorbed: Vec<u32> = Vec::new();
             if cfg.symmetric_groups {
                 while top + glen < n && self.symmetric_levels((top + glen - 1) as u32) {
-                    absorbed.push(self.level2var[top + glen]);
+                    absorbed.push(self.store.level2var[top + glen]);
                     glen += 1;
                 }
                 while top > 0 && self.symmetric_levels((top - 1) as u32) {
                     top -= 1;
-                    absorbed.push(self.level2var[top]);
+                    absorbed.push(self.store.level2var[top]);
                     glen += 1;
                 }
             }
@@ -2289,13 +1590,13 @@ impl Manager {
     /// collected arena where the answer is exact.
     pub fn symmetric_levels(&self, level: u32) -> bool {
         let l = level as usize;
-        if l + 1 >= self.level2var.len() {
+        if l + 1 >= self.store.level2var.len() {
             return false;
         }
-        let x = self.level2var[l];
-        let y = self.level2var[l + 1];
-        let xs = &self.var_nodes[x as usize];
-        let ys = &self.var_nodes[y as usize];
+        let x = self.store.level2var[l];
+        let y = self.store.level2var[l + 1];
+        let xs = &self.store.var_nodes[x as usize];
+        let ys = &self.store.var_nodes[y as usize];
         if xs.is_empty() || ys.is_empty() {
             return false;
         }
@@ -2306,22 +1607,22 @@ impl Manager {
                 crate::hasher::BuildFxHasher::default(),
             );
         for &sx in xs {
-            let node = self.nodes[sx as usize];
-            let (_, f01) = self.shallow_cofactors(node.low, yv);
-            let (f10, _) = self.shallow_cofactors(node.high, yv);
+            let node = self.store.node(sx as usize);
+            let (_, f01) = self.store.shallow_cofactors(node.low, yv);
+            let (f10, _) = self.store.shallow_cofactors(node.high, yv);
             if f01 != f10 {
                 return false;
             }
             for c in [node.low, node.high] {
                 let i = c.node().index();
-                if i != 0 && self.nodes[i].var.0 == y {
+                if i != 0 && self.store.var_of(i) == y {
                     *from_x.entry(i as u32).or_insert(0) += 1;
                 }
             }
         }
         ys.iter().all(|&sy| {
-            self.refs[sy as usize] == 0
-                && self.int_refs[sy as usize] == from_x.get(&sy).copied().unwrap_or(0)
+            self.store.refs[sy as usize] == 0
+                && self.store.int_ref(sy as usize) == from_x.get(&sy).copied().unwrap_or(0)
         })
     }
 
@@ -2364,6 +1665,7 @@ impl Manager {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::session::op;
 
     #[test]
     fn terminal_is_node_zero() {
@@ -2618,53 +1920,6 @@ mod tests {
     }
 
     #[test]
-    fn computed_cache_clear_survives_generation_wrap() {
-        let mut m = Manager::new();
-        let a = m.var(0);
-        let b = m.var(1);
-        let f = m.and(a, b);
-        // Force the generation to the wrap boundary with a live entry in
-        // the table, then clear: the wrap branch must wipe the entries and
-        // restart at generation 1 without resurrecting stale results.
-        m.cache.generation = (u32::MAX >> GEN_SHIFT) - 1;
-        m.cache.insert(op::AND, a.raw(), b.raw(), 0, Ref::ZERO);
-        m.cache.clear();
-        assert_eq!(m.cache.generation, 1, "wrap resets to generation 1");
-        assert!(
-            m.cache
-                .sets
-                .iter()
-                .all(|s| s.ways.iter().all(|e| e.tag == 0)),
-            "wrap must wipe every way of every set"
-        );
-        assert_eq!(
-            m.cache.lookup(op::AND, a.raw(), b.raw(), 0),
-            None,
-            "the poisoned pre-wrap entry must not be observable"
-        );
-        assert_eq!(m.and(a, b), f, "results stay canonical after the wrap");
-    }
-
-    #[test]
-    fn visit_scratch_survives_stamp_wrap() {
-        let mut s = VisitScratch::default();
-        s.begin(4);
-        assert!(s.mark(2), "fresh scratch: first visit");
-        // Force the wrap: the next begin() lands on generation 0, which
-        // must wipe the stamps (any stale stamp would equal the new
-        // generation and read as already-visited).
-        s.gen = u32::MAX;
-        s.stamp.fill(u32::MAX); // worst case: every stamp aliases pre-wrap gen
-        s.begin(4);
-        assert_eq!(s.gen, 1, "wrap resets to generation 1");
-        for i in 0..4 {
-            assert!(s.mark(i), "node {i} must read unvisited after the wrap");
-            assert!(!s.mark(i), "second visit is still detected");
-            assert!(s.is_marked(i));
-        }
-    }
-
-    #[test]
     fn new_scope_epoch_wrap_flushes_cache() {
         let mut m = Manager::new();
         let a = m.var(0);
@@ -2674,18 +1929,18 @@ mod tests {
         // entry under the epoch that will be handed out after the wrap
         // (epoch 1). If new_scope failed to flush, the next scoped rebuild
         // would observe it and return garbage.
-        m.scope_epoch = u32::MAX;
-        m.cache.insert(op::SCOPED, f.raw(), 1, 1, Ref::ZERO);
+        m.session.scope_epoch = u32::MAX;
+        m.session.cache.insert(op::SCOPED, f.raw(), 1, 1, Ref::ZERO);
         let scope = m.new_scope();
         assert_eq!(scope, 1, "epoch wraps to 1");
         assert_eq!(
-            m.cache.lookup(op::SCOPED, f.raw(), 1, 1),
+            m.session.cache.lookup(op::SCOPED, f.raw(), 1, 1),
             None,
             "the stale entry for the reused epoch must be unobservable"
         );
         // End-to-end: a permute (which consumes a fresh scope) right after
         // an epoch wrap still returns the correct function.
-        m.scope_epoch = u32::MAX;
+        m.session.scope_epoch = u32::MAX;
         let g = m.permute(f, &[0, 1]);
         assert_eq!(g, f, "identity permutation after epoch wrap");
     }

@@ -5,14 +5,23 @@
 //! memoized ITE (Brace, Rudell, Bryant, DAC'90). Here the two dominant
 //! connectives get their own recursive kernels — [`Manager::and`] and
 //! [`Manager::xor`] — which skip the full standard-triple normalization,
-//! carry tighter terminal tests, and share the direct-mapped computed
+//! carry tighter terminal tests, and share the set-associative computed
 //! cache with ITE through per-operation tag codes (`op::AND`, `op::XOR`,
 //! `op::ITE`). ITE itself detects the two-operand shapes up front and
 //! forwards to the specialized kernels, so the cache is never split
 //! between equivalent formulations of one operation.
 //!
+//! Since the concurrent-kernel split (see the crate-level "Concurrency
+//! contract"), every recursion here is a method on [`Session`] taking
+//! `(&NodeStore, ...)`: node publication goes through the store's CAS
+//! protocol while memoization and governance ticks stay per-session.
+//! The [`Manager`] entry points below run the same kernels against the
+//! façade's store and default session via `run_kernel`, which also
+//! drains the session's created-node log and turns shared-table
+//! exhaustion into a stop-the-world grow-and-retry.
+//!
 //! All recursions branch on *levels* (positions in the current variable
-//! order, via [`Manager::level`]), not raw variable indices, so they stay
+//! order, via `NodeStore::level`), not raw variable indices, so they stay
 //! correct under any order the sifting machinery installs; constants
 //! report the `u32::MAX` pseudo-level and need no separate terminal
 //! branch when picking the top level.
@@ -27,48 +36,35 @@
 //! ([`Manager::ungoverned`]), so it can never abort. A `try_*` abort is
 //! clean by construction: all invariant maintenance (unique table,
 //! interior refcounts, per-variable lists) happens atomically inside
-//! `Manager::mk`, so unwinding between `mk` calls leaves the manager
-//! fully consistent and the partially built nodes as unreferenced
-//! garbage for the next collection (see [`crate::LimitExceeded`]).
+//! the store's publication protocol, so unwinding between `mk` calls
+//! leaves the store fully consistent and the partially built nodes as
+//! unreferenced garbage for the next collection (see
+//! [`crate::LimitExceeded`]).
 //!
 //! None of the kernels here triggers garbage collection: recursive
 //! intermediates need no protection, and results only need
 //! [`Manager::protect`] when the caller holds them across an explicit
 //! `collect`/`maybe_collect` point. Every node these kernels produce is
-//! funnelled through `Manager::mk`, which also maintains the interior
+//! funnelled through `Session::mk`, which also maintains the interior
 //! (arena-edge) reference counts — the kernels themselves never touch
 //! refcounts, so the accounting behind the refcount-driven collector and
 //! sifting's O(1) size deltas cannot drift here.
 
-use crate::manager::{op, LimitExceeded, Manager};
+use crate::manager::Manager;
 use crate::reference::Ref;
+use crate::session::{op, LimitExceeded, Session};
+use crate::store::NodeStore;
 
-impl Manager {
-    /// If-then-else: `ite(f, g, h) = f·g + f'·h`.
-    ///
-    /// Two-operand shapes (`and`/`or`/`xor`/... patterns) are forwarded to
-    /// the specialized kernels; the remaining true three-operand triples
-    /// are normalized (regular, canonical predicate) and memoized under
-    /// the `op::ITE` tag.
-    ///
-    /// # Example
-    ///
-    /// ```
-    /// use bdd::Manager;
-    /// let mut m = Manager::new();
-    /// let (s, a, b) = (m.var(0), m.var(1), m.var(2));
-    /// let mux = m.ite(s, a, b);
-    /// assert!(m.eval(mux, &[true, true, false]));
-    /// assert!(!m.eval(mux, &[false, true, false]));
-    /// ```
-    pub fn ite(&mut self, f: Ref, g: Ref, h: Ref) -> Ref {
-        self.ungoverned(|m| m.try_ite(f, g, h))
-    }
-
-    /// Budget-governed [`Manager::ite`]: aborts cleanly with
-    /// [`LimitExceeded`] when the installed [`crate::ResourceLimits`] are
-    /// crossed.
-    pub fn try_ite(&mut self, f: Ref, g: Ref, h: Ref) -> Result<Ref, LimitExceeded> {
+impl Session {
+    /// ITE entry: terminal/absorption filtering and two-operand routing,
+    /// then the memoized three-operand recursion.
+    pub(crate) fn ite_ap(
+        &mut self,
+        store: &NodeStore,
+        f: Ref,
+        g: Ref,
+        h: Ref,
+    ) -> Result<Ref, LimitExceeded> {
         // Terminal and absorption cases.
         if f.is_one() {
             return Ok(g);
@@ -98,32 +94,32 @@ impl Manager {
             if h.is_zero() {
                 return Ok(f);
             }
-            return self.try_or(f, h); // ite(f, 1, h) = f + h
+            return self.or_ap(store, f, h); // ite(f, 1, h) = f + h
         }
         if g.is_zero() {
             if h.is_one() {
                 return Ok(!f);
             }
             let nf = !f;
-            return self.try_and(nf, h); // ite(f, 0, h) = f'·h
+            return self.and_rec(store, nf, h); // ite(f, 0, h) = f'·h
         }
         if h.is_zero() {
-            return self.try_and(f, g); // ite(f, g, 0) = f·g
+            return self.and_rec(store, f, g); // ite(f, g, 0) = f·g
         }
         if h.is_one() {
             let ng = !g;
-            return Ok(!self.try_and(f, ng)?); // ite(f, g, 1) = f' + g
+            return Ok(!self.and_rec(store, f, ng)?); // ite(f, g, 1) = f' + g
         }
         if g == !h {
-            return Ok(!self.try_xor(f, g)?); // ite(f, g, g') = f ⊙ g
+            return Ok(!self.xor_ap(store, f, g)?); // ite(f, g, g') = f ⊙ g
         }
-        self.ite_rec(f, g, h)
+        self.ite_rec(store, f, g, h)
     }
 
     /// The memoized three-operand ITE recursion (all two-operand shapes
-    /// already filtered out by [`Manager::try_ite`]).
-    fn ite_rec(&mut self, f: Ref, g: Ref, h: Ref) -> Result<Ref, LimitExceeded> {
-        self.tick()?;
+    /// already filtered out by [`Session::ite_ap`]).
+    fn ite_rec(&mut self, store: &NodeStore, f: Ref, g: Ref, h: Ref) -> Result<Ref, LimitExceeded> {
+        self.tick(store)?;
         let (mut f, mut g, mut h) = (f, g, h);
         // Keep the predicate regular: ite(!f, g, h) = ite(f, h, g).
         if f.is_complemented() {
@@ -142,15 +138,145 @@ impl Manager {
             return Ok(r.xor_complement(complement_result));
         }
 
-        let v = self.var_at_level(self.level(f).min(self.level(g)).min(self.level(h)));
-        let (f0, f1) = self.shallow_cofactors(f, v);
-        let (g0, g1) = self.shallow_cofactors(g, v);
-        let (h0, h1) = self.shallow_cofactors(h, v);
-        let t = self.try_ite(f1, g1, h1)?;
-        let e = self.try_ite(f0, g0, h0)?;
-        let r = self.mk(v, e, t);
+        let v = store.var_at_level(store.level(f).min(store.level(g)).min(store.level(h)));
+        let (f0, f1) = store.shallow_cofactors(f, v);
+        let (g0, g1) = store.shallow_cofactors(g, v);
+        let (h0, h1) = store.shallow_cofactors(h, v);
+        let t = self.ite_ap(store, f1, g1, h1)?;
+        let e = self.ite_ap(store, f0, g0, h0)?;
+        let r = self.mk(store, v, e, t)?;
         self.cache.insert(op::ITE, f.raw(), g.raw(), h.raw(), r);
         Ok(r.xor_complement(complement_result))
+    }
+
+    /// The specialized AND kernel: terminal tests, operand ordering, the
+    /// memoized recursion.
+    pub(crate) fn and_rec(
+        &mut self,
+        store: &NodeStore,
+        f: Ref,
+        g: Ref,
+    ) -> Result<Ref, LimitExceeded> {
+        // Terminal cases.
+        if f == g {
+            return Ok(f);
+        }
+        if f == !g || f.is_zero() || g.is_zero() {
+            return Ok(Ref::ZERO);
+        }
+        if f.is_one() {
+            return Ok(g);
+        }
+        if g.is_one() {
+            return Ok(f);
+        }
+        self.tick(store)?;
+        // Commutative: order operands so (f, g) and (g, f) share a slot.
+        let (f, g) = if f.raw() <= g.raw() { (f, g) } else { (g, f) };
+        if let Some(r) = self.cache.lookup(op::AND, f.raw(), g.raw(), 0) {
+            return Ok(r);
+        }
+        let v = store.var_at_level(store.level(f).min(store.level(g)));
+        let (f0, f1) = store.shallow_cofactors(f, v);
+        let (g0, g1) = store.shallow_cofactors(g, v);
+        let t = self.and_rec(store, f1, g1)?;
+        let e = self.and_rec(store, f0, g0)?;
+        let r = self.mk(store, v, e, t)?;
+        self.cache.insert(op::AND, f.raw(), g.raw(), 0, r);
+        Ok(r)
+    }
+
+    /// Disjunction by De Morgan over the AND kernel (negation is free,
+    /// so this shares the `op::AND` cache).
+    pub(crate) fn or_ap(
+        &mut self,
+        store: &NodeStore,
+        f: Ref,
+        g: Ref,
+    ) -> Result<Ref, LimitExceeded> {
+        let (nf, ng) = (!f, !g);
+        Ok(!self.and_rec(store, nf, ng)?)
+    }
+
+    /// XOR entry: complements factor out of XOR entirely
+    /// (`!f ⊕ g = !(f ⊕ g)`), so the recursion runs on regular,
+    /// operand-ordered references and one cache entry covers all four
+    /// polarity combinations.
+    pub(crate) fn xor_ap(
+        &mut self,
+        store: &NodeStore,
+        f: Ref,
+        g: Ref,
+    ) -> Result<Ref, LimitExceeded> {
+        if f == g {
+            return Ok(Ref::ZERO);
+        }
+        if f == !g {
+            return Ok(Ref::ONE);
+        }
+        // Factor the complements out and order the operands. (Equal
+        // regular parts are impossible here: that is exactly the f == g /
+        // f == !g pair already handled above.)
+        let complement_result = f.is_complemented() ^ g.is_complemented();
+        let (mut f, mut g) = (f.regular(), g.regular());
+        debug_assert_ne!(f, g);
+        if f.raw() > g.raw() {
+            std::mem::swap(&mut f, &mut g);
+        }
+        // After ordering, a constant operand can only be f (= ONE regular).
+        if f.is_one() {
+            return Ok((!g).xor_complement(complement_result));
+        }
+        let r = self.xor_rec(store, f, g)?;
+        Ok(r.xor_complement(complement_result))
+    }
+
+    /// XOR recursion on regular, ordered, non-constant operands.
+    fn xor_rec(&mut self, store: &NodeStore, f: Ref, g: Ref) -> Result<Ref, LimitExceeded> {
+        debug_assert!(!f.is_complemented() && !g.is_complemented());
+        debug_assert!(f.raw() < g.raw() && !f.is_const());
+        self.tick(store)?;
+        if let Some(r) = self.cache.lookup(op::XOR, f.raw(), g.raw(), 0) {
+            return Ok(r);
+        }
+        let v = store.var_at_level(store.level(f).min(store.level(g)));
+        let (f0, f1) = store.shallow_cofactors(f, v);
+        let (g0, g1) = store.shallow_cofactors(g, v);
+        let t = self.xor_ap(store, f1, g1)?;
+        let e = self.xor_ap(store, f0, g0)?;
+        let r = self.mk(store, v, e, t)?;
+        self.cache.insert(op::XOR, f.raw(), g.raw(), 0, r);
+        Ok(r)
+    }
+}
+
+impl Manager {
+    /// If-then-else: `ite(f, g, h) = f·g + f'·h`.
+    ///
+    /// Two-operand shapes (`and`/`or`/`xor`/... patterns) are forwarded to
+    /// the specialized kernels; the remaining true three-operand triples
+    /// are normalized (regular, canonical predicate) and memoized under
+    /// the `op::ITE` tag.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use bdd::Manager;
+    /// let mut m = Manager::new();
+    /// let (s, a, b) = (m.var(0), m.var(1), m.var(2));
+    /// let mux = m.ite(s, a, b);
+    /// assert!(m.eval(mux, &[true, true, false]));
+    /// assert!(!m.eval(mux, &[false, true, false]));
+    /// ```
+    pub fn ite(&mut self, f: Ref, g: Ref, h: Ref) -> Ref {
+        self.ungoverned(|m| m.try_ite(f, g, h))
+    }
+
+    /// Budget-governed [`Manager::ite`]: aborts cleanly with
+    /// [`LimitExceeded`] when the installed [`crate::ResourceLimits`] are
+    /// crossed.
+    pub fn try_ite(&mut self, f: Ref, g: Ref, h: Ref) -> Result<Ref, LimitExceeded> {
+        self.run_kernel(|st, s| s.ite_ap(st, f, g, h))
     }
 
     /// Logical negation (free on complemented-edge BDDs).
@@ -165,33 +291,7 @@ impl Manager {
 
     /// Budget-governed [`Manager::and`].
     pub fn try_and(&mut self, f: Ref, g: Ref) -> Result<Ref, LimitExceeded> {
-        // Terminal cases.
-        if f == g {
-            return Ok(f);
-        }
-        if f == !g || f.is_zero() || g.is_zero() {
-            return Ok(Ref::ZERO);
-        }
-        if f.is_one() {
-            return Ok(g);
-        }
-        if g.is_one() {
-            return Ok(f);
-        }
-        self.tick()?;
-        // Commutative: order operands so (f, g) and (g, f) share a slot.
-        let (f, g) = if f.raw() <= g.raw() { (f, g) } else { (g, f) };
-        if let Some(r) = self.cache.lookup(op::AND, f.raw(), g.raw(), 0) {
-            return Ok(r);
-        }
-        let v = self.var_at_level(self.level(f).min(self.level(g)));
-        let (f0, f1) = self.shallow_cofactors(f, v);
-        let (g0, g1) = self.shallow_cofactors(g, v);
-        let t = self.try_and(f1, g1)?;
-        let e = self.try_and(f0, g0)?;
-        let r = self.mk(v, e, t);
-        self.cache.insert(op::AND, f.raw(), g.raw(), 0, r);
-        Ok(r)
+        self.run_kernel(|st, s| s.and_rec(st, f, g))
     }
 
     /// Disjunction `f + g` (De Morgan over the AND kernel; negation is
@@ -202,8 +302,7 @@ impl Manager {
 
     /// Budget-governed [`Manager::or`].
     pub fn try_or(&mut self, f: Ref, g: Ref) -> Result<Ref, LimitExceeded> {
-        let (nf, ng) = (!f, !g);
-        Ok(!self.try_and(nf, ng)?)
+        self.run_kernel(|st, s| s.or_ap(st, f, g))
     }
 
     /// Negated conjunction.
@@ -227,45 +326,7 @@ impl Manager {
 
     /// Budget-governed [`Manager::xor`].
     pub fn try_xor(&mut self, f: Ref, g: Ref) -> Result<Ref, LimitExceeded> {
-        if f == g {
-            return Ok(Ref::ZERO);
-        }
-        if f == !g {
-            return Ok(Ref::ONE);
-        }
-        // Factor the complements out and order the operands. (Equal
-        // regular parts are impossible here: that is exactly the f == g /
-        // f == !g pair already handled above.)
-        let complement_result = f.is_complemented() ^ g.is_complemented();
-        let (mut f, mut g) = (f.regular(), g.regular());
-        debug_assert_ne!(f, g);
-        if f.raw() > g.raw() {
-            std::mem::swap(&mut f, &mut g);
-        }
-        // After ordering, a constant operand can only be f (= ONE regular).
-        if f.is_one() {
-            return Ok((!g).xor_complement(complement_result));
-        }
-        let r = self.xor_rec(f, g)?;
-        Ok(r.xor_complement(complement_result))
-    }
-
-    /// XOR recursion on regular, ordered, non-constant operands.
-    fn xor_rec(&mut self, f: Ref, g: Ref) -> Result<Ref, LimitExceeded> {
-        debug_assert!(!f.is_complemented() && !g.is_complemented());
-        debug_assert!(f.raw() < g.raw() && !f.is_const());
-        self.tick()?;
-        if let Some(r) = self.cache.lookup(op::XOR, f.raw(), g.raw(), 0) {
-            return Ok(r);
-        }
-        let v = self.var_at_level(self.level(f).min(self.level(g)));
-        let (f0, f1) = self.shallow_cofactors(f, v);
-        let (g0, g1) = self.shallow_cofactors(g, v);
-        let t = self.try_xor(f1, g1)?;
-        let e = self.try_xor(f0, g0)?;
-        let r = self.mk(v, e, t);
-        self.cache.insert(op::XOR, f.raw(), g.raw(), 0, r);
-        Ok(r)
+        self.run_kernel(|st, s| s.xor_ap(st, f, g))
     }
 
     /// Exclusive nor (equivalence) `f ⊙ g`.
@@ -349,7 +410,7 @@ impl Manager {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::manager::{LimitKind, ResourceLimits};
+    use crate::session::{LimitKind, ResourceLimits};
     use crate::Manager;
 
     /// Exhaustively compares a BDD against a reference closure on all

@@ -1,0 +1,370 @@
+//! Parallel apply: forking the cofactor subproblems of one large cone
+//! onto worker threads, each running its own [`Session`] against the
+//! shared [`NodeStore`].
+//!
+//! This is stage 2 of the concurrent-kernel plan (see the crate-level
+//! "Concurrency contract"): the store's CAS publication protocol makes
+//! hash-consing safe under concurrent `mk`, so a top-level `and`/`xor`/
+//! `ite` on a large cone can Shannon-expand the operands over the first
+//! few decision levels and solve the resulting leaf subproblems on a
+//! small worker pool. Canonicity makes the merge trivial *and* exact:
+//! every worker publishes into the same unique table, so the bottom-up
+//! recombination (`mk` over the split variables) returns bit-identical
+//! [`Ref`]s to the sequential kernel — the oracle-equality contract the
+//! parallel storm tests pin.
+//!
+//! # Work budget, not thread count
+//!
+//! The fork width is drawn from the manager's [`JobBudget`] (installed
+//! with [`Manager::set_job_budget`]). The budget counts *additional*
+//! threads machine-wide: the bench pool's suite-level workers and this
+//! intra-cone fork share one pool of permits, so nesting a parallel
+//! apply inside a pool worker can never oversubscribe the machine —
+//! `--jobs` stays the single knob. No budget (or an empty one) means the
+//! exact sequential path: `threads = 1` is byte-for-byte the classic
+//! kernel, with identical node counts.
+//!
+//! # Failure and growth
+//!
+//! Workers run ungoverned but the shared table can still fill. Growth is
+//! stop-the-world and quiescent-only, so a worker that loses the
+//! headroom race aborts its leaf with the [`LimitExceeded`] /
+//! `TableFull` path; after the join the manager folds every worker's
+//! created-node log, grows the table at the now-quiescent point, and
+//! re-runs the cone sequentially — degraded loudly through the retry
+//! path, never silently.
+
+use crate::manager::Manager;
+use crate::reference::{Ref, Var};
+use crate::session::{LimitExceeded, Session, WORKER_CACHE_BITS};
+use crate::store::NodeStore;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// One worker's take-home: its private session (created-slot log plus
+/// cache counters, folded into the manager after the join) and the leaf
+/// results it solved, tagged with their leaf index.
+type WorkerOut = (Session, Vec<(usize, Result<Ref, LimitExceeded>)>);
+
+/// Cones smaller than this many shared nodes are not worth forking: the
+/// split/join overhead exceeds the kernel time.
+const PAR_CUTOFF: usize = 256;
+
+/// Upper bound on extra workers one cone will request from the budget.
+const MAX_EXTRA_WORKERS: usize = 15;
+
+/// Stop splitting past this depth (2^depth leaves).
+const MAX_SPLIT_DEPTH: usize = 8;
+
+/// One leaf subproblem: the operation with all operands already
+/// cofactored down the split path.
+#[derive(Clone, Copy)]
+enum ParOp {
+    And(Ref, Ref),
+    Xor(Ref, Ref),
+    Ite(Ref, Ref, Ref),
+}
+
+impl ParOp {
+    fn operands(&self) -> [Ref; 3] {
+        match *self {
+            ParOp::And(f, g) => [f, g, Ref::ONE],
+            ParOp::Xor(f, g) => [f, g, Ref::ONE],
+            ParOp::Ite(f, g, h) => [f, g, h],
+        }
+    }
+
+    /// Both shallow cofactors of every operand on `v` (operands rooted
+    /// below `v` are untouched — `shallow_cofactors` returns them as-is).
+    fn cofactor(&self, store: &NodeStore, v: Var) -> (ParOp, ParOp) {
+        match *self {
+            ParOp::And(f, g) => {
+                let (f0, f1) = store.shallow_cofactors(f, v);
+                let (g0, g1) = store.shallow_cofactors(g, v);
+                (ParOp::And(f0, g0), ParOp::And(f1, g1))
+            }
+            ParOp::Xor(f, g) => {
+                let (f0, f1) = store.shallow_cofactors(f, v);
+                let (g0, g1) = store.shallow_cofactors(g, v);
+                (ParOp::Xor(f0, g0), ParOp::Xor(f1, g1))
+            }
+            ParOp::Ite(f, g, h) => {
+                let (f0, f1) = store.shallow_cofactors(f, v);
+                let (g0, g1) = store.shallow_cofactors(g, v);
+                let (h0, h1) = store.shallow_cofactors(h, v);
+                (ParOp::Ite(f0, g0, h0), ParOp::Ite(f1, g1, h1))
+            }
+        }
+    }
+
+    /// Runs the matching sequential kernel on `session`.
+    fn solve(&self, store: &NodeStore, session: &mut Session) -> Result<Ref, LimitExceeded> {
+        match *self {
+            ParOp::And(f, g) => session.and_rec(store, f, g),
+            ParOp::Xor(f, g) => session.xor_ap(store, f, g),
+            ParOp::Ite(f, g, h) => session.ite_ap(store, f, g, h),
+        }
+    }
+}
+
+/// Shannon-expands `root` over the topmost decision levels until at
+/// least `want` leaves exist (or the operands bottom out). Pure store
+/// reads — no session, no publication — so it runs before the fork.
+/// Returns the split variables root-first and the leaves in index order
+/// (leaf `i` is the cofactor path given by the bits of `i`, split var 0
+/// as the most significant bit).
+fn split(store: &NodeStore, root: ParOp, want: usize) -> (Vec<Var>, Vec<ParOp>) {
+    let mut vars = Vec::new();
+    let mut leaves = vec![root];
+    while leaves.len() < want && vars.len() < MAX_SPLIT_DEPTH {
+        let mut min_level = u32::MAX;
+        for leaf in &leaves {
+            for r in leaf.operands() {
+                min_level = min_level.min(store.level(r));
+            }
+        }
+        if min_level == u32::MAX {
+            break; // every operand is constant
+        }
+        let v = store.var_at_level(min_level);
+        let mut next = Vec::with_capacity(leaves.len() * 2);
+        for leaf in &leaves {
+            let (lo, hi) = leaf.cofactor(store, v);
+            next.push(lo);
+            next.push(hi);
+        }
+        vars.push(v);
+        leaves = next;
+    }
+    (vars, leaves)
+}
+
+impl Manager {
+    /// Parallel conjunction: [`Manager::and`] forked across the
+    /// [`JobBudget`] installed with [`Manager::set_job_budget`].
+    ///
+    /// Canonicity guarantees the result is the identical [`Ref`] the
+    /// sequential kernel returns, at any width; with no budget (or none
+    /// to spare, or a cone under the granularity cutoff) this *is* the
+    /// sequential kernel.
+    pub fn par_and(&mut self, f: Ref, g: Ref) -> Ref {
+        self.par_apply(ParOp::And(f, g))
+    }
+
+    /// Parallel exclusive-or; see [`Manager::par_and`].
+    pub fn par_xor(&mut self, f: Ref, g: Ref) -> Ref {
+        self.par_apply(ParOp::Xor(f, g))
+    }
+
+    /// Parallel if-then-else; see [`Manager::par_and`].
+    pub fn par_ite(&mut self, f: Ref, g: Ref, h: Ref) -> Ref {
+        self.par_apply(ParOp::Ite(f, g, h))
+    }
+
+    /// The exact sequential path (also the `threads = 1` contract).
+    fn seq_apply(&mut self, op: ParOp) -> Ref {
+        match op {
+            ParOp::And(f, g) => self.and(f, g),
+            ParOp::Xor(f, g) => self.xor(f, g),
+            ParOp::Ite(f, g, h) => self.ite(f, g, h),
+        }
+    }
+
+    // bdslint: allow(protect-release) -- the `release` calls here return
+    // JobBudget thread permits, not node roots; there is no protect pair.
+    fn par_apply(&mut self, root: ParOp) -> Ref {
+        let Some(budget) = self.job_budget.clone() else {
+            return self.seq_apply(root);
+        };
+        // Granularity gate before touching the budget: small cones never
+        // contend for permits.
+        let operands = root.operands();
+        if self.shared_size(&operands) < PAR_CUTOFF {
+            return self.seq_apply(root);
+        }
+        let extra = budget.try_acquire(MAX_EXTRA_WORKERS);
+        if extra == 0 {
+            return self.seq_apply(root);
+        }
+        let width = extra + 1;
+        let (vars, leaves) = split(&self.store, root, 4 * width);
+        if vars.is_empty() {
+            budget.release(extra);
+            return self.seq_apply(root);
+        }
+
+        // SOLVE: `width` workers, each with a private session, pull
+        // leaves from a shared cursor and publish into the shared store.
+        let mut failed = false;
+        let mut slots: Vec<Option<Ref>> = vec![None; leaves.len()];
+        {
+            let store = &self.store;
+            store.begin_shared(width);
+            let cursor = AtomicUsize::new(0);
+            let worker_out: Vec<WorkerOut> = std::thread::scope(|scope| {
+                let handles: Vec<_> = (0..width)
+                    .map(|_| {
+                        scope.spawn(|| {
+                            let mut session = Session::with_cache_bits(WORKER_CACHE_BITS);
+                            let mut out = Vec::new();
+                            loop {
+                                // ordering: Relaxed — the cursor only
+                                // partitions indices; leaf data is
+                                // immutable and store publication has
+                                // its own Release/Acquire protocol.
+                                let i = cursor.fetch_add(1, Ordering::Relaxed);
+                                let Some(&leaf) = leaves.get(i) else {
+                                    break;
+                                };
+                                let r = leaf.solve(store, &mut session);
+                                let stop = r.is_err();
+                                out.push((i, r));
+                                if stop {
+                                    break; // table full: drain and regrow
+                                }
+                            }
+                            (session, out)
+                        })
+                    })
+                    .collect();
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("parallel-apply worker panicked"))
+                    .collect()
+            });
+            store.end_shared(width);
+
+            // COMBINE bookkeeping: fold every worker's created-node log
+            // into the manager's per-variable lists (now quiescent), and
+            // absorb its cache telemetry.
+            for (mut session, out) in worker_out {
+                let created = std::mem::take(&mut session.created);
+                self.fold_created(created);
+                self.session.cache.absorb_counters(&session.cache);
+                self.session.steps += session.steps;
+                for (i, r) in out {
+                    match r {
+                        Ok(v) => slots[i] = Some(v),
+                        Err(_) => failed = true,
+                    }
+                }
+            }
+        }
+
+        if failed || slots.iter().any(Option::is_none) {
+            // A worker lost the shared-table headroom race. The region is
+            // quiescent again: grow stop-the-world and redo sequentially —
+            // the workers' published subresults stay memoized in the
+            // unique table, so the retry mostly re-links existing nodes.
+            budget.release(extra);
+            self.grow_for_retry();
+            return self.seq_apply(root);
+        }
+
+        // COMBINE: rebuild the split spine bottom-up. Each `mk` respects
+        // the ordering invariant (split variables strictly deepen), and
+        // canonicity makes the final Ref identical to the sequential one.
+        let mut level: Vec<Ref> = slots.into_iter().flatten().collect();
+        for &v in vars.iter().rev() {
+            level = level
+                .chunks_exact(2)
+                .map(|pair| self.mk(v, pair[0], pair[1]))
+                .collect();
+        }
+        budget.release(extra);
+        debug_assert_eq!(level.len(), 1);
+        level[0]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::session::JobBudget;
+
+    /// Builds a deliberately wide cone pair: XOR/MAJ ladders over
+    /// cross-products of distant variables, which under the natural
+    /// order are hundreds of shared nodes — past `PAR_CUTOFF`.
+    fn big_cone(m: &mut Manager, n: u32) -> (Ref, Ref) {
+        let vars: Vec<Ref> = (0..n).map(|i| m.var(i)).collect();
+        let half = (n / 2) as usize;
+        let mut f = Ref::ZERO;
+        let mut g = Ref::ONE;
+        for i in 0..half {
+            let p = m.and(vars[i], vars[i + half]);
+            f = m.xor(f, p);
+            let q = m.or(vars[i], vars[(i + half + 1) % n as usize]);
+            g = m.maj(g, q, p);
+        }
+        (f, g)
+    }
+
+    #[test]
+    fn no_budget_is_the_sequential_path() {
+        let mut seq = Manager::new();
+        let (fs, gs) = big_cone(&mut seq, 16);
+        let want = seq.and(fs, gs);
+        let mut par = Manager::new();
+        let (fp, gp) = big_cone(&mut par, 16);
+        let got = par.par_and(fp, gp);
+        assert_eq!(got, want, "refs must be bit-equal");
+        assert_eq!(seq.num_nodes(), par.num_nodes(), "identical node counts");
+    }
+
+    #[test]
+    fn zero_permit_budget_is_the_sequential_path() {
+        let mut seq = Manager::new();
+        let (fs, gs) = big_cone(&mut seq, 16);
+        let want = seq.xor(fs, gs);
+        let mut par = Manager::new();
+        par.set_job_budget(Some(JobBudget::new(0)));
+        let (fp, gp) = big_cone(&mut par, 16);
+        let got = par.par_xor(fp, gp);
+        assert_eq!(got, want);
+        assert_eq!(seq.num_nodes(), par.num_nodes(), "identical node counts");
+    }
+
+    #[test]
+    fn forked_apply_matches_sequential_refs() {
+        let mut seq = Manager::new();
+        let (fs, gs) = big_cone(&mut seq, 18);
+        let want_and = seq.and(fs, gs);
+        let want_xor = seq.xor(fs, gs);
+
+        let mut par = Manager::new();
+        par.set_job_budget(Some(JobBudget::new(3)));
+        let (fp, gp) = big_cone(&mut par, 18);
+        assert!(
+            par.shared_size(&[fp, gp]) >= PAR_CUTOFF,
+            "test cone shrank below the fork cutoff — the fork path is \
+             no longer exercised"
+        );
+        let got_and = par.par_and(fp, gp);
+        let got_xor = par.par_xor(fp, gp);
+        // Same build order ⇒ the operand refs are bit-identical across
+        // managers, so the results must be too (canonicity).
+        assert_eq!(got_and, want_and);
+        assert_eq!(got_xor, want_xor);
+        par.verify_interior_refs();
+        par.verify_edge_canonical_form();
+        let budget = par.job_budget.as_ref().expect("budget installed");
+        assert_eq!(budget.available(), 3, "all permits returned");
+    }
+
+    #[test]
+    fn split_produces_cofactor_leaves() {
+        let mut m = Manager::new();
+        let (f, g) = big_cone(&mut m, 12);
+        let (vars, leaves) = split(&m.store, ParOp::And(f, g), 8);
+        assert!(!vars.is_empty());
+        assert_eq!(leaves.len(), 1 << vars.len());
+        // Leaf 0 is the all-zero cofactor path.
+        let mut f0 = f;
+        let mut g0 = g;
+        for &v in &vars {
+            f0 = m.store.shallow_cofactors(f0, v).0;
+            g0 = m.store.shallow_cofactors(g0, v).0;
+        }
+        let [lf, lg, _] = leaves[0].operands();
+        assert_eq!((lf, lg), (f0, g0));
+    }
+}

@@ -17,8 +17,9 @@
 //! substitution), which is occasionally what a caller wants — but it is no
 //! longer how reordering is implemented.
 
-use crate::manager::{op, ConvergeConfig, Manager, SiftConfig};
+use crate::manager::{ConvergeConfig, Manager, SiftConfig};
 use crate::reference::Ref;
+use crate::session::op;
 
 impl Manager {
     /// Rebuilds `f` with every variable `v` replaced by `perm[v]` — a
@@ -49,7 +50,7 @@ impl Manager {
         if f.is_const() {
             return f;
         }
-        if let Some(r) = self.cache.lookup(op::SCOPED, f.raw(), scope, 1) {
+        if let Some(r) = self.session.cache.lookup(op::SCOPED, f.raw(), scope, 1) {
             return r;
         }
         let v = self.top_var(f).expect("non-constant");
@@ -61,7 +62,7 @@ impl Manager {
         // positions, so rebuild with ITE (handles arbitrary targets).
         let vref = self.var(new_var);
         let r = self.ite(vref, hi, lo);
-        self.cache.insert(op::SCOPED, f.raw(), scope, 1, r);
+        self.session.cache.insert(op::SCOPED, f.raw(), scope, 1, r);
         r
     }
 

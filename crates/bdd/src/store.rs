@@ -1,0 +1,891 @@
+//! The shared node store: arena, open-addressed unique table and
+//! interior reference counts — the node-owning half of the concurrent
+//! kernel split (the per-thread half is [`crate::session::Session`]).
+//!
+//! `NodeStore` is `Sync`. Many sessions may run recursive kernels against
+//! one store at once; the only mutation a shared (`&self`) region ever
+//! performs is *node publication* through [`NodeStore::try_mk`], which is
+//! lock-free:
+//!
+//! * a probe walks the bucket array with `Acquire` loads;
+//! * a miss claims an arena slot (free-list first, then the arena
+//!   high-water mark, both by CAS), writes the node fields, and publishes
+//!   the slot into the empty bucket with a `Release`
+//!   `compare_exchange` — the release/acquire pair is what makes the
+//!   relaxed field writes visible to every later prober;
+//! * losing the publication race re-checks the winner (same triple:
+//!   abandon our slot and adopt the winner's — hash-consing holds under
+//!   contention) or keeps probing with the claimed slot in hand.
+//!
+//! Everything else — growth, reclamation, level swaps, the per-variable
+//! slot lists, external refcounts — runs through `&mut self` at
+//! *quiescent points* (exactly one session live, asserted via the
+//! sessions-outstanding count), where plain access is safe and the
+//! atomics are read and written through `get_mut`. A shared region that
+//! runs out of arena or table headroom gets [`StoreFull`] back and the
+//! manager façade grows the store at the next quiescent point and
+//! retries; the store never grows under a shared region's feet.
+//!
+//! The free list is a *frozen* stack during shared regions: `&mut` code
+//! pushes reclaimed slots and keeps `free.len() == free_top`; shared
+//! claims only CAS-decrement the atomic `free_top` over the frozen
+//! contents, and the manager re-syncs the vector length afterwards.
+//! Slots abandoned after a lost publication race are poisoned and
+//! counted in `abandoned` until the next sweep's arena scan recovers
+//! them onto the free list.
+
+use crate::reference::{NodeId, Ref, Var};
+use std::sync::atomic::{AtomicU32, AtomicUsize, Ordering};
+
+/// Sentinel variable index used by the terminal node; compares below every
+/// real variable when ordered by *level depth* (larger index = deeper).
+pub(crate) const TERMINAL_VAR: u32 = u32::MAX;
+
+/// Sentinel variable index poisoning a reclaimed arena slot. A slot with
+/// this variable is on the free list (or awaiting recovery after a lost
+/// publication race): it is never reachable from a live [`Ref`], never
+/// listed in the unique table, and is overwritten on reuse.
+pub(crate) const FREE_VAR: u32 = u32::MAX - 1;
+
+/// Smallest bucket array [`NodeStore::with_capacity`] will allocate.
+pub(crate) const MIN_BUCKETS: usize = 1 << 8;
+
+/// Best-effort prefetch of the cache line holding `*p` (x86_64 only; a
+/// no-op elsewhere). Unique-table probes use it to overlap the *next*
+/// probe slot's node fetch with the current slot's key comparison — on a
+/// collision chain the bucket words share a line but the arena nodes they
+/// name do not.
+#[inline(always)]
+pub(crate) fn prefetch<T>(p: *const T) {
+    #[cfg(target_arch = "x86_64")]
+    // SAFETY: prefetch is a pure performance hint with no memory effects;
+    // the CPU ignores addresses it cannot fetch.
+    unsafe {
+        core::arch::x86_64::_mm_prefetch(p as *const i8, core::arch::x86_64::_MM_HINT_T0);
+    }
+    #[cfg(not(target_arch = "x86_64"))]
+    let _ = p;
+}
+
+/// Multiply-mix of a `(var, low, high)` triple — the unique-table hash.
+#[inline(always)]
+pub(crate) fn triple_hash(a: u32, b: u32, c: u32) -> u64 {
+    let x = ((a as u64) << 32 | b as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    let y = (c as u64 ^ 0xD1B5_4A32_D192_ED03).wrapping_mul(0xA24B_AED4_963E_E407);
+    let mut h = x ^ y;
+    h ^= h >> 29;
+    h = h.wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    h ^ (h >> 32)
+}
+
+/// A stored BDD node: the Shannon expansion of a function with respect to
+/// its top variable.
+///
+/// Invariants maintained by the kernel:
+/// * `high` (the 1-edge) is never complemented;
+/// * `low != high`;
+/// * the top variables of `low` and `high` sit at strictly deeper
+///   *levels* than `var` (in the current `var2level` order).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct Node {
+    /// Decision variable *index* (its identity). The variable's current
+    /// position in the order is `var2level`; the two coincide only until
+    /// the first reordering.
+    pub var: Var,
+    /// Negative (0-edge) cofactor; may be complemented.
+    pub low: Ref,
+    /// Positive (1-edge) cofactor; always regular.
+    pub high: Ref,
+}
+
+/// One arena slot: the three node words as atomics so a shared region
+/// can write a claimed slot's fields before publishing it. Outside
+/// publication the fields are plain data — `&mut` code reads and writes
+/// them through `get_mut`, and shared readers only ever see slots whose
+/// publication they observed through an `Acquire` bucket load.
+#[derive(Debug)]
+struct NodeCell {
+    var: AtomicU32,
+    low: AtomicU32,
+    high: AtomicU32,
+}
+
+impl NodeCell {
+    fn empty() -> NodeCell {
+        NodeCell {
+            var: AtomicU32::new(FREE_VAR),
+            low: AtomicU32::new(Ref::ONE.raw()),
+            high: AtomicU32::new(Ref::ONE.raw()),
+        }
+    }
+}
+
+/// A shared kernel region ran out of arena slots or unique-table
+/// headroom. Growth needs `&mut NodeStore`, so the region unwinds (the
+/// manager façade maps this to `LimitKind::TableFull`, grows at the next
+/// quiescent point and retries).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub(crate) struct StoreFull;
+
+/// The shared, `Sync` node store: arena, unique table, interior
+/// refcounts, variable order and per-variable slot lists.
+///
+/// See the module docs for the shared-vs-quiescent access contract and
+/// the crate-level "Concurrency contract" for how sessions cooperate.
+#[derive(Debug)]
+pub struct NodeStore {
+    /// The node arena. Fixed capacity between `&mut` growths; the
+    /// initialized prefix is `next`.
+    cells: Box<[NodeCell]>,
+    /// Arena length (high-water mark of claimed slots).
+    next: AtomicU32,
+    /// Interior reference count per arena slot: the number of *arena
+    /// edges* into the slot. Incremented atomically by publication,
+    /// maintained plainly by the quiescent rewrite/reclaim paths, and
+    /// audited against a full recount in debug builds.
+    int_refs: Box<[AtomicU32]>,
+    /// External reference count per arena slot (collection roots).
+    /// Quiescent-only.
+    pub(crate) refs: Vec<u32>,
+    /// Position of each slot inside its `var_nodes[var]` list.
+    /// Quiescent-only.
+    pub(crate) var_pos: Vec<u32>,
+    /// Reclaimed arena slots awaiting reuse (LIFO). Contents are frozen
+    /// during shared regions; the live length is `free_top`.
+    pub(crate) free: Vec<u32>,
+    /// Atomic stack pointer into `free` (shared claims CAS-decrement it).
+    free_top: AtomicU32,
+    /// Slots poisoned after losing a publication race, not yet recovered
+    /// onto the free list by a sweep.
+    abandoned: AtomicU32,
+    /// Open-addressed unique table (bucket => node index, 0 = empty).
+    buckets: Box<[AtomicU32]>,
+    bucket_mask: usize,
+    occupied: AtomicUsize,
+    /// Nodes created since the last collection attempt (gates
+    /// `maybe_collect`).
+    allocs_since_gc: AtomicUsize,
+    /// Extra sessions currently running shared kernel regions against
+    /// this store (the manager's own session is not counted). Growth,
+    /// GC and sifting assert this is zero — they are stop-the-world.
+    sessions_out: AtomicUsize,
+    num_vars: u32,
+    /// Position of each variable in the decision order
+    /// (`var2level[var] = level`; always a permutation of `0..num_vars`).
+    pub(crate) var2level: Vec<u32>,
+    /// Inverse of `var2level` (`level2var[level] = var`).
+    pub(crate) level2var: Vec<u32>,
+    /// Exact per-variable slot lists. Quiescent-only: kernels log their
+    /// publications per session and the manager folds the logs in.
+    pub(crate) var_nodes: Vec<Vec<u32>>,
+    var_names: Vec<Option<String>>,
+}
+
+impl NodeStore {
+    /// A store pre-sized for `nodes` arena slots, containing only the
+    /// terminal node.
+    pub(crate) fn with_capacity(nodes: usize) -> NodeStore {
+        let cap = nodes.max(16);
+        let buckets = (nodes.max(8) * 4 / 3 + 1)
+            .next_power_of_two()
+            .max(MIN_BUCKETS);
+        let mut cells = Vec::with_capacity(cap);
+        cells.resize_with(cap, NodeCell::empty);
+        *cells[0].var.get_mut() = TERMINAL_VAR;
+        let mut int_refs = Vec::with_capacity(cap);
+        int_refs.resize_with(cap, || AtomicU32::new(0));
+        let mut bucket_vec = Vec::with_capacity(buckets);
+        bucket_vec.resize_with(buckets, || AtomicU32::new(0));
+        NodeStore {
+            cells: cells.into_boxed_slice(),
+            next: AtomicU32::new(1),
+            int_refs: int_refs.into_boxed_slice(),
+            refs: vec![0u32; 1],
+            var_pos: vec![0u32; 1],
+            free: Vec::new(),
+            free_top: AtomicU32::new(0),
+            abandoned: AtomicU32::new(0),
+            buckets: bucket_vec.into_boxed_slice(),
+            bucket_mask: buckets - 1,
+            occupied: AtomicUsize::new(0),
+            allocs_since_gc: AtomicUsize::new(0),
+            sessions_out: AtomicUsize::new(0),
+            num_vars: 0,
+            var2level: Vec::new(),
+            level2var: Vec::new(),
+            var_nodes: Vec::new(),
+            var_names: Vec::new(),
+        }
+    }
+
+    // ------------------------------------------------------------- sizes
+
+    /// Current arena size in slots, including the terminal and reclaimed
+    /// slots awaiting reuse.
+    #[inline(always)]
+    pub fn num_nodes(&self) -> usize {
+        // ordering: Relaxed — a monotone counter; exact at quiescent
+        // points, momentarily approximate (only ever low) mid-region.
+        self.next.load(Ordering::Relaxed) as usize
+    }
+
+    /// Number of live nodes (arena slots currently holding a node,
+    /// including the terminal; excludes free and abandoned slots).
+    #[inline(always)]
+    pub fn live_nodes(&self) -> usize {
+        // ordering: Relaxed — the three counters race individually, so
+        // mid-region this is an estimate (used only by governance ticks);
+        // at quiescent points every term is exact.
+        let next = self.next.load(Ordering::Relaxed) as usize;
+        let free = self.free_top.load(Ordering::Relaxed) as usize;
+        let abandoned = self.abandoned.load(Ordering::Relaxed) as usize;
+        next.saturating_sub(free + abandoned)
+    }
+
+    /// Arena slots known reclaimed: the free stack plus race-abandoned
+    /// slots awaiting recovery by the next sweep.
+    pub(crate) fn free_nodes(&self) -> usize {
+        // ordering: Relaxed — quiescent-point reporting.
+        self.free_top.load(Ordering::Relaxed) as usize
+            + self.abandoned.load(Ordering::Relaxed) as usize
+    }
+
+    /// Unique-table bucket count.
+    pub(crate) fn buckets_len(&self) -> usize {
+        self.buckets.len()
+    }
+
+    /// Unique-table entries (live arena nodes listed in a bucket).
+    pub(crate) fn occupied(&self) -> usize {
+        // ordering: Relaxed — exact at quiescent points.
+        self.occupied.load(Ordering::Relaxed)
+    }
+
+    /// Nodes created since the last collection attempt.
+    pub(crate) fn allocs_since_gc(&self) -> usize {
+        // ordering: Relaxed — GC gating heuristic only.
+        self.allocs_since_gc.load(Ordering::Relaxed)
+    }
+
+    pub(crate) fn reset_allocs_since_gc(&mut self) {
+        *self.allocs_since_gc.get_mut() = 0;
+    }
+
+    // --------------------------------------------------- sessions / stop
+
+    /// Registers `extra` additional sessions about to run shared kernel
+    /// regions (the parallel apply's workers).
+    pub(crate) fn begin_shared(&self, extra: usize) {
+        // ordering: Relaxed — the count only gates quiescent-point
+        // assertions; worker data handoff synchronizes via spawn/join.
+        self.sessions_out.fetch_add(extra, Ordering::Relaxed);
+    }
+
+    /// Deregisters `extra` sessions after their threads joined.
+    pub(crate) fn end_shared(&self, extra: usize) {
+        // ordering: Relaxed — see begin_shared.
+        self.sessions_out.fetch_sub(extra, Ordering::Relaxed);
+    }
+
+    /// Extra sessions currently outstanding (0 at every quiescent point).
+    pub fn sessions_outstanding(&self) -> usize {
+        // ordering: Relaxed — diagnostic / assertion read.
+        self.sessions_out.load(Ordering::Relaxed)
+    }
+
+    /// Asserts the store is quiescent (no extra sessions outstanding) —
+    /// the precondition of growth, collection and sifting, which mutate
+    /// state shared regions read without synchronization.
+    #[inline]
+    pub(crate) fn assert_quiescent(&self, what: &str) {
+        assert_eq!(
+            self.sessions_outstanding(),
+            0,
+            "{what} requires a quiescent store (stop-the-world): \
+             parallel sessions are still outstanding"
+        );
+    }
+
+    // ------------------------------------------------------ order / vars
+
+    /// Registers `index` (and any gap below it) in the order maps; new
+    /// variables are appended at the deepest levels in index order.
+    /// Quiescent-only (kernels never introduce variables).
+    pub(crate) fn ensure_var(&mut self, index: u32) {
+        if index < self.num_vars {
+            return;
+        }
+        self.num_vars = index + 1;
+        while (self.var2level.len() as u32) < self.num_vars {
+            let next = self.var2level.len() as u32;
+            self.var2level.push(next);
+            self.level2var.push(next);
+            self.var_nodes.push(Vec::new());
+        }
+    }
+
+    /// Number of variables known to the store.
+    pub fn num_vars(&self) -> u32 {
+        self.num_vars
+    }
+
+    /// Level of a variable index; `u32::MAX` for the terminal/free
+    /// sentinels and for variables the store has never seen.
+    #[inline(always)]
+    pub(crate) fn var_level(&self, var: u32) -> u32 {
+        match self.var2level.get(var as usize) {
+            Some(&l) => l,
+            None => u32::MAX,
+        }
+    }
+
+    /// The variable currently sitting at `level`.
+    #[inline(always)]
+    pub(crate) fn var_at_level(&self, level: u32) -> Var {
+        Var(self.level2var[level as usize])
+    }
+
+    pub(crate) fn set_var_name(&mut self, index: u32, name: String) {
+        let idx = index as usize;
+        if self.var_names.len() <= idx {
+            self.var_names.resize(idx + 1, None);
+        }
+        self.var_names[idx] = Some(name);
+    }
+
+    pub(crate) fn var_name(&self, index: u32) -> String {
+        self.var_names
+            .get(index as usize)
+            .and_then(|n| n.clone())
+            .unwrap_or_else(|| format!("x{index}"))
+    }
+
+    // ------------------------------------------------------ node reading
+
+    /// Raw variable word of an arena slot (sentinels included).
+    #[inline(always)]
+    pub(crate) fn var_of(&self, i: usize) -> u32 {
+        // ordering: Relaxed — the slot's publication was observed through
+        // an Acquire bucket load (shared readers) or program order
+        // (quiescent readers), either of which orders these field writes.
+        self.cells[i].var.load(Ordering::Relaxed)
+    }
+
+    /// Snapshot of a stored node by arena slot. The caller must hold a
+    /// slot index it observed through publication (a `Ref`, a bucket
+    /// probe, or quiescent iteration) — never a guess.
+    #[inline(always)]
+    pub(crate) fn node(&self, i: usize) -> Node {
+        let c = &self.cells[i];
+        // ordering: Relaxed — see var_of: visibility of the three field
+        // writes is ordered by the Release publication CAS the reader's
+        // Acquire (or quiescence) observed.
+        Node {
+            var: Var(c.var.load(Ordering::Relaxed)),
+            low: Ref::from_raw(c.low.load(Ordering::Relaxed)),
+            high: Ref::from_raw(c.high.load(Ordering::Relaxed)),
+        }
+    }
+
+    /// Level of an edge's top node in the current variable order:
+    /// constants (and the poisoned/unregistered sentinels) report
+    /// `u32::MAX`, the pseudo-level below every real one.
+    #[inline(always)]
+    pub(crate) fn level(&self, f: Ref) -> u32 {
+        self.var_level(self.var_of(f.node().index()))
+    }
+
+    /// The decision variable of an edge's top node; `None` for constants.
+    pub(crate) fn top_var(&self, f: Ref) -> Option<Var> {
+        if f.is_const() {
+            None
+        } else {
+            Some(Var(self.var_of(f.node().index())))
+        }
+    }
+
+    /// Cofactors `f` with respect to variable `v` assumed to be at or
+    /// above `f`'s top level: returns `(f|v=0, f|v=1)`. Comparing the
+    /// stored top variable covers the constant case too (the terminal's
+    /// sentinel never equals a real variable), so there is no separate
+    /// terminal branch.
+    #[inline(always)]
+    pub(crate) fn shallow_cofactors(&self, f: Ref, v: Var) -> (Ref, Ref) {
+        let n = self.node(f.node().index());
+        if n.var != v {
+            (f, f)
+        } else {
+            let c = f.is_complemented();
+            (n.low.xor_complement(c), n.high.xor_complement(c))
+        }
+    }
+
+    /// Interior reference count of a slot.
+    #[inline(always)]
+    pub(crate) fn int_ref(&self, i: usize) -> u32 {
+        // ordering: Relaxed — exact at quiescent points; shared regions
+        // only ever increment.
+        self.int_refs[i].load(Ordering::Relaxed)
+    }
+
+    /// Quiescent-point mutable access to a slot's interior count.
+    #[inline(always)]
+    pub(crate) fn int_ref_mut(&mut self, i: usize) -> &mut u32 {
+        self.int_refs[i].get_mut()
+    }
+
+    // -------------------------------------------------- node publication
+
+    /// Claims an unclaimed arena slot: the frozen free stack first
+    /// (CAS-decrement of the atomic stack pointer), then the arena
+    /// high-water mark (CAS increment). Errs when the arena is out of
+    /// capacity — growth needs a quiescent `&mut`.
+    fn claim_slot(&self) -> Result<u32, StoreFull> {
+        // ordering: Relaxed on both CAS loops — they only arbitrate
+        // *which* thread takes which index; the free stack's contents and
+        // the arena capacity were frozen before the shared region began,
+        // so the happens-before edge is the thread spawn, not the CAS.
+        let mut top = self.free_top.load(Ordering::Relaxed);
+        while top > 0 {
+            match self.free_top.compare_exchange_weak(
+                top,
+                top - 1,
+                Ordering::Relaxed,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => {
+                    let slot = self.free[(top - 1) as usize];
+                    debug_assert_eq!(self.var_of(slot as usize), FREE_VAR);
+                    return Ok(slot);
+                }
+                Err(now) => top = now,
+            }
+        }
+        let mut next = self.next.load(Ordering::Relaxed);
+        loop {
+            if next as usize >= self.cells.len() {
+                return Err(StoreFull);
+            }
+            debug_assert!(next < u32::MAX >> 1, "node arena exceeds Ref address space");
+            match self.next.compare_exchange_weak(
+                next,
+                next + 1,
+                Ordering::Relaxed,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => return Ok(next),
+                Err(now) => next = now,
+            }
+        }
+    }
+
+    /// Poisons a claimed-but-unpublished slot after a lost publication
+    /// race. The slot index is private to this thread (nothing else can
+    /// reference it), so the store is unordered; the next sweep's arena
+    /// scan recovers the slot onto the free list.
+    fn abandon_slot(&self, idx: u32) {
+        // ordering: Relaxed — the slot was never published; no other
+        // thread holds its index until a quiescent sweep recovers it.
+        self.cells[idx as usize]
+            .var
+            .store(FREE_VAR, Ordering::Relaxed);
+        self.cells[idx as usize]
+            .low
+            .store(Ref::ONE.raw(), Ordering::Relaxed);
+        self.cells[idx as usize]
+            .high
+            .store(Ref::ONE.raw(), Ordering::Relaxed);
+        // ordering: Relaxed — a statistics counter reconciled at the next
+        // quiescent sweep.
+        self.abandoned.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// The concurrent insert-or-get: finds the canonical node for a
+    /// regular-`high` triple or publishes a fresh one, lock-free.
+    /// Returns the node's `Ref` and whether this call created it (the
+    /// caller logs created slots for the quiescent list drain).
+    ///
+    /// Errs with [`StoreFull`] when the arena is out of capacity or the
+    /// unique table is past its shared-region load cap (7/8 — the `&mut`
+    /// paths regrow at 3/4, so this is the emergency brake, not the
+    /// steady state).
+    pub(crate) fn try_mk(&self, var: Var, low: Ref, high: Ref) -> Result<(Ref, bool), StoreFull> {
+        debug_assert!(!high.is_complemented());
+        debug_assert!(low != high, "reduction rule is the caller's job");
+        // Load cap: past 7/8 the probe chains degrade and a concurrent
+        // region has no way to grow the table — unwind and let the
+        // manager grow at the next quiescent point. The check is racy
+        // (Relaxed read) but conservative: a handful of in-flight inserts
+        // past the cap still leaves empty buckets, so probes terminate.
+        if (self.occupied() + 1) * 8 > self.buckets.len() * 7 {
+            return Err(StoreFull);
+        }
+        let h = triple_hash(var.0, low.raw(), high.raw());
+        let mask = self.bucket_mask;
+        let mut i = (h as usize) & mask;
+        let mut claimed: Option<u32> = None;
+        loop {
+            // ordering: Acquire — pairs with the Release publication CAS
+            // below, so a nonzero index read here implies the slot's
+            // field writes are visible.
+            let b = self.buckets[i].load(Ordering::Acquire);
+            if b == 0 {
+                let idx = match claimed {
+                    Some(s) => s,
+                    None => {
+                        let s = self.claim_slot()?;
+                        // Write the node fields before publication.
+                        // ordering: Relaxed — the publication CAS below
+                        // releases these writes; until it succeeds the
+                        // slot index is private to this thread.
+                        self.cells[s as usize].var.store(var.0, Ordering::Relaxed);
+                        self.cells[s as usize]
+                            .low
+                            .store(low.raw(), Ordering::Relaxed);
+                        self.cells[s as usize]
+                            .high
+                            .store(high.raw(), Ordering::Relaxed);
+                        claimed = Some(s);
+                        s
+                    }
+                };
+                // ordering: Release on success publishes the slot's field
+                // writes to every prober that Acquire-loads this bucket;
+                // Acquire on failure so the winner's fields are readable
+                // for the re-check below.
+                match self.buckets[i].compare_exchange(0, idx, Ordering::Release, Ordering::Acquire)
+                {
+                    Ok(_) => {
+                        // Won the race: the node is live. Its edges are
+                        // arena edges — count them now (after publication
+                        // is fine: reconciliation only happens at
+                        // quiescent points, and concurrent readers never
+                        // consult interior counts).
+                        for c in [low, high] {
+                            let ci = c.node().index();
+                            if ci != 0 {
+                                // ordering: Relaxed — atomicity is all
+                                // that is needed; counts are read only at
+                                // quiescent points.
+                                self.int_refs[ci].fetch_add(1, Ordering::Relaxed);
+                            }
+                        }
+                        // ordering: Relaxed — heuristic counters (load
+                        // factor, GC gating), reconciled at quiescence.
+                        self.occupied.fetch_add(1, Ordering::Relaxed);
+                        self.allocs_since_gc.fetch_add(1, Ordering::Relaxed);
+                        return Ok((Ref::new(NodeId(idx), false), true));
+                    }
+                    Err(winner) => {
+                        // Lost: someone published into this bucket first.
+                        // If they published *our* triple, adopt theirs.
+                        let n = self.node(winner as usize);
+                        if n.var == var && n.low == low && n.high == high {
+                            self.abandon_slot(idx);
+                            return Ok((Ref::new(NodeId(winner), false), false));
+                        }
+                        // Different triple: keep our claimed slot and
+                        // continue probing past the now-occupied bucket.
+                        i = (i + 1) & mask;
+                        continue;
+                    }
+                }
+            }
+            // Overlap the next probe's node fetch with this comparison:
+            // the next bucket word is (almost always) in the line already
+            // loaded, but the arena node it names is not.
+            // ordering: Relaxed — purely a prefetch hint; the index is
+            // re-read with Acquire if the probe actually advances.
+            let next = self.buckets[(i + 1) & mask].load(Ordering::Relaxed);
+            if next != 0 {
+                prefetch(&self.cells[next as usize]);
+            }
+            let n = self.node(b as usize);
+            if n.var == var && n.low == low && n.high == high {
+                if let Some(s) = claimed {
+                    self.abandon_slot(s);
+                }
+                return Ok((Ref::new(NodeId(b), false), false));
+            }
+            i = (i + 1) & mask;
+        }
+    }
+
+    // ------------------------------------------------ quiescent mutation
+
+    /// Arena headroom check for the `&mut` grow-ahead paths.
+    pub(crate) fn arena_full(&self) -> bool {
+        self.num_nodes() + 1 >= self.cells.len() && self.free_top.load(Ordering::Relaxed) == 0
+    }
+
+    /// Doubles the arena capacity (slots beyond the high-water mark stay
+    /// unclaimed). Quiescent-only.
+    pub(crate) fn grow_arena(&mut self) {
+        self.assert_quiescent("arena growth");
+        let new_cap = (self.cells.len() * 2).max(16);
+        let mut cells = Vec::with_capacity(new_cap);
+        for c in self.cells.iter_mut() {
+            let (v, l, h) = (*c.var.get_mut(), *c.low.get_mut(), *c.high.get_mut());
+            cells.push(NodeCell {
+                var: AtomicU32::new(v),
+                low: AtomicU32::new(l),
+                high: AtomicU32::new(h),
+            });
+        }
+        cells.resize_with(new_cap, NodeCell::empty);
+        self.cells = cells.into_boxed_slice();
+        let mut int_refs = Vec::with_capacity(new_cap);
+        for r in self.int_refs.iter_mut() {
+            int_refs.push(AtomicU32::new(*r.get_mut()));
+        }
+        int_refs.resize_with(new_cap, || AtomicU32::new(0));
+        self.int_refs = int_refs.into_boxed_slice();
+    }
+
+    /// Grows the arena until it holds at least `nodes` slots.
+    /// Quiescent-only (via [`NodeStore::grow_arena`]).
+    pub(crate) fn ensure_arena_capacity(&mut self, nodes: usize) {
+        while self.cells.len() < nodes {
+            self.grow_arena();
+        }
+    }
+
+    /// Rebuilds the bucket array at `new_len` (a power of two) by
+    /// re-inserting every live arena node; reclaimed slots are skipped.
+    /// Quiescent-only.
+    pub(crate) fn grow_buckets_to(&mut self, new_len: usize) {
+        debug_assert!(new_len.is_power_of_two());
+        self.assert_quiescent("unique-table growth");
+        let mask = new_len - 1;
+        let mut buckets = vec![0u32; new_len];
+        let n = self.num_nodes();
+        for idx in 1..n {
+            let node = self.node(idx);
+            if node.var.0 == FREE_VAR {
+                continue;
+            }
+            let mut i = (triple_hash(node.var.0, node.low.raw(), node.high.raw()) as usize) & mask;
+            while buckets[i] != 0 {
+                i = (i + 1) & mask;
+            }
+            buckets[i] = idx as u32;
+        }
+        self.buckets = buckets
+            .into_iter()
+            .map(AtomicU32::new)
+            .collect::<Vec<_>>()
+            .into_boxed_slice();
+        self.bucket_mask = mask;
+    }
+
+    /// Re-syncs the plain-side bookkeeping after shared kernel regions:
+    /// truncates the free stack to its atomic pointer and extends the
+    /// external-count and list-position arrays over newly claimed slots.
+    /// Every quiescent point passes through here before touching lists.
+    pub(crate) fn sync_lengths(&mut self) {
+        let top = *self.free_top.get_mut() as usize;
+        self.free.truncate(top);
+        let n = *self.next.get_mut() as usize;
+        if self.refs.len() < n {
+            self.refs.resize(n, 0);
+        }
+        if self.var_pos.len() < n {
+            self.var_pos.resize(n, 0);
+        }
+    }
+
+    /// Overwrites a slot's node words. Quiescent-only (level swaps).
+    pub(crate) fn set_node(&mut self, i: usize, n: Node) {
+        *self.cells[i].var.get_mut() = n.var.0;
+        *self.cells[i].low.get_mut() = n.low.raw();
+        *self.cells[i].high.get_mut() = n.high.raw();
+    }
+
+    /// Overwrites just a slot's variable word (the swap rewrite parks
+    /// slots on `FREE_VAR` mid-flight). Quiescent-only.
+    pub(crate) fn set_var_of(&mut self, i: usize, var: u32) {
+        *self.cells[i].var.get_mut() = var;
+    }
+
+    /// Poisons a reclaimed slot and pushes it onto the free stack
+    /// (keeping the stack pointer in step). Quiescent-only; the caller
+    /// has already detached the slot from the table and lists.
+    pub(crate) fn free_push(&mut self, slot: u32) {
+        self.set_node(
+            slot as usize,
+            Node {
+                var: Var(FREE_VAR),
+                low: Ref::ONE,
+                high: Ref::ONE,
+            },
+        );
+        debug_assert_eq!(self.free.len(), *self.free_top.get_mut() as usize);
+        self.free.push(slot);
+        *self.free_top.get_mut() += 1;
+    }
+
+    /// Rebuilds the free stack from a full arena scan (recovering slots
+    /// abandoned by lost publication races) and zeroes the abandoned
+    /// count. Quiescent-only; sweeps call this after poisoning.
+    pub(crate) fn rebuild_free(&mut self) {
+        self.free.clear();
+        let n = *self.next.get_mut() as usize;
+        for i in 1..n {
+            if *self.cells[i].var.get_mut() == FREE_VAR {
+                self.free.push(i as u32);
+            }
+        }
+        *self.free_top.get_mut() = self.free.len() as u32;
+        *self.abandoned.get_mut() = 0;
+    }
+
+    /// Removes one arena slot from the unique table by backward-shift
+    /// deletion (no tombstones, so later probes stay one-load-per-step).
+    /// `n` is the node content the slot is currently hashed under.
+    /// Quiescent-only.
+    pub(crate) fn remove_slot(&mut self, idx: u32, n: &Node) {
+        let mask = self.bucket_mask;
+        let mut i = (triple_hash(n.var.0, n.low.raw(), n.high.raw()) as usize) & mask;
+        while *self.buckets[i].get_mut() != idx {
+            debug_assert!(
+                *self.buckets[i].get_mut() != 0,
+                "remove_slot: slot not in the table"
+            );
+            i = (i + 1) & mask;
+        }
+        // Shift the rest of the probe cluster back over the hole so no
+        // entry becomes unreachable from its ideal bucket.
+        let mut hole = i;
+        let mut j = (hole + 1) & mask;
+        loop {
+            let b = *self.buckets[j].get_mut();
+            if b == 0 {
+                break;
+            }
+            let nb = self.node(b as usize);
+            let ideal = (triple_hash(nb.var.0, nb.low.raw(), nb.high.raw()) as usize) & mask;
+            // `b` may move into the hole iff its ideal bucket is not in
+            // the (cyclic) open interval (hole, j].
+            if (j.wrapping_sub(ideal) & mask) >= (j.wrapping_sub(hole) & mask) {
+                *self.buckets[hole].get_mut() = b;
+                hole = j;
+            }
+            j = (j + 1) & mask;
+        }
+        *self.buckets[hole].get_mut() = 0;
+        *self.occupied.get_mut() -= 1;
+    }
+
+    /// Inserts an existing arena slot into the unique table (the slot's
+    /// triple must not already be present — guaranteed by the level-swap
+    /// rewrite, which never recreates an existing function's node).
+    /// Quiescent-only.
+    pub(crate) fn insert_slot(&mut self, idx: u32) {
+        let n = self.node(idx as usize);
+        let mut i = (triple_hash(n.var.0, n.low.raw(), n.high.raw()) as usize) & self.bucket_mask;
+        loop {
+            let b = *self.buckets[i].get_mut();
+            if b == 0 {
+                break;
+            }
+            debug_assert!(
+                self.node(b as usize) != n,
+                "insert_slot: duplicate triple would break canonicity"
+            );
+            i = (i + 1) & self.bucket_mask;
+        }
+        *self.buckets[i].get_mut() = idx;
+        *self.occupied.get_mut() += 1;
+        if *self.occupied.get_mut() * 4 >= self.buckets.len() * 3 {
+            self.grow_buckets_to(self.buckets.len() * 2);
+        }
+    }
+
+    /// Resets the occupancy count after a sweep rebuild (the survivors
+    /// were counted by the rebuild itself).
+    pub(crate) fn set_occupied(&mut self, n: usize) {
+        *self.occupied.get_mut() = n;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn try_mk_hash_conses_and_logs_creation() {
+        let mut store = NodeStore::with_capacity(16);
+        store.ensure_var(0);
+        let (a, created) = store.try_mk(Var(0), Ref::ZERO, Ref::ONE).unwrap();
+        assert!(created);
+        let (b, again) = store.try_mk(Var(0), Ref::ZERO, Ref::ONE).unwrap();
+        assert!(!again, "second insert of the same triple is a get");
+        assert_eq!(a, b);
+        assert_eq!(store.num_nodes(), 2);
+        assert_eq!(store.live_nodes(), 2);
+    }
+
+    #[test]
+    fn try_mk_reports_exhaustion_instead_of_growing() {
+        let mut store = NodeStore::with_capacity(4);
+        // Capacity floors at 16 slots; fill the arena with distinct
+        // single-variable nodes until the claim fails.
+        let cap = 16;
+        for v in 0..cap as u32 {
+            store.ensure_var(v);
+        }
+        let mut made = 0;
+        let mut last = Ref::ONE;
+        for v in 0..cap as u32 {
+            match store.try_mk(Var(v), Ref::ZERO, Ref::ONE) {
+                Ok((r, _)) => {
+                    made += 1;
+                    last = r;
+                }
+                Err(StoreFull) => break,
+            }
+        }
+        assert!(made >= cap - 1, "arena admits its capacity minus terminal");
+        // A fresh canonical triple over an existing node: refused, not grown.
+        assert_eq!(
+            store.try_mk(Var(0), Ref::ONE, last).ok().map(|_| ()),
+            None,
+            "a full arena must refuse, not grow"
+        );
+        store.grow_arena();
+        assert!(
+            store.try_mk(Var(0), Ref::ONE, last).is_ok(),
+            "quiescent growth restores headroom"
+        );
+    }
+
+    #[test]
+    fn concurrent_publication_stays_canonical() {
+        // Hammer one store from several threads creating an overlapping
+        // family of triples; every thread must observe identical Refs for
+        // identical triples (hash-consing under contention).
+        let mut store = NodeStore::with_capacity(4096);
+        for v in 0..64u32 {
+            store.ensure_var(v);
+        }
+        let store = &store;
+        let results: Vec<Vec<Ref>> = std::thread::scope(|s| {
+            let handles: Vec<_> = (0..4)
+                .map(|_| {
+                    s.spawn(move || {
+                        (0..64u32)
+                            .map(|v| store.try_mk(Var(v), Ref::ZERO, Ref::ONE).unwrap().0)
+                            .collect()
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+        for w in &results[1..] {
+            assert_eq!(&results[0], w, "all threads agree on canonical refs");
+        }
+        // Exactly 64 distinct nodes exist (plus the terminal); racers'
+        // abandoned slots are not live.
+        assert_eq!(store.live_nodes(), 65);
+    }
+}

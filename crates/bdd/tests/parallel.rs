@@ -1,0 +1,224 @@
+//! Parallel-apply storm tests: the PR 9 concurrency contract, pinned.
+//!
+//! * At every tested width (`threads` ∈ {1, 2, 4}) the forked apply
+//!   returns the *identical `Ref`* the sequential kernel produces in the
+//!   same manager — canonicity makes oracle equality checkable as plain
+//!   ref equality, with no truth-table enumeration.
+//! * A mirror manager runs the same op sequence fully sequentially and
+//!   is sampled as an independent functional oracle (refs are arena
+//!   indices and may differ across managers once workers race, so the
+//!   cross-manager comparison is by evaluation, not by ref).
+//! * `threads = 1` (a zero-permit budget) is the exact sequential path:
+//!   bit-identical refs *and* identical node counts against a manager
+//!   with no budget at all.
+//! * After quiescence the structural verifiers and a stop-the-world
+//!   collection must pass — parallel publication may not corrupt
+//!   interior refcounts or canonical edge form.
+
+use bdd::{JobBudget, Manager, Ref};
+
+const NVARS: u32 = 16;
+
+/// Deterministic xorshift64* — the storm must replay identically across
+/// managers and runs.
+struct Rng(u64);
+
+impl Rng {
+    fn next(&mut self) -> u64 {
+        self.0 ^= self.0 << 13;
+        self.0 ^= self.0 >> 7;
+        self.0 ^= self.0 << 17;
+        self.0.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    }
+
+    fn below(&mut self, n: usize) -> usize {
+        (self.next() % n as u64) as usize
+    }
+}
+
+/// Seeds a pool of wide cones: XOR/MAJ ladders over cross-products of
+/// *distant* variables, which under the natural order are hundreds of
+/// shared nodes wide — comfortably past the parallel fork cutoff.
+fn seed_pool(m: &mut Manager) -> Vec<Ref> {
+    let vars: Vec<Ref> = (0..NVARS).map(|i| m.var(i)).collect();
+    let half = (NVARS / 2) as usize;
+    let mut pool = Vec::new();
+    let mut acc = Ref::ZERO;
+    let mut alt = Ref::ONE;
+    for i in 0..half {
+        let p = m.and(vars[i], vars[i + half]);
+        acc = m.xor(acc, p);
+        let q = m.or(vars[i], vars[(i + half + 1) % NVARS as usize]);
+        alt = m.maj(alt, q, p);
+        pool.push(acc);
+        pool.push(alt);
+    }
+    pool.extend(vars);
+    pool
+}
+
+/// One storm step: index choices + op selector, derived from the rng so
+/// both managers replay the same sequence.
+struct Step {
+    op: usize,
+    a: usize,
+    b: usize,
+    c: usize,
+}
+
+fn steps(rng: &mut Rng, pool_len: usize, n: usize) -> Vec<Step> {
+    (0..n)
+        .map(|_| Step {
+            op: rng.below(3),
+            a: rng.below(pool_len),
+            b: rng.below(pool_len),
+            c: rng.below(pool_len),
+        })
+        .collect()
+}
+
+#[test]
+fn parallel_apply_storm_matches_sequential_at_all_widths() {
+    for threads in [1usize, 2, 4] {
+        // The mirror oracle: no budget, plain sequential kernels.
+        let mut seq = Manager::new();
+        let seq_pool = seed_pool(&mut seq);
+
+        let mut par = Manager::new();
+        par.set_job_budget(Some(JobBudget::new(threads - 1)));
+        let mut par_pool = seed_pool(&mut par);
+        // Guard: the seed must clear the fork granularity cutoff (256
+        // shared nodes), or this storm silently stops testing the
+        // parallel path.
+        assert!(
+            par.shared_size(&par_pool) >= 512,
+            "seed pool shrank to {} shared nodes",
+            par.shared_size(&par_pool)
+        );
+
+        let mut rng = Rng(0x9E37_79B9_7F4A_7C15);
+        let plan = steps(&mut rng, par_pool.len(), 40);
+        let mut seq_results: Vec<Ref> = Vec::new();
+
+        for (i, s) in plan.iter().enumerate() {
+            let (pa, pb, pc) = (par_pool[s.a], par_pool[s.b], par_pool[s.c]);
+            let forked = match s.op {
+                0 => par.par_and(pa, pb),
+                1 => par.par_xor(pa, pb),
+                _ => par.par_ite(pa, pb, pc),
+            };
+            // In-manager oracle: the sequential kernel on the same
+            // operands must return the identical ref (canonicity).
+            let sequential = match s.op {
+                0 => par.and(pa, pb),
+                1 => par.xor(pa, pb),
+                _ => par.ite(pa, pb, pc),
+            };
+            assert_eq!(
+                forked, sequential,
+                "threads={threads} step {i}: forked apply diverged from the \
+                 sequential kernel in the same manager"
+            );
+            par_pool.push(forked);
+
+            let (sa, sb, sc) = (seq_pool[s.a], seq_pool[s.b], seq_pool[s.c]);
+            let mirror = match s.op {
+                0 => seq.and(sa, sb),
+                1 => seq.xor(sa, sb),
+                _ => seq.ite(sa, sb, sc),
+            };
+            seq_results.push(mirror);
+        }
+
+        // Cross-manager functional oracle: sample assignments (refs may
+        // differ across managers once workers race for arena slots).
+        let mut sample = Rng(0xDEAD_BEEF_CAFE_F00D);
+        for _ in 0..64 {
+            let row = sample.next();
+            let assignment: Vec<bool> = (0..NVARS).map(|v| row >> v & 1 == 1).collect();
+            for (i, (p, s)) in par_pool[par_pool.len() - plan.len()..]
+                .iter()
+                .zip(&seq_results)
+                .enumerate()
+            {
+                assert_eq!(
+                    par.eval(*p, &assignment),
+                    seq.eval(*s, &assignment),
+                    "threads={threads} result {i}: function diverged from the \
+                     sequential mirror manager"
+                );
+            }
+        }
+
+        // Quiescence: structure must be intact and stop-the-world GC
+        // must still work after parallel regions.
+        par.verify_interior_refs();
+        par.verify_edge_canonical_form();
+        let last = *par_pool.last().unwrap();
+        par.protect(last);
+        par.collect();
+        par.verify_interior_refs();
+        par.verify_edge_canonical_form();
+        let assignment = vec![true; NVARS as usize];
+        assert_eq!(
+            par.eval(last, &assignment),
+            seq.eval(*seq_results.last().unwrap(), &assignment),
+            "threads={threads}: survivor diverged after collection"
+        );
+        par.release(last);
+    }
+}
+
+#[test]
+fn single_thread_budget_is_bit_identical_to_no_budget() {
+    // threads = 1 is not "parallel with one worker" — it must be the
+    // exact sequential code path: same refs, same node counts.
+    let mut plain = Manager::new();
+    let plain_pool = seed_pool(&mut plain);
+
+    let mut budgeted = Manager::new();
+    budgeted.set_job_budget(Some(JobBudget::new(0)));
+    let budgeted_pool = seed_pool(&mut budgeted);
+    assert_eq!(plain_pool, budgeted_pool);
+
+    let mut rng = Rng(0x0123_4567_89AB_CDEF);
+    let plan = steps(&mut rng, plain_pool.len(), 30);
+    for (i, s) in plan.iter().enumerate() {
+        let want = match s.op {
+            0 => plain.and(plain_pool[s.a], plain_pool[s.b]),
+            1 => plain.xor(plain_pool[s.a], plain_pool[s.b]),
+            _ => plain.ite(plain_pool[s.a], plain_pool[s.b], plain_pool[s.c]),
+        };
+        let got = match s.op {
+            0 => budgeted.par_and(budgeted_pool[s.a], budgeted_pool[s.b]),
+            1 => budgeted.par_xor(budgeted_pool[s.a], budgeted_pool[s.b]),
+            _ => budgeted.par_ite(budgeted_pool[s.a], budgeted_pool[s.b], budgeted_pool[s.c]),
+        };
+        assert_eq!(got, want, "step {i}: refs must be bit-identical");
+        assert_eq!(
+            plain.num_nodes(),
+            budgeted.num_nodes(),
+            "step {i}: node counts must be identical"
+        );
+        assert_eq!(
+            plain.live_nodes(),
+            budgeted.live_nodes(),
+            "step {i}: live counts must be identical"
+        );
+    }
+}
+
+#[test]
+fn budget_permits_are_returned_after_every_call() {
+    let mut m = Manager::new();
+    let budget = JobBudget::new(3);
+    m.set_job_budget(Some(budget.clone()));
+    let pool = seed_pool(&mut m);
+    let (f, g) = (pool[pool.len() - 1], pool[pool.len() - 2]);
+    for _ in 0..4 {
+        let _ = m.par_and(f, g);
+        let _ = m.par_xor(f, g);
+        let _ = m.par_ite(f, g, pool[0]);
+        assert_eq!(budget.available(), 3, "permits must drain back to the cap");
+    }
+}

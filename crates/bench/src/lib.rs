@@ -12,6 +12,14 @@
 //! from the binaries' shared `--jobs N` flag, the `BENCH_JOBS`
 //! environment variable, or the machine's available parallelism, in that
 //! order; `--jobs 1` is the exact sequential path.
+//!
+//! Since PR 9 a manager can *also* fork single large cones across
+//! threads (`par_and`/`par_xor`/`par_ite` against the shared, `Sync`
+//! `bdd::NodeStore`). Both levels of parallelism draw from one permit
+//! pool: [`pool::run_with_budget`] hands each task the `bdd::JobBudget`
+//! holding the jobs the suite level did not consume, so `--jobs` caps
+//! total threads no matter how the work nests (see [`pool`]'s module
+//! docs for the accounting).
 
 use baselines::{abc_flow, dc_flow};
 use bdd::ResourceLimits;

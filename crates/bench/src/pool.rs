@@ -23,13 +23,28 @@
 //!
 //! # Ownership rule
 //!
-//! Tasks must not share a [`bdd::Manager`]: the manager keeps `RefCell`
-//! traversal scratch and is deliberately **not `Sync`** (there is a
-//! `compile_fail` doctest in the `bdd` crate pinning this). Every flow in
-//! this workspace already builds one manager per benchmark run, so each
-//! worker owns its managers outright and no BDD state ever crosses a
-//! thread boundary.
+//! Tasks must not share a [`bdd::Manager`]: the manager bundles a
+//! per-thread [`bdd::Session`] (`RefCell` traversal scratch, computed
+//! cache) and is deliberately **not `Sync`** (there is a `compile_fail`
+//! doctest in the `bdd` crate pinning this). Every flow in this
+//! workspace builds one manager per benchmark run, so each worker owns
+//! its managers outright. Since PR 9 the node-owning half
+//! ([`bdd::NodeStore`]) *is* `Sync`, but cross-thread sharing happens
+//! only inside `Manager::par_and`-style entry points — never across
+//! pool tasks.
+//!
+//! # One thread cap, two levels of parallelism
+//!
+//! A manager with a [`bdd::JobBudget`] installed will fork large cones
+//! across extra threads (`par_and`/`par_xor`/`par_ite`). Nesting that
+//! inside a pool worker must not multiply threads: [`run_with_budget`]
+//! hands every task a budget holding exactly the `jobs` threads the
+//! suite level did not consume, and each worker returns its own thread
+//! to the budget when its deque drains. Wire that budget into the
+//! task's managers (`Manager::set_job_budget`) and `--jobs`/`BENCH_JOBS`
+//! stays the single knob for total parallelism.
 
+use bdd::JobBudget;
 use std::collections::VecDeque;
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -68,10 +83,31 @@ where
     T: Send,
     F: Fn(usize) -> T + Sync,
 {
+    run_with_budget(jobs, n, |i, _| f(i))
+}
+
+/// Like [`run`], but each task also receives the shared [`JobBudget`]
+/// holding the threads the suite level did not consume: with `w =
+/// min(jobs, n)` workers running, the budget starts at `jobs - w`
+/// permits, and every worker returns its own thread to the budget when
+/// its deque drains. A task that installs the budget into its managers
+/// (`Manager::set_job_budget`) lets large cones fork intra-cone without
+/// ever exceeding `jobs` threads machine-wide.
+// bdslint: allow(protect-release) -- the release call returns a drained
+// worker's thread permit to the JobBudget; no node root is involved.
+pub fn run_with_budget<T, F>(jobs: usize, n: usize, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize, &JobBudget) -> T + Sync,
+{
     if jobs <= 1 || n <= 1 {
-        return (0..n).map(f).collect();
+        // Sequential suite level: the whole budget minus this thread is
+        // available for intra-cone forking.
+        let budget = JobBudget::new(jobs.saturating_sub(1));
+        return (0..n).map(|i| f(i, &budget)).collect();
     }
     let workers = jobs.min(n);
+    let budget = JobBudget::new(jobs - workers);
     // Deal task indices round-robin so a skewed prefix (the suite's big
     // datapaths cluster together) still spreads across workers even
     // before any stealing happens.
@@ -89,12 +125,13 @@ where
             let panicked = &panicked;
             let payload = &payload;
             let f = &f;
+            let budget = &budget;
             scope.spawn(move || {
                 while !panicked.load(Ordering::Relaxed) {
                     let Some(i) = next_task(me, deques) else {
                         break;
                     };
-                    match catch_unwind(AssertUnwindSafe(|| f(i))) {
+                    match catch_unwind(AssertUnwindSafe(|| f(i, budget))) {
                         Ok(v) => *slots[i].lock().unwrap() = Some(v),
                         Err(p) => {
                             // First panic wins; everyone else drains out.
@@ -104,6 +141,9 @@ where
                         }
                     }
                 }
+                // This worker's thread is done — still-running tasks may
+                // widen their intra-cone forks by one.
+                budget.release(1);
             });
         }
     });
@@ -321,6 +361,34 @@ mod tests {
             .map(Result::unwrap)
             .collect();
         assert_eq!(plain, caught);
+    }
+
+    #[test]
+    fn sequential_budget_holds_the_unused_jobs() {
+        // One task, four jobs: the suite level consumes one thread, so
+        // three permits are available for intra-cone forking.
+        let seen = run_with_budget(4, 1, |_, b| b.available());
+        assert_eq!(seen, vec![3]);
+        // jobs == 1 leaves nothing to fork with.
+        let seen = run_with_budget(1, 1, |_, b| b.available());
+        assert_eq!(seen, vec![0]);
+    }
+
+    #[test]
+    fn parallel_budget_never_exceeds_the_job_cap() {
+        // 8 jobs over 2 tasks: 2 workers run, 6 permits start in the
+        // budget, and a finished worker returns its thread — so a task
+        // can observe 6 or 7 available, never 8.
+        let seen = run_with_budget(8, 2, |_, b| b.available());
+        for avail in seen {
+            assert!((6..8).contains(&avail), "available={avail}");
+        }
+        // Saturated suite level: every job is a worker, nothing to fork
+        // with until siblings drain.
+        let seen = run_with_budget(2, 2, |_, b| b.try_acquire(100));
+        for got in seen {
+            assert!(got <= 1, "acquired={got}");
+        }
     }
 
     #[test]

@@ -1,0 +1,27 @@
+//! Fixture: shared-table atomics that break the publication protocol.
+
+use std::sync::atomic::{AtomicU32, Ordering};
+
+pub struct NodeStore {
+    buckets: Vec<AtomicU32>,
+    occupied: AtomicU32,
+}
+
+impl NodeStore {
+    /// Registered publication function, but the CAS carries no
+    /// memory-ordering justification: caught.
+    pub fn try_mk(&self, i: usize, idx: u32) -> u32 {
+        // An undocumented publication CAS.
+        match self.buckets[i].compare_exchange(0, idx, Ordering::Release, Ordering::Acquire) {
+            Ok(_) => idx,
+            Err(winner) => winner,
+        }
+    }
+
+    /// Not a registered publication function: even a documented atomic
+    /// write to table state is caught.
+    pub fn sneak_insert(&self, i: usize, idx: u32) {
+        // ordering: Release — irrelevant, this bypasses the protocol.
+        self.buckets[i].store(idx, Ordering::Release);
+    }
+}

@@ -1,0 +1,55 @@
+//! Fixture: the publication protocol done right — documented atomics in
+//! the registered functions, `get_mut()` on quiescent `&mut` paths, an
+//! annotated escape, and test code exempt.
+
+use std::sync::atomic::{AtomicU32, Ordering};
+
+pub struct NodeStore {
+    buckets: Vec<AtomicU32>,
+    occupied: AtomicU32,
+}
+
+impl NodeStore {
+    pub fn try_mk(&self, i: usize, idx: u32) -> u32 {
+        // ordering: Release on success publishes the slot's field writes
+        // to every prober; Acquire on failure so the winner's fields are
+        // readable for the re-check.
+        match self.buckets[i].compare_exchange(0, idx, Ordering::Release, Ordering::Acquire) {
+            Ok(_) => {
+                // ordering: Relaxed — occupancy is a heuristic counter
+                // reconciled at quiescent points.
+                self.occupied.fetch_add(1, Ordering::Relaxed);
+                idx
+            }
+            Err(winner) => winner,
+        }
+    }
+
+    /// Quiescent `&mut` mutation goes through `get_mut()` — not an
+    /// atomic call, so the rule does not apply.
+    pub fn set_occupied(&mut self, n: u32) {
+        *self.occupied.get_mut() = n;
+    }
+
+    /// A deliberate out-of-protocol write, justified and annotated.
+    pub fn repair_reset(&self) {
+        // bdslint: allow(cas-publication) -- single-threaded repair path;
+        // runs strictly before any shared session exists.
+        self.occupied.store(0, Ordering::Relaxed);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn test_code_is_exempt() {
+        let store = NodeStore {
+            buckets: Vec::new(),
+            occupied: AtomicU32::new(0),
+        };
+        store.occupied.store(7, Ordering::Relaxed);
+        assert_eq!(store.occupied.load(Ordering::Relaxed), 7);
+    }
+}

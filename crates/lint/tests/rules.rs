@@ -30,6 +30,9 @@ fn base_config() -> Config {
         ref_ctor_dir: "",
         ref_encoding_file: "",
         ref_ctor_fns: &[],
+        cas_dir: "",
+        cas_publication_fns: &[],
+        cas_state_fields: &[],
     }
 }
 
@@ -233,6 +236,60 @@ fn raw_ref_construction_is_caught() {
 fn registered_constructors_encoding_module_and_tests_pass() {
     let findings = lint_fixture("complement/good", &complement_cfg());
     assert!(findings.is_empty(), "{findings:?}");
+}
+
+// ---------------------------------------------------------------- rule 8
+
+fn cas_cfg() -> Config {
+    Config {
+        cas_dir: "crates/bdd/src",
+        cas_publication_fns: &["try_mk"],
+        cas_state_fields: &["buckets", "cells", "occupied"],
+        ..base_config()
+    }
+}
+
+#[test]
+fn cas_writes_outside_publication_or_undocumented_are_caught() {
+    let findings = lint_fixture("cas/bad", &cas_cfg());
+    assert_eq!(
+        rules_of(&findings),
+        ["cas-publication", "cas-publication"],
+        "{findings:?}"
+    );
+    assert!(
+        findings[0].message.contains("// ordering:"),
+        "{}",
+        findings[0]
+    );
+    assert!(
+        findings[1].message.contains("outside the registered"),
+        "{}",
+        findings[1]
+    );
+}
+
+#[test]
+fn documented_publication_quiescent_mutators_and_escapes_pass() {
+    let findings = lint_fixture("cas/good", &cas_cfg());
+    assert!(findings.is_empty(), "{findings:?}");
+}
+
+#[test]
+fn cas_registry_drift_is_a_finding() {
+    // No `claim_slot` anywhere under the CAS dir: a rename that dodges
+    // the publication registry must break loudly.
+    let cfg = Config {
+        cas_publication_fns: &["claim_slot"],
+        ..cas_cfg()
+    };
+    let findings = lint_fixture("cas/good", &cfg);
+    assert!(
+        findings.iter().any(|f| f
+            .message
+            .contains("registered publication function `claim_slot`")),
+        "{findings:?}"
+    );
 }
 
 // ----------------------------------------------------------- annotations
