@@ -184,34 +184,59 @@
 //!
 //! # Concurrency contract
 //!
-//! The kernel state is split along the thread boundary (PR 9, stages
-//! 1–2 of the concurrent-kernel plan):
+//! The kernel state is split along the thread boundary (PR 9 split the
+//! store from the session; PR 11 added the shared cache tier and the
+//! work-stealing forked apply):
 //!
-//! * **Shared: [`NodeStore`]** — the node arena, the unique table, and
-//!   the interior refcounts. It is `Sync`: any number of sessions may
-//!   hash-cons into it concurrently through `try_mk`, which claims a
-//!   slot (free-list pop or arena high-water CAS), writes the node's
-//!   words, and *publishes* the slot index into its bucket with a
-//!   single compare-exchange. Losing a publication race abandons the
-//!   claimed slot (recovered at the next sweep) and adopts the winner.
-//! * **Per-thread: [`Session`]** — the set-associative computed cache,
-//!   the `RefCell` visited-stamp scratch (which is what makes it
-//!   deliberately **not `Sync`**), the [`ResourceLimits`] budget, and
-//!   the created-node log. Every recursive kernel runs against
-//!   `(&NodeStore, &mut Session)`; sessions never share memoization.
+//! * **Shared: [`NodeStore`]** — the node arena, the unique table, the
+//!   interior refcounts, and the lossy shared computed cache (the L2
+//!   tier). It is `Sync`: any number of sessions may hash-cons into it
+//!   concurrently through `try_mk`, which claims a slot (free-list pop
+//!   or arena high-water CAS), writes the node's words, and *publishes*
+//!   the slot index into its bucket with a single compare-exchange.
+//!   Losing a publication race abandons the claimed slot (recovered at
+//!   the next sweep) and adopts the winner.
+//! * **Per-thread: [`Session`]** — the set-associative private computed
+//!   cache (the L1 tier), the `RefCell` visited-stamp scratch (which is
+//!   what makes it deliberately **not `Sync`**), the [`ResourceLimits`]
+//!   budget, and the created-node log. Every recursive kernel runs
+//!   against `(&NodeStore, &mut Session)`.
 //! * **[`Manager`]** bundles one store with one default session, so the
 //!   classic API is unchanged: it stays `Send` and `!Sync`, one manager
 //!   per worker thread.
 //!
-//! **Memory ordering.** Publication is the only ordering-critical edge:
+//! **Memory ordering.** Publication is the ordering-critical edge:
 //! `try_mk` releases the node's field writes with a `Release` CAS on
 //! the bucket, and every probe reads buckets with `Acquire`, so
-//! observing an index implies observing the node it names. Slot
-//! claiming and the statistics counters are `Relaxed` — they only
-//! arbitrate indices or feed heuristics reconciled at quiescent points.
-//! The workspace linter (`bdslint`'s `cas-publication` rule) confines
-//! atomic table writes to the publication functions and requires each
-//! to justify its ordering.
+//! observing an index implies observing the node it names. The shared
+//! cache follows the same shape with a two-word entry: claim via CAS to
+//! a busy sentinel, `Release`-store the payload, `Release`-store the
+//! tag *last*, so a reader that sees a matching tag sees the payload
+//! that belongs to it. Slot claiming and the statistics counters are
+//! `Relaxed` — they only arbitrate indices or feed heuristics
+//! reconciled at quiescent points. The workspace linter (`bdslint`'s
+//! `cas-publication` rule) confines atomic table and cache-entry writes
+//! to the publication functions and requires each to justify its
+//! ordering.
+//!
+//! **Two-tier memoization.** Kernel lookups probe the private L1 first
+//! and the shared L2 on a miss; an L2 hit warms the L1 in place.
+//! Publication into the L2 is work-gated: only results whose recursion
+//! consumed enough descendant probes are shared, so the L2 holds the
+//! expensive subproblems instead of leaf churn. The L2 is *lossy by
+//! contract* — entries are overwritten on index collision and the whole
+//! tier is epoch-cleared at quiescent points (O(1)) — so a miss is
+//! always correct, merely slower. A hit is exact: the 96-bit key mix is
+//! invertible and split across the two words, a torn read from a
+//! concurrent single publication is detected by re-reading the tag, and
+//! the remainder checks make *cross-key* poisoning impossible. The
+//! residual two-writer ABA window (two publications of the *same* slot
+//! interleaving between a reader's tag reads) can only pair words from
+//! different *keys'* publications if the remainders also collide —
+//! which the split remainder rules out — and same-key republication is
+//! benign because a kernel result is a deterministic function of its
+//! key. This is the honest guarantee: wrong answers never, lost entries
+//! whenever.
 //!
 //! **Quiescence.** Everything that is *not* publication is
 //! stop-the-world: GC, sifting, and table/arena growth require `&mut`
@@ -222,16 +247,24 @@
 //! manager then grows at the now-quiescent point and retries — loudly,
 //! never by silently degrading.
 //!
-//! **Parallel apply.** `Manager::par_and` / `par_xor` / `par_ite` fork
-//! one large cone: the operands are Shannon-expanded over the top
-//! levels, leaf subproblems run on scoped workers (each with a fresh
-//! session against the shared store), and the results are recombined
-//! bottom-up with `mk`. Canonicity makes the result the identical
-//! [`Ref`] at any width. The fork width comes from the installed
-//! [`JobBudget`] — a machine-wide permit pool shared with the `bench`
-//! suite pool, so nested parallelism never oversubscribes — and a
-//! zero-width fork (no budget, no spare permits, or a small cone) *is*
-//! the sequential kernel, node counts and all.
+//! **Parallel apply.** `Manager::par_and` / `par_xor` / `par_ite` run
+//! one large cone as a fork-join recursion: each recursion step may
+//! push its `else`-subproblem onto the calling worker's deque and
+//! recurse into the `then`-subproblem; idle workers *steal* pushed
+//! subproblems from the back of other deques, solve them with their own
+//! session against the shared store, and the owner joins the halves
+//! bottom-up with `mk`. The shared L2 cache is what keeps the workers'
+//! duplicated subproblems cheap — a subproblem solved on one thread is
+//! a single shared probe on every other. Canonicity makes the result
+//! the identical [`Ref`] at any width, and the storm tests pin exactly
+//! that. The fork width comes from the installed [`JobBudget`] — a
+//! machine-wide permit pool shared with the `bench` suite pool and the
+//! `bdsmaj` CLI, so nested parallelism never oversubscribes — and a
+//! zero-width fork (no budget, no spare permits, or a cone below the
+//! granularity cutoff) *is* the sequential kernel, node counts and all.
+//! The flow reaches this through `try_par_*`: governed kernels (with
+//! resource limits or an abort installed) stay on the exact sequential
+//! budget semantics; ungoverned cone builds route to the forked path.
 //!
 //! The compile-time assertions below pin the contract:
 //!
@@ -287,6 +320,7 @@ mod reference;
 mod reorder;
 mod sat;
 mod session;
+pub mod steal;
 mod store;
 
 pub use analysis::{InDegree, NodeStats};

@@ -47,11 +47,25 @@ pub struct CacheStats {
     pub hits: u64,
     /// Computed-cache insertions (including overwrites of colliding slots).
     pub insertions: u64,
+    /// Shared (L2) cache probes — made only on a private (L1) miss.
+    pub shared_lookups: u64,
+    /// Shared-cache probes that returned a result published by some
+    /// session (possibly another thread's).
+    pub shared_hits: u64,
+    /// Results published to the shared cache (only recursions clearing
+    /// the work threshold publish; see `bdd::session`'s publication
+    /// policy).
+    pub shared_insertions: u64,
+    /// Tasks the work-stealing parallel apply executed from another
+    /// worker's deque (0 without intra-cone parallelism).
+    pub par_steals: u64,
     /// Largest node-arena size (slot count, including reclaimed slots)
     /// observed over the manager's lifetime.
     pub peak_nodes: usize,
     /// Computed-cache capacity in entries (fixed after construction).
     pub cache_entries: usize,
+    /// Shared (L2) cache capacity in entries (fixed after construction).
+    pub shared_cache_entries: usize,
     /// Unique-table bucket count (shrinks when a collection leaves the
     /// table sparse).
     pub unique_buckets: usize,
@@ -89,6 +103,15 @@ impl CacheStats {
             0.0
         } else {
             self.hits as f64 / self.lookups as f64
+        }
+    }
+
+    /// Fraction of shared (L2) cache probes that hit, in `[0, 1]`.
+    pub fn shared_hit_rate(&self) -> f64 {
+        if self.shared_lookups == 0 {
+            0.0
+        } else {
+            self.shared_hits as f64 / self.shared_lookups as f64
         }
     }
 }
@@ -283,6 +306,14 @@ pub struct Manager {
     /// The global worker-thread budget the parallel apply draws from
     /// (`None` = no intra-cone parallelism; see [`crate::parallel`]).
     pub(crate) job_budget: Option<crate::session::JobBudget>,
+    /// Tasks the parallel apply's workers stole from each other over the
+    /// manager's lifetime (folded in after each par call joins).
+    pub(crate) par_steals: u64,
+    /// Test-only fault injection: when set, every parallel-apply worker
+    /// panics on its first task, exercising the unwind cleanup paths
+    /// (permit drain-back, shared-region exit).
+    #[cfg(test)]
+    pub(crate) fault_panic_workers: bool,
 }
 
 impl Default for Manager {
@@ -316,6 +347,9 @@ impl Manager {
             collections: 0,
             reclaimed_total: 0,
             job_budget: None,
+            par_steals: 0,
+            #[cfg(test)]
+            fault_panic_workers: false,
         }
     }
 
@@ -726,6 +760,10 @@ impl Manager {
     /// Correctness is unaffected.
     pub fn clear_caches(&mut self) {
         self.session.cache.clear();
+        // The shared (L2) cache clears at the same quiescent points as
+        // the private one: an O(1) epoch bump through `&mut`.
+        self.store.assert_quiescent("shared-cache clear");
+        self.store.shared_cache_mut().clear();
     }
 
     /// Opens a fresh scope for [`crate::session::op::SCOPED`] cache
@@ -752,8 +790,13 @@ impl Manager {
             lookups: self.session.cache.lookups,
             hits: self.session.cache.hits,
             insertions: self.session.cache.insertions,
+            shared_lookups: self.session.cache.shared_lookups,
+            shared_hits: self.session.cache.shared_hits,
+            shared_insertions: self.session.cache.shared_insertions,
+            par_steals: self.par_steals,
             peak_nodes: self.store.num_nodes(),
             cache_entries: self.session.cache.entry_capacity(),
+            shared_cache_entries: self.store.shared_cache().len(),
             unique_buckets: self.store.buckets_len(),
             garbage_estimate: self.store.free_nodes(),
             live_nodes: self.live_nodes(),
@@ -1129,6 +1172,18 @@ impl Manager {
             let idx = (w >> 1) as usize;
             idx >= store.num_nodes() || store.var_of(idx) != FREE_VAR
         });
+        // The shared (L2) cache gets the same treatment at the same
+        // quiescent point: decode each entry's exact operands (the key
+        // mix is invertible) and drop the ones naming a reclaimed slot,
+        // keeping the cross-thread memo warm across the sweep. Unlike the
+        // L1, every L2 key word *is* a raw `Ref`, so the check is exact.
+        let num_nodes = self.store.num_nodes();
+        let cells: Vec<bool> = (0..num_nodes)
+            .map(|i| self.store.var_of(i) != FREE_VAR)
+            .collect();
+        self.store
+            .shared_cache_mut()
+            .scrub(|slot| (slot as usize) < num_nodes && cells[slot as usize]);
         self.gc_epoch += 1;
         self.collections += 1;
         self.reclaimed_total += dead.len() as u64;
@@ -1301,8 +1356,13 @@ impl Manager {
         if self.reclaimed_total != reclaimed_before {
             // Eager reclamation recycled slots the memo (and Ref-keyed
             // side tables) may still name: retire the whole cache (O(1)
-            // generation bump) and advance the reclamation epoch.
+            // generation bump) and advance the reclamation epoch. The
+            // shared (L2) cache may name the recycled slots too — same
+            // O(1) epoch treatment (swaps without reclamation need no L2
+            // action at all: only function-valued AND/XOR/ITE results are
+            // ever published, and swaps preserve every Ref's function).
             self.session.cache.clear();
+            self.store.shared_cache_mut().clear();
             self.gc_epoch += 1;
         } else {
             // Conservative cache scrub. Most memoized results survive a

@@ -134,9 +134,10 @@ impl Session {
             h = !h;
         }
 
-        if let Some(r) = self.cache.lookup(op::ITE, f.raw(), g.raw(), h.raw()) {
+        if let Some(r) = self.lookup2(store, op::ITE, f.raw(), g.raw(), h.raw()) {
             return Ok(r.xor_complement(complement_result));
         }
+        let work0 = self.cache.lookups;
 
         let v = store.var_at_level(store.level(f).min(store.level(g)).min(store.level(h)));
         let (f0, f1) = store.shallow_cofactors(f, v);
@@ -145,7 +146,7 @@ impl Session {
         let t = self.ite_ap(store, f1, g1, h1)?;
         let e = self.ite_ap(store, f0, g0, h0)?;
         let r = self.mk(store, v, e, t)?;
-        self.cache.insert(op::ITE, f.raw(), g.raw(), h.raw(), r);
+        self.publish2(store, op::ITE, f.raw(), g.raw(), h.raw(), work0, r);
         Ok(r.xor_complement(complement_result))
     }
 
@@ -173,16 +174,17 @@ impl Session {
         self.tick(store)?;
         // Commutative: order operands so (f, g) and (g, f) share a slot.
         let (f, g) = if f.raw() <= g.raw() { (f, g) } else { (g, f) };
-        if let Some(r) = self.cache.lookup(op::AND, f.raw(), g.raw(), 0) {
+        if let Some(r) = self.lookup2(store, op::AND, f.raw(), g.raw(), 0) {
             return Ok(r);
         }
+        let work0 = self.cache.lookups;
         let v = store.var_at_level(store.level(f).min(store.level(g)));
         let (f0, f1) = store.shallow_cofactors(f, v);
         let (g0, g1) = store.shallow_cofactors(g, v);
         let t = self.and_rec(store, f1, g1)?;
         let e = self.and_rec(store, f0, g0)?;
         let r = self.mk(store, v, e, t)?;
-        self.cache.insert(op::AND, f.raw(), g.raw(), 0, r);
+        self.publish2(store, op::AND, f.raw(), g.raw(), 0, work0, r);
         Ok(r)
     }
 
@@ -236,16 +238,17 @@ impl Session {
         debug_assert!(!f.is_complemented() && !g.is_complemented());
         debug_assert!(f.raw() < g.raw() && !f.is_const());
         self.tick(store)?;
-        if let Some(r) = self.cache.lookup(op::XOR, f.raw(), g.raw(), 0) {
+        if let Some(r) = self.lookup2(store, op::XOR, f.raw(), g.raw(), 0) {
             return Ok(r);
         }
+        let work0 = self.cache.lookups;
         let v = store.var_at_level(store.level(f).min(store.level(g)));
         let (f0, f1) = store.shallow_cofactors(f, v);
         let (g0, g1) = store.shallow_cofactors(g, v);
         let t = self.xor_ap(store, f1, g1)?;
         let e = self.xor_ap(store, f0, g0)?;
         let r = self.mk(store, v, e, t)?;
-        self.cache.insert(op::XOR, f.raw(), g.raw(), 0, r);
+        self.publish2(store, op::XOR, f.raw(), g.raw(), 0, work0, r);
         Ok(r)
     }
 }

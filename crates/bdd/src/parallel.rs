@@ -1,17 +1,28 @@
-//! Parallel apply: forking the cofactor subproblems of one large cone
-//! onto worker threads, each running its own [`Session`] against the
-//! shared [`NodeStore`].
+//! Parallel apply: fork-join recursion over one large cone, with the
+//! subproblems load-balanced across worker threads by work stealing,
+//! each worker running its own [`Session`] against the shared
+//! [`NodeStore`].
 //!
-//! This is stage 2 of the concurrent-kernel plan (see the crate-level
+//! This is stage 3 of the concurrent-kernel plan (see the crate-level
 //! "Concurrency contract"): the store's CAS publication protocol makes
-//! hash-consing safe under concurrent `mk`, so a top-level `and`/`xor`/
-//! `ite` on a large cone can Shannon-expand the operands over the first
-//! few decision levels and solve the resulting leaf subproblems on a
-//! small worker pool. Canonicity makes the merge trivial *and* exact:
-//! every worker publishes into the same unique table, so the bottom-up
-//! recombination (`mk` over the split variables) returns bit-identical
-//! [`Ref`]s to the sequential kernel — the oracle-equality contract the
-//! parallel storm tests pin.
+//! hash-consing safe under concurrent `mk`, and the store-level shared
+//! computed cache lets workers reuse each other's subresults, so a
+//! top-level `and`/`xor`/`ite` on a large cone can Shannon-split
+//! *adaptively* — each worker keeps splitting the subproblem in hand on
+//! its top decision level, pushes one cofactor half onto its own deque,
+//! and descends into the other. Idle workers steal the oldest (biggest)
+//! queued half from a victim's deque ([`StealDeques`]), so a skewed
+//! cone keeps every thread busy without anyone pre-guessing where the
+//! work is — the fixed pre-split of stage 2 could not.
+//!
+//! Each fork records a *join*: a two-slot rendezvous holding the split
+//! variable. Whichever worker delivers the second cofactor result
+//! combines the pair with `mk` and cascades upward, so the recombination
+//! spine is itself parallel and the root result appears on whichever
+//! thread happens to finish last. Canonicity makes the merge exact:
+//! every worker publishes into the same unique table, so the final
+//! [`Ref`] is bit-identical to the sequential kernel's — the
+//! oracle-equality contract the parallel storm tests pin at every width.
 //!
 //! # Work budget, not thread count
 //!
@@ -20,43 +31,53 @@
 //! threads machine-wide: the bench pool's suite-level workers and this
 //! intra-cone fork share one pool of permits, so nesting a parallel
 //! apply inside a pool worker can never oversubscribe the machine —
-//! `--jobs` stays the single knob. No budget (or an empty one) means the
-//! exact sequential path: `threads = 1` is byte-for-byte the classic
-//! kernel, with identical node counts.
+//! `--jobs` stays the single knob. Claimed permits are held by an RAII
+//! guard whose `Drop` returns them, so every exit — the normal join, the
+//! table-full retry, and a panic unwinding out of a worker — drains the
+//! permits back. No budget (or an empty one) means the exact sequential
+//! path: `threads = 1` is byte-for-byte the classic kernel, with
+//! identical node counts.
 //!
 //! # Failure and growth
 //!
 //! Workers run ungoverned but the shared table can still fill. Growth is
 //! stop-the-world and quiescent-only, so a worker that loses the
-//! headroom race aborts its leaf with the [`LimitExceeded`] /
-//! `TableFull` path; after the join the manager folds every worker's
-//! created-node log, grows the table at the now-quiescent point, and
-//! re-runs the cone sequentially — degraded loudly through the retry
-//! path, never silently.
+//! headroom race aborts its task with the [`LimitExceeded`] /
+//! `TableFull` path and raises the shared abort flag; its peers drain,
+//! the manager folds every worker's created-node log, grows the table at
+//! the now-quiescent point, and re-runs the cone sequentially — degraded
+//! loudly through the retry path, never silently. (The workers'
+//! published subresults stay memoized in the unique table and the shared
+//! cache, so the retry mostly re-links existing nodes.)
 
 use crate::manager::Manager;
 use crate::reference::{Ref, Var};
-use crate::session::{LimitExceeded, Session, WORKER_CACHE_BITS};
+use crate::session::{JobBudget, LimitExceeded, Session, WORKER_CACHE_BITS};
+use crate::steal::StealDeques;
 use crate::store::NodeStore;
-use std::sync::atomic::{AtomicUsize, Ordering};
-
-/// One worker's take-home: its private session (created-slot log plus
-/// cache counters, folded into the manager after the join) and the leaf
-/// results it solved, tagged with their leaf index.
-type WorkerOut = (Session, Vec<(usize, Result<Ref, LimitExceeded>)>);
+use std::sync::atomic::{AtomicBool, AtomicU8, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
 
 /// Cones smaller than this many shared nodes are not worth forking: the
-/// split/join overhead exceeds the kernel time.
+/// fork/join overhead exceeds the kernel time.
 const PAR_CUTOFF: usize = 256;
 
 /// Upper bound on extra workers one cone will request from the budget.
 const MAX_EXTRA_WORKERS: usize = 15;
 
-/// Stop splitting past this depth (2^depth leaves).
-const MAX_SPLIT_DEPTH: usize = 8;
+/// Hard cap on fork depth: a task this deep is solved sequentially even
+/// if the fork budget has room (each level of forking halves the
+/// subproblem; past this depth the pieces are join-bound).
+const MAX_FORK_DEPTH: usize = 20;
 
-/// One leaf subproblem: the operation with all operands already
-/// cofactored down the split path.
+/// Fork budget per worker: once this many tasks per worker have been
+/// forked over the cone's lifetime, the remaining subproblems are solved
+/// in place. Scales task count with width so small forks stay cheap and
+/// wide forks still out-split a skewed cone.
+const FORK_TASKS_PER_WORKER: usize = 64;
+
+/// One subproblem: the operation with all operands already cofactored
+/// down the fork path.
 #[derive(Clone, Copy)]
 enum ParOp {
     And(Ref, Ref),
@@ -106,36 +127,255 @@ impl ParOp {
     }
 }
 
-/// Shannon-expands `root` over the topmost decision levels until at
-/// least `want` leaves exist (or the operands bottom out). Pure store
-/// reads — no session, no publication — so it runs before the fork.
-/// Returns the split variables root-first and the leaves in index order
-/// (leaf `i` is the cofactor path given by the bits of `i`, split var 0
-/// as the most significant bit).
-fn split(store: &NodeStore, root: ParOp, want: usize) -> (Vec<Var>, Vec<ParOp>) {
-    let mut vars = Vec::new();
-    let mut leaves = vec![root];
-    while leaves.len() < want && vars.len() < MAX_SPLIT_DEPTH {
+/// The rendezvous of one fork: two result slots and a count of children
+/// still running. The worker whose delivery drops `pending` to zero
+/// combines the pair and carries the result up `up`.
+struct ParJoin {
+    pending: AtomicU8,
+    kids: Mutex<[Option<Ref>; 2]>,
+    /// Where the combined result goes next (`None` = this is the root).
+    up: Option<ParLink>,
+}
+
+/// An edge from a task up to its parent join: which slot this child
+/// fills, and the variable the parent combines on (`mk(var, lo, hi)`).
+#[derive(Clone)]
+struct ParLink {
+    join: Arc<ParJoin>,
+    which: usize,
+    var: Var,
+}
+
+/// One queued unit of work: a subproblem, its fork depth, and its place
+/// in the join tree.
+struct ParTask {
+    op: ParOp,
+    depth: usize,
+    up: Option<ParLink>,
+}
+
+/// State shared by the workers of one parallel apply.
+struct ParShared<'a> {
+    store: &'a NodeStore,
+    deques: StealDeques<ParTask>,
+    /// Lifetime fork count — the granularity gate (see `fork_cap`).
+    forked: AtomicUsize,
+    fork_cap: usize,
+    /// Raised by the root delivery: workers drain and exit.
+    done: AtomicBool,
+    /// Raised by a `TableFull` abort or a panicking worker: peers
+    /// abandon the cone for the sequential retry path.
+    failed: AtomicBool,
+    root: Mutex<Option<Ref>>,
+}
+
+/// RAII claim on [`JobBudget`] permits: `Drop` returns them, so every
+/// exit path — including a panic unwinding out of the worker join —
+/// drains the permits back to the pool.
+struct PermitGuard<'a> {
+    budget: &'a JobBudget,
+    extra: usize,
+}
+
+impl<'a> PermitGuard<'a> {
+    fn acquire(budget: &'a JobBudget, max: usize) -> PermitGuard<'a> {
+        let extra = budget.try_acquire(max);
+        PermitGuard { budget, extra }
+    }
+
+    fn extra(&self) -> usize {
+        self.extra
+    }
+}
+
+impl Drop for PermitGuard<'_> {
+    // bdslint: allow(protect-release) -- the `release` here returns
+    // JobBudget thread permits, not a node root; the matching acquire is
+    // in PermitGuard::acquire.
+    fn drop(&mut self) {
+        self.budget.release(self.extra);
+    }
+}
+
+/// RAII shared-region marker: `Drop` calls `end_shared`, so a panic
+/// unwinding out of the worker join still restores the store's
+/// outstanding-session count (and with it the quiescence asserts).
+struct SharedRegion<'a> {
+    store: &'a NodeStore,
+    width: usize,
+}
+
+impl<'a> SharedRegion<'a> {
+    fn begin(store: &'a NodeStore, width: usize) -> SharedRegion<'a> {
+        store.begin_shared(width);
+        SharedRegion { store, width }
+    }
+}
+
+impl Drop for SharedRegion<'_> {
+    fn drop(&mut self) {
+        self.store.end_shared(self.width);
+    }
+}
+
+/// Dropped on a worker's way out; if that exit is a panic unwind, raises
+/// the abort flag so the surviving workers stop waiting for the dead
+/// worker's subtree and the scope join can complete.
+struct PanicSignal<'a> {
+    failed: &'a AtomicBool,
+}
+
+impl Drop for PanicSignal<'_> {
+    fn drop(&mut self) {
+        if std::thread::panicking() {
+            // ordering: Relaxed — an advisory abort flag; peers poll it
+            // and the fallback path redoes the whole cone anyway.
+            self.failed.store(true, Ordering::Relaxed);
+        }
+    }
+}
+
+/// One worker's scheduling loop: pop own work front-first, steal oldest
+/// from a victim otherwise, spin-yield when everything is in flight.
+/// Returns the worker's session (created-node log and cache counters,
+/// folded by the manager after the join) and its steal count.
+fn par_worker(sh: &ParShared<'_>, me: usize, inject_panic: bool) -> (Session, u64) {
+    let _signal = PanicSignal { failed: &sh.failed };
+    #[cfg(not(test))]
+    let _ = inject_panic;
+    let mut session = Session::with_cache_bits(WORKER_CACHE_BITS);
+    let mut steals = 0u64;
+    loop {
+        // ordering: Acquire pairs with the Release store in `propagate`'s
+        // root delivery; `failed` is advisory (Relaxed) — abandoning
+        // early is always safe, the fallback redoes the cone.
+        if sh.done.load(Ordering::Acquire) || sh.failed.load(Ordering::Relaxed) {
+            break;
+        }
+        let Some((task, stolen)) = sh.deques.next(me) else {
+            // Empty deques but the cone is unfinished: peers still hold
+            // tasks in flight that may fork more. Yield, then re-poll.
+            std::thread::yield_now();
+            continue;
+        };
+        steals += stolen as u64;
+        #[cfg(test)]
+        if inject_panic {
+            panic!("injected parallel-apply worker panic");
+        }
+        if run_task(sh, me, &mut session, task).is_err() {
+            // ordering: Relaxed — advisory abort flag (see above).
+            sh.failed.store(true, Ordering::Relaxed);
+            break;
+        }
+    }
+    (session, steals)
+}
+
+/// Runs one task to a result: while the subproblem is still worth
+/// splitting (depth and fork budget permit, operands non-constant),
+/// forks the high cofactor onto the own deque and descends into the low
+/// half; the final leaf runs the sequential kernel. The result then
+/// cascades up the join spine via [`propagate`].
+fn run_task(
+    sh: &ParShared<'_>,
+    me: usize,
+    session: &mut Session,
+    mut task: ParTask,
+) -> Result<(), LimitExceeded> {
+    loop {
+        if task.depth >= MAX_FORK_DEPTH {
+            break;
+        }
+        // ordering: Relaxed — the fork budget is a granularity
+        // heuristic; racing past it by a few tasks is harmless.
+        if sh.forked.load(Ordering::Relaxed) >= sh.fork_cap {
+            break;
+        }
         let mut min_level = u32::MAX;
-        for leaf in &leaves {
-            for r in leaf.operands() {
-                min_level = min_level.min(store.level(r));
-            }
+        for r in task.op.operands() {
+            min_level = min_level.min(sh.store.level(r));
         }
         if min_level == u32::MAX {
-            break; // every operand is constant
+            break; // every operand is constant: nothing to split on
         }
-        let v = store.var_at_level(min_level);
-        let mut next = Vec::with_capacity(leaves.len() * 2);
-        for leaf in &leaves {
-            let (lo, hi) = leaf.cofactor(store, v);
-            next.push(lo);
-            next.push(hi);
-        }
-        vars.push(v);
-        leaves = next;
+        // ordering: Relaxed — see the load above.
+        sh.forked.fetch_add(1, Ordering::Relaxed);
+        let v = sh.store.var_at_level(min_level);
+        let (lo, hi) = task.op.cofactor(sh.store, v);
+        let join = Arc::new(ParJoin {
+            pending: AtomicU8::new(2),
+            kids: Mutex::new([None, None]),
+            up: task.up.take(),
+        });
+        sh.deques.push(
+            me,
+            ParTask {
+                op: hi,
+                depth: task.depth + 1,
+                up: Some(ParLink {
+                    join: join.clone(),
+                    which: 1,
+                    var: v,
+                }),
+            },
+        );
+        task = ParTask {
+            op: lo,
+            depth: task.depth + 1,
+            up: Some(ParLink {
+                join,
+                which: 0,
+                var: v,
+            }),
+        };
     }
-    (vars, leaves)
+    let r = task.op.solve(sh.store, session)?;
+    propagate(sh, session, task.up, r)
+}
+
+/// Delivers a completed subresult to its parent join. The delivery that
+/// completes a pair elects this worker the combiner: it rebuilds the
+/// split node with `mk` and carries the combination further up, until a
+/// sibling is still pending (its worker will finish the join) or the
+/// root slot is filled.
+fn propagate(
+    sh: &ParShared<'_>,
+    session: &mut Session,
+    mut up: Option<ParLink>,
+    mut r: Ref,
+) -> Result<(), LimitExceeded> {
+    loop {
+        let Some(link) = up else {
+            *sh.root.lock().unwrap() = Some(r);
+            // ordering: Release pairs with the workers' Acquire exit
+            // check — observing `done` implies the root slot is written
+            // (the mutex alone orders the slot; the flag is the wakeup).
+            sh.done.store(true, Ordering::Release);
+            return Ok(());
+        };
+        link.join.kids.lock().unwrap()[link.which] = Some(r);
+        // ordering: AcqRel — the decrement that reaches zero must
+        // observe the sibling's slot write (its Release half) before
+        // combining (our Acquire half); the kids mutex would also order
+        // the slots, but the counter is what elects exactly one combiner.
+        if link.join.pending.fetch_sub(1, Ordering::AcqRel) == 1 {
+            let (lo, hi) = {
+                let kids = link.join.kids.lock().unwrap();
+                (
+                    kids[0].expect("low child delivered before the join combined"),
+                    kids[1].expect("high child delivered before the join combined"),
+                )
+            };
+            // Split variables strictly deepen along the fork path, so
+            // each rebuild respects the ordering invariant; canonicity
+            // makes the cascade converge on the sequential kernel's Ref.
+            r = session.mk(sh.store, link.var, lo, hi)?;
+            up = link.join.up.clone();
+        } else {
+            return Ok(());
+        }
+    }
 }
 
 impl Manager {
@@ -160,6 +400,93 @@ impl Manager {
         self.par_apply(ParOp::Ite(f, g, h))
     }
 
+    /// Parallelism-aware [`Manager::try_and`] — the routing point the
+    /// flow's gate collapser calls. A *governed* kernel (resource limits
+    /// or an abort step installed) stays on the sequential `try_*` path,
+    /// so budget accounting and abort points are exactly the sequential
+    /// ones; an ungoverned kernel goes through [`Manager::par_and`],
+    /// which itself falls back to the sequential kernel without a
+    /// [`JobBudget`], without spare permits, or below the granularity
+    /// cutoff. Either way the returned [`Ref`] is the one the sequential
+    /// kernel produces (canonicity).
+    pub fn try_par_and(&mut self, f: Ref, g: Ref) -> Result<Ref, LimitExceeded> {
+        if self.session.governed {
+            self.try_and(f, g)
+        } else {
+            Ok(self.par_and(f, g))
+        }
+    }
+
+    /// Parallelism-aware [`Manager::try_or`]; see
+    /// [`Manager::try_par_and`]. The parallel path runs De Morgan over
+    /// the complement edges (`f + g = !(!f · !g)`), which is free.
+    pub fn try_par_or(&mut self, f: Ref, g: Ref) -> Result<Ref, LimitExceeded> {
+        if self.session.governed {
+            self.try_or(f, g)
+        } else {
+            Ok(!self.par_and(!f, !g))
+        }
+    }
+
+    /// Parallelism-aware [`Manager::try_xor`]; see
+    /// [`Manager::try_par_and`].
+    pub fn try_par_xor(&mut self, f: Ref, g: Ref) -> Result<Ref, LimitExceeded> {
+        if self.session.governed {
+            self.try_xor(f, g)
+        } else {
+            Ok(self.par_xor(f, g))
+        }
+    }
+
+    /// Parallelism-aware [`Manager::try_ite`]; see
+    /// [`Manager::try_par_and`].
+    pub fn try_par_ite(&mut self, f: Ref, g: Ref, h: Ref) -> Result<Ref, LimitExceeded> {
+        if self.session.governed {
+            self.try_ite(f, g, h)
+        } else {
+            Ok(self.par_ite(f, g, h))
+        }
+    }
+
+    /// Parallelism-aware [`Manager::try_and_all`]; each fold step routes
+    /// through [`Manager::try_par_and`].
+    pub fn try_par_and_all<I: IntoIterator<Item = Ref>>(
+        &mut self,
+        fs: I,
+    ) -> Result<Ref, LimitExceeded> {
+        let mut acc = Ref::ONE;
+        for f in fs {
+            acc = self.try_par_and(acc, f)?;
+        }
+        Ok(acc)
+    }
+
+    /// Parallelism-aware [`Manager::try_or_all`]; each fold step routes
+    /// through [`Manager::try_par_or`].
+    pub fn try_par_or_all<I: IntoIterator<Item = Ref>>(
+        &mut self,
+        fs: I,
+    ) -> Result<Ref, LimitExceeded> {
+        let mut acc = Ref::ZERO;
+        for f in fs {
+            acc = self.try_par_or(acc, f)?;
+        }
+        Ok(acc)
+    }
+
+    /// Parallelism-aware [`Manager::try_xor_all`]; each fold step routes
+    /// through [`Manager::try_par_xor`].
+    pub fn try_par_xor_all<I: IntoIterator<Item = Ref>>(
+        &mut self,
+        fs: I,
+    ) -> Result<Ref, LimitExceeded> {
+        let mut acc = Ref::ZERO;
+        for f in fs {
+            acc = self.try_par_xor(acc, f)?;
+        }
+        Ok(acc)
+    }
+
     /// The exact sequential path (also the `threads = 1` contract).
     fn seq_apply(&mut self, op: ParOp) -> Ref {
         match op {
@@ -169,8 +496,6 @@ impl Manager {
         }
     }
 
-    // bdslint: allow(protect-release) -- the `release` calls here return
-    // JobBudget thread permits, not node roots; there is no protect pair.
     fn par_apply(&mut self, root: ParOp) -> Ref {
         let Some(budget) = self.job_budget.clone() else {
             return self.seq_apply(root);
@@ -181,98 +506,83 @@ impl Manager {
         if self.shared_size(&operands) < PAR_CUTOFF {
             return self.seq_apply(root);
         }
-        let extra = budget.try_acquire(MAX_EXTRA_WORKERS);
-        if extra == 0 {
+        let permits = PermitGuard::acquire(&budget, MAX_EXTRA_WORKERS);
+        if permits.extra() == 0 {
             return self.seq_apply(root);
         }
-        let width = extra + 1;
-        let (vars, leaves) = split(&self.store, root, 4 * width);
-        if vars.is_empty() {
-            budget.release(extra);
-            return self.seq_apply(root);
-        }
+        let width = permits.extra() + 1;
 
-        // SOLVE: `width` workers, each with a private session, pull
-        // leaves from a shared cursor and publish into the shared store.
-        let mut failed = false;
-        let mut slots: Vec<Option<Ref>> = vec![None; leaves.len()];
-        {
-            let store = &self.store;
-            store.begin_shared(width);
-            let cursor = AtomicUsize::new(0);
-            let worker_out: Vec<WorkerOut> = std::thread::scope(|scope| {
+        #[cfg(test)]
+        let inject_panic = self.fault_panic_workers;
+        #[cfg(not(test))]
+        let inject_panic = false;
+
+        // SOLVE: `width` workers fork-join over the cone, stealing each
+        // other's queued halves; whoever delivers last combines the root.
+        let (worker_out, result, failed) = {
+            let sh = ParShared {
+                store: &self.store,
+                deques: StealDeques::new(width),
+                forked: AtomicUsize::new(0),
+                fork_cap: FORK_TASKS_PER_WORKER * width,
+                done: AtomicBool::new(false),
+                failed: AtomicBool::new(false),
+                root: Mutex::new(None),
+            };
+            sh.deques.push(
+                0,
+                ParTask {
+                    op: root,
+                    depth: 0,
+                    up: None,
+                },
+            );
+            let region = SharedRegion::begin(&self.store, width);
+            let worker_out: Vec<(Session, u64)> = std::thread::scope(|scope| {
+                let sh = &sh;
                 let handles: Vec<_> = (0..width)
-                    .map(|_| {
-                        scope.spawn(|| {
-                            let mut session = Session::with_cache_bits(WORKER_CACHE_BITS);
-                            let mut out = Vec::new();
-                            loop {
-                                // ordering: Relaxed — the cursor only
-                                // partitions indices; leaf data is
-                                // immutable and store publication has
-                                // its own Release/Acquire protocol.
-                                let i = cursor.fetch_add(1, Ordering::Relaxed);
-                                let Some(&leaf) = leaves.get(i) else {
-                                    break;
-                                };
-                                let r = leaf.solve(store, &mut session);
-                                let stop = r.is_err();
-                                out.push((i, r));
-                                if stop {
-                                    break; // table full: drain and regrow
-                                }
-                            }
-                            (session, out)
-                        })
-                    })
+                    .map(|me| scope.spawn(move || par_worker(sh, me, inject_panic)))
                     .collect();
                 handles
                     .into_iter()
                     .map(|h| h.join().expect("parallel-apply worker panicked"))
                     .collect()
             });
-            store.end_shared(width);
+            drop(region);
+            // ordering: Relaxed — the scope join synchronized everything.
+            let failed = sh.failed.load(Ordering::Relaxed);
+            let result = sh.root.lock().unwrap().take();
+            (worker_out, result, failed)
+        };
+        // Workers have joined: the permits gate threads, so give them
+        // back before any (sequential) retry work.
+        drop(permits);
 
-            // COMBINE bookkeeping: fold every worker's created-node log
-            // into the manager's per-variable lists (now quiescent), and
-            // absorb its cache telemetry.
-            for (mut session, out) in worker_out {
-                let created = std::mem::take(&mut session.created);
-                self.fold_created(created);
-                self.session.cache.absorb_counters(&session.cache);
-                self.session.steps += session.steps;
-                for (i, r) in out {
-                    match r {
-                        Ok(v) => slots[i] = Some(v),
-                        Err(_) => failed = true,
-                    }
-                }
+        // Fold every worker's created-node log into the manager's
+        // per-variable lists (now quiescent), and absorb its cache and
+        // steal telemetry.
+        let mut steals = 0u64;
+        for (mut session, worker_steals) in worker_out {
+            let created = std::mem::take(&mut session.created);
+            self.fold_created(created);
+            self.session.cache.absorb_counters(&session.cache);
+            self.session.steps += session.steps;
+            steals += worker_steals;
+        }
+        self.par_steals += steals;
+
+        match result {
+            Some(r) if !failed => r,
+            _ => {
+                // A worker lost the shared-table headroom race (or the
+                // join tree was abandoned). The region is quiescent
+                // again: grow stop-the-world and redo sequentially — the
+                // workers' published subresults stay memoized, so the
+                // retry mostly re-links existing nodes.
+                self.grow_for_retry();
+                self.seq_apply(root)
             }
         }
-
-        if failed || slots.iter().any(Option::is_none) {
-            // A worker lost the shared-table headroom race. The region is
-            // quiescent again: grow stop-the-world and redo sequentially —
-            // the workers' published subresults stay memoized in the
-            // unique table, so the retry mostly re-links existing nodes.
-            budget.release(extra);
-            self.grow_for_retry();
-            return self.seq_apply(root);
-        }
-
-        // COMBINE: rebuild the split spine bottom-up. Each `mk` respects
-        // the ordering invariant (split variables strictly deepen), and
-        // canonicity makes the final Ref identical to the sequential one.
-        let mut level: Vec<Ref> = slots.into_iter().flatten().collect();
-        for &v in vars.iter().rev() {
-            level = level
-                .chunks_exact(2)
-                .map(|pair| self.mk(v, pair[0], pair[1]))
-                .collect();
-        }
-        budget.release(extra);
-        debug_assert_eq!(level.len(), 1);
-        level[0]
     }
 }
 
@@ -351,20 +661,19 @@ mod tests {
     }
 
     #[test]
-    fn split_produces_cofactor_leaves() {
-        let mut m = Manager::new();
-        let (f, g) = big_cone(&mut m, 12);
-        let (vars, leaves) = split(&m.store, ParOp::And(f, g), 8);
-        assert!(!vars.is_empty());
-        assert_eq!(leaves.len(), 1 << vars.len());
-        // Leaf 0 is the all-zero cofactor path.
-        let mut f0 = f;
-        let mut g0 = g;
-        for &v in &vars {
-            f0 = m.store.shallow_cofactors(f0, v).0;
-            g0 = m.store.shallow_cofactors(g0, v).0;
-        }
-        let [lf, lg, _] = leaves[0].operands();
-        assert_eq!((lf, lg), (f0, g0));
+    fn worker_panic_drains_the_budget_permits() {
+        let mut par = Manager::new();
+        let (f, g) = big_cone(&mut par, 18);
+        let budget = JobBudget::new(3);
+        par.set_job_budget(Some(budget.clone()));
+        par.fault_panic_workers = true;
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| par.par_and(f, g)));
+        assert!(result.is_err(), "the injected worker panic must propagate");
+        assert_eq!(
+            budget.available(),
+            3,
+            "the RAII permit guard must return every permit on the \
+             unwind path"
+        );
     }
 }

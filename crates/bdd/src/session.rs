@@ -99,8 +99,15 @@ pub const DEFAULT_CACHE_BITS: u32 = 14;
 
 /// Cache budget of the short-lived worker sessions forked by the
 /// parallel apply: smaller than the default — a worker memoizes one
-/// cone fragment, not a whole flow.
+/// cone fragment, not a whole flow (and shares everything expensive
+/// through the store's L2 cache anyway).
 pub(crate) const WORKER_CACHE_BITS: u32 = 12;
+
+/// Publication threshold of the shared (L2) cache: a result is published
+/// only when the recursion that produced it performed at least this many
+/// descendant L1 probes (one probe ≈ one non-terminal recursion step).
+/// See [`Session::publish2`].
+pub(crate) const L2_PUBLISH_MIN_WORK: u64 = 8;
 
 /// The fixed-size, set-associative, lossy operation cache: power-of-two
 /// [`CacheSet`] groups (three ways per 64-byte line), indexed by the same
@@ -126,6 +133,14 @@ pub(crate) struct ComputedCache {
     pub(crate) lookups: u64,
     pub(crate) hits: u64,
     pub(crate) insertions: u64,
+    /// Traffic this session sent to the *shared* (L2) cache: probes made
+    /// on an L1 miss, hits among them, and publications. Tracked here
+    /// (plain per-session counters, folded in with
+    /// [`ComputedCache::absorb_counters`]) so the shared cache itself
+    /// carries no contended counter words.
+    pub(crate) shared_lookups: u64,
+    pub(crate) shared_hits: u64,
+    pub(crate) shared_insertions: u64,
 }
 
 /// Generations live in the upper bits of the entry tag; op tags occupy the
@@ -157,6 +172,9 @@ impl ComputedCache {
             lookups: 0,
             hits: 0,
             insertions: 0,
+            shared_lookups: 0,
+            shared_hits: 0,
+            shared_insertions: 0,
         }
     }
 
@@ -290,6 +308,9 @@ impl ComputedCache {
         self.lookups += other.lookups;
         self.hits += other.hits;
         self.insertions += other.insertions;
+        self.shared_lookups += other.shared_lookups;
+        self.shared_hits += other.shared_hits;
+        self.shared_insertions += other.shared_insertions;
     }
 }
 
@@ -585,6 +606,59 @@ impl Session {
             }
         }
         Ok(())
+    }
+
+    /// Two-tier memo probe: private L1 first, shared L2 on a miss. An L2
+    /// hit warms the L1 in place, so a key another thread solved costs
+    /// this session one shared probe total, not one per repetition.
+    ///
+    /// Only the function-valued binary/ternary kernels (`AND`, `XOR`,
+    /// `ITE`) go through here — their results survive in-place level
+    /// swaps, so the L2 only needs clearing when nodes are actually
+    /// reclaimed (see the manager's quiescent hooks).
+    #[inline(always)]
+    pub(crate) fn lookup2(
+        &mut self,
+        store: &NodeStore,
+        op: u32,
+        a: u32,
+        b: u32,
+        c: u32,
+    ) -> Option<Ref> {
+        if let Some(r) = self.cache.lookup(op, a, b, c) {
+            return Some(r);
+        }
+        self.cache.shared_lookups += 1;
+        let r = store.shared_cache().lookup(op as u64, a, b, c)?;
+        self.cache.shared_hits += 1;
+        self.cache.insert(op, a, b, c, r);
+        Some(r)
+    }
+
+    /// Two-tier memo insert: always into the private L1; into the shared
+    /// L2 only when the recursion that produced `r` consumed at least
+    /// [`L2_PUBLISH_MIN_WORK`] descendant cache probes (`work0` is the L1
+    /// lookup count sampled right after this key's own miss). Leaf-ish
+    /// results churn far faster than they are reused cross-thread, so
+    /// publishing them would only add coherence traffic and evictions;
+    /// the threshold keeps the L2 holding the expensive subproblems.
+    #[allow(clippy::too_many_arguments)]
+    #[inline(always)]
+    pub(crate) fn publish2(
+        &mut self,
+        store: &NodeStore,
+        op: u32,
+        a: u32,
+        b: u32,
+        c: u32,
+        work0: u64,
+        r: Ref,
+    ) {
+        self.cache.insert(op, a, b, c, r);
+        if self.cache.lookups - work0 >= L2_PUBLISH_MIN_WORK {
+            self.cache.shared_insertions += 1;
+            store.shared_cache().publish(op as u64, a, b, c, r);
+        }
     }
 
     /// Finds or creates the node `(var, low, high)` in the shared store,

@@ -1,0 +1,134 @@
+//! The deal / own-front-pop / steal-back deque set — the one
+//! work-stealing primitive shared by `bench`'s suite-level pool and the
+//! parallel apply's fork-join recursion ([`crate::parallel`]).
+//!
+//! The discipline is the classic Arora–Blumofe–Plaxton split, mutex-built
+//! because the workspace is offline (no crossbeam): every worker owns one
+//! deque; an owner pushes and pops at the *front* (LIFO — freshly forked
+//! children stay hot in its caches), while a thief takes from the *back*
+//! of a victim's deque (FIFO — the oldest task is the biggest remaining
+//! subtree, so one steal moves the most work per lock acquisition). The
+//! mutexes make each end-operation trivially atomic; the scheme's
+//! throughput comes from workers touching foreign deques only when their
+//! own runs dry.
+//!
+//! Two usage patterns, one type:
+//!
+//! * **dealt batch** ([`StealDeques::deal`]) — a known task list spread
+//!   round-robin up front, then only popped/stolen (the suite pool);
+//! * **fork-join** ([`StealDeques::new`] + [`StealDeques::push`]) —
+//!   deques start empty and workers feed them as recursions split (the
+//!   parallel apply).
+
+use std::collections::VecDeque;
+use std::sync::Mutex;
+
+/// One deque per worker; see the module docs for the discipline.
+#[derive(Debug)]
+pub struct StealDeques<T> {
+    queues: Vec<Mutex<VecDeque<T>>>,
+}
+
+impl<T> StealDeques<T> {
+    /// `workers` empty deques (the fork-join pattern: tasks arrive via
+    /// [`StealDeques::push`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `workers == 0`.
+    pub fn new(workers: usize) -> StealDeques<T> {
+        assert!(workers > 0, "a deque set needs at least one worker");
+        StealDeques {
+            queues: (0..workers).map(|_| Mutex::new(VecDeque::new())).collect(),
+        }
+    }
+
+    /// Deals `items` round-robin across `workers` deques (item `i` lands
+    /// at the back of deque `i % workers`), so a skewed prefix of a known
+    /// batch spreads across workers even before any stealing happens.
+    pub fn deal(workers: usize, items: impl IntoIterator<Item = T>) -> StealDeques<T> {
+        assert!(workers > 0, "a deque set needs at least one worker");
+        let mut queues: Vec<VecDeque<T>> = (0..workers).map(|_| VecDeque::new()).collect();
+        for (i, item) in items.into_iter().enumerate() {
+            queues[i % workers].push_back(item);
+        }
+        StealDeques {
+            queues: queues.into_iter().map(Mutex::new).collect(),
+        }
+    }
+
+    /// Number of worker deques.
+    pub fn workers(&self) -> usize {
+        self.queues.len()
+    }
+
+    /// Pushes a task onto worker `me`'s own (front) end — the fork side
+    /// of fork-join: the owner will pop it next unless a thief gets the
+    /// *other* end first.
+    pub fn push(&self, me: usize, item: T) {
+        self.queues[me].lock().unwrap().push_front(item);
+    }
+
+    /// The next task for worker `me`: its own deque's front first, then
+    /// the back of each other worker's deque, scanning from the right
+    /// neighbour. The flag reports whether the task was stolen.
+    pub fn next(&self, me: usize) -> Option<(T, bool)> {
+        if let Some(t) = self.queues[me].lock().unwrap().pop_front() {
+            return Some((t, false));
+        }
+        for off in 1..self.queues.len() {
+            let victim = (me + off) % self.queues.len();
+            if let Some(t) = self.queues[victim].lock().unwrap().pop_back() {
+                return Some((t, true));
+            }
+        }
+        None
+    }
+
+    /// Tasks currently queued across all deques (diagnostic — e.g. the
+    /// pool's abandoned-task accounting after a panic drain).
+    pub fn queued(&self) -> usize {
+        self.queues.iter().map(|q| q.lock().unwrap().len()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deal_spreads_round_robin() {
+        let d = StealDeques::deal(3, 0..7usize);
+        assert_eq!(d.workers(), 3);
+        assert_eq!(d.queued(), 7);
+        // Worker 0 owns 0, 3, 6 and drains them front-first in order.
+        assert_eq!(d.next(0), Some((0, false)));
+        assert_eq!(d.next(0), Some((3, false)));
+        assert_eq!(d.next(0), Some((6, false)));
+    }
+
+    #[test]
+    fn drained_owner_steals_from_the_back() {
+        let d = StealDeques::deal(2, 0..4usize);
+        // Worker 0 drains its own deque [0, 2] ...
+        assert_eq!(d.next(0), Some((0, false)));
+        assert_eq!(d.next(0), Some((2, false)));
+        // ... then steals worker 1's *back* (oldest-last order: [1, 3]).
+        assert_eq!(d.next(0), Some((3, true)));
+        assert_eq!(d.next(0), Some((1, true)));
+        assert_eq!(d.next(0), None);
+    }
+
+    #[test]
+    fn own_pushes_are_lifo_for_the_owner() {
+        let d: StealDeques<u32> = StealDeques::new(2);
+        d.push(0, 1);
+        d.push(0, 2);
+        // Owner sees its most recent fork first ...
+        assert_eq!(d.next(0), Some((2, false)));
+        // ... while a thief would have taken the oldest (1) from the back.
+        d.push(0, 3);
+        assert_eq!(d.next(1), Some((1, true)));
+        assert_eq!(d.next(1), Some((3, true)));
+    }
+}

@@ -35,7 +35,7 @@
 //! them onto the free list.
 
 use crate::reference::{NodeId, Ref, Var};
-use std::sync::atomic::{AtomicU32, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicU32, AtomicU64, AtomicUsize, Ordering};
 
 /// Sentinel variable index used by the terminal node; compares below every
 /// real variable when ordered by *level depth* (larger index = deeper).
@@ -76,6 +76,287 @@ pub(crate) fn triple_hash(a: u32, b: u32, c: u32) -> u64 {
     h ^= h >> 29;
     h = h.wrapping_mul(0xBF58_476D_1CE4_E5B9);
     h ^ (h >> 32)
+}
+
+// ------------------------------------------------------- shared (L2) cache
+
+/// Index bits of the shared computed cache: `2^15` entries × 16 bytes =
+/// 512 KiB per store. Fixed-size and lossy by design — a collision simply
+/// overwrites, and a miss costs one sequential recursion step.
+const SHARED_CACHE_BITS: u32 = 15;
+
+/// Bits of the 96-bit key-mix *remainder* kept in the tag word; the rest
+/// (`96 - SHARED_CACHE_BITS - 53` bits) live in the payload word. Between
+/// the entry's position (the index bits) and the two stored fragments,
+/// every one of the 96 key bits is represented, so a full tag + remainder
+/// match is a proof of key equality, not a probabilistic guess.
+const SHARED_REM_LO_BITS: u32 = 53;
+const SHARED_REM_LO_MASK: u64 = (1 << SHARED_REM_LO_BITS) - 1;
+/// Tag-word layout: `[epoch:8][op:3][rem_lo:53]`. Published tags always
+/// carry a nonzero 3-bit op code, so the all-zero word doubles as the
+/// empty sentinel and op-field-zero values are free for the claim state.
+const SHARED_OP_SHIFT: u32 = 53;
+const SHARED_EPOCH_SHIFT: u32 = 56;
+/// Claim sentinel: op field zero, distinct from the empty word. A writer
+/// parks the tag here between its two payload/tag publication stores so
+/// no reader can match the entry mid-update.
+const SHARED_BUSY: u64 = 1;
+
+/// 96-bit modulus mask for the shared-cache key mix.
+const MIX_MASK: u128 = (1u128 << 96) - 1;
+/// Odd multipliers of the invertible key mix, plus an op salt. Oddness
+/// makes the multiplications bijective modulo 2^96, and `z ^= z >> 48`
+/// is an involution on 96-bit words, so the whole mix is a permutation
+/// of the key space: equal mixes imply equal `(op, a, b, c)` keys.
+const MIX_C1: u128 = 0xD2B7_4407_B1CE_6E93_9E37_79B9_7F4A_7C15 & MIX_MASK;
+const MIX_C2: u128 = 0xCA5A_8263_93B8_5156_58C9_16DE_5A8D_F8E7 & MIX_MASK;
+const MIX_OP_SALT: u128 = 0xA24B_AED4_963E_E407_D1B5_4A32_D192_ED03 & MIX_MASK;
+const MIX_C1_INV: u128 = mul_inverse_pow96(MIX_C1);
+const MIX_C2_INV: u128 = mul_inverse_pow96(MIX_C2);
+
+/// Multiplicative inverse of an odd constant modulo 2^96 (Newton
+/// iteration; each round doubles the number of correct low bits, and an
+/// odd `c` is its own inverse modulo 8).
+const fn mul_inverse_pow96(c: u128) -> u128 {
+    let mut x = c;
+    let mut i = 0;
+    while i < 6 {
+        x = x.wrapping_mul(2u128.wrapping_sub(c.wrapping_mul(x))) & MIX_MASK;
+        i += 1;
+    }
+    x
+}
+
+/// The invertible 96-bit mix of a shared-cache key. Invertibility is the
+/// point: the cache stores only mixed bits, and [`shared_unmix`] recovers
+/// the exact operands for the quiescent GC scrub.
+#[inline(always)]
+fn shared_mix(op: u64, a: u32, b: u32, c: u32) -> u128 {
+    let mut z = (a as u128) | ((b as u128) << 32) | ((c as u128) << 64);
+    z ^= (op as u128).wrapping_mul(MIX_OP_SALT) & MIX_MASK;
+    z = z.wrapping_mul(MIX_C1) & MIX_MASK;
+    z ^= z >> 48;
+    z = z.wrapping_mul(MIX_C2) & MIX_MASK;
+    z ^= z >> 48;
+    z
+}
+
+/// Exact inverse of [`shared_mix`] for a known op code.
+fn shared_unmix(op: u64, z: u128) -> (u32, u32, u32) {
+    let mut z = z ^ (z >> 48);
+    z = z.wrapping_mul(MIX_C2_INV) & MIX_MASK;
+    z ^= z >> 48;
+    z = z.wrapping_mul(MIX_C1_INV) & MIX_MASK;
+    z ^= (op as u128).wrapping_mul(MIX_OP_SALT) & MIX_MASK;
+    (z as u32, (z >> 32) as u32, (z >> 64) as u32)
+}
+
+/// One shared-cache entry: a packed `2 × AtomicU64` pair.
+///
+/// * `tag_word` — `[epoch:8][op:3][rem_lo:53]`; all-zero = empty,
+///   op-field-zero nonzero values = claimed (mid-publication).
+/// * `payload_word` — `[rem_hi:32][result:32]` (the raw result `Ref`).
+#[derive(Debug)]
+struct SharedEntry {
+    tag_word: AtomicU64,
+    payload_word: AtomicU64,
+}
+
+/// The shared, lossy, fixed-size operation cache (the concurrent L2
+/// behind every session's private L1).
+///
+/// Readers are wait-free and writers lock-free: publication claims the
+/// tag word with a CAS to the [`SHARED_BUSY`] sentinel, `Release`-stores
+/// the payload, then `Release`-stores the final tag; lookups
+/// `Acquire`-load tag and payload and re-read the tag, so a read torn by
+/// a concurrent publication is a detected miss, never a wrong function
+/// (the full argument lives on [`SharedCache::lookup`]).
+///
+/// Clearing is O(1): bump the 8-bit epoch stamped into every tag (stale
+/// epochs simply stop matching), with a full wipe every 256 bumps when
+/// the stamp would alias. Both the clear and the GC scrub mutate through
+/// `&mut`/`get_mut` at the same stop-the-world quiescent points as
+/// collection and sifting.
+#[derive(Debug)]
+pub struct SharedCache {
+    slots: Box<[SharedEntry]>,
+    mask: u64,
+    bits: u32,
+    /// Monotone clear counter; only the low 8 bits are stamped into tags.
+    epoch: AtomicU64,
+}
+
+impl SharedCache {
+    fn with_bits(bits: u32) -> SharedCache {
+        // The tag + payload store 53 + 32 = 85 remainder bits, so the
+        // index must consume at least 96 - 85 = 11 — below that, two
+        // distinct keys could alias one entry and a hit could name the
+        // wrong function.
+        assert!((11..=28).contains(&bits), "shared cache bits out of range");
+        let n = 1usize << bits;
+        let mut slots = Vec::with_capacity(n);
+        slots.resize_with(n, || SharedEntry {
+            tag_word: AtomicU64::new(0),
+            payload_word: AtomicU64::new(0),
+        });
+        SharedCache {
+            slots: slots.into_boxed_slice(),
+            mask: (n - 1) as u64,
+            bits,
+            epoch: AtomicU64::new(0),
+        }
+    }
+
+    /// Entry count (telemetry).
+    pub(crate) fn len(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Index, tag word and payload remainder for a key under the current
+    /// epoch.
+    #[inline(always)]
+    fn locate(&self, op: u64, a: u32, b: u32, c: u32) -> (usize, u64, u32) {
+        debug_assert!(
+            op != 0 && op < 8,
+            "shared-cache op codes are 3 nonzero bits"
+        );
+        let z = shared_mix(op, a, b, c);
+        let idx = (z as u64 & self.mask) as usize;
+        let rem = z >> self.bits;
+        // ordering: (load) Relaxed — the epoch only changes at quiescent
+        // points, where `&mut` access orders it before any shared region.
+        let epoch = self.epoch.load(Ordering::Relaxed) & 0xFF;
+        let tag = (epoch << SHARED_EPOCH_SHIFT)
+            | (op << SHARED_OP_SHIFT)
+            | (rem as u64 & SHARED_REM_LO_MASK);
+        (idx, tag, (rem >> SHARED_REM_LO_BITS) as u32)
+    }
+
+    /// Wait-free lookup. A hit proves the entry was published for exactly
+    /// this `(op, a, b, c)` key in the current epoch:
+    ///
+    /// * the tag is `Acquire`-loaded and compared whole (epoch, op and 53
+    ///   remainder bits), the payload is `Acquire`-loaded, and its high
+    ///   32 remainder bits are compared too — together with the index
+    ///   that covers all 96 bits of the invertible key mix, so there is
+    ///   no aliasing between distinct keys;
+    /// * the tag re-read detects torn interleavings: a concurrent
+    ///   publication parks the tag on [`SHARED_BUSY`] *before* its
+    ///   `Release` payload store, and our `Acquire` payload load
+    ///   synchronizes with that store, so if the payload we read belongs
+    ///   to a different publication than the tag, the re-read observes
+    ///   the claim (or the later tag) instead of our tag and the lookup
+    ///   misses. A stale-payload tear is impossible the other way around
+    ///   because the tag is published last.
+    pub(crate) fn lookup(&self, op: u64, a: u32, b: u32, c: u32) -> Option<Ref> {
+        let (idx, tag, rem_hi) = self.locate(op, a, b, c);
+        let e = &self.slots[idx];
+        // ordering: (load) Acquire — pairs with the Release tag store in
+        // `publish`, making the payload store before it visible.
+        let t = e.tag_word.load(Ordering::Acquire);
+        if t != tag {
+            return None;
+        }
+        // ordering: (load) Acquire — pairs with the Release payload store
+        // in `publish`; if this payload is newer than the tag above, the
+        // publisher's earlier claim CAS is now visible to the re-read.
+        let p = e.payload_word.load(Ordering::Acquire);
+        // ordering: (load) Relaxed — pure tear detector: coherence alone
+        // guarantees this read sees the claim sentinel (or a later tag)
+        // if the payload came from a newer publication.
+        if e.tag_word.load(Ordering::Relaxed) != t {
+            return None;
+        }
+        if (p >> 32) as u32 != rem_hi {
+            return None;
+        }
+        Some(Ref::from_raw(p as u32))
+    }
+
+    /// Lock-free, lossy publication. Losing the claim race (or finding
+    /// the entry mid-publication) just drops the insert — the result is
+    /// recomputable, and a bounded cache sheds load under contention
+    /// instead of serializing on it.
+    pub(crate) fn publish(&self, op: u64, a: u32, b: u32, c: u32, result: Ref) {
+        let (idx, tag, rem_hi) = self.locate(op, a, b, c);
+        let e = &self.slots[idx];
+        let payload = ((rem_hi as u64) << 32) | result.raw() as u64;
+        // ordering: (load) Relaxed — advisory peek; a racing writer makes
+        // the CAS below fail anyway.
+        let cur = e.tag_word.load(Ordering::Relaxed);
+        if cur == SHARED_BUSY {
+            return;
+        }
+        // ordering: Relaxed — the claim CAS on tag_word only arbitrates
+        // which writer owns the entry; it publishes nothing (readers can
+        // never match the BUSY sentinel), and the payload/tag stores
+        // below carry their own Release edges.
+        if e.tag_word
+            .compare_exchange(cur, SHARED_BUSY, Ordering::Relaxed, Ordering::Relaxed)
+            .is_err()
+        {
+            return;
+        }
+        // ordering: Release on payload_word — readers Acquire-load the
+        // payload, which (a) orders this write with the final tag store
+        // for ordinary hits and (b) makes the claim CAS above visible to
+        // a reader holding a stale tag, so its tag re-read detects the
+        // tear instead of pairing our payload with the old tag.
+        e.payload_word.store(payload, Ordering::Release);
+        // ordering: Release on tag_word — publishes the payload store:
+        // any reader that Acquire-loads this tag observes the payload it
+        // belongs to. Tag-last is what makes a matching tag mean "fully
+        // published".
+        e.tag_word.store(tag, Ordering::Release);
+    }
+
+    /// O(1) epoch clear (quiescent-only): stale epochs stop matching
+    /// instantly; the table is physically wiped only when the 8-bit
+    /// stamp would wrap onto a value still present in old tags.
+    pub(crate) fn clear(&mut self) {
+        let epoch = self.epoch.get_mut();
+        *epoch = epoch.wrapping_add(1);
+        if *epoch & 0xFF == 0 {
+            for e in self.slots.iter_mut() {
+                *e.tag_word.get_mut() = 0;
+                *e.payload_word.get_mut() = 0;
+            }
+        }
+    }
+
+    /// Quiescent GC scrub: decode every current-epoch entry back to its
+    /// exact operands (the mix is invertible) and drop the ones naming a
+    /// reclaimed slot; stale-epoch and claim-parked leftovers are dropped
+    /// too. The surviving memo stays warm across collections, exactly
+    /// like the per-session L1 scrub.
+    pub(crate) fn scrub<F: Fn(u32) -> bool>(&mut self, live: F) {
+        let epoch = *self.epoch.get_mut() & 0xFF;
+        for i in 0..self.slots.len() {
+            let t = *self.slots[i].tag_word.get_mut();
+            if t == 0 {
+                continue;
+            }
+            let p = *self.slots[i].payload_word.get_mut();
+            let op = (t >> SHARED_OP_SHIFT) & 0x7;
+            let keep = op != 0 && (t >> SHARED_EPOCH_SHIFT) == epoch && {
+                let rem = ((t & SHARED_REM_LO_MASK) as u128)
+                    | (((p >> 32) as u128) << SHARED_REM_LO_BITS);
+                let z = (i as u128) | (rem << self.bits);
+                let (a, b, c) = shared_unmix(op, z);
+                // A raw edge's slot index is its raw word sans sign bit;
+                // slot 0 (the terminal) is always live.
+                let ok = |raw: u32| {
+                    let slot = raw >> 1;
+                    slot == 0 || live(slot)
+                };
+                ok(a) && ok(b) && ok(c) && ok(p as u32)
+            };
+            if !keep {
+                *self.slots[i].tag_word.get_mut() = 0;
+                *self.slots[i].payload_word.get_mut() = 0;
+            }
+        }
+    }
 }
 
 /// A stored BDD node: the Shannon expansion of a function with respect to
@@ -169,6 +450,10 @@ pub struct NodeStore {
     /// this store (the manager's own session is not counted). Growth,
     /// GC and sifting assert this is zero — they are stop-the-world.
     sessions_out: AtomicUsize,
+    /// The shared lossy computed cache (L2) probed by every session on a
+    /// private-cache miss. Shared regions use its wait-free/lock-free
+    /// entry points; clears and scrubs are quiescent-only.
+    shared: SharedCache,
     num_vars: u32,
     /// Position of each variable in the decision order
     /// (`var2level[var] = level`; always a permutation of `0..num_vars`).
@@ -210,6 +495,7 @@ impl NodeStore {
             occupied: AtomicUsize::new(0),
             allocs_since_gc: AtomicUsize::new(0),
             sessions_out: AtomicUsize::new(0),
+            shared: SharedCache::with_bits(SHARED_CACHE_BITS),
             num_vars: 0,
             var2level: Vec::new(),
             level2var: Vec::new(),
@@ -304,6 +590,20 @@ impl NodeStore {
             "{what} requires a quiescent store (stop-the-world): \
              parallel sessions are still outstanding"
         );
+    }
+
+    // ------------------------------------------------------- shared cache
+
+    /// The shared (L2) computed cache. Safe under shared regions: every
+    /// `&self` entry point is wait-free or lock-free.
+    #[inline(always)]
+    pub(crate) fn shared_cache(&self) -> &SharedCache {
+        &self.shared
+    }
+
+    /// Mutable access to the shared cache for quiescent clears/scrubs.
+    pub(crate) fn shared_cache_mut(&mut self) -> &mut SharedCache {
+        &mut self.shared
     }
 
     // ------------------------------------------------------ order / vars
@@ -887,5 +1187,82 @@ mod tests {
         // Exactly 64 distinct nodes exist (plus the terminal); racers'
         // abandoned slots are not live.
         assert_eq!(store.live_nodes(), 65);
+    }
+
+    #[test]
+    fn shared_cache_poisoning_storm_every_hit_is_exact() {
+        // Several threads publish and look up an adversarial key family
+        // in a deliberately tiny cache, so distinct keys collide on the
+        // same slots constantly and claim races / torn interleavings are
+        // the common case, not the exception. The invariant under attack:
+        // a *hit* must return exactly the value published for that key
+        // in the current epoch — a tear, key aliasing, or a stale-epoch
+        // survivor would surface some other publication's result (a
+        // poisoned L2, which the kernel would memoize as a wrong
+        // subresult). Misses are always legal: the cache is lossy.
+        // 11 bits is the smallest aliasing-free table (the constructor
+        // asserts it): 2048 slots under an 8192-key family keeps every
+        // slot multi-tenant.
+        let mut cache = SharedCache::with_bits(11);
+        assert_eq!(cache.len(), 2048, "smallest aliasing-free table");
+
+        // The result is a pure function of (round, key), so every thread
+        // can verify any hit locally without coordination, and a hit
+        // carrying an earlier round's value is caught by the same check.
+        fn expected(round: u32, op: u64, a: u32, b: u32, c: u32) -> Ref {
+            let mix = (op as u32)
+                .wrapping_mul(0x9E37_79B9)
+                .wrapping_add(a.rotate_left(7))
+                .wrapping_add(b.rotate_left(13))
+                .wrapping_add(c.rotate_left(19))
+                .wrapping_add(round.wrapping_mul(0x85EB_CA6B));
+            Ref::from_raw(mix)
+        }
+
+        const KEYS: u32 = 8192;
+        const PROBES: u32 = 16;
+        const THREADS: u32 = 4;
+        for round in 0..3u32 {
+            let cache_ref = &cache;
+            std::thread::scope(|s| {
+                for t in 0..THREADS {
+                    s.spawn(move || {
+                        // Each thread walks the key family from its own
+                        // offset, alternating publish and lookup so every
+                        // slot sees concurrent writers and readers.
+                        for i in 0..KEYS {
+                            let k = (i + t * (KEYS / THREADS)) % KEYS;
+                            let op = 1 + (k % 7) as u64;
+                            let (a, b, c) = (k, k.wrapping_mul(31), k.wrapping_mul(131));
+                            cache_ref.publish(op, a, b, c, expected(round, op, a, b, c));
+                            for probe in 0..PROBES {
+                                let p = (k + probe * 7) % KEYS;
+                                let pop = 1 + (p % 7) as u64;
+                                let (pa, pb, pc) = (p, p.wrapping_mul(31), p.wrapping_mul(131));
+                                if let Some(hit) = cache_ref.lookup(pop, pa, pb, pc) {
+                                    assert_eq!(
+                                        hit,
+                                        expected(round, pop, pa, pb, pc),
+                                        "round {round}: poisoned hit for key {p}"
+                                    );
+                                }
+                            }
+                        }
+                    });
+                }
+            });
+            // Quiescent epoch clear between rounds: everything published
+            // above must stop matching, so the next round's hits can only
+            // carry next-round values (asserted by `expected(round + 1)`).
+            cache.clear();
+            for k in 0..KEYS {
+                let op = 1 + (k % 7) as u64;
+                assert_eq!(
+                    cache.lookup(op, k, k.wrapping_mul(31), k.wrapping_mul(131)),
+                    None,
+                    "stale-epoch entry survived the clear for key {k}"
+                );
+            }
+        }
     }
 }

@@ -209,6 +209,84 @@ fn single_thread_budget_is_bit_identical_to_no_budget() {
 }
 
 #[test]
+fn forked_apply_stays_exact_across_interleaved_collections() {
+    // Randomized property: interleave forked applies with protect /
+    // release churn and stop-the-world collections. Every collection
+    // runs at a quiescent point, sweeps dead intermediates (possibly
+    // nodes the workers just published), scrubs both cache tiers — and
+    // afterwards the forked apply must still return the in-manager
+    // sequential kernel's exact ref, while a sequential mirror manager
+    // replaying the identical op/GC schedule stays functionally equal.
+    for threads in [2usize, 4] {
+        let mut par = Manager::new();
+        par.set_job_budget(Some(JobBudget::new(threads - 1)));
+        let mut par_pool = seed_pool(&mut par);
+        let mut seq = Manager::new();
+        let mut seq_pool = seed_pool(&mut seq);
+
+        // The seed pool is the live set: protect it in both managers so
+        // collections reclaim only storm intermediates.
+        for r in &par_pool {
+            par.protect(*r);
+        }
+        for r in &seq_pool {
+            seq.protect(*r);
+        }
+
+        let mut rng = Rng(0xFEED_FACE_0DD5_EED5 ^ threads as u64);
+        let pool_len = par_pool.len();
+        let plan = steps(&mut rng, pool_len, 48);
+        let mut gc_rng = Rng(0x5EED_5EED_5EED_5EED);
+        for (i, s) in plan.iter().enumerate() {
+            let forked = match s.op {
+                0 => par.par_and(par_pool[s.a], par_pool[s.b]),
+                1 => par.par_xor(par_pool[s.a], par_pool[s.b]),
+                _ => par.par_ite(par_pool[s.a], par_pool[s.b], par_pool[s.c]),
+            };
+            let sequential = match s.op {
+                0 => par.and(par_pool[s.a], par_pool[s.b]),
+                1 => par.xor(par_pool[s.a], par_pool[s.b]),
+                _ => par.ite(par_pool[s.a], par_pool[s.b], par_pool[s.c]),
+            };
+            assert_eq!(
+                forked, sequential,
+                "threads={threads} step {i}: forked apply diverged after GC churn"
+            );
+            let mirror = match s.op {
+                0 => seq.and(seq_pool[s.a], seq_pool[s.b]),
+                1 => seq.xor(seq_pool[s.a], seq_pool[s.b]),
+                _ => seq.ite(seq_pool[s.a], seq_pool[s.b], seq_pool[s.c]),
+            };
+            // Keep the newest result live in both managers, replacing a
+            // pseudo-random victim so dead cones accumulate for the GC.
+            let victim = gc_rng.below(pool_len);
+            par.release(par_pool[victim]);
+            par_pool[victim] = par.protect(forked);
+            seq.release(seq_pool[victim]);
+            seq_pool[victim] = seq.protect(mirror);
+
+            if i % 8 == 7 {
+                par.collect();
+                par.verify_interior_refs();
+                par.verify_edge_canonical_form();
+                seq.collect();
+                // Functional oracle across managers right after the
+                // sweep: reclaimed-and-rebuilt state must not drift.
+                let row = gc_rng.next();
+                let assignment: Vec<bool> = (0..NVARS).map(|v| row >> v & 1 == 1).collect();
+                for (p, s) in par_pool.iter().zip(&seq_pool) {
+                    assert_eq!(
+                        par.eval(*p, &assignment),
+                        seq.eval(*s, &assignment),
+                        "threads={threads} step {i}: pool diverged after collection"
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[test]
 fn budget_permits_are_returned_after_every_call() {
     let mut m = Manager::new();
     let budget = JobBudget::new(3);

@@ -209,12 +209,24 @@ struct ParApplyRun {
     ops: u64,
     lookups: u64,
     hit_rate: f64,
+    /// Shared (L2) cache probes — L1 misses that consulted the
+    /// store-level cache (the storm's cross-thread reuse channel).
+    shared_lookups: u64,
+    shared_hits: u64,
+    shared_hit_rate: f64,
+    /// Results the workers published into the shared cache.
+    shared_insertions: u64,
+    /// Tasks executed from another worker's deque — the load-balancing
+    /// the fork-join scheduler actually performed (0 at `threads = 1`).
+    steals: u64,
     micros: u128,
     result_nodes: usize,
 }
 
 struct ParApplyResult {
     cone_nodes: usize,
+    /// Fixed L2 capacity (slot count) of each run's store.
+    shared_cache_entries: usize,
     runs: Vec<ParApplyRun>,
 }
 
@@ -250,6 +262,7 @@ fn par_apply_storm() -> ParApplyResult {
         pool
     };
     let mut cone_nodes = 0usize;
+    let mut shared_cache_entries = 0usize;
     let mut oracle_nodes: Option<usize> = None;
     let mut runs = Vec::new();
     for threads in [1usize, 2, 4] {
@@ -286,18 +299,30 @@ fn par_apply_storm() -> ParApplyResult {
             ),
         }
         let stats = m.cache_stats();
+        shared_cache_entries = stats.shared_cache_entries;
         let lookups = stats.lookups - seeded.lookups;
         let hits = stats.hits - seeded.hits;
+        let shared_lookups = stats.shared_lookups - seeded.shared_lookups;
+        let shared_hits = stats.shared_hits - seeded.shared_hits;
         runs.push(ParApplyRun {
             threads,
             ops,
             lookups,
             hit_rate: hits as f64 / lookups.max(1) as f64,
+            shared_lookups,
+            shared_hits,
+            shared_hit_rate: shared_hits as f64 / shared_lookups.max(1) as f64,
+            shared_insertions: stats.shared_insertions - seeded.shared_insertions,
+            steals: stats.par_steals - seeded.par_steals,
             micros: elapsed.as_micros(),
             result_nodes,
         });
     }
-    ParApplyResult { cone_nodes, runs }
+    ParApplyResult {
+        cone_nodes,
+        shared_cache_entries,
+        runs,
+    }
 }
 
 struct SiftBenchRow {
@@ -519,15 +544,21 @@ fn main() {
     let par = par_apply_storm();
     for r in &par.runs {
         println!(
-            "par_apply  threads={} {:>4} ops / {:>9} lookups in {:>8} µs  ({:.1} Mlookups/s, cache hit {:.1}%, {} result nodes, {} shared cone nodes)",
+            "par_apply  threads={} {:>4} ops / {:>9} lookups in {:>8} µs  ({:.1} Mlookups/s, L1 hit {:.1}%, L2 {}/{} hit {:.1}%, {} L2 inserts, {} steals, {} result nodes, {} shared cone nodes, L2 {} entries)",
             r.threads,
             r.ops,
             r.lookups,
             r.micros,
             r.lookups as f64 / r.micros.max(1) as f64,
             100.0 * r.hit_rate,
+            r.shared_hits,
+            r.shared_lookups,
+            100.0 * r.shared_hit_rate,
+            r.shared_insertions,
+            r.steals,
             r.result_nodes,
-            par.cone_nodes
+            par.cone_nodes,
+            par.shared_cache_entries
         );
     }
 
@@ -667,6 +698,11 @@ fn main() {
     );
     json.push_str("  \"par_apply\": {\n");
     let _ = writeln!(json, "    \"cone_nodes\": {},", par.cone_nodes);
+    let _ = writeln!(
+        json,
+        "    \"shared_cache_entries\": {},",
+        par.shared_cache_entries
+    );
     // Same caveat as the suite section: on a single-core container the
     // wider runs are expected to be no faster than the `threads = 1`
     // baseline, and `cores` is what lets a reader tell that apart from a
@@ -680,11 +716,16 @@ fn main() {
     for (i, r) in par.runs.iter().enumerate() {
         let _ = writeln!(
             json,
-            "      {{\"threads\": {}, \"ops\": {}, \"cache_lookups\": {}, \"cache_hit_rate\": {:.4}, \"micros\": {}, \"mlookups_per_sec\": {:.3}, \"result_nodes\": {}}}{}",
+            "      {{\"threads\": {}, \"ops\": {}, \"cache_lookups\": {}, \"cache_hit_rate\": {:.4}, \"shared_lookups\": {}, \"shared_hits\": {}, \"shared_hit_rate\": {:.4}, \"shared_insertions\": {}, \"steals\": {}, \"micros\": {}, \"mlookups_per_sec\": {:.3}, \"result_nodes\": {}}}{}",
             r.threads,
             r.ops,
             r.lookups,
             r.hit_rate,
+            r.shared_lookups,
+            r.shared_hits,
+            r.shared_hit_rate,
+            r.shared_insertions,
+            r.steals,
             r.micros,
             r.lookups as f64 / r.micros.max(1) as f64,
             r.result_nodes,

@@ -103,7 +103,7 @@ impl RowBudget {
     pub fn apply(&self, engine: &EngineOptions) -> EngineOptions {
         EngineOptions {
             limits: self.limits_now(),
-            ..*engine
+            ..engine.clone()
         }
     }
 }
@@ -331,7 +331,15 @@ pub fn run_table1_with(engine: &EngineOptions) -> Vec<Table1Row> {
 /// path.
 pub fn run_table1_jobs(engine: &EngineOptions, jobs: usize) -> Vec<Table1Row> {
     let suite = paper_suite();
-    pool::run(jobs, suite.len(), |i| table1_row_with(&suite[i], engine))
+    // Leftover suite threads flow into each task as its intra-cone fork
+    // budget, so `jobs` caps total parallelism across both levels.
+    pool::run_with_budget(jobs, suite.len(), |i, budget| {
+        let engine = EngineOptions {
+            job_budget: Some(budget.clone()),
+            ..engine.clone()
+        };
+        table1_row_with(&suite[i], &engine)
+    })
 }
 
 /// [`run_table1_jobs`] under a per-row resource budget, with per-task
@@ -370,7 +378,7 @@ pub fn table1_row(bench: &Benchmark) -> Table1Row {
 pub fn table1_row_with(bench: &Benchmark, engine: &EngineOptions) -> Table1Row {
     let net = &bench.network;
     let maj_options = BdsMajOptions {
-        engine: *engine,
+        engine: engine.clone(),
         ..BdsMajOptions::default()
     };
     let with = bds_maj(net, &maj_options);
@@ -448,8 +456,13 @@ pub fn run_table2_with(lib: &Library, engine: &EngineOptions) -> Vec<Table2Row> 
 /// path.
 pub fn run_table2_jobs(lib: &Library, engine: &EngineOptions, jobs: usize) -> Vec<Table2Row> {
     let suite = paper_suite();
-    pool::run(jobs, suite.len(), |i| {
-        table2_row_with(&suite[i], lib, engine)
+    // Same two-level budget sharing as `run_table1_jobs`.
+    pool::run_with_budget(jobs, suite.len(), |i, budget| {
+        let engine = EngineOptions {
+            job_budget: Some(budget.clone()),
+            ..engine.clone()
+        };
+        table2_row_with(&suite[i], lib, &engine)
     })
 }
 
@@ -490,7 +503,7 @@ pub fn table2_row_with(bench: &Benchmark, lib: &Library, engine: &EngineOptions)
         (report(&mapped, lib), ok)
     };
     let maj_options = BdsMajOptions {
-        engine: *engine,
+        engine: engine.clone(),
         ..BdsMajOptions::default()
     };
     let with = bds_maj(net, &maj_options);

@@ -5,11 +5,13 @@
 //! Design:
 //!
 //! * **Per-worker deques.** The task indices `0..n` are dealt round-robin
-//!   across one `VecDeque` per worker. A worker pops from the *front* of
+//!   across one deque per worker ([`bdd::steal::StealDeques`] — the same
+//!   deal / own-front-pop / steal-back primitive the parallel apply's
+//!   fork-join recursion schedules on). A worker pops from the *front* of
 //!   its own deque and, when that runs dry, steals from the *back* of a
-//!   victim's — the classic Arora/Blumofe/Plumbeck split that keeps owner
-//!   and thief on opposite ends (in the spirit of rayon's scoped join,
-//!   without the dependency: the workspace is offline).
+//!   victim's — owner and thief on opposite ends (in the spirit of
+//!   rayon's scoped join, without the dependency: the workspace is
+//!   offline).
 //! * **Pre-sized slot vector.** Worker `w` finishing task `i` writes into
 //!   slot `i`, so [`run`] returns results in task order no matter which
 //!   thread ran what — callers print rows in the same order and with the
@@ -44,8 +46,8 @@
 //! task's managers (`Manager::set_job_budget`) and `--jobs`/`BENCH_JOBS`
 //! stays the single knob for total parallelism.
 
+use bdd::steal::StealDeques;
 use bdd::JobBudget;
-use std::collections::VecDeque;
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Mutex;
@@ -111,9 +113,7 @@ where
     // Deal task indices round-robin so a skewed prefix (the suite's big
     // datapaths cluster together) still spreads across workers even
     // before any stealing happens.
-    let deques: Vec<Mutex<VecDeque<usize>>> = (0..workers)
-        .map(|w| Mutex::new((w..n).step_by(workers).collect()))
-        .collect();
+    let deques: StealDeques<usize> = StealDeques::deal(workers, 0..n);
     let slots: Vec<Mutex<Option<T>>> = (0..n).map(|_| Mutex::new(None)).collect();
     let panicked = AtomicBool::new(false);
     let payload: Mutex<Option<Box<dyn std::any::Any + Send>>> = Mutex::new(None);
@@ -128,7 +128,7 @@ where
             let budget = &budget;
             scope.spawn(move || {
                 while !panicked.load(Ordering::Relaxed) {
-                    let Some(i) = next_task(me, deques) else {
+                    let Some((i, _)) = deques.next(me) else {
                         break;
                     };
                     match catch_unwind(AssertUnwindSafe(|| f(i, budget))) {
@@ -152,7 +152,7 @@ where
         // The early drain abandons any task that was still queued (dealt
         // to a deque but never popped). Account for them out loud before
         // re-throwing, so a batch log never silently under-reports.
-        let abandoned: usize = deques.iter().map(|d| d.lock().unwrap().len()).sum();
+        let abandoned = deques.queued();
         if abandoned > 0 {
             eprintln!("pool: a task panicked; {abandoned} of {n} tasks were abandoned unrun");
         }
@@ -179,14 +179,30 @@ where
     T: Send,
     F: Fn(usize) -> T + Sync,
 {
-    let call = |i: usize| catch_unwind(AssertUnwindSafe(|| f(i))).map_err(panic_message);
+    run_catching_with_budget(jobs, n, |i, _| f(i))
+}
+
+/// [`run_catching`] with the same leftover-thread [`JobBudget`] contract
+/// as [`run_with_budget`]: each task receives the budget holding the
+/// threads the suite level did not consume, and drained workers return
+/// their own thread to it.
+// bdslint: allow(protect-release) -- the release call returns a drained
+// worker's thread permit to the JobBudget; no node root is involved.
+pub fn run_catching_with_budget<T, F>(jobs: usize, n: usize, f: F) -> Vec<Result<T, String>>
+where
+    T: Send,
+    F: Fn(usize, &JobBudget) -> T + Sync,
+{
+    let call = |i: usize, budget: &JobBudget| {
+        catch_unwind(AssertUnwindSafe(|| f(i, budget))).map_err(panic_message)
+    };
     if jobs <= 1 || n <= 1 {
-        return (0..n).map(call).collect();
+        let budget = JobBudget::new(jobs.saturating_sub(1));
+        return (0..n).map(|i| call(i, &budget)).collect();
     }
     let workers = jobs.min(n);
-    let deques: Vec<Mutex<VecDeque<usize>>> = (0..workers)
-        .map(|w| Mutex::new((w..n).step_by(workers).collect()))
-        .collect();
+    let budget = JobBudget::new(jobs - workers);
+    let deques: StealDeques<usize> = StealDeques::deal(workers, 0..n);
     let slots: Vec<Mutex<Option<Result<T, String>>>> = (0..n).map(|_| Mutex::new(None)).collect();
 
     std::thread::scope(|scope| {
@@ -194,10 +210,12 @@ where
             let deques = &deques;
             let slots = &slots;
             let call = &call;
+            let budget = &budget;
             scope.spawn(move || {
-                while let Some(i) = next_task(me, deques) {
-                    *slots[i].lock().unwrap() = Some(call(i));
+                while let Some((i, _)) = deques.next(me) {
+                    *slots[i].lock().unwrap() = Some(call(i, budget));
                 }
+                budget.release(1);
             });
         }
     });
@@ -222,21 +240,6 @@ fn panic_message(p: Box<dyn std::any::Any + Send>) -> String {
     } else {
         "task panicked with a non-string payload".to_string()
     }
-}
-
-/// Pops the next task for worker `me`: own deque front first, then the
-/// back of each other worker's deque, scanning from the right neighbour.
-fn next_task(me: usize, deques: &[Mutex<VecDeque<usize>>]) -> Option<usize> {
-    if let Some(i) = deques[me].lock().unwrap().pop_front() {
-        return Some(i);
-    }
-    for off in 1..deques.len() {
-        let victim = (me + off) % deques.len();
-        if let Some(i) = deques[victim].lock().unwrap().pop_back() {
-            return Some(i);
-        }
-    }
-    None
 }
 
 #[cfg(test)]

@@ -14,7 +14,7 @@ use decomp::{decompose_network, DecomposeResult, EngineOptions, NoMajority};
 use logic::Network;
 
 /// Options of the full BDS-MAJ flow.
-#[derive(Clone, Copy, Debug, Default)]
+#[derive(Clone, Debug, Default)]
 pub struct BdsMajOptions {
     /// Partitioning and dominator-search bounds of the underlying engine.
     pub engine: EngineOptions,

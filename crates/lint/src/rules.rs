@@ -145,7 +145,7 @@ impl Default for Config {
             ref_encoding_file: "crates/bdd/src/reference.rs",
             ref_ctor_fns: &["try_mk", "node", "lookup", "function_of"],
             cas_dir: "crates/bdd/src",
-            cas_publication_fns: &["try_mk", "claim_slot", "abandon_slot"],
+            cas_publication_fns: &["try_mk", "claim_slot", "abandon_slot", "publish"],
             cas_state_fields: &[
                 "cells",
                 "buckets",
@@ -155,6 +155,12 @@ impl Default for Config {
                 "occupied",
                 "abandoned",
                 "allocs_since_gc",
+                // The shared computed cache's two-word entries: claimed,
+                // payload-published and tag-released only inside
+                // `SharedCache::publish` (quiescent clear/scrub paths go
+                // through `get_mut`).
+                "tag_word",
+                "payload_word",
             ],
         }
     }

@@ -1,6 +1,8 @@
-//! Fixture: shared-table atomics that break the publication protocol.
+//! Fixture: shared-table atomics that break the publication protocol,
+//! for both the unique table (`buckets`) and the shared computed cache
+//! (`tag_word`/`payload_word`).
 
-use std::sync::atomic::{AtomicU32, Ordering};
+use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
 
 pub struct NodeStore {
     buckets: Vec<AtomicU32>,
@@ -23,5 +25,30 @@ impl NodeStore {
     pub fn sneak_insert(&self, i: usize, idx: u32) {
         // ordering: Release — irrelevant, this bypasses the protocol.
         self.buckets[i].store(idx, Ordering::Release);
+    }
+}
+
+pub struct SharedEntry {
+    tag_word: AtomicU64,
+    payload_word: AtomicU64,
+}
+
+pub struct SharedCache {
+    slots: Vec<SharedEntry>,
+}
+
+impl SharedCache {
+    /// Registered publication function, but the tag store carries no
+    /// memory-ordering justification: caught.
+    pub fn publish(&self, i: usize, tag: u64) {
+        // An undocumented Release store.
+        self.slots[i].tag_word.store(tag, Ordering::Release);
+    }
+
+    /// Not a registered publication function: a cache entry overwritten
+    /// outside the claim/publish protocol is caught even when documented.
+    pub fn sneak_clear(&self, i: usize) {
+        // ordering: Relaxed — irrelevant, this bypasses the protocol.
+        self.slots[i].tag_word.store(0, Ordering::Relaxed);
     }
 }

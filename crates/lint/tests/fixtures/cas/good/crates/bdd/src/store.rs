@@ -2,11 +2,49 @@
 //! the registered functions, `get_mut()` on quiescent `&mut` paths, an
 //! annotated escape, and test code exempt.
 
-use std::sync::atomic::{AtomicU32, Ordering};
+use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
 
 pub struct NodeStore {
     buckets: Vec<AtomicU32>,
     occupied: AtomicU32,
+}
+
+pub struct SharedEntry {
+    tag_word: AtomicU64,
+    payload_word: AtomicU64,
+}
+
+pub struct SharedCache {
+    slots: Vec<SharedEntry>,
+}
+
+impl SharedCache {
+    /// The shared-cache publication protocol done right: claim CAS, then
+    /// payload and tag stores, every ordering justified.
+    pub fn publish(&self, i: usize, tag: u64, payload: u64) {
+        let e = &self.slots[i];
+        // ordering: Relaxed — the claim CAS only arbitrates writers; the
+        // stores below carry their own Release edges.
+        if e.tag_word
+            .compare_exchange(0, 1, Ordering::Relaxed, Ordering::Relaxed)
+            .is_err()
+        {
+            return;
+        }
+        // ordering: Release — readers Acquire-load the payload.
+        e.payload_word.store(payload, Ordering::Release);
+        // ordering: Release — tag-last publishes the payload store.
+        e.tag_word.store(tag, Ordering::Release);
+    }
+
+    /// Quiescent clear goes through `get_mut()` — not an atomic call, so
+    /// the rule does not apply.
+    pub fn clear(&mut self) {
+        for e in self.slots.iter_mut() {
+            *e.tag_word.get_mut() = 0;
+            *e.payload_word.get_mut() = 0;
+        }
+    }
 }
 
 impl NodeStore {

@@ -243,8 +243,8 @@ fn registered_constructors_encoding_module_and_tests_pass() {
 fn cas_cfg() -> Config {
     Config {
         cas_dir: "crates/bdd/src",
-        cas_publication_fns: &["try_mk"],
-        cas_state_fields: &["buckets", "cells", "occupied"],
+        cas_publication_fns: &["try_mk", "publish"],
+        cas_state_fields: &["buckets", "cells", "occupied", "tag_word", "payload_word"],
         ..base_config()
     }
 }
@@ -254,7 +254,12 @@ fn cas_writes_outside_publication_or_undocumented_are_caught() {
     let findings = lint_fixture("cas/bad", &cas_cfg());
     assert_eq!(
         rules_of(&findings),
-        ["cas-publication", "cas-publication"],
+        [
+            "cas-publication", // undocumented try_mk CAS
+            "cas-publication", // out-of-protocol buckets store
+            "cas-publication", // undocumented publish tag store
+            "cas-publication", // out-of-protocol tag_word store
+        ],
         "{findings:?}"
     );
     assert!(
@@ -266,6 +271,17 @@ fn cas_writes_outside_publication_or_undocumented_are_caught() {
         findings[1].message.contains("outside the registered"),
         "{}",
         findings[1]
+    );
+    assert!(
+        findings[2].message.contains("// ordering:") && findings[2].message.contains("publish"),
+        "{}",
+        findings[2]
+    );
+    assert!(
+        findings[3].message.contains("outside the registered")
+            && findings[3].message.contains("tag_word"),
+        "{}",
+        findings[3]
     );
 }
 

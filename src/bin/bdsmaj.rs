@@ -137,17 +137,21 @@ fn synthesize(
     label: &str,
     args: &Args,
     lib: &Library,
+    fork_budget: &JobBudget,
 ) -> Result<FileResult, String> {
     use std::fmt::Write as _;
     // The budget's deadline starts counting at task start, so every file
-    // in a batch gets its own clock.
+    // in a batch gets its own clock. The fork budget holds the `--jobs`
+    // threads the file level is not using, so a single large cone can
+    // fork its apply without ever exceeding the cap machine-wide.
     let engine = EngineOptions {
         reorder: args.reorder,
         limits: args.budget.limits_now(),
+        job_budget: Some(fork_budget.clone()),
         ..EngineOptions::default()
     };
     let maj_options = BdsMajOptions {
-        engine,
+        engine: engine.clone(),
         ..BdsMajOptions::default()
     };
     let mut report_text = String::new();
@@ -212,7 +216,10 @@ fn synthesize(
 /// Single-input mode (one file or `--bench`): report to stderr, BLIF to
 /// `-o PATH` or stdout. Byte-identical to the historical behavior.
 fn run_single(net: &Network, args: &Args, lib: &Library) -> ExitCode {
-    let result = match synthesize(net, "the input", args, lib) {
+    // One file, `--jobs` threads: everything beyond this thread is
+    // available to intra-cone forking.
+    let fork_budget = JobBudget::new(args.jobs.saturating_sub(1));
+    let result = match synthesize(net, "the input", args, lib, &fork_budget) {
         Ok(r) => r,
         Err(msg) => {
             eprintln!("{msg}");
@@ -273,10 +280,11 @@ fn run_multi(nets: Vec<(String, Network)>, args: &Args, lib: &Library) -> ExitCo
         None => None,
     };
     // Per-task panic isolation: one pathological input yields one failed
-    // row ("status: failed") instead of killing the whole batch.
-    let results = pool::run_catching(args.jobs, nets.len(), |i| {
+    // row ("status: failed") instead of killing the whole batch. Leftover
+    // pool threads flow into each task as its intra-cone fork budget.
+    let results = pool::run_catching_with_budget(args.jobs, nets.len(), |i, budget| {
         let (path, net) = &nets[i];
-        synthesize(net, path, args, lib)
+        synthesize(net, path, args, lib, budget)
     });
     let mut failures = 0usize;
     let mut degraded = 0usize;
